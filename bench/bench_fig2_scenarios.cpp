@@ -1,0 +1,126 @@
+// Figure 2: the three possible FindNext(p) scenarios, constructed exactly
+// with scripted schedules and reported with their RMR costs:
+//
+//   (a) FOUND  — a zero bit to the right leads to the next live leaf;
+//   (b) BOTTOM — every leaf to the right is abandoned; the ascent reaches
+//                the root without finding a zero bit;
+//   (c) TOP    — the descent reads an EMPTY node because it crossed paths
+//                with a Remove() still ascending that subtree.
+#include <cstdio>
+
+#include "aml/core/tree.hpp"
+#include "aml/harness/table.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/sched/scheduler.hpp"
+
+using aml::core::FindResult;
+using aml::core::Tree;
+using aml::harness::Table;
+using aml::model::CountingCcModel;
+using aml::model::Pid;
+
+namespace {
+
+const char* kind_name(const FindResult& r) {
+  if (r.is_found()) return "FOUND";
+  if (r.is_top()) return "TOP";
+  return "BOTTOM";
+}
+
+struct ScenarioResult {
+  FindResult find;
+  std::uint64_t rmrs;
+};
+
+// (a) Found: slots 1..2 removed beforehand; FindNext(0) finds slot 3.
+// (The finder is a different process than the removers, so its reads are
+// genuine RMRs rather than hits in the removers' cache.)
+ScenarioResult scenario_found() {
+  CountingCcModel m(2);
+  Tree<CountingCcModel> tree(m, 8, 2);
+  tree.remove(0, 1);
+  tree.remove(0, 2);
+  m.reset_counters();
+  const FindResult r = tree.find_next(1, 0);
+  return {r, m.counters(1).rmrs};
+}
+
+// (b) Bottom: every slot right of 0 removed beforehand.
+ScenarioResult scenario_bottom() {
+  CountingCcModel m(2);
+  Tree<CountingCcModel> tree(m, 8, 2);
+  for (std::uint32_t q = 1; q < 8; ++q) tree.remove(0, q);
+  m.reset_counters();
+  const FindResult r = tree.find_next(1, 0);
+  return {r, m.counters(1).rmrs};
+}
+
+// (c) Top: a Remove() fills the subtree the FindNext is descending into,
+// before setting the parent bit — the exact "crossed paths" interleaving,
+// pinned by a scripted schedule (see tests/tree/tree_concurrent_test.cpp
+// for the step-by-step account).
+ScenarioResult scenario_top() {
+  CountingCcModel m(4);
+  Tree<CountingCcModel> tree(m, 4, 2);
+  aml::sched::StepScheduler::Config cfg;
+  cfg.policy = aml::sched::policies::script(
+      {{1, 1}, {0, 2}, {2, 1}, {3, 1}, {0, 1}},
+      aml::sched::policies::round_robin());
+  aml::sched::StepScheduler sched(4, std::move(cfg));
+  m.set_hook(&sched);
+  FindResult result{};
+  std::uint64_t rmrs = 0;
+  sched.run([&](Pid p) {
+    switch (p) {
+      case 0: {
+        const std::uint64_t before = m.counters(0).rmrs;
+        result = tree.find_next(0, 0);
+        rmrs = m.counters(0).rmrs - before;
+        break;
+      }
+      case 1:
+        tree.remove(1, 1);
+        break;
+      case 2:
+        tree.remove(2, 2);
+        break;
+      case 3:
+        tree.remove(3, 3);
+        break;
+    }
+  });
+  m.set_hook(nullptr);
+  return {result, rmrs};
+}
+
+}  // namespace
+
+int main() {
+  Table table("Figure 2 — FindNext(p) scenarios (W=2)");
+  table.headers({"scenario", "setup", "result", "slot", "RMRs"});
+
+  const ScenarioResult found = scenario_found();
+  table.row({"(a) next found", "N=8; slots 1,2 removed", kind_name(found.find),
+             found.find.is_found() ? Table::num(std::uint64_t{found.find.slot})
+                                   : "-",
+             Table::num(found.rmrs)});
+
+  const ScenarioResult bottom = scenario_bottom();
+  table.row({"(b) all abandoned", "N=8; slots 1..7 removed",
+             kind_name(bottom.find), "-", Table::num(bottom.rmrs)});
+
+  const ScenarioResult top = scenario_top();
+  table.row({"(c) crossed paths", "N=4; Remove(3) mid-flight",
+             kind_name(top.find), "-", Table::num(top.rmrs)});
+
+  table.print();
+
+  const bool ok = found.find.is_found() && found.find.slot == 3 &&
+                  bottom.find.is_bottom() && top.find.is_top();
+  if (!ok) {
+    std::fprintf(stderr, "figure-2 scenarios did not reproduce!\n");
+    return 1;
+  }
+  std::printf("all three Figure 2 scenarios reproduced.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 4: comparison of FindNext() ascent algorithms.
+//
+// The paper's figure contrasts the non-adaptive ascent (climb to the lowest
+// common ancestor, then descend) with the adaptive "sidestep" ascent. We
+// regenerate it quantitatively: the caller sits on the rightmost leaf of a
+// height-k subtree while its immediate right neighbour is alive; the plain
+// ascent pays ~2k node reads, the adaptive one pays O(1).
+//
+// Second series: RMR cost as a function of the number of aborters A_i
+// (Claim 21: adaptive is O(log_W A_i); plain is O(log_W N) regardless).
+#include <cstdio>
+#include <string>
+
+#include "aml/core/tree.hpp"
+#include "aml/harness/table.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/pal/bits.hpp"
+
+using aml::core::FindResult;
+using aml::core::Tree;
+using aml::harness::Table;
+using aml::model::CountingCcModel;
+
+namespace {
+
+void bench_sidestep_vs_ascent() {
+  Table table("Figure 4 — plain vs adaptive FindNext ascent (W=2, no aborts)");
+  table.headers({"height H", "N=2^H", "caller p", "plain RMRs",
+                 "adaptive RMRs", "ratio"});
+  for (std::uint32_t h = 2; h <= 11; ++h) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(aml::pal::pow_sat(2, h));
+    CountingCcModel m(2);
+    Tree<CountingCcModel> tree(m, n, 2);
+    // Rightmost leaf of the left half: the worst ascent for plain FindNext.
+    const std::uint32_t p = n / 2 - 1;
+
+    const std::uint64_t p0 = m.counters(0).rmrs;
+    const FindResult plain = tree.find_next(0, p);
+    const std::uint64_t plain_cost = m.counters(0).rmrs - p0;
+
+    const std::uint64_t a0 = m.counters(1).rmrs;
+    const FindResult adaptive = tree.adaptive_find_next(1, p);
+    const std::uint64_t adaptive_cost = m.counters(1).rmrs - a0;
+
+    if (!plain.is_found() || !adaptive.is_found() ||
+        plain.slot != adaptive.slot) {
+      std::fprintf(stderr, "figure-4 bench: result mismatch at h=%u\n", h);
+      continue;
+    }
+    table.row({Table::num(std::uint64_t{h}), Table::num(std::uint64_t{n}),
+               Table::num(std::uint64_t{p}), Table::num(plain_cost),
+               Table::num(adaptive_cost),
+               Table::num(static_cast<double>(plain_cost) /
+                          static_cast<double>(adaptive_cost))});
+  }
+  table.print();
+}
+
+// Caller p is the rightmost leaf of the left half of the tree (the position
+// where the plain ascent is forced to the root no matter what); the A slots
+// immediately to its right are aborted. Plain pays ~2 log_W N regardless of
+// A; adaptive pays O(log_W A).
+void bench_cost_vs_aborters(std::uint32_t w) {
+  const std::uint32_t n = 4096;
+  Table table("Figure 4 series — FindNext RMRs vs #aborters A (N=4096, W=" +
+              std::to_string(w) + ", caller = rightmost leaf of left half)");
+  table.headers({"A (aborters)", "plain RMRs", "adaptive RMRs",
+                 "ceil(log_W(A+2))"});
+  const std::uint32_t p = n / 2 - 1;
+  for (std::uint32_t a : {0u, 1u, 3u, 7u, 15u, 63u, 255u, 1023u, 2047u}) {
+    CountingCcModel m(2);
+    Tree<CountingCcModel> tree(m, n, w);
+    for (std::uint32_t q = p + 1; q <= p + a; ++q) tree.remove(0, q);
+    m.reset_counters();
+    const std::uint64_t p0 = m.counters(0).rmrs;
+    const auto plain = tree.find_next(0, p);
+    const std::uint64_t plain_cost = m.counters(0).rmrs - p0;
+    const std::uint64_t a0 = m.counters(1).rmrs;
+    const auto adaptive = tree.adaptive_find_next(1, p);
+    const std::uint64_t adaptive_cost = m.counters(1).rmrs - a0;
+    if (!plain.is_found() || plain.slot != p + a + 1 ||
+        !adaptive.is_found() || adaptive.slot != plain.slot) {
+      std::fprintf(stderr, "figure-4 series: result mismatch at A=%u\n", a);
+      continue;
+    }
+    table.row({Table::num(std::uint64_t{a}), Table::num(plain_cost),
+               Table::num(adaptive_cost),
+               Table::num(std::uint64_t{aml::pal::ceil_log(a + 2, w)})});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench_sidestep_vs_ascent();
+  bench_cost_vs_aborters(2);
+  bench_cost_vs_aborters(8);
+  bench_cost_vs_aborters(64);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The paper's headline claim (abstract + Section 1): the lock's worst-case
+// passage RMR cost is O(log_W N), which under different word-size regimes
+// means:
+//
+//   W = 2            -> O(log N)                  (binary tree: the
+//                                                  comparison-primitive
+//                                                  world's Omega(log N))
+//   W = Theta(log N) -> O(log N / log log N)      (the standard assumption)
+//   W = Theta(N^eps) -> O(1)                      (realistic machines)
+//
+// We sweep N with each regime's W and measure the maximum complete-passage
+// RMR count under the adversarial everyone-aborts workload, alongside the
+// O(log N) abortable tournament baseline. The growth *rates* are the
+// result: column 3 tracks log2, column 4 is clearly sublogarithmic, column
+// 5 flattens.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "table1_common.hpp"
+
+using namespace bench;
+using aml::harness::AbortWhen;
+using aml::harness::plan_first_k;
+
+namespace {
+
+std::uint32_t w_log(std::uint32_t n) {
+  const std::uint32_t w = static_cast<std::uint32_t>(std::ceil(std::log2(n)));
+  return std::max(2u, std::min(64u, w));
+}
+
+std::uint32_t w_poly(std::uint32_t n) {  // W = N^(1/2)
+  const std::uint32_t w =
+      static_cast<std::uint32_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return std::max(2u, std::min(64u, w));
+}
+
+std::uint64_t ours_worst(std::uint32_t n, std::uint32_t w) {
+  SinglePassOptions opts;
+  opts.seed = n * 31 + w;
+  opts.plans = plan_first_k(n, n - 2, AbortWhen::kOnIdle);
+  const RunResult r = run_ours(n, w, aml::core::Find::kAdaptive, opts);
+  return r.complete_summary().max;
+}
+
+}  // namespace
+
+int main() {
+  Table table("Headline — worst-case passage RMRs vs N under the paper's "
+              "word-size regimes (all-but-two abort)");
+  table.headers({"N", "ours W=2 (log N)", "ours W=log2(N) (log/loglog)",
+                 "ours W=sqrt(N) (O(1))", "tournament O(log N)"});
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.plans = plan_first_k(n, n - 2, AbortWhen::kOnIdle);
+    const RunResult tour = run_simple<TournamentCc>(n, opts);
+    table.row({fmt_u(n), fmt_u(ours_worst(n, 2)),
+               fmt_u(ours_worst(n, w_log(n))),
+               fmt_u(ours_worst(n, w_poly(n))),
+               fmt_u(tour.complete_summary().max)});
+  }
+  table.print();
+
+  Table detail("Headline detail — the W used per regime");
+  detail.headers({"N", "W=log2(N)", "W=sqrt(N)"});
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    detail.row({fmt_u(n), fmt_u(w_log(n)), fmt_u(w_poly(n))});
+  }
+  detail.print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Native abort-path microbenchmarks: bounded-abort latency (how fast an
+// enter() returns once its signal is up while the lock is held) and mixed
+// workloads with a given abort probability.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "aml/core/abortable_lock.hpp"
+#include "aml/pal/rng.hpp"
+
+namespace {
+
+// Latency of an aborted acquisition attempt while the lock is held by
+// thread 0 the whole time.
+void BM_AbortLatencyWhileHeld(benchmark::State& state) {
+  aml::AbortableLock lock(aml::LockConfig{.max_threads = 2});
+  lock.enter(0);
+  aml::AbortSignal sig;
+  sig.raise();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.enter(1, sig));
+  }
+  lock.exit(0);
+}
+BENCHMARK(BM_AbortLatencyWhileHeld);
+
+// Uncontended acquire/release with a pre-checked (never-raised) signal:
+// the cost of abortability on the fast path.
+void BM_EnterExitWithSignalCheck(benchmark::State& state) {
+  aml::AbortableLock lock(aml::LockConfig{.max_threads = 1});
+  aml::AbortSignal sig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.enter(0, sig));
+    lock.exit(0);
+  }
+}
+BENCHMARK(BM_EnterExitWithSignalCheck);
+
+// Mixed: each iteration raises the signal with probability p before
+// entering. Solo attempts always win the race with their own signal (the
+// hand-off beats the abort check — footnote 2 of the paper), so the aborts
+// counter stays 0; what this isolates is the fast-path cost of *carrying*
+// a possibly-raised signal, across abort-marking rates.
+void BM_MixedAbortRate(benchmark::State& state) {
+  aml::AbortableLock lock(aml::LockConfig{.max_threads = 1});
+  aml::AbortSignal sig;
+  aml::pal::Xoshiro256 rng(42);
+  const auto ppm = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t aborts = 0;
+  for (auto _ : state) {
+    sig.reset();
+    if (rng.chance_ppm(ppm)) sig.raise();
+    if (lock.enter(0, sig)) {
+      lock.exit(0);
+    } else {
+      ++aborts;
+    }
+  }
+  state.counters["aborts"] = static_cast<double>(aborts);
+}
+BENCHMARK(BM_MixedAbortRate)->Arg(0)->Arg(100000)->Arg(500000);
+
+// Tree width ablation on the abort-free native fast path.
+void BM_TreeWidth(benchmark::State& state) {
+  aml::AbortableLock lock(aml::LockConfig{
+      .max_threads = 1,
+      .tree_width = static_cast<std::uint32_t>(state.range(0))});
+  for (auto _ : state) {
+    lock.enter(0);
+    lock.exit(0);
+  }
+}
+BENCHMARK(BM_TreeWidth)->Arg(2)->Arg(8)->Arg(64);
+
+}  // namespace

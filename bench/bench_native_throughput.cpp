@@ -1,0 +1,64 @@
+// Native-hardware lock/unlock microbenchmarks (google-benchmark): the
+// production AbortableLock against the classic baselines, uncontended and
+// under thread contention.
+//
+// Note: on a single-core host the contended numbers measure hand-off through
+// the OS scheduler rather than cache-line transfer; the RMR benches (the
+// bench_table1_* binaries) are the paper-faithful comparison. These numbers
+// establish that the lock is a practical, deployable artifact.
+//
+// Lock instances are function-local statics shared across the benchmark's
+// thread-count variants: they are locks, so reuse across runs is safe, and
+// this avoids any teardown race between benchmark threads.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "aml/baselines/baselines.hpp"
+#include "aml/core/abortable_lock.hpp"
+#include "aml/model/native.hpp"
+
+namespace {
+
+using aml::model::NativeModel;
+
+constexpr std::uint32_t kMaxThreads = 8;
+
+void BM_AmlockEnterExit(benchmark::State& state) {
+  static aml::AbortableLock lock(
+      aml::LockConfig{.max_threads = kMaxThreads});
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    lock.enter(tid);
+    benchmark::DoNotOptimize(tid);
+    lock.exit(tid);
+  }
+}
+BENCHMARK(BM_AmlockEnterExit)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+template <typename Lock>
+void BM_Baseline(benchmark::State& state) {
+  static NativeModel model(kMaxThreads);
+  static Lock lock(model, kMaxThreads);
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    lock.enter(tid, nullptr);
+    benchmark::DoNotOptimize(tid);
+    lock.exit(tid);
+  }
+}
+
+BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::McsLock<NativeModel>)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::ClhLock<NativeModel>)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::TicketLock<NativeModel>)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::TasLock<NativeModel>)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Baseline,
+                   aml::baselines::TournamentAbortableLock<NativeModel>)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Table 1, "Adaptive bound" column: RMR cost of a passage as a function of
+// the number of aborts A_i during the passage, at fixed N = 1024.
+//
+//   this paper      O(log_W A_i)  — grows logarithmically in A, base W
+//   Lee             O(A_i * A_t)-class — linear-or-worse in A
+//   Scott           O(#A)         — the successor walks A abandoned nodes
+//   Jayanti-class   O(log N)      — flat in A (adaptive to point contention,
+//                                   not to aborts; see DESIGN.md)
+#include "table1_common.hpp"
+
+using namespace bench;
+using aml::harness::AbortWhen;
+using aml::harness::plan_first_k;
+
+namespace {
+
+void report(Table& table, const std::string& name, std::uint32_t aborters,
+            const RunResult& r) {
+  table.row({name, fmt_u(aborters), fmt_u(r.complete_summary().max),
+             fmt_u(r.aborted_summary().max), r.mutex_ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t n = 1024;
+  Table table(
+      "Table 1 / adaptive column — passage RMRs vs aborters A (N=1024)");
+  table.headers(
+      {"lock", "A", "max complete RMR", "max aborted RMR", "mutex"});
+  for (std::uint32_t a : {0u, 1u, 3u, 7u, 31u, 127u, 511u, 1022u}) {
+    SinglePassOptions opts;
+    opts.seed = 100 + a;
+    opts.plans = plan_first_k(n, a, AbortWhen::kOnIdle);
+    for (std::uint32_t w : {2u, 16u, 64u}) {
+      report(table, "ours W=" + std::to_string(w) + " (adaptive)", a,
+             run_ours(n, w, aml::core::Find::kAdaptive, opts));
+    }
+    report(table, "ours W=2 (plain)", a,
+           run_ours(n, 2, aml::core::Find::kPlain, opts));
+    report(table, "tournament (Jayanti-class)", a,
+           run_simple<TournamentCc>(n, opts));
+    report(table, "Scott (CLH-NB)", a, run_budgeted<ScottCc>(n, opts));
+    report(table, "Lee-style (F&A queue)", a, run_budgeted<LeeCc>(n, opts));
+  }
+  table.print();
+  return 0;
+}

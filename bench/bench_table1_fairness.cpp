@@ -1,0 +1,112 @@
+// Table 1, "Fairness" column: the one-shot lock is FCFS (doorway = the F&A
+// on Tail); the long-lived transformation keeps starvation freedom but not
+// FCFS. We audit:
+//   (1) one-shot: zero order inversions between doorway (slot) order and CS
+//       entry order across seeds and abort patterns;
+//   (2) long-lived: every process completes its quota under contention
+//       (starvation freedom) and per-process completion spread.
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "table1_common.hpp"
+
+#include "aml/core/oneshot.hpp"
+#include "aml/sched/scheduler.hpp"
+
+using namespace bench;
+using aml::harness::AbortWhen;
+using aml::model::Pid;
+
+namespace {
+
+std::uint64_t fcfs_inversions(std::uint32_t n, std::uint32_t aborters,
+                              std::uint64_t seed) {
+  Model m(n);
+  aml::core::OneShotLock<Model> lock(m, n, 8);
+  const auto plans =
+      aml::harness::plan_random_k(n, aborters, seed, AbortWhen::kOnIdle);
+  std::deque<std::atomic<bool>> signals(n);
+  aml::sched::StepScheduler sched(n, {.seed = seed});
+  std::size_t cursor = 0;
+  sched.set_idle_callback([&]() {
+    while (cursor < n) {
+      const Pid p = static_cast<Pid>(cursor++);
+      if (plans[p].when == AbortWhen::kOnIdle) {
+        signals[p].store(true, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  });
+  std::mutex mu;
+  std::vector<std::uint32_t> cs_order;
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    const auto r = lock.enter(p, &signals[p]);
+    if (r.acquired) {
+      {
+        std::lock_guard<std::mutex> guard(mu);
+        cs_order.push_back(r.slot);
+      }
+      lock.exit(p);
+    }
+  });
+  m.set_hook(nullptr);
+  std::uint64_t inversions = 0;
+  for (std::size_t i = 1; i < cs_order.size(); ++i) {
+    if (cs_order[i] < cs_order[i - 1]) ++inversions;
+  }
+  return inversions;
+}
+
+}  // namespace
+
+int main() {
+  Table fcfs("Table 1 / fairness — one-shot FCFS audit (inversions between "
+             "doorway order and CS order)");
+  fcfs.headers({"N", "aborters", "seeds", "total inversions"});
+  for (auto [n, a] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {16, 0}, {16, 7}, {64, 20}, {128, 60}, {256, 100}}) {
+    std::uint64_t total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      total += fcfs_inversions(n, a, seed);
+    }
+    fcfs.row({fmt_u(n), fmt_u(a), "5", fmt_u(total)});
+  }
+  fcfs.print();
+
+  Table sf("Table 1 / fairness — long-lived starvation freedom (completions "
+           "per process)");
+  sf.headers({"N", "rounds", "abort ppm", "min completions", "max "
+              "completions", "mutex"});
+  for (auto [n, rounds, ppm] :
+       std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>{
+           {2, 20, 0}, {4, 12, 300000}, {8, 8, 500000}, {16, 5, 200000}}) {
+    aml::harness::LongLivedOptions opts;
+    opts.n = n;
+    opts.w = 8;
+    opts.rounds = rounds;
+    opts.abort_ppm = ppm;
+    opts.seed = n * 3 + 1;
+    const RunResult r =
+        aml::harness::run_long_lived<aml::core::VersionedSpace>(opts);
+    std::vector<std::uint64_t> completions(n, 0);
+    for (const auto& rec : r.records) {
+      if (rec.acquired) completions[rec.pid]++;
+    }
+    std::uint64_t mn = ~0ull, mx = 0;
+    for (std::uint64_t c : completions) {
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    sf.row({fmt_u(n), fmt_u(rounds), fmt_u(ppm), fmt_u(mn), fmt_u(mx),
+            r.mutex_ok ? "yes" : "NO"});
+  }
+  sf.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 1, "No aborts" column: RMR cost of a passage when nobody aborts,
+// as N grows. Expected shapes:
+//
+//   this paper      O(1)         (flat across N and W)
+//   Scott, Lee, MCS, CLH   O(1)  (queue locks hand off locally)
+//   Jayanti-class   O(log N)     (tournament: one 2-process lock per level)
+//   ticket / TAS    O(N)-class   (broadcast spin: every release invalidates
+//                                 every waiter)
+#include "table1_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+void report(Table& table, const std::string& name, std::uint32_t n,
+            const RunResult& r) {
+  table.row({name, fmt_u(n), fmt_u(r.complete_summary().max),
+             Table::num(r.complete_summary().mean),
+             r.mutex_ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  Table table("Table 1 / no-aborts column — passage RMRs, zero aborts");
+  table.headers({"lock", "N", "max passage RMR", "mean passage RMR",
+                 "mutex"});
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n + 1;
+    opts.gate_cs = false;
+    for (std::uint32_t w : {2u, 64u}) {
+      report(table, "ours W=" + std::to_string(w) + " (adaptive)", n,
+             run_ours(n, w, aml::core::Find::kAdaptive, opts));
+    }
+    report(table, "MCS", n, run_simple<McsCc>(n, opts));
+    report(table, "CLH", n, run_simple<ClhCc>(n, opts));
+    report(table, "tournament (Jayanti-class)", n,
+           run_simple<TournamentCc>(n, opts));
+    report(table, "Yang-Anderson (read/write)", n,
+           run_simple<aml::baselines::YangAndersonLock<Model>>(n, opts));
+    report(table, "Scott (CLH-NB)", n, run_budgeted<ScottCc>(n, opts));
+    report(table, "Lee-style (F&A queue)", n, run_budgeted<LeeCc>(n, opts));
+    report(table, "ticket", n, run_simple<TicketCc>(n, opts));
+  }
+  table.print();
+  return 0;
+}

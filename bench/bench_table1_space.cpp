@@ -1,0 +1,72 @@
+// Table 1, "Space (#words)" column: shared-memory words allocated by each
+// lock at construction, as N grows.
+//
+//   this paper, one-shot    O(N)      (queue + go array + O(N/W) tree)
+//   this paper, long-lived  O(N^2)    (N+1 instances + N(N+1) spin nodes)
+//   Jayanti                 O(N)      (tournament: ~N node words)
+//   Lee                     O(N^2)    (paper row; our rendition allocates a
+//                                      slot per attempt — budget-bound)
+//   Scott                   unbounded (a node per attempt: reported per
+//                                      attempt budget)
+#include "table1_common.hpp"
+
+#include "aml/core/longlived.hpp"
+#include "aml/core/oneshot.hpp"
+
+using namespace bench;
+
+namespace {
+
+template <typename MakeLock>
+std::uint64_t words_for(std::uint32_t n, MakeLock&& make) {
+  Model m(n);
+  auto lock = make(m);
+  (void)lock;
+  return m.words_allocated();
+}
+
+}  // namespace
+
+int main() {
+  Table table("Table 1 / space column — words allocated at construction");
+  table.headers({"lock", "N", "words", "words/N", "words/N^2"});
+  auto add = [&](const std::string& name, std::uint32_t n,
+                 std::uint64_t words) {
+    table.row({name, fmt_u(n), fmt_u(words),
+               Table::num(static_cast<double>(words) / n),
+               Table::num(static_cast<double>(words) / n / n, 4)});
+  };
+
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    add("ours one-shot W=2", n, words_for(n, [n](Model& m) {
+          return std::make_unique<aml::core::OneShotLock<Model>>(m, n, 2);
+        }));
+    add("ours one-shot W=64", n, words_for(n, [n](Model& m) {
+          return std::make_unique<aml::core::OneShotLock<Model>>(m, n, 64);
+        }));
+    add("tournament (Jayanti-class)", n, words_for(n, [n](Model& m) {
+          return std::make_unique<TournamentCc>(m, n);
+        }));
+    add("MCS", n, words_for(n, [n](Model& m) {
+          return std::make_unique<McsCc>(m, n);
+        }));
+    add("Scott (per-attempt budget 4N)", n, words_for(n, [n](Model& m) {
+          return std::make_unique<ScottCc>(m, n, 4ull * n);
+        }));
+    add("Lee-style (per-attempt budget 4N)", n, words_for(n, [n](Model& m) {
+          return std::make_unique<LeeCc>(m, n, 4ull * n);
+        }));
+  }
+
+  // The long-lived lock is O(N^2): report at smaller N (the words/N^2
+  // column converges to a constant).
+  for (std::uint32_t n : {4u, 16u, 64u, 128u, 256u}) {
+    add("ours long-lived W=64 (lazy reset)", n, words_for(n, [n](Model& m) {
+          return std::make_unique<aml::core::LongLivedLock<Model>>(
+              m, aml::core::LongLivedLock<Model>::Config{.nprocs = n,
+                                                         .w = 64});
+        }));
+  }
+  table.print();
+  return 0;
+}

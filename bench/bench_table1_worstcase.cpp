@@ -1,0 +1,57 @@
+// Table 1, "Worst-case" column: RMR cost of a passage when (almost)
+// everyone aborts.
+//
+// Workload: N processes take queue slots in pid order; slots 1..N-2 abort
+// while slot 0 holds the critical section; slot 0 then exits and hands off
+// to slot N-1. The maximum complete-passage RMR count is dominated by the
+// hand-off over the abandoned range — the regime where Table 1 separates:
+//
+//   this paper      O(log_W N)   (rows: W = 2, 4, 16, 64)
+//   Jayanti-class   O(log N)     (tournament baseline)
+//   Scott           unbounded    (successor walks the abandoned chain: ~N)
+//   Lee             O(N^2)-class (hand-off scan over poisoned slots: ~N)
+#include "table1_common.hpp"
+
+using namespace bench;
+using aml::harness::AbortWhen;
+using aml::harness::plan_first_k;
+
+namespace {
+
+SinglePassOptions worst_opts(std::uint32_t n, std::uint64_t seed) {
+  SinglePassOptions opts;
+  opts.seed = seed;
+  opts.plans = plan_first_k(n, n - 2, AbortWhen::kOnIdle);
+  return opts;
+}
+
+void report(Table& table, const std::string& name, std::uint32_t n,
+            const RunResult& r) {
+  table.row({name, fmt_u(n), fmt_u(r.complete_summary().max),
+             Table::num(r.complete_summary().mean),
+             fmt_u(r.aborted_summary().max), r.mutex_ok ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  Table table(
+      "Table 1 / worst-case column — passage RMRs with N-2 aborters");
+  table.headers({"lock", "N", "max complete RMR", "mean complete",
+                 "max aborted RMR", "mutex"});
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const SinglePassOptions opts = worst_opts(n, n);
+    for (std::uint32_t w : {2u, 4u, 16u, 64u}) {
+      report(table, "ours W=" + std::to_string(w) + " (adaptive)", n,
+             run_ours(n, w, aml::core::Find::kAdaptive, opts));
+    }
+    report(table, "ours W=2 (plain)", n,
+           run_ours(n, 2, aml::core::Find::kPlain, opts));
+    report(table, "tournament (Jayanti-class)", n,
+           run_simple<TournamentCc>(n, opts));
+    report(table, "Scott (CLH-NB)", n, run_budgeted<ScottCc>(n, opts));
+    report(table, "Lee-style (F&A queue)", n, run_budgeted<LeeCc>(n, opts));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Section 5.4 micro-benches: Claim 20 (Remove is O(log_W R)) and Claim 21
+// (AdaptiveFindNext is O(log_W R_p)), measured directly on the counting CC
+// model at N = 4096 across W.
+#include <string>
+
+#include "aml/core/tree.hpp"
+#include "aml/harness/stats.hpp"
+#include "aml/harness/table.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/pal/bits.hpp"
+#include "aml/pal/rng.hpp"
+
+using aml::core::Tree;
+using aml::harness::summarize;
+using aml::harness::Table;
+using aml::model::CountingCcModel;
+
+namespace {
+
+// Claim 20: total and per-op Remove cost as R removers execute.
+void bench_remove(std::uint32_t w) {
+  const std::uint32_t n = 4096;
+  Table table("Claim 20 — Remove() RMR cost vs removers R (N=4096, W=" +
+              std::to_string(w) + ")");
+  table.headers({"R", "max RMR/remove", "mean RMR/remove",
+                 "2+ceil(log_W R)"});
+  for (std::uint32_t r : {2u, 8u, 64u, 512u, 4096u}) {
+    CountingCcModel m(1);
+    Tree<CountingCcModel> tree(m, n, w);
+    // Remove a contiguous block (the worst case for ascent chains).
+    std::vector<std::uint64_t> costs;
+    for (std::uint32_t q = 0; q < r; ++q) {
+      const std::uint64_t before = m.counters(0).rmrs;
+      tree.remove(0, q);
+      costs.push_back(m.counters(0).rmrs - before);
+    }
+    const auto s = summarize(costs);
+    table.row({Table::num(std::uint64_t{r}), Table::num(s.max),
+               Table::num(s.mean),
+               Table::num(std::uint64_t{2 + aml::pal::ceil_log(r, w)})});
+  }
+  table.print();
+}
+
+// Claim 21: AdaptiveFindNext cost as a function of R_p, from random callers.
+void bench_adaptive_findnext(std::uint32_t w) {
+  const std::uint32_t n = 4096;
+  Table table("Claim 21 — AdaptiveFindNext() RMR cost vs R_p (N=4096, W=" +
+              std::to_string(w) + ")");
+  table.headers({"R_p", "max RMRs", "mean RMRs", "2*(2+ceil(log_W R_p))"});
+  aml::pal::Xoshiro256 rng(7);
+  for (std::uint32_t r : {1u, 8u, 64u, 512u, 2048u}) {
+    // Two processes: pid 0 removes, pid 1 measures — so the FindNext reads
+    // are genuine RMRs rather than hits in the remover's own cache.
+    CountingCcModel m(2);
+    Tree<CountingCcModel> tree(m, n, w);
+    // Remove r slots immediately after each of 16 random callers; caller
+    // slots themselves stay alive so every caller yields a sample even
+    // when the removal ranges overlap at large r.
+    std::vector<std::uint32_t> callers;
+    std::vector<bool> is_caller(n, false);
+    std::vector<bool> removed(n, false);
+    for (int i = 0; i < 16; ++i) {
+      const auto p = static_cast<std::uint32_t>(rng.below(n - r - 2));
+      callers.push_back(p);
+      is_caller[p] = true;
+    }
+    for (std::uint32_t p : callers) {
+      for (std::uint32_t q = p + 1; q <= p + r && q < n; ++q) {
+        if (!removed[q] && !is_caller[q]) {
+          tree.remove(0, q);
+          removed[q] = true;
+        }
+      }
+    }
+    std::vector<std::uint64_t> costs;
+    for (std::uint32_t p : callers) {
+      const std::uint64_t before = m.counters(1).rmrs;
+      (void)tree.adaptive_find_next(1, p);
+      costs.push_back(m.counters(1).rmrs - before);
+    }
+    const auto s = summarize(costs);
+    table.row(
+        {Table::num(std::uint64_t{r}), Table::num(s.max), Table::num(s.mean),
+         Table::num(std::uint64_t{2 * (2 + aml::pal::ceil_log(r, w)) + 2})});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  for (std::uint32_t w : {2u, 4u, 16u, 64u}) bench_remove(w);
+  for (std::uint32_t w : {2u, 4u, 16u, 64u}) bench_adaptive_findnext(w);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared plumbing for the Table 1 reproduction benches: uniform runners for
+// the paper's lock and every baseline row on the counting CC model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "aml/baselines/baselines.hpp"
+#include "aml/harness/rmr_experiment.hpp"
+#include "aml/harness/table.hpp"
+
+namespace bench {
+
+using aml::harness::RunResult;
+using aml::harness::SinglePassOptions;
+using aml::harness::Table;
+using Model = aml::model::CountingCcModel;
+
+/// The paper's one-shot lock (Section 3) with the given W and FindNext kind.
+inline RunResult run_ours(std::uint32_t n, std::uint32_t w,
+                          aml::core::Find find,
+                          const SinglePassOptions& opts) {
+  return aml::harness::oneshot_cc_run(n, w, find, opts);
+}
+
+/// Baselines constructible as Lock(model, nprocs).
+template <typename Lock>
+RunResult run_simple(std::uint32_t n, const SinglePassOptions& opts) {
+  return aml::harness::single_pass_with<Model>(
+      n,
+      [n](Model& m) { return std::make_unique<Lock>(m, n); },
+      opts);
+}
+
+/// Baselines with an attempt budget (Scott, Lee: Table 1 "unbounded space").
+template <typename Lock>
+RunResult run_budgeted(std::uint32_t n, const SinglePassOptions& opts) {
+  return aml::harness::single_pass_with<Model>(
+      n,
+      [n](Model& m) {
+        return std::make_unique<Lock>(m, n, 4ull * n + 16);
+      },
+      opts);
+}
+
+using McsCc = aml::baselines::McsLock<Model>;
+using ClhCc = aml::baselines::ClhLock<Model>;
+using TicketCc = aml::baselines::TicketLock<Model>;
+using TasCc = aml::baselines::TasLock<Model>;
+using TournamentCc = aml::baselines::TournamentAbortableLock<Model>;
+using ScottCc = aml::baselines::ScottAbortableLock<Model>;
+using LeeCc = aml::baselines::LeeStyleAbortableLock<Model>;
+
+inline std::string fmt_u(std::uint64_t v) { return Table::num(v); }
+
+}  // namespace bench

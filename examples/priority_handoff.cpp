@@ -1,0 +1,81 @@
+// Use case (3) from the paper's introduction: low-priority processes abort
+// their lock acquisition attempts to expedite hand-off to a high-priority
+// process.
+//
+// Background threads continuously contend for a lock; occasionally a
+// high-priority thread arrives and broadcasts "yield!" — every waiting
+// low-priority thread aborts its attempt (in a bounded number of steps,
+// Theorem 2's bounded-abort property), clearing the queue so the
+// high-priority thread reaches the critical section quickly. We measure the
+// high-priority acquisition latency with and without the yield broadcast.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "aml/amlock.hpp"
+
+namespace {
+
+constexpr std::uint32_t kLowPrio = 6;
+constexpr std::uint32_t kThreads = kLowPrio + 1;  // +1 high-priority
+constexpr std::uint32_t kHighTid = kLowPrio;
+
+double measure_high_prio_latency(bool broadcast_yield, int rounds) {
+  aml::AbortableLock lock(aml::LockConfig{.max_threads = kThreads});
+  std::deque<aml::AbortSignal> yield(kLowPrio);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> low_work{0};
+
+  std::vector<std::thread> low;
+  for (std::uint32_t t = 0; t < kLowPrio; ++t) {
+    low.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        yield[t].reset();
+        if (lock.enter(t, yield[t])) {
+          low_work.fetch_add(1, std::memory_order_relaxed);
+          lock.exit(t);
+        }
+        // When told to yield we land here quickly and back off a little,
+        // leaving the lock to the high-priority thread.
+        if (yield[t].raised()) std::this_thread::yield();
+      }
+    });
+  }
+
+  double total_us = 0;
+  for (int r = 0; r < rounds; ++r) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (broadcast_yield) {
+      for (auto& sig : yield) sig.raise();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    lock.enter(kHighTid);
+    const auto got_it = std::chrono::steady_clock::now();
+    lock.exit(kHighTid);
+    total_us += std::chrono::duration<double, std::micro>(got_it - start)
+                    .count();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& sig : yield) sig.raise();  // unblock anyone still waiting
+  for (auto& t : low) t.join();
+  (void)low_work;
+  return total_us / rounds;
+}
+
+}  // namespace
+
+int main() {
+  const double with_yield = measure_high_prio_latency(true, 50);
+  const double without_yield = measure_high_prio_latency(false, 50);
+  std::printf("high-priority acquisition latency (mean over 50 rounds):\n");
+  std::printf("  low-priority waiters abort on request: %8.1f us\n",
+              with_yield);
+  std::printf("  classic behaviour (no aborting):       %8.1f us\n",
+              without_yield);
+  std::printf("(the abortable lock lets the queue drain ahead of the "
+              "high-priority thread)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// RMR microscope: watch the paper's cost model at work.
+//
+// Runs the one-shot lock on the RMR-counting CC model under the
+// deterministic scheduler and prints, per process, exactly how many remote
+// memory references its passage cost — first with no aborts (everything is
+// O(1)), then with half the processes aborting (the survivors' hand-offs
+// cost O(log_W A)). A compact demonstration of what "RMR complexity" means
+// and of the library's measurement substrate.
+#include <cstdio>
+#include <string>
+
+#include "aml/harness/rmr_experiment.hpp"
+#include "aml/harness/table.hpp"
+
+using aml::harness::AbortWhen;
+using aml::harness::plan_first_k;
+using aml::harness::RunResult;
+using aml::harness::SinglePassOptions;
+using aml::harness::Table;
+
+namespace {
+
+void show(const std::string& title, const RunResult& r) {
+  Table table(title);
+  table.headers({"pid", "slot", "outcome", "enter RMRs", "exit RMRs",
+                 "total"});
+  for (const auto& rec : r.records) {
+    table.row({Table::num(std::uint64_t{rec.pid}),
+               Table::num(std::uint64_t{rec.slot}),
+               rec.acquired ? "entered CS" : "aborted",
+               Table::num(rec.rmr_enter), Table::num(rec.rmr_exit),
+               Table::num(rec.rmr_total())});
+  }
+  table.print();
+  std::printf("scheduler steps: %llu   mutual exclusion: %s\n\n",
+              static_cast<unsigned long long>(r.steps),
+              r.mutex_ok ? "preserved" : "VIOLATED");
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t n = 12;
+  const std::uint32_t w = 4;
+
+  SinglePassOptions quiet;
+  quiet.seed = 1;
+  quiet.gate_cs = false;
+  show("one-shot lock, N=12, W=4 — nobody aborts (every passage O(1))",
+       aml::harness::oneshot_cc_run(n, w, aml::core::Find::kAdaptive, quiet));
+
+  SinglePassOptions stormy;
+  stormy.seed = 2;
+  stormy.plans = plan_first_k(n, 6, AbortWhen::kOnIdle);
+  show("one-shot lock, N=12, W=4 — slots 1..6 abort mid-wait",
+       aml::harness::oneshot_cc_run(n, w, aml::core::Find::kAdaptive,
+                                    stormy));
+
+  std::printf(
+      "Reading the tables: slot 0 acquires instantly; in the second run its\n"
+      "exit pays the tree walk that skips the 6 abandoned slots — about\n"
+      "log_W(A) node reads — while every other completer still pays O(1).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Umbrella header for the amlock library: a reproduction of
+//
+//   Alon & Morrison, "Deterministic Abortable Mutual Exclusion with
+//   Sublogarithmic Adaptive RMR Complexity", PODC 2018.
+//
+// Public surface:
+//   * aml::AbortableLock / aml::AbortSignal  — production lock (native).
+//   * aml::core::OneShotLock                 — Section 3 one-shot lock.
+//   * aml::core::OneShotLockDsm              — Section 3 DSM variant.
+//   * aml::core::Tree                        — Section 4 ordered set.
+//   * aml::core::LongLivedLock               — Section 6 transformation.
+//   * aml::model::*                          — memory models: native and
+//     RMR-counting CC/DSM simulators implementing the paper's cost model.
+//   * aml::sched::StepScheduler              — deterministic executions.
+//   * aml::baselines::*                      — Table 1 comparison locks.
+#pragma once
+
+#include "aml/pal/bits.hpp"
+#include "aml/pal/cache.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/pal/threading.hpp"
+#include "aml/model/concepts.hpp"
+#include "aml/model/native.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/model/counting_dsm.hpp"
+#include "aml/sched/scheduler.hpp"
+#include "aml/core/tree.hpp"
+#include "aml/core/oneshot.hpp"
+#include "aml/core/versioned_space.hpp"
+#include "aml/core/eager_space.hpp"
+#include "aml/core/spin_pool.hpp"
+#include "aml/core/longlived.hpp"
+#include "aml/core/abortable_lock.hpp"
+#include "aml/core/adapters.hpp"

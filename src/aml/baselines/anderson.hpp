@@ -1,0 +1,64 @@
+// Anderson's array-based queue lock (IEEE TPDS 1990): F&A on a ticket
+// counter, each waiter spinning on its own array slot. This is exactly the
+// substrate the paper's one-shot lock augments with the Tree — so it doubles
+// as the "ours minus the Tree" ablation: O(1) RMR per passage, FCFS, but no
+// abort support (a waiter cannot give up its slot).
+//
+// This rendition sizes the slot array by an attempt budget instead of using
+// the classic mod-N ring, so it also serves the single-pass RMR experiments
+// unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class AndersonLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  AndersonLock(M& mem, Pid /*nprocs*/, std::uint64_t max_attempts)
+      : mem_(mem) {
+    // +2: slot 0 is pre-granted; the last exit pre-grants one slot past the
+    // final attempt.
+    slots_.reserve(max_attempts + 2);
+    for (std::uint64_t i = 0; i < max_attempts + 2; ++i) {
+      slots_.push_back(mem_.alloc(1, i == 0 ? 1 : 0));
+    }
+    tail_ = mem_.alloc(1, 0);
+    mine_.assign(kMaxProcs, 0);
+  }
+
+  AndersonLock(const AndersonLock&) = delete;
+  AndersonLock& operator=(const AndersonLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* /*stop*/) {
+    const std::uint64_t i = mem_.faa(self, *tail_, 1);
+    AML_ASSERT(i + 1 < slots_.size(), "Anderson lock attempt budget exceeded");
+    mine_[self] = i;
+    mem_.wait(
+        self, *slots_[i], [](std::uint64_t v) { return v != 0; }, nullptr);
+    return true;
+  }
+
+  void exit(Pid self) {
+    mem_.write(self, *slots_[mine_[self] + 1], 1);
+  }
+
+ private:
+  static constexpr Pid kMaxProcs = 1 << 16;
+
+  M& mem_;
+  Word* tail_ = nullptr;
+  std::vector<Word*> slots_;
+  std::vector<std::uint64_t> mine_;  ///< process-local
+};
+
+}  // namespace aml::baselines

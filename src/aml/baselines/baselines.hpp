@@ -1,0 +1,17 @@
+// Umbrella header for the Table 1 comparison locks and classic yardsticks.
+//
+// Common interface (the "abortable lock" concept of the harness):
+//   bool enter(Pid self, const std::atomic<bool>* stop);
+//   void exit(Pid self);
+// Non-abortable locks (MCS, CLH, ticket) accept and ignore the stop flag.
+#pragma once
+
+#include "aml/baselines/anderson.hpp"
+#include "aml/baselines/clh.hpp"
+#include "aml/baselines/lee.hpp"
+#include "aml/baselines/mcs.hpp"
+#include "aml/baselines/scott.hpp"
+#include "aml/baselines/tas.hpp"
+#include "aml/baselines/ticket.hpp"
+#include "aml/baselines/tournament.hpp"
+#include "aml/baselines/yang_anderson.hpp"

@@ -1,0 +1,64 @@
+// CLH queue lock (Craig; Landin & Hagersten): O(1) RMR in the CC model,
+// SWAP-based, non-abortable. Included as the implicit-queue counterpart of
+// MCS and as the substrate Scott's abortable lock extends.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class ClhLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  explicit ClhLock(M& mem, Pid nprocs) : mem_(mem) {
+    // N+1 nodes: one per process plus the initial released dummy; processes
+    // rotate onto their predecessor's node after each passage.
+    nodes_.reserve(nprocs + 1);
+    for (Pid i = 0; i <= nprocs; ++i) {
+      nodes_.push_back(mem_.alloc(1, i == 0 ? kReleased : kLocked));
+    }
+    tail_ = mem_.alloc(1, 0);  // points at the dummy
+    mine_.resize(nprocs);
+    pred_.resize(nprocs);
+    for (Pid p = 0; p < nprocs; ++p) mine_[p] = p + 1;
+  }
+
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* /*stop*/) {
+    const std::uint32_t my = mine_[self];
+    mem_.write(self, *nodes_[my], kLocked);
+    const std::uint64_t pred = mem_.swap(self, *tail_, my);
+    pred_[self] = static_cast<std::uint32_t>(pred);
+    mem_.wait(
+        self, *nodes_[pred], [](std::uint64_t v) { return v == kReleased; },
+        nullptr);
+    return true;
+  }
+
+  void exit(Pid self) {
+    mem_.write(self, *nodes_[mine_[self]], kReleased);
+    mine_[self] = pred_[self];  // recycle the predecessor's node
+  }
+
+ private:
+  static constexpr std::uint64_t kLocked = 0;
+  static constexpr std::uint64_t kReleased = 1;
+
+  M& mem_;
+  Word* tail_ = nullptr;
+  std::vector<Word*> nodes_;
+  std::vector<std::uint32_t> mine_;  ///< process-local
+  std::vector<std::uint32_t> pred_;  ///< process-local
+};
+
+}  // namespace aml::baselines

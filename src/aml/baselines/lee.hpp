@@ -1,0 +1,98 @@
+// Lee-style abortable F&A queue lock (Lee, OPODIS 2010 class): the Table 1
+// row with F&A+SWAP whose adaptive RMR cost grows *polynomially* with the
+// number of aborts (O(A_i * A_t) in Lee's bounded-space algorithm; our
+// rendition's hand-off scan is O(run of abandoned slots), giving the same
+// "not sublogarithmic in A" signature the paper contrasts against — see
+// DESIGN.md's substitution table).
+//
+// Like the paper's one-shot lock, a process obtains a slot with F&A(Tail)
+// and spins on go[slot]; unlike it, there is no Tree: an aborter poisons its
+// slot with CAS and the releaser linearly scans forward past poisoned slots.
+// The CAS claim protocol makes abort/hand-off races lossless:
+//   - aborter:  CAS(go[i], kWaiting -> kPoisoned); failure means the lock
+//     was handed to us concurrently, so we pass it on (scan) and still
+//     return aborted;
+//   - releaser: CAS(go[j], kWaiting -> kGranted); failure means slot j
+//     poisoned itself, skip it. Scanning past Tail pre-grants the next
+//     future slot, leaving the lock available.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class LeeStyleAbortableLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  /// `max_attempts` bounds total enter() calls (slot array size).
+  LeeStyleAbortableLock(M& mem, Pid /*nprocs*/, std::uint64_t max_attempts)
+      : mem_(mem) {
+    go_.reserve(max_attempts + 1);
+    for (std::uint64_t i = 0; i <= max_attempts; ++i) {
+      go_.push_back(mem_.alloc(1, i == 0 ? kGranted : kWaiting));
+    }
+    tail_ = mem_.alloc(1, 0);
+    slot_of_.resize(1, 0);
+    slot_local_.assign(kMaxProcs, 0);
+  }
+
+  LeeStyleAbortableLock(const LeeStyleAbortableLock&) = delete;
+  LeeStyleAbortableLock& operator=(const LeeStyleAbortableLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* stop) {
+    const std::uint64_t i = mem_.faa(self, *tail_, 1);
+    AML_ASSERT(i < go_.size(), "Lee lock attempt budget exceeded");
+    auto outcome = mem_.wait(
+        self, *go_[i], [](std::uint64_t v) { return v != kWaiting; }, stop);
+    if (!outcome.stopped) {
+      AML_DASSERT(outcome.value == kGranted, "poisoned while waiting?");
+      slot_local_[self] = i;
+      return true;
+    }
+    // Abort: try to poison our slot before the hand-off reaches it.
+    if (mem_.cas(self, *go_[i], kWaiting, kPoisoned)) {
+      return false;
+    }
+    // Lost the race: we were granted the lock concurrently. Pass it on.
+    signal_from(self, i);
+    return false;
+  }
+
+  void exit(Pid self) { signal_from(self, slot_local_[self]); }
+
+ private:
+  static constexpr std::uint64_t kWaiting = 0;
+  static constexpr std::uint64_t kGranted = 1;
+  static constexpr std::uint64_t kPoisoned = 2;
+  static constexpr Pid kMaxProcs = 1 << 16;
+
+  /// Hand the lock to the first non-poisoned slot after `from`. This linear
+  /// scan over poisoned slots is the Lee-row cost signature.
+  void signal_from(Pid self, std::uint64_t from) {
+    std::uint64_t j = from + 1;
+    for (;;) {
+      AML_ASSERT(j < go_.size(), "Lee lock scan past slot budget");
+      if (mem_.cas(self, *go_[j], kWaiting, kGranted)) return;
+      const std::uint64_t v = mem_.read(self, *go_[j]);
+      AML_DASSERT(v == kPoisoned || v == kGranted, "unexpected slot state");
+      if (v != kPoisoned) return;  // already granted (shouldn't re-grant)
+      ++j;
+    }
+  }
+
+  M& mem_;
+  Word* tail_ = nullptr;
+  std::vector<Word*> go_;
+  std::vector<std::uint64_t> slot_of_;
+  std::vector<std::uint64_t> slot_local_;  ///< process-local
+};
+
+}  // namespace aml::baselines

@@ -1,0 +1,72 @@
+// MCS queue lock (Mellor-Crummey & Scott, 1991): the O(1)-RMR non-abortable
+// yardstick the paper's introduction and conclusion compare against. Uses
+// SWAP and CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+using model::Pid;
+
+template <typename M>
+class McsLock {
+ public:
+  using Word = typename M::Word;
+
+  explicit McsLock(M& mem, Pid nprocs) : mem_(mem) {
+    tail_ = mem_.alloc(1, kNull);
+    next_.reserve(nprocs);
+    locked_.reserve(nprocs);
+    for (Pid p = 0; p < nprocs; ++p) {
+      next_.push_back(mem_.alloc(1, kNull));
+      locked_.push_back(mem_.alloc(1, 0));
+    }
+  }
+
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  /// Not abortable: the stop flag is accepted for interface compatibility
+  /// and ignored. Always returns true.
+  bool enter(Pid self, const std::atomic<bool>* /*stop*/) {
+    mem_.write(self, *next_[self], kNull);
+    mem_.write(self, *locked_[self], 1);
+    const std::uint64_t pred = mem_.swap(self, *tail_, self);
+    if (pred != kNull) {
+      mem_.write(self, *next_[static_cast<Pid>(pred)], self);
+      mem_.wait(
+          self, *locked_[self], [](std::uint64_t v) { return v == 0; },
+          nullptr);
+    }
+    return true;
+  }
+
+  void exit(Pid self) {
+    std::uint64_t succ = mem_.read(self, *next_[self]);
+    if (succ == kNull) {
+      if (mem_.cas(self, *tail_, self, kNull)) return;  // no successor
+      // A successor is mid-enqueue; wait for its next-pointer write.
+      auto outcome = mem_.wait(
+          self, *next_[self], [](std::uint64_t v) { return v != kNull; },
+          nullptr);
+      succ = outcome.value;
+    }
+    mem_.write(self, *locked_[static_cast<Pid>(succ)], 0);
+  }
+
+ private:
+  static constexpr std::uint64_t kNull = ~std::uint64_t{0};
+
+  M& mem_;
+  Word* tail_ = nullptr;
+  std::vector<Word*> next_;    ///< per-process queue node: successor id
+  std::vector<Word*> locked_;  ///< per-process queue node: spin flag
+};
+
+}  // namespace aml::baselines

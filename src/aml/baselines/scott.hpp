@@ -1,0 +1,96 @@
+// Scott-style abortable queue lock (Scott, PODC 2002: "Non-blocking timeout
+// in scalable queue-based spin locks"), in its CLH formulation: the Table 1
+// row with SWAP+CAS, FCFS, unbounded space, O(1) no-abort RMRs and RMR cost
+// growing with the number of aborts during the execution.
+//
+// Each acquisition allocates a fresh queue node (status word + predecessor
+// link) from a pool sized by the expected number of attempts — Table 1's
+// "unbounded space". A waiter spins on its predecessor's status:
+//   kLocked    — predecessor still active: keep waiting;
+//   kReleased  — lock handed to us;
+//   kAbandoned — predecessor aborted: adopt *its* predecessor and keep
+//                spinning there (this chain walk is what makes the RMR cost
+//                O(#aborts)).
+// Aborting = publishing kAbandoned on our own node; the successor (if any)
+// walks past us. No hand-off is lost: the successor re-examines the chain
+// it adopts, and a released node stays released.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class ScottAbortableLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  /// `max_attempts` bounds the total number of enter() calls across all
+  /// processes (the pool stands in for the paper row's unbounded heap).
+  ScottAbortableLock(M& mem, Pid nprocs, std::uint64_t max_attempts)
+      : mem_(mem) {
+    (void)nprocs;
+    const std::uint64_t nodes = max_attempts + 1;
+    status_.reserve(nodes);
+    prev_.reserve(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+      // Node 0 is the initial dummy, already released.
+      status_.push_back(mem_.alloc(1, i == 0 ? kReleased : kLocked));
+      prev_.push_back(mem_.alloc(1, 0));
+    }
+    tail_ = mem_.alloc(1, 0);
+    next_node_ = mem_.alloc(1, 1);  // node allocator (F&A)
+    owner_node_.resize(nprocs, 0);
+  }
+
+  ScottAbortableLock(const ScottAbortableLock&) = delete;
+  ScottAbortableLock& operator=(const ScottAbortableLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* stop) {
+    const std::uint64_t my = mem_.faa(self, *next_node_, 1);
+    AML_ASSERT(my < status_.size(), "Scott lock attempt budget exceeded");
+    const std::uint64_t pred = mem_.swap(self, *tail_, my);
+    mem_.write(self, *prev_[my], pred);
+    std::uint64_t spin_on = pred;
+    for (;;) {
+      auto outcome = mem_.wait(
+          self, *status_[spin_on],
+          [](std::uint64_t v) { return v != kLocked; }, stop);
+      if (outcome.stopped) {
+        // Abandon: successors will walk past us to our predecessor chain.
+        mem_.write(self, *status_[my], kAbandoned);
+        return false;
+      }
+      if (outcome.value == kReleased) {
+        owner_node_[self] = my;
+        return true;
+      }
+      AML_DASSERT(outcome.value == kAbandoned, "unknown node status");
+      spin_on = mem_.read(self, *prev_[spin_on]);  // adopt pred's pred
+    }
+  }
+
+  void exit(Pid self) {
+    mem_.write(self, *status_[owner_node_[self]], kReleased);
+  }
+
+ private:
+  static constexpr std::uint64_t kLocked = 0;
+  static constexpr std::uint64_t kReleased = 1;
+  static constexpr std::uint64_t kAbandoned = 2;
+
+  M& mem_;
+  Word* tail_ = nullptr;
+  Word* next_node_ = nullptr;
+  std::vector<Word*> status_;
+  std::vector<Word*> prev_;
+  std::vector<std::uint64_t> owner_node_;  ///< process-local
+};
+
+}  // namespace aml::baselines

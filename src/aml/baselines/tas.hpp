@@ -1,0 +1,53 @@
+// Test-and-set and test-and-test-and-set locks: the centralized baselines.
+// Trivially abortable (abandoning an attempt needs no cleanup), but with
+// unbounded worst-case RMR cost under contention — the other end of the
+// design space from the paper's lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "aml/model/concepts.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class TasLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  explicit TasLock(M& mem, Pid /*nprocs*/) : mem_(mem) {
+    word_ = mem_.alloc(1, 0);
+  }
+
+  TasLock(const TasLock&) = delete;
+  TasLock& operator=(const TasLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* stop) {
+    for (;;) {
+      if (mem_.cas(self, *word_, 0, 1)) return true;
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+        return false;
+      }
+      // Re-arm: wait until the lock looks free (or we are aborted).
+      auto outcome = mem_.wait(
+          self, *word_, [](std::uint64_t v) { return v == 0; }, stop);
+      if (outcome.stopped) return false;
+    }
+  }
+
+  void exit(Pid self) { mem_.write(self, *word_, 0); }
+
+ private:
+  M& mem_;
+  Word* word_ = nullptr;
+};
+
+/// TTAS: identical shape, but the spin is read-only until the word looks
+/// free (which TasLock above also does between CAS attempts); kept as a
+/// distinct name for bench readability.
+template <typename M>
+using TtasLock = TasLock<M>;
+
+}  // namespace aml::baselines

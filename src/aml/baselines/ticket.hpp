@@ -1,0 +1,47 @@
+// Ticket lock: F&A-based, FCFS, non-abortable. Every release invalidates
+// every waiter's cached copy of `serving`, so a passage under contention
+// costs O(k) RMRs in the CC model — a useful contrast to queue locks in the
+// RMR benches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "aml/model/concepts.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class TicketLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  explicit TicketLock(M& mem, Pid /*nprocs*/) : mem_(mem) {
+    next_ = mem_.alloc(1, 0);
+    serving_ = mem_.alloc(1, 0);
+  }
+
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* /*stop*/) {
+    const std::uint64_t ticket = mem_.faa(self, *next_, 1);
+    mem_.wait(
+        self, *serving_,
+        [ticket](std::uint64_t v) { return v == ticket; }, nullptr);
+    return true;
+  }
+
+  void exit(Pid self) {
+    const std::uint64_t cur = mem_.read(self, *serving_);
+    mem_.write(self, *serving_, cur + 1);
+  }
+
+ private:
+  M& mem_;
+  Word* next_ = nullptr;
+  Word* serving_ = nullptr;
+};
+
+}  // namespace aml::baselines

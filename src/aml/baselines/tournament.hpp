@@ -1,0 +1,115 @@
+// Abortable tournament lock: a binary tree of 2-process abortable locks.
+//
+// This is the O(log N)-RMR abortable baseline class of Table 1 (Jayanti's
+// adaptive lock [17] and Lee's thesis construction [20] both live here; see
+// DESIGN.md's substitution table — we reproduce the worst-case O(log N)
+// RMR shape, which is what Table 1 compares, not Jayanti's point-contention
+// adaptivity).
+//
+// Each tree node packs a Peterson-style 2-process lock into ONE word
+// (bit0 = flag of side 0, bit1 = flag of side 1, bit2 = turn), updated with
+// CAS so the state changes atomically and waiting is a single-word spin
+// (which both the CC cost model and the deterministic scheduler handle
+// precisely). A process aborts by clearing its flag at the node it is
+// waiting at and releasing the node locks it already holds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/bits.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class TournamentAbortableLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  explicit TournamentAbortableLock(M& mem, Pid nprocs)
+      : mem_(mem), levels_(pal::ceil_log(nprocs, 2)) {
+    nodes_.resize(levels_ + 1);
+    for (std::uint32_t lvl = 1; lvl <= levels_; ++lvl) {
+      const std::uint64_t width =
+          pal::pow_sat(2, levels_ - lvl);
+      nodes_[lvl].reserve(width);
+      for (std::uint64_t i = 0; i < width; ++i) {
+        nodes_[lvl].push_back(mem_.alloc(1, 0));
+      }
+    }
+  }
+
+  TournamentAbortableLock(const TournamentAbortableLock&) = delete;
+  TournamentAbortableLock& operator=(const TournamentAbortableLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* stop) {
+    for (std::uint32_t lvl = 1; lvl <= levels_; ++lvl) {
+      const std::uint32_t side = (self >> (lvl - 1)) & 1;
+      Word& node = *nodes_[lvl][self >> lvl];
+      if (!acquire_node(self, node, side, stop)) {
+        // Aborted at this level: release everything below and bail.
+        release_below(self, lvl);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void exit(Pid self) { release_below(self, levels_ + 1); }
+
+ private:
+  static constexpr std::uint64_t kTurnBit = 1u << 2;
+
+  static std::uint64_t flag_bit(std::uint32_t side) {
+    return std::uint64_t{1} << side;
+  }
+
+  /// Peterson acquire on the packed word; returns false iff aborted.
+  bool acquire_node(Pid self, Word& node, std::uint32_t side,
+                    const std::atomic<bool>* stop) {
+    // Atomically set my flag and give way (turn = me).
+    for (;;) {
+      const std::uint64_t v = mem_.read(self, node);
+      std::uint64_t nv = v | flag_bit(side);
+      nv = (nv & ~kTurnBit) |
+           (side != 0 ? kTurnBit : 0);  // turn encodes who waits
+      if (mem_.cas(self, node, v, nv)) break;
+    }
+    const std::uint64_t other = flag_bit(1 - side);
+    auto outcome = mem_.wait(
+        self, node,
+        [other, side](std::uint64_t v) {
+          const std::uint32_t turn = (v & kTurnBit) != 0 ? 1u : 0u;
+          return (v & other) == 0 || turn != side;
+        },
+        stop);
+    if (!outcome.stopped) return true;
+    clear_flag(self, node, side);
+    return false;
+  }
+
+  void clear_flag(Pid self, Word& node, std::uint32_t side) {
+    for (;;) {
+      const std::uint64_t v = mem_.read(self, node);
+      if (mem_.cas(self, node, v, v & ~flag_bit(side))) return;
+    }
+  }
+
+  /// Release node locks at levels [1, upto).
+  void release_below(Pid self, std::uint32_t upto) {
+    for (std::uint32_t lvl = upto; lvl-- > 1;) {
+      const std::uint32_t side = (self >> (lvl - 1)) & 1;
+      clear_flag(self, *nodes_[lvl][self >> lvl], side);
+    }
+  }
+
+  M& mem_;
+  std::uint32_t levels_;
+  std::vector<std::vector<Word*>> nodes_;
+};
+
+}  // namespace aml::baselines

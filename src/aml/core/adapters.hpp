@@ -1,0 +1,228 @@
+// Ergonomic adapters around aml::AbortableLock:
+//
+//   * LockGuard / TryGuard     — RAII critical sections;
+//   * TimerWheel               — one background thread that raises
+//                                AbortSignals at deadlines (the watchdog
+//                                pattern every timed-try-lock needs);
+//   * TimedAbortableLock       — try_enter_for / try_enter_until built from
+//                                the lock's bounded-abort guarantee;
+//   * ThreadRegistry           — maps std::thread ids to the dense small
+//                                integers the algorithms identify processes
+//                                by;
+//   * StdAbortableMutex        — satisfies the standard Lockable concept
+//                                (lock / try_lock / unlock), so it drops
+//                                into std::lock_guard, std::unique_lock,
+//                                std::scoped_lock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "aml/core/abortable_lock.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml {
+
+/// RAII guard: enters in the constructor, exits in the destructor.
+class LockGuard {
+ public:
+  LockGuard(AbortableLock& lock, std::uint32_t tid) : lock_(lock), tid_(tid) {
+    lock_.enter(tid_);
+  }
+  ~LockGuard() { lock_.exit(tid_); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  AbortableLock& lock_;
+  std::uint32_t tid_;
+};
+
+/// RAII guard for abortable acquisition: check owns() after construction.
+class TryGuard {
+ public:
+  TryGuard(AbortableLock& lock, std::uint32_t tid, const AbortSignal& signal)
+      : lock_(lock), tid_(tid), owns_(lock.enter(tid, signal)) {}
+  ~TryGuard() {
+    if (owns_) lock_.exit(tid_);
+  }
+  TryGuard(const TryGuard&) = delete;
+  TryGuard& operator=(const TryGuard&) = delete;
+
+  bool owns() const { return owns_; }
+  explicit operator bool() const { return owns_; }
+
+ private:
+  AbortableLock& lock_;
+  std::uint32_t tid_;
+  bool owns_;
+};
+
+/// A single background thread that raises abort signals when their deadline
+/// passes. arm() is O(log #pending); deadlines already due are raised
+/// immediately by the wheel thread.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Token = std::uint64_t;
+
+  TimerWheel() : thread_([this] { run(); }) {}
+
+  ~TimerWheel() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Raise `signal` at (or as soon as possible after) `when`.
+  Token arm(AbortSignal& signal, Clock::time_point when) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const Token token = next_token_++;
+    pending_.emplace(token, Entry{&signal, when});
+    cv_.notify_one();
+    return token;
+  }
+
+  /// Best-effort cancel: if the deadline already fired, the signal stays
+  /// raised (callers reset() their signals between uses anyway).
+  void cancel(Token token) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.erase(token);
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pending_.size();
+  }
+
+ private:
+  struct Entry {
+    AbortSignal* signal;
+    Clock::time_point when;
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      if (pending_.empty()) {
+        cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+        continue;
+      }
+      // Find the earliest deadline.
+      auto earliest = pending_.begin();
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->second.when < earliest->second.when) earliest = it;
+      }
+      const auto when = earliest->second.when;
+      if (Clock::now() >= when) {
+        earliest->second.signal->raise();
+        pending_.erase(earliest);
+        continue;
+      }
+      cv_.wait_until(lk, when);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Token, Entry> pending_;
+  Token next_token_ = 1;
+  bool stop_ = false;
+  // Declared LAST: members initialize in declaration order, and the wheel
+  // thread must only start once every field above is constructed.
+  std::thread thread_;
+};
+
+/// AbortableLock plus deadline-based acquisition. Each thread id owns a
+/// dedicated signal slot, so concurrent timed attempts do not interfere.
+class TimedAbortableLock {
+ public:
+  explicit TimedAbortableLock(LockConfig config = {})
+      : lock_(config), signals_(config.max_threads) {}
+
+  bool try_enter_for(std::uint32_t tid, std::chrono::nanoseconds budget) {
+    return try_enter_until(tid, TimerWheel::Clock::now() + budget);
+  }
+
+  bool try_enter_until(std::uint32_t tid, TimerWheel::Clock::time_point when) {
+    AbortSignal& signal = signals_[tid];
+    signal.reset();
+    const TimerWheel::Token token = wheel_.arm(signal, when);
+    const bool ok = lock_.enter(tid, signal);
+    wheel_.cancel(token);
+    return ok;
+  }
+
+  void enter(std::uint32_t tid) { lock_.enter(tid); }
+  void exit(std::uint32_t tid) { lock_.exit(tid); }
+
+ private:
+  AbortableLock lock_;
+  std::deque<AbortSignal> signals_;
+  TimerWheel wheel_;
+};
+
+/// Assigns each OS thread a stable dense id on first use. Ids are never
+/// recycled; constructions beyond `capacity` abort (matching the fixed-N
+/// model of the paper).
+class ThreadRegistry {
+ public:
+  explicit ThreadRegistry(std::uint32_t capacity) : capacity_(capacity) {}
+
+  std::uint32_t id() {
+    thread_local std::map<const ThreadRegistry*, std::uint32_t> cache;
+    auto it = cache.find(this);
+    if (it != cache.end()) return it->second;
+    const std::uint32_t assigned =
+        counter_.fetch_add(1, std::memory_order_relaxed);
+    AML_ASSERT(assigned < capacity_, "ThreadRegistry capacity exceeded");
+    cache.emplace(this, assigned);
+    return assigned;
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::atomic<std::uint32_t> counter_{0};
+};
+
+/// Standard-Lockable facade: usable with std::lock_guard / std::unique_lock
+/// / std::scoped_lock. try_lock() runs an acquisition attempt with a
+/// pre-raised signal: by bounded abort it returns in a bounded number of
+/// steps, acquiring only if the lock is handed over essentially immediately.
+class StdAbortableMutex {
+ public:
+  explicit StdAbortableMutex(std::uint32_t max_threads = 64)
+      : registry_(max_threads),
+        lock_(LockConfig{.max_threads = max_threads}) {}
+
+  void lock() { lock_.enter(registry_.id()); }
+  void unlock() { lock_.exit(registry_.id()); }
+
+  bool try_lock() {
+    AbortSignal signal;
+    signal.raise();
+    return lock_.enter(registry_.id(), signal);
+  }
+
+  ThreadRegistry& registry() { return registry_; }
+
+ private:
+  ThreadRegistry registry_;
+  AbortableLock lock_;
+};
+
+}  // namespace aml

@@ -1,0 +1,80 @@
+// Eager-reset word space: the ablation counterpart of VersionedSpace.
+//
+// Words are plain model words; next_incarnation() rewrites every word to its
+// initial value, costing O(s(N)) RMRs per lock reuse. This is the naive
+// recycling scheme the paper's lazy-reset design exists to avoid; the
+// bench_ablation_reset harness quantifies the difference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "aml/model/types.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::core {
+
+template <typename M>
+class EagerSpace {
+ public:
+  using Word = typename M::Word;
+
+  EagerSpace(M& mem, model::Pid /*nprocs*/, std::uint32_t /*w*/)
+      : mem_(mem) {}
+
+  EagerSpace(const EagerSpace&) = delete;
+  EagerSpace& operator=(const EagerSpace&) = delete;
+
+  Word* alloc(std::size_t n, std::uint64_t init) {
+    Word* base = mem_.alloc(n, init);
+    for (std::size_t i = 0; i < n; ++i) {
+      records_.push_back(Record{base + i, init});
+    }
+    return base;
+  }
+
+  Word* alloc_owned(model::Pid owner, std::size_t n, std::uint64_t init) {
+    Word* base = mem_.alloc_owned(owner, n, init);
+    for (std::size_t i = 0; i < n; ++i) {
+      records_.push_back(Record{base + i, init});
+    }
+    return base;
+  }
+
+  /// No per-session setup needed: words are direct.
+  void begin_session(model::Pid /*self*/) {}
+
+  /// Recycler-only: O(s) full reset.
+  void next_incarnation(model::Pid self) {
+    for (const Record& rec : records_) {
+      mem_.write(self, *rec.word, rec.init);
+    }
+    incarnations_++;
+  }
+
+  std::uint64_t incarnations() const { return incarnations_; }
+  std::size_t logical_words() const { return records_.size(); }
+
+  std::uint64_t read(model::Pid p, Word& w) { return mem_.read(p, w); }
+  void write(model::Pid p, Word& w, std::uint64_t x) { mem_.write(p, w, x); }
+  std::uint64_t faa(model::Pid p, Word& w, std::uint64_t d) {
+    return mem_.faa(p, w, d);
+  }
+  template <typename Pred>
+  model::WaitOutcome wait(model::Pid p, Word& w, Pred&& pred,
+                          const std::atomic<bool>* stop) {
+    return mem_.wait(p, w, static_cast<Pred&&>(pred), stop);
+  }
+
+ private:
+  struct Record {
+    Word* word;
+    std::uint64_t init;
+  };
+  M& mem_;
+  std::deque<Record> records_;
+  std::uint64_t incarnations_ = 0;
+};
+
+}  // namespace aml::core

@@ -1,0 +1,236 @@
+// The long-lived abortable lock: the generic one-shot -> long-lived
+// transformation of Section 6 (Figure 5) applied to the one-shot lock of
+// Section 3, with the Section 6.2 memory-management schemes bounding space
+// to O(N * s(N) + N^2) words.
+//
+// State is a single packed word
+//
+//      LockDesc = (Lock: instance index, Spn: spin-node index, Refcnt)
+//
+// manipulated with F&A (increment/decrement Refcnt while atomically
+// snapshotting the tuple) and CAS (switch Lock/Spn when Refcnt drops to 0).
+// The paper stores pointers; we store pool indices, which is what makes the
+// tuple fit one real 64-bit word — functionally identical, since both
+// instances and spin nodes come from pools fixed at construction.
+//
+//   Enter (Alg 6.1): if LockDesc.Spn equals the spin node saved by our
+//     previous attempt, the one-shot instance we already used is still
+//     installed; busy-wait on spn.go (O(1) RMRs) until it is switched out.
+//     Then F&A LockDesc to join the current instance and run its Enter.
+//   Exit (Alg 6.2): run the instance's Exit, then Cleanup.
+//   Cleanup (Alg 6.3): F&A(-1); if we were last (refcnt was 1), prepare a
+//     fresh instance (our held instance, advanced to its next incarnation)
+//     and a fresh spin node, CAS-switch LockDesc, and on success set the
+//     replaced spin node's go flag and hold the replaced instance for our
+//     next allocation.
+//
+// The transformation preserves starvation freedom but not FCFS (Theorem 23);
+// RMR cost per passage is within O(1) of the one-shot lock's (Claim 28).
+//
+// The Space template parameter selects the recycling scheme:
+// VersionedSpace<M> (the paper's lazy reset; default) or EagerSpace<M> (the
+// O(s(N))-per-reuse ablation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aml/model/types.hpp"
+#include "aml/pal/cache.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/core/oneshot.hpp"
+#include "aml/core/spin_pool.hpp"
+#include "aml/core/versioned_space.hpp"
+
+namespace aml::core {
+
+/// Template parameters:
+///   M           — memory model;
+///   SpacePolicy — instance recycling scheme: VersionedSpace (the paper's
+///                 lazy reset; default) or EagerSpace (the O(s) ablation);
+///   OneShotT    — the one-shot lock to transform: OneShotLock (the paper's
+///                 CC algorithm; default) or OneShotLockDsm. The paper's
+///                 transformation is CC-only (its Spn busy-wait spins on a
+///                 shared node); composing with the DSM variant is the
+///                 Section 8 open problem, offered here for exploration —
+///                 correct, but with remote spinning on the spin nodes.
+template <typename M, template <typename> class SpacePolicy = VersionedSpace,
+          template <typename> class OneShotT = OneShotLock>
+class LongLivedLock {
+ public:
+  using Space = SpacePolicy<M>;
+
+  struct Config {
+    Pid nprocs = 2;       ///< N: number of participating processes
+    std::uint32_t w = 64; ///< W: word width for the tree and version fields
+    Find find = Find::kAdaptive;
+  };
+
+  LongLivedLock(M& mem, Config config)
+      : mem_(mem),
+        config_(config),
+        spin_pool_(mem, config.nprocs, config.nprocs + 1),
+        locals_(config.nprocs) {
+    AML_ASSERT(config.nprocs >= 1 && config.nprocs <= kMaxProcs,
+               "nprocs out of range for LockDesc packing");
+    // N+1 one-shot instances: one installed, one held by each process.
+    instances_.reserve(config.nprocs + 1);
+    for (Pid i = 0; i <= config.nprocs; ++i) {
+      instances_.push_back(std::make_unique<Instance>(mem_, config_));
+    }
+    for (Pid p = 0; p < config.nprocs; ++p) {
+      locals_[p]->held = p + 1;
+      locals_[p]->old_spn = kNoSpn;
+    }
+    const std::uint32_t spn0 = spin_pool_.alloc(0);
+    lock_desc_ = mem_.alloc(1, pack(0, spn0, 0));
+  }
+
+  LongLivedLock(const LongLivedLock&) = delete;
+  LongLivedLock& operator=(const LongLivedLock&) = delete;
+
+  /// Algorithm 6.1. Returns true when the critical section was entered;
+  /// false when the attempt was aborted (the abort signal was observed
+  /// while waiting). Bounded abort: returns within a finite number of the
+  /// caller's steps once the signal is up.
+  bool enter(Pid self, const std::atomic<bool>* abort_signal) {
+    Local& local = *locals_[self];
+    const Packed desc = unpack(mem_.read(self, *lock_desc_));  // line 57
+    if (desc.spn == local.old_spn) {
+      // The instance we already used is still installed: wait on its spin
+      // node until it is switched out (lines 58-61). Safe against node
+      // reuse: our pin on this node was published in Cleanup before our
+      // Refcnt decrement, so its owner cannot reclaim it while we are here.
+      auto& node = spin_pool_.node(desc.spn);
+      auto outcome = mem_.wait(
+          self, *node.go, [](std::uint64_t v) { return v != 0; },
+          abort_signal);
+      if (outcome.stopped) return false;  // lines 60-61 (refcnt untouched)
+    }
+    const Packed joined = unpack(mem_.faa(self, *lock_desc_, 1));  // line 62
+    AML_DASSERT(joined.refcnt < config_.nprocs, "Refcnt overflow");
+    Instance& inst = *instances_[joined.lock];
+    local.current = joined.lock;
+    inst.space.begin_session(self);
+    const EnterResult result = inst.lock.enter(self, abort_signal);  // line 63
+    if (!result.acquired) {
+      cleanup(self);  // lines 64-65
+      return false;
+    }
+    return true;
+  }
+
+  /// Algorithm 6.2. Caller must hold the lock.
+  void exit(Pid self) {
+    const Packed desc = unpack(mem_.read(self, *lock_desc_));  // line 67
+    AML_DASSERT(desc.lock == locals_[self]->current,
+                "installed instance changed under the CS holder (Claim 24)");
+    instances_[desc.lock]->lock.exit(self);  // line 68
+    cleanup(self);                           // line 69
+  }
+
+  // --- introspection -----------------------------------------------------
+
+  /// Instance switches so far observed via a raw read (testing aid).
+  std::uint64_t peek_refcnt(Pid self) {
+    return unpack(mem_.read(self, *lock_desc_)).refcnt;
+  }
+  std::uint32_t instance_count() const {
+    return static_cast<std::uint32_t>(instances_.size());
+  }
+  std::uint64_t total_incarnations() const {
+    std::uint64_t total = 0;
+    for (const auto& inst : instances_) total += inst->space.incarnations();
+    return total;
+  }
+  std::size_t spin_nodes() const { return spin_pool_.total_nodes(); }
+
+ private:
+  static constexpr std::uint32_t kRefBits = 16;
+  static constexpr std::uint32_t kSpnBits = 32;
+  static constexpr std::uint32_t kLockBits = 16;
+  static constexpr Pid kMaxProcs = (1u << kRefBits) - 2;
+  static constexpr std::uint32_t kNoSpn = ~std::uint32_t{0};
+
+  struct Packed {
+    std::uint32_t lock;
+    std::uint32_t spn;
+    std::uint32_t refcnt;
+  };
+
+  static std::uint64_t pack(std::uint32_t lock, std::uint32_t spn,
+                            std::uint32_t refcnt) {
+    return (static_cast<std::uint64_t>(lock) << (kRefBits + kSpnBits)) |
+           (static_cast<std::uint64_t>(spn) << kRefBits) | refcnt;
+  }
+  static Packed unpack(std::uint64_t raw) {
+    Packed packed;
+    packed.refcnt = static_cast<std::uint32_t>(raw & ((1u << kRefBits) - 1));
+    packed.spn = static_cast<std::uint32_t>((raw >> kRefBits) &
+                                            ((1ull << kSpnBits) - 1));
+    packed.lock =
+        static_cast<std::uint32_t>(raw >> (kRefBits + kSpnBits));
+    return packed;
+  }
+
+  /// One recyclable one-shot lock instance: a word space plus the one-shot
+  /// algorithm over it. All mutable state lives in the space's words, so the
+  /// same objects serve every incarnation.
+  struct Instance {
+    Space space;
+    OneShotT<Space> lock;
+
+    Instance(M& mem, const Config& config)
+        : space(mem, config.nprocs, config.w),
+          lock(space, config.nprocs, config.w, config.find) {}
+  };
+
+  struct Local {
+    std::uint32_t held = 0;      ///< instance to use for the next allocation
+    std::uint32_t old_spn = 0;   ///< spin node saved at our last Cleanup
+    std::uint32_t current = 0;   ///< instance joined by the ongoing attempt
+  };
+
+  /// Algorithm 6.3, with one addition for spin-node reclamation: the spin
+  /// node we are about to save as oldSpn is published in the announce array
+  /// *before* the Refcnt decrement. Claim 24 makes the pre-read of
+  /// LockDesc.Spn stable (our increment is still in force), and publishing
+  /// before decrementing guarantees the pin is visible before the node can
+  /// be retired, hence before its owner can scan for reuse.
+  void cleanup(Pid self) {
+    Local& local = *locals_[self];
+    const Packed pinned = unpack(mem_.read(self, *lock_desc_));
+    spin_pool_.publish_pin(self, pinned.spn);
+    const Packed prev =
+        unpack(mem_.faa(self, *lock_desc_, ~std::uint64_t{0}));  // line 70
+    AML_DASSERT(prev.spn == pinned.spn,
+                "LockDesc.Spn changed while our Refcnt hold was in force");
+    local.old_spn = prev.spn;
+    if (prev.refcnt != 1) return;  // line 71
+    // We were the last user: switch to a fresh instance (lines 72-77).
+    const std::uint32_t new_lock = local.held;
+    instances_[new_lock]->space.next_incarnation(self);
+    const std::uint32_t new_spn = spin_pool_.alloc(self);
+    const std::uint64_t expected = pack(prev.lock, prev.spn, 0);
+    const std::uint64_t desired = pack(new_lock, new_spn, 0);
+    if (mem_.cas(self, *lock_desc_, expected, desired)) {
+      mem_.write(self, *spin_pool_.node(prev.spn).go, 1);  // line 77
+      local.held = prev.lock;
+    } else {
+      // Another process joined (and will run Cleanup itself) or switched
+      // first; our node was never visible.
+      spin_pool_.unalloc(self, new_spn);
+    }
+  }
+
+  M& mem_;
+  Config config_;
+  SpinNodePool<M> spin_pool_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::vector<pal::CachePadded<Local>> locals_;
+  typename M::Word* lock_desc_ = nullptr;
+};
+
+}  // namespace aml::core

@@ -1,0 +1,253 @@
+// The one-shot abortable lock of Section 3 (Figure 1), the main building
+// block of the paper: an array-based queue lock (F&A on Tail, local spin on
+// go[i]) augmented with the Tree of Section 4 to skip queue slots abandoned
+// by aborting processes.
+//
+//   Enter  (Alg 3.1): i <- F&A(Tail, 1); spin on go[i], watching the abort
+//                     signal; on hand-off write Head <- i and enter the CS.
+//   Exit   (Alg 3.2): LastExited <- Head; SignalNext(Head).
+//   Abort  (Alg 3.3): Tree.Remove(i); if Head == LastExited, the exiting
+//                     process' FindNext may have crossed paths with our
+//                     Remove, so assume responsibility for its hand-off and
+//                     SignalNext(Head).
+//   SignalNext (Alg 3.4): j <- Tree.FindNext(head); unless j is TOP/BOTTOM,
+//                     go[j] <- true.
+//
+// Properties (Theorem 2): mutual exclusion, starvation freedom, bounded
+// exit, bounded abort, FCFS; O(log_W A_i) RMRs per passage where A_i is the
+// number of aborts during the passage (O(1) if none), O(log_W A_t) per
+// aborted attempt.
+//
+// Each process may attempt to acquire a given instance at most once (the
+// long-lived transformation of Section 6 lifts this restriction).
+//
+// OneShotLockDsm is the DSM variant (Section 3, "DSM variant"): since a
+// process' dynamically-assigned go slot cannot be guaranteed local in DSM,
+// the process publishes a process-local spin bit in announce[i] and spins on
+// that; SignalNext writes go[i] = 1, reads announce[i], and sets the
+// published spin bit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/core/tree.hpp"
+
+namespace aml::core {
+
+/// Which FindNext implementation SignalNext uses.
+enum class Find : std::uint8_t {
+  kPlain,     ///< Algorithm 4.1 — O(log_W N) ascent
+  kAdaptive,  ///< Algorithm 4.3 — O(log_W A) ascent with sidestep
+};
+
+/// Result of OneShotLock::enter. `slot` is the queue index the doorway F&A
+/// assigned (exposed for tests and for FCFS auditing).
+struct EnterResult {
+  bool acquired = false;
+  std::uint32_t slot = 0;
+};
+
+namespace detail {
+/// LastExited's initial value: the paper's -1 ("no process exited yet").
+inline constexpr std::uint64_t kNoneExited = ~std::uint64_t{0};
+}  // namespace detail
+
+template <typename Space>
+class OneShotLock {
+ public:
+  using Word = typename Space::Word;
+
+  OneShotLock(Space& space, std::uint32_t n_slots, std::uint32_t w,
+              Find find = Find::kAdaptive)
+      : space_(space),
+        n_(n_slots),
+        find_(find),
+        tree_(space, n_slots, w) {
+    tail_ = space_.alloc(1, 0);
+    head_ = space_.alloc(1, 0);
+    last_exited_ = space_.alloc(1, detail::kNoneExited);
+    go_.reserve(n_slots);
+    for (std::uint32_t i = 0; i < n_slots; ++i) {
+      go_.push_back(space_.alloc(1, i == 0 ? 1 : 0));  // go = [1, 0, ..., 0]
+    }
+  }
+
+  OneShotLock(const OneShotLock&) = delete;
+  OneShotLock& operator=(const OneShotLock&) = delete;
+
+  std::uint32_t capacity() const { return n_; }
+  const Tree<Space>& tree() const { return tree_; }
+  Tree<Space>& tree() { return tree_; }
+
+  /// Algorithm 3.1. Blocks until the lock is acquired or the abort signal is
+  /// observed while waiting. The returned slot is valid in both cases.
+  EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
+    const std::uint64_t i = space_.faa(self, *tail_, 1);  // doorway (line 1)
+    AML_ASSERT(i < n_, "one-shot lock capacity exceeded (re-entry?)");
+    const std::uint32_t slot = static_cast<std::uint32_t>(i);
+    auto outcome = space_.wait(
+        self, *go_[slot], [](std::uint64_t v) { return v != 0; },
+        abort_signal);
+    if (outcome.stopped) {  // lines 3-5
+      abort_slot(self, slot);
+      return {false, slot};
+    }
+    space_.write(self, *head_, i);  // line 6
+    return {true, slot};
+  }
+
+  /// Algorithm 3.2. Must only be called by the current critical-section
+  /// owner. Wait-free (bounded exit).
+  void exit(Pid self) {
+    const std::uint64_t head = space_.read(self, *head_);    // line 8
+    space_.write(self, *last_exited_, head);                 // line 9
+    signal_next(self, static_cast<std::uint32_t>(head));     // line 10
+  }
+
+  // --- introspection (tests / benches) ---------------------------------
+
+  std::uint64_t peek_head(Pid self) { return space_.read(self, *head_); }
+  std::uint64_t peek_tail(Pid self) { return space_.read(self, *tail_); }
+  std::uint64_t peek_last_exited(Pid self) {
+    return space_.read(self, *last_exited_);
+  }
+  std::uint64_t peek_go(Pid self, std::uint32_t i) {
+    return space_.read(self, *go_[i]);
+  }
+
+ private:
+  /// Algorithm 3.3.
+  void abort_slot(Pid self, std::uint32_t i) {
+    tree_.remove(self, i);                                       // line 11
+    const std::uint64_t head = space_.read(self, *head_);        // line 12
+    const std::uint64_t last = space_.read(self, *last_exited_);
+    if (head != last) return;                                    // lines 13-14
+    // Process `head` may be mid-exit and its FindNext may have crossed paths
+    // with our Remove; assume responsibility for its hand-off.
+    signal_next(self, static_cast<std::uint32_t>(head));         // line 15
+  }
+
+  /// Algorithm 3.4.
+  void signal_next(Pid self, std::uint32_t head) {
+    const FindResult r = (find_ == Find::kPlain)
+                             ? tree_.find_next(self, head)
+                             : tree_.adaptive_find_next(self, head);
+    if (!r.is_found()) return;  // TOP: an aborter took responsibility;
+                                // BOTTOM: no successor exists (lines 17-18)
+    space_.write(self, *go_[r.slot], 1);  // line 19
+  }
+
+  Space& space_;
+  std::uint32_t n_;
+  Find find_;
+  Tree<Space> tree_;
+  Word* tail_ = nullptr;
+  Word* head_ = nullptr;
+  Word* last_exited_ = nullptr;
+  std::vector<Word*> go_;
+};
+
+/// DSM variant (Section 3). Requires the space to provide
+/// alloc_owned(owner, n, init): the per-process spin bits are local to their
+/// owner; everything else is placed like the CC variant.
+template <typename Space>
+class OneShotLockDsm {
+ public:
+  using Word = typename Space::Word;
+
+  static constexpr std::uint64_t kNoAnnounce = ~std::uint64_t{0};
+
+  /// Convenience overload for contexts where processes and slots coincide
+  /// (notably the long-lived transformation).
+  OneShotLockDsm(Space& space, std::uint32_t n_slots, std::uint32_t w,
+                 Find find = Find::kAdaptive)
+      : OneShotLockDsm(space, n_slots, w, n_slots, find) {}
+
+  OneShotLockDsm(Space& space, std::uint32_t n_slots, std::uint32_t w,
+                 Pid nprocs, Find find = Find::kAdaptive)
+      : space_(space), n_(n_slots), find_(find), tree_(space, n_slots, w) {
+    tail_ = space_.alloc(1, 0);
+    head_ = space_.alloc(1, 0);
+    last_exited_ = space_.alloc(1, detail::kNoneExited);
+    go_.reserve(n_slots);
+    announce_.reserve(n_slots);
+    for (std::uint32_t i = 0; i < n_slots; ++i) {
+      go_.push_back(space_.alloc(1, i == 0 ? 1 : 0));
+      announce_.push_back(space_.alloc(1, kNoAnnounce));
+    }
+    spin_.reserve(nprocs);
+    for (Pid p = 0; p < nprocs; ++p) {
+      spin_.push_back(space_.alloc_owned(p, 1, 0));  // local spin bit
+    }
+  }
+
+  OneShotLockDsm(const OneShotLockDsm&) = delete;
+  OneShotLockDsm& operator=(const OneShotLockDsm&) = delete;
+
+  std::uint32_t capacity() const { return n_; }
+
+  EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
+    const std::uint64_t i = space_.faa(self, *tail_, 1);
+    AML_ASSERT(i < n_, "one-shot lock capacity exceeded (re-entry?)");
+    const std::uint32_t slot = static_cast<std::uint32_t>(i);
+    // Publish the local spin bit, then check go[i]; the signaller writes
+    // go[i] before reading announce[i], so one side always sees the other.
+    space_.write(self, *announce_[slot], self);
+    const std::uint64_t granted = space_.read(self, *go_[slot]);
+    if (granted == 0) {
+      auto outcome = space_.wait(
+          self, *spin_[self], [](std::uint64_t v) { return v != 0; },
+          abort_signal);
+      if (outcome.stopped) {
+        abort_slot(self, slot);
+        return {false, slot};
+      }
+    }
+    space_.write(self, *head_, i);
+    return {true, slot};
+  }
+
+  void exit(Pid self) {
+    const std::uint64_t head = space_.read(self, *head_);
+    space_.write(self, *last_exited_, head);
+    signal_next(self, static_cast<std::uint32_t>(head));
+  }
+
+ private:
+  void abort_slot(Pid self, std::uint32_t i) {
+    tree_.remove(self, i);
+    const std::uint64_t head = space_.read(self, *head_);
+    const std::uint64_t last = space_.read(self, *last_exited_);
+    if (head != last) return;
+    signal_next(self, static_cast<std::uint32_t>(head));
+  }
+
+  void signal_next(Pid self, std::uint32_t head) {
+    const FindResult r = (find_ == Find::kPlain)
+                             ? tree_.find_next(self, head)
+                             : tree_.adaptive_find_next(self, head);
+    if (!r.is_found()) return;
+    space_.write(self, *go_[r.slot], 1);
+    const std::uint64_t s = space_.read(self, *announce_[r.slot]);
+    if (s != kNoAnnounce) {
+      space_.write(self, *spin_[static_cast<Pid>(s)], 1);
+    }
+  }
+
+  Space& space_;
+  std::uint32_t n_;
+  Find find_;
+  Tree<Space> tree_;
+  Word* tail_ = nullptr;
+  Word* head_ = nullptr;
+  Word* last_exited_ = nullptr;
+  std::vector<Word*> go_;
+  std::vector<Word*> announce_;
+  std::vector<Word*> spin_;  ///< spin_[p] is local to process p
+};
+
+}  // namespace aml::core

@@ -1,0 +1,109 @@
+// Static geometry of the paper's W-ary tree (Section 4).
+//
+// The tree conceptually has W^H leaves, H = ceil(log_W N), numbered left to
+// right from 0; leaf p is identified with queue slot p. Only internal nodes
+// (levels 1..H) are stored; leaves are static sentinels. Because the
+// structure is static, parents/children/offsets are computed arithmetically —
+// no pointers are stored (paper, Section 4).
+//
+// When N < W^H the tree is "ragged": subtrees containing no real leaf are
+// phantom. A node's initial value has the bits of its phantom children
+// pre-set to 1 (as if those slots aborted before the execution), which makes
+// FindNext/Remove behave exactly as on a full tree without allocating it.
+// Storage per level l is ceil(N / W^l) nodes, plus one extension node where
+// the conceptual tree is wider, so that AdaptiveFindNext's sidestep to a
+// right cousin touches real memory (keeping RMR counts faithful).
+#pragma once
+
+#include <cstdint>
+
+#include "aml/pal/bits.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::core {
+
+class TreeGeometry {
+ public:
+  /// n_slots >= 1 queue slots (= leaves = processes); 2 <= w <= 64.
+  TreeGeometry(std::uint32_t n_slots, std::uint32_t w)
+      : n_(n_slots), w_(w), height_(height_for(n_slots, w)) {
+    AML_ASSERT(n_slots >= 1, "need at least one slot");
+    AML_ASSERT(w >= 2 && w <= 64, "W must be in [2, 64]");
+  }
+
+  std::uint32_t n_slots() const { return n_; }
+  std::uint32_t w() const { return w_; }
+  /// H = ceil(log_W N), at least 1.
+  std::uint32_t height() const { return height_; }
+
+  /// W^lvl (number of leaves under one node at level lvl).
+  std::uint64_t stride(std::uint32_t lvl) const {
+    return pal::pow_sat(w_, lvl);
+  }
+
+  /// Conceptual number of nodes at level lvl in the full W^H tree.
+  std::uint64_t conceptual_width(std::uint32_t lvl) const {
+    return pal::pow_sat(w_, height_ - lvl);
+  }
+
+  /// Number of nodes actually backed by memory at level lvl (1 <= lvl <= H):
+  /// all ancestors of real leaves, plus one extension node for the adaptive
+  /// sidestep when the conceptual level is wider.
+  std::uint64_t stored_width(std::uint32_t lvl) const {
+    const std::uint64_t needed = ceil_div(n_, stride(lvl));
+    const std::uint64_t conceptual = conceptual_width(lvl);
+    return needed < conceptual ? needed + 1 : conceptual;
+  }
+
+  /// Index of Node(p, lvl) within its level.
+  std::uint64_t node_index(std::uint32_t p, std::uint32_t lvl) const {
+    return p / stride(lvl);
+  }
+
+  /// Offset(p, lvl): which child of Node(p, lvl) contains leaf p.
+  std::uint32_t offset(std::uint32_t p, std::uint32_t lvl) const {
+    return static_cast<std::uint32_t>((p / stride(lvl - 1)) % w_);
+  }
+
+  /// offsetAtParent for the node (lvl, idx): its child position at lvl+1.
+  static std::uint32_t offset_at_parent(std::uint64_t idx, std::uint32_t w) {
+    return static_cast<std::uint32_t>(idx % w);
+  }
+
+  /// Initial value of node (lvl, idx): phantom children (subtrees containing
+  /// no leaf < N) have their bits pre-set.
+  std::uint64_t initial_value(std::uint32_t lvl, std::uint64_t idx) const {
+    const std::uint64_t child_span = stride(lvl - 1);
+    std::uint64_t value = 0;
+    for (std::uint32_t o = 0; o < w_; ++o) {
+      const std::uint64_t first_leaf = (idx * w_ + o) * child_span;
+      if (first_leaf >= n_) value |= pal::offset_mask(w_, o);
+    }
+    return value;
+  }
+
+  /// Total stored words across all levels: O(N / W) for W >= 2.
+  std::uint64_t total_words() const {
+    std::uint64_t total = 0;
+    for (std::uint32_t lvl = 1; lvl <= height_; ++lvl) {
+      total += stored_width(lvl);
+    }
+    return total;
+  }
+
+  static std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+    return (a + b - 1) / b;
+  }
+
+ private:
+  static std::uint32_t height_for(std::uint32_t n, std::uint32_t w) {
+    const std::uint32_t h = pal::ceil_log(n, w);
+    return h == 0 ? 1 : h;
+  }
+
+  std::uint32_t n_;
+  std::uint32_t w_;
+  std::uint32_t height_;
+};
+
+}  // namespace aml::core

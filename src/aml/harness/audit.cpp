@@ -1,0 +1,94 @@
+#include "aml/harness/audit.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "aml/pal/config.hpp"
+
+namespace aml::harness {
+
+void EventLog::record(model::Pid pid, EventKind kind, std::uint32_t slot) {
+  std::lock_guard<std::mutex> guard(mu_);
+  events_.push_back(Event{next_seq_++, pid, kind, slot});
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+std::vector<Event> EventLog::events() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return events_;
+}
+
+namespace {
+
+AuditReport audit_common(const std::vector<Event>& events, bool one_shot) {
+  AuditReport report;
+  bool inside = false;
+  model::Pid holder = model::kNoPid;
+  std::map<model::Pid, std::uint64_t> acquires_by_pid;
+  bool have_last_slot = false;
+  std::uint32_t last_slot = 0;
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kDoorway:
+        report.doorways++;
+        break;
+      case EventKind::kAcquire:
+        report.acquires++;
+        acquires_by_pid[e.pid]++;
+        if (inside) report.mutex_ok = false;  // overlap
+        inside = true;
+        holder = e.pid;
+        if (have_last_slot && e.slot <= last_slot) {
+          report.fcfs_inversions++;
+        }
+        last_slot = e.slot;
+        have_last_slot = true;
+        break;
+      case EventKind::kRelease:
+        report.releases++;
+        if (!inside || holder != e.pid) report.conservation_ok = false;
+        inside = false;
+        holder = model::kNoPid;
+        break;
+      case EventKind::kAbort:
+        report.aborts++;
+        break;
+    }
+  }
+  if (inside) report.conservation_ok = false;  // acquire without release
+  if (report.acquires != report.releases) report.conservation_ok = false;
+  if (one_shot) {
+    for (const auto& [pid, count] : acquires_by_pid) {
+      if (count > 1) report.conservation_ok = false;  // double acquire
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+AuditReport audit_one_shot(const std::vector<Event>& events) {
+  return audit_common(events, /*one_shot=*/true);
+}
+
+AuditReport audit_long_lived(const std::vector<Event>& events) {
+  return audit_common(events, /*one_shot=*/false);
+}
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  os << "audit{mutex=" << (mutex_ok ? "ok" : "VIOLATED")
+     << " conservation=" << (conservation_ok ? "ok" : "VIOLATED")
+     << " fcfs_inversions=" << fcfs_inversions
+     << " doorways=" << doorways << " acquires=" << acquires
+     << " releases=" << releases << " aborts=" << aborts << "}";
+  return os.str();
+}
+
+}  // namespace aml::harness

@@ -1,0 +1,354 @@
+// RMR experiment drivers: run lock workloads on the counting memory models
+// under the deterministic scheduler and collect per-passage RMR counts.
+//
+// Two drivers:
+//   * run_single_pass — every process performs one acquisition attempt
+//     (the paper's one-shot setting and the Table 1 per-passage columns).
+//     Optionally holds the first critical section closed behind a harness
+//     gate until the planned aborts have executed, producing exactly the
+//     "A_i processes abort during the passage" scenario of Theorem 2.
+//   * run_long_lived — every process performs R rounds on a long-lived
+//     lock with randomized abort marking, exercising instance switching,
+//     lazy reset, and spin-node recycling (Section 6).
+//
+// Both check mutual exclusion on the fly and are deterministic per seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "aml/core/eager_space.hpp"
+#include "aml/core/longlived.hpp"
+#include "aml/core/oneshot.hpp"
+#include "aml/harness/stats.hpp"
+#include "aml/harness/workload.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/model/counting_dsm.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::harness {
+
+using model::Pid;
+
+struct PassageRecord {
+  Pid pid = 0;
+  bool acquired = false;
+  bool marked = false;  ///< long-lived runner: attempt was planned to abort
+  std::uint32_t slot = 0;
+  std::uint64_t rmr_enter = 0;
+  std::uint64_t rmr_exit = 0;
+  std::uint64_t remote_spin_episodes = 0;
+
+  std::uint64_t rmr_total() const { return rmr_enter + rmr_exit; }
+};
+
+struct RunResult {
+  std::vector<PassageRecord> records;
+  std::uint64_t steps = 0;
+  std::uint32_t completed = 0;
+  std::uint32_t aborted = 0;
+  bool mutex_ok = true;
+  std::uint64_t switches = 0;  ///< long-lived only: instance switches
+
+  std::vector<std::uint64_t> rmrs_of(bool acquired) const {
+    std::vector<std::uint64_t> out;
+    for (const auto& r : records) {
+      if (r.acquired == acquired) out.push_back(r.rmr_total());
+    }
+    return out;
+  }
+  Summary complete_summary() const { return summarize(rmrs_of(true)); }
+  Summary aborted_summary() const { return summarize(rmrs_of(false)); }
+  std::uint64_t max_complete_rmr() const { return complete_summary().max; }
+  std::uint64_t max_aborted_rmr() const { return aborted_summary().max; }
+  std::uint64_t total_remote_spin_episodes() const {
+    std::uint64_t total = 0;
+    for (const auto& r : records) total += r.remote_spin_episodes;
+    return total;
+  }
+};
+
+struct SinglePassOptions {
+  std::uint64_t seed = 1;
+  /// Grant first steps in pid order so queue slot i == process i
+  /// (reproducible slot layouts for the adversarial workloads).
+  bool ordered_doorway = true;
+  /// Hold the first critical section closed until all planned aborts have
+  /// run, so they count toward that passage's A_i.
+  bool gate_cs = true;
+  std::vector<AbortPlan> plans;  ///< size n (defaults to no aborts)
+  std::uint64_t max_steps = 20'000'000;
+};
+
+namespace detail {
+
+/// Normalize enter() across lock flavors: the paper locks return
+/// EnterResult, the baselines return bool.
+template <typename Lock>
+std::pair<bool, std::uint32_t> do_enter(Lock& lock, Pid p,
+                                        const std::atomic<bool>* stop) {
+  if constexpr (requires(Lock& l) { l.enter(p, stop).acquired; }) {
+    const auto r = lock.enter(p, stop);
+    return {r.acquired, r.slot};
+  } else {
+    return {lock.enter(p, stop), 0u};
+  }
+}
+
+}  // namespace detail
+
+/// Run one acquisition attempt per process on `lock` over `model`. The lock
+/// must already be constructed from `model`; counters are reset first so the
+/// result reflects passage costs only.
+template <typename Model, typename Lock>
+RunResult run_single_pass(Model& model, Lock& lock,
+                          const SinglePassOptions& opts) {
+  const Pid n = model.nprocs();
+  std::vector<AbortPlan> plans = opts.plans;
+  plans.resize(n);
+
+  typename Model::Word* gate =
+      opts.gate_cs ? model.alloc(1, 0) : nullptr;
+  model.reset_counters();
+
+  std::deque<std::atomic<bool>> signals(n);
+  for (Pid p = 0; p < n; ++p) {
+    signals[p].store(plans[p].when == AbortWhen::kPreRaised,
+                     std::memory_order_relaxed);
+  }
+
+  sched::StepScheduler::Config cfg;
+  cfg.seed = opts.seed;
+  cfg.max_steps = opts.max_steps;
+  sched::Policy base = sched::policies::random();
+  if (opts.ordered_doorway) {
+    cfg.policy = [base](const sched::PickContext& ctx) {
+      for (std::size_t p = 0; p < ctx.steps_of.size(); ++p) {
+        if (ctx.steps_of[p] == 0) return static_cast<Pid>(p);
+      }
+      return base(ctx);
+    };
+  } else {
+    cfg.policy = base;
+  }
+  sched::StepScheduler scheduler(n, std::move(cfg));
+
+  scheduler.set_step_callback([&](std::uint64_t step) {
+    for (Pid p = 0; p < n; ++p) {
+      if (plans[p].when == AbortWhen::kAtStep && plans[p].step <= step &&
+          !signals[p].load(std::memory_order_relaxed)) {
+        signals[p].store(true, std::memory_order_release);
+      }
+    }
+  });
+
+  bool gate_open = (gate == nullptr);
+  std::size_t next_idle_abort = 0;
+  scheduler.set_idle_callback([&]() {
+    while (next_idle_abort < n) {
+      const Pid p = static_cast<Pid>(next_idle_abort++);
+      if (plans[p].when == AbortWhen::kOnIdle &&
+          !signals[p].load(std::memory_order_relaxed)) {
+        signals[p].store(true, std::memory_order_release);
+        return true;
+      }
+    }
+    if (!gate_open) {
+      gate_open = true;
+      model.poke(*gate, 1);
+      return true;
+    }
+    return false;
+  });
+
+  RunResult result;
+  result.records.resize(n);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+
+  model.set_hook(&scheduler);
+  const auto run = scheduler.run([&](Pid p) {
+    auto& counters = model.counters(p);
+    PassageRecord& rec = result.records[p];
+    rec.pid = p;
+    const std::uint64_t r0 = counters.rmrs;
+    const std::uint64_t spin0 = counters.remote_spin_episodes;
+    const auto [acquired, slot] = detail::do_enter(lock, p, &signals[p]);
+    rec.rmr_enter = counters.rmrs - r0;
+    // Remote-spin accounting covers the lock's enter only: the harness CS
+    // gate below is a remote word by construction and must not pollute it.
+    rec.remote_spin_episodes = counters.remote_spin_episodes - spin0;
+    rec.acquired = acquired;
+    rec.slot = slot;
+    if (acquired) {
+      if (in_cs.fetch_add(1, std::memory_order_acq_rel) != 0) {
+        violation.store(true, std::memory_order_release);
+      }
+      if (gate != nullptr) {
+        model.wait(
+            p, *gate, [](std::uint64_t v) { return v != 0; }, nullptr);
+      }
+      in_cs.fetch_sub(1, std::memory_order_acq_rel);
+      const std::uint64_t r2 = counters.rmrs;
+      lock.exit(p);
+      rec.rmr_exit = counters.rmrs - r2;
+    }
+  });
+  model.set_hook(nullptr);
+
+  result.steps = run.steps;
+  result.mutex_ok = !violation.load(std::memory_order_acquire);
+  for (const auto& rec : result.records) {
+    if (rec.acquired) result.completed++;
+    else result.aborted++;
+  }
+  return result;
+}
+
+// --- convenience builders for the paper's lock flavors -------------------
+
+/// One-shot lock (CC variant) on the counting CC model.
+inline RunResult oneshot_cc_run(Pid n, std::uint32_t w, core::Find find,
+                                const SinglePassOptions& opts) {
+  model::CountingCcModel model(n);
+  core::OneShotLock<model::CountingCcModel> lock(model, n, w, find);
+  return run_single_pass(model, lock, opts);
+}
+
+/// One-shot lock on the counting DSM model: `dsm_variant` selects the
+/// paper's DSM algorithm (announce/spin-bit indirection) versus running the
+/// CC algorithm on DSM memory (which busy-waits remotely — the failure mode
+/// the variant exists to avoid).
+inline RunResult oneshot_dsm_run(Pid n, std::uint32_t w, core::Find find,
+                                 bool dsm_variant,
+                                 const SinglePassOptions& opts) {
+  model::CountingDsmModel model(n);
+  if (dsm_variant) {
+    core::OneShotLockDsm<model::CountingDsmModel> lock(model, n, w, n, find);
+    return run_single_pass(model, lock, opts);
+  }
+  core::OneShotLock<model::CountingDsmModel> lock(model, n, w, find);
+  return run_single_pass(model, lock, opts);
+}
+
+/// Any lock constructible by `factory(model)` (used for the baselines).
+template <typename Model, typename Factory>
+RunResult single_pass_with(Pid n, Factory&& factory,
+                           const SinglePassOptions& opts) {
+  Model model(n);
+  auto lock = factory(model);
+  return run_single_pass(model, *lock, opts);
+}
+
+// --- long-lived driver ----------------------------------------------------
+
+struct LongLivedOptions {
+  Pid n = 4;
+  std::uint32_t w = 8;
+  core::Find find = core::Find::kAdaptive;
+  std::uint32_t rounds = 8;      ///< acquisition attempts per process
+  std::uint32_t abort_ppm = 0;   ///< probability an attempt is marked to abort
+  std::uint64_t seed = 1;
+  std::uint64_t raise_every = 61;  ///< force-raise one pending signal every k
+                                   ///< steps (0 = only when idle)
+  std::uint64_t max_steps = 50'000'000;
+};
+
+/// Run `rounds` passes per process over a long-lived lock built on the
+/// counting CC model. SpacePolicy selects lazy (VersionedSpace) or eager
+/// (EagerSpace) instance recycling.
+template <template <typename> class SpacePolicy = core::VersionedSpace>
+RunResult run_long_lived(const LongLivedOptions& opts) {
+  using Model = model::CountingCcModel;
+  Model model(opts.n);
+  core::LongLivedLock<Model, SpacePolicy> lock(
+      model, {.nprocs = opts.n, .w = opts.w, .find = opts.find});
+  model.reset_counters();
+
+  // Per-(process, round) abort marking, fixed up front for determinism.
+  pal::Xoshiro256 mark_rng(opts.seed * 7919 + 13);
+  std::vector<std::vector<bool>> marked(opts.n);
+  for (Pid p = 0; p < opts.n; ++p) {
+    marked[p].resize(opts.rounds);
+    for (std::uint32_t r = 0; r < opts.rounds; ++r) {
+      marked[p][r] = mark_rng.chance_ppm(opts.abort_ppm);
+    }
+  }
+
+  std::deque<std::atomic<bool>> signals(opts.n);
+  // 1 = the current attempt wants its signal raised.
+  std::deque<std::atomic<std::uint8_t>> wants(opts.n);
+
+  auto raise_one = [&]() {
+    for (Pid p = 0; p < opts.n; ++p) {
+      if (wants[p].load(std::memory_order_acquire) == 1 &&
+          !signals[p].load(std::memory_order_relaxed)) {
+        signals[p].store(true, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  sched::StepScheduler::Config cfg;
+  cfg.seed = opts.seed;
+  cfg.max_steps = opts.max_steps;
+  sched::StepScheduler scheduler(opts.n, std::move(cfg));
+  scheduler.set_step_callback([&](std::uint64_t step) {
+    if (opts.raise_every != 0 && step % opts.raise_every == 0) raise_one();
+  });
+  scheduler.set_idle_callback([&]() { return raise_one(); });
+
+  RunResult result;
+  result.records.reserve(static_cast<std::size_t>(opts.n) * opts.rounds);
+  std::vector<std::vector<PassageRecord>> records(opts.n);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+
+  model.set_hook(&scheduler);
+  const auto run = scheduler.run([&](Pid p) {
+    auto& counters = model.counters(p);
+    for (std::uint32_t round = 0; round < opts.rounds; ++round) {
+      signals[p].store(false, std::memory_order_release);
+      wants[p].store(marked[p][round] ? 1 : 0, std::memory_order_release);
+      PassageRecord rec;
+      rec.pid = p;
+      rec.marked = marked[p][round];
+      const std::uint64_t r0 = counters.rmrs;
+      const bool ok = lock.enter(p, &signals[p]);
+      rec.rmr_enter = counters.rmrs - r0;
+      rec.acquired = ok;
+      wants[p].store(0, std::memory_order_release);
+      if (ok) {
+        if (in_cs.fetch_add(1, std::memory_order_acq_rel) != 0) {
+          violation.store(true, std::memory_order_release);
+        }
+        in_cs.fetch_sub(1, std::memory_order_acq_rel);
+        const std::uint64_t r2 = counters.rmrs;
+        lock.exit(p);
+        rec.rmr_exit = counters.rmrs - r2;
+      }
+      records[p].push_back(rec);
+    }
+  });
+  model.set_hook(nullptr);
+
+  result.steps = run.steps;
+  result.mutex_ok = !violation.load(std::memory_order_acquire);
+  result.switches = lock.total_incarnations();
+  for (Pid p = 0; p < opts.n; ++p) {
+    for (const auto& rec : records[p]) {
+      if (rec.acquired) result.completed++;
+      else result.aborted++;
+      result.records.push_back(rec);
+    }
+  }
+  return result;
+}
+
+}  // namespace aml::harness

@@ -1,0 +1,67 @@
+#include "aml/harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aml/pal/config.hpp"
+
+namespace aml::harness {
+
+Summary summarize(std::vector<std::uint64_t> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  double total = 0;
+  for (std::uint64_t v : samples) total += static_cast<double>(v);
+  s.mean = total / static_cast<double>(samples.size());
+  auto pct = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+const char* growth_name(Growth growth) {
+  switch (growth) {
+    case Growth::kConstant: return "constant";
+    case Growth::kLogarithmic: return "logarithmic";
+    case Growth::kLinear: return "linear";
+    case Growth::kSuperlinear: return "superlinear";
+  }
+  return "?";
+}
+
+double log_log_slope(const std::vector<std::pair<double, double>>& xy) {
+  AML_ASSERT(xy.size() >= 2, "need at least two points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : xy) {
+    AML_ASSERT(x > 0 && y > 0, "log-log fit needs positive data");
+    const double lx = std::log(x);
+    const double ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double n = static_cast<double>(xy.size());
+  const double denom = n * sxx - sx * sx;
+  AML_ASSERT(denom > 1e-12, "degenerate x range for log-log fit");
+  return (n * sxy - sx * sy) / denom;
+}
+
+Growth classify_growth(const std::vector<std::pair<double, double>>& xy) {
+  const double alpha = log_log_slope(xy);
+  if (alpha < 0.15) return Growth::kConstant;
+  if (alpha < 0.65) return Growth::kLogarithmic;
+  if (alpha < 1.4) return Growth::kLinear;
+  return Growth::kSuperlinear;
+}
+
+}  // namespace aml::harness

@@ -1,0 +1,46 @@
+// Summary statistics over per-passage measurements, and growth-shape
+// classification used by the property tests to assert complexity claims
+// (flat / logarithmic / linear) from measured series.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aml::harness {
+
+struct Summary {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// Compute a Summary (copies and sorts the samples).
+Summary summarize(std::vector<std::uint64_t> samples);
+
+/// Coarse growth classes for measured cost-vs-size series.
+enum class Growth {
+  kConstant,     ///< y essentially flat in x
+  kLogarithmic,  ///< y grows, but much slower than x (log-like)
+  kLinear,       ///< y ~ x
+  kSuperlinear,  ///< y grows faster than x
+};
+
+const char* growth_name(Growth growth);
+
+/// Least-squares slope of log(y) vs log(x) — the power-law exponent alpha
+/// in y ~ x^alpha. Requires >= 2 points with positive x and y.
+double log_log_slope(const std::vector<std::pair<double, double>>& xy);
+
+/// Classify a series by its power-law exponent:
+///   alpha < 0.15 -> constant;  < 0.65 -> logarithmic-like (sublinear);
+///   < 1.4 -> linear;  else superlinear.
+/// Thresholds are deliberately wide: the tests feed decades of x range, so
+/// the classes separate cleanly.
+Growth classify_growth(const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace aml::harness

@@ -1,0 +1,41 @@
+// Plain-text table rendering for the benchmark harnesses: aligned columns on
+// stdout (the paper-style tables EXPERIMENTS.md quotes) plus optional CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aml::harness {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& headers(std::vector<std::string> headers);
+  Table& row(std::vector<std::string> cells);
+
+  /// Render with aligned columns (numbers right-aligned heuristically).
+  /// If the environment variable AMLOCK_BENCH_CSV names a directory, the
+  /// parameterless overload additionally writes <dir>/<slug(title)>.csv for
+  /// machine-readable archiving of bench results.
+  void print(std::ostream& os) const;
+  void print() const;  ///< to stdout (+ optional CSV side file)
+
+  std::string to_csv() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string num(std::uint64_t v);
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aml::harness

@@ -1,0 +1,54 @@
+#include "aml/harness/workload.hpp"
+
+#include "aml/pal/config.hpp"
+#include "aml/pal/rng.hpp"
+
+namespace aml::harness {
+
+std::vector<AbortPlan> plan_none(std::uint32_t n) {
+  return std::vector<AbortPlan>(n);
+}
+
+std::vector<AbortPlan> plan_first_k(std::uint32_t n, std::uint32_t k,
+                                    AbortWhen when) {
+  AML_ASSERT(k < n, "need at least one survivor");
+  std::vector<AbortPlan> plans(n);
+  for (std::uint32_t p = 1; p <= k; ++p) plans[p].when = when;
+  return plans;
+}
+
+std::vector<AbortPlan> plan_all_but(std::uint32_t n, std::uint32_t survivor,
+                                    AbortWhen when) {
+  std::vector<AbortPlan> plans(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (p != survivor) plans[p].when = when;
+  }
+  return plans;
+}
+
+std::vector<AbortPlan> plan_random_k(std::uint32_t n, std::uint32_t k,
+                                     std::uint64_t seed, AbortWhen when) {
+  AML_ASSERT(k < n, "need at least one survivor");
+  std::vector<AbortPlan> plans(n);
+  pal::Xoshiro256 rng(seed);
+  std::uint32_t chosen = 0;
+  while (chosen < k) {
+    const std::uint32_t p =
+        1 + static_cast<std::uint32_t>(rng.below(n - 1));
+    if (plans[p].when == AbortWhen::kNever) {
+      plans[p].when = when;
+      ++chosen;
+    }
+  }
+  return plans;
+}
+
+std::uint32_t plan_aborters(const std::vector<AbortPlan>& plans) {
+  std::uint32_t count = 0;
+  for (const AbortPlan& plan : plans) {
+    if (plan.when != AbortWhen::kNever) ++count;
+  }
+  return count;
+}
+
+}  // namespace aml::harness

@@ -1,0 +1,42 @@
+// Abort workload plans: which processes abort and when their signal is
+// raised relative to the simulated execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aml::harness {
+
+enum class AbortWhen : std::uint8_t {
+  kNever,      ///< the process never aborts
+  kPreRaised,  ///< signal already up before the attempt starts
+  kOnIdle,     ///< raised (one per idle event) when nothing is runnable —
+               ///< i.e. while the process is parked waiting for the lock
+  kAtStep,     ///< raised at a fixed global step number
+};
+
+struct AbortPlan {
+  AbortWhen when = AbortWhen::kNever;
+  std::uint64_t step = 0;  ///< for kAtStep
+};
+
+/// Nobody aborts.
+std::vector<AbortPlan> plan_none(std::uint32_t n);
+
+/// Processes 1..k abort (process 0 always survives and holds the CS).
+std::vector<AbortPlan> plan_first_k(std::uint32_t n, std::uint32_t k,
+                                    AbortWhen when = AbortWhen::kOnIdle);
+
+/// Everyone except `survivor` aborts.
+std::vector<AbortPlan> plan_all_but(std::uint32_t n, std::uint32_t survivor,
+                                    AbortWhen when = AbortWhen::kOnIdle);
+
+/// k distinct processes other than process 0 abort, chosen by seed.
+std::vector<AbortPlan> plan_random_k(std::uint32_t n, std::uint32_t k,
+                                     std::uint64_t seed,
+                                     AbortWhen when = AbortWhen::kOnIdle);
+
+/// Number of aborters in a plan.
+std::uint32_t plan_aborters(const std::vector<AbortPlan>& plans);
+
+}  // namespace aml::harness

@@ -1,0 +1,37 @@
+// Concepts describing what the lock templates require of a memory model.
+//
+// WordSpace is the minimal vocabulary of the one-shot lock and the Tree:
+// allocation plus read/write/F&A (the paper's one-shot algorithm, Sections 3
+// and 4, uses only these). MemoryModel extends it with CAS and SWAP, needed
+// by the long-lived transformation (Section 6) and by the baseline locks.
+//
+// wait() is an additional template member on every model/space (busy-wait
+// with stop flag); being a member template it cannot be expressed in the
+// concept directly, so it is part of the documented contract instead.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "aml/model/types.hpp"
+
+namespace aml::model {
+
+template <typename S>
+concept WordSpace = requires(S& s, typename S::Word& w, Pid p,
+                             std::uint64_t x, std::size_t n) {
+  { s.alloc(n, x) } -> std::same_as<typename S::Word*>;
+  { s.read(p, w) } -> std::convertible_to<std::uint64_t>;
+  s.write(p, w, x);
+  { s.faa(p, w, x) } -> std::convertible_to<std::uint64_t>;
+};
+
+template <typename M>
+concept MemoryModel =
+    WordSpace<M> && requires(M& m, typename M::Word& w, Pid p,
+                             std::uint64_t x) {
+      { m.cas(p, w, x, x) } -> std::convertible_to<bool>;
+      { m.swap(p, w, x) } -> std::convertible_to<std::uint64_t>;
+    };
+
+}  // namespace aml::model

@@ -1,0 +1,128 @@
+// NativeModel: the production memory model. Words are cacheline-padded
+// std::atomic<uint64_t>; operations map 1:1 to hardware atomics with
+// sequentially consistent ordering (the algorithms in the paper are stated
+// for an atomic-register model, so we do not weaken orderings).
+//
+// This model performs no accounting; instantiating the lock templates with
+// it yields the deployable library (aml::AbortableLock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "aml/pal/backoff.hpp"
+#include "aml/pal/cache.hpp"
+#include "aml/model/types.hpp"
+
+namespace aml::model {
+
+class NativeModel {
+ public:
+  /// One shared word. Padded to a cache line so that the per-slot spin words
+  /// of the queue lock do not false-share, which the CC cost model assumes.
+  struct alignas(pal::kCacheLine) Word {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  explicit NativeModel(Pid nprocs = 1) : nprocs_(nprocs) {}
+
+  NativeModel(const NativeModel&) = delete;
+  NativeModel& operator=(const NativeModel&) = delete;
+
+  Pid nprocs() const { return nprocs_; }
+
+  /// Allocate `n` *contiguous* words initialized to `init`. Each request is
+  /// its own block, so addresses are stable for the model's lifetime and
+  /// w[0..n) is valid pointer arithmetic.
+  Word* alloc(std::size_t n, std::uint64_t init = 0) {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    blocks_.emplace_back(n);
+    std::vector<Word>& block = blocks_.back();
+    for (std::size_t i = 0; i < n; ++i) {
+      block[i].v.store(init, std::memory_order_relaxed);
+    }
+    total_words_ += n;
+    return block.data();
+  }
+
+  /// Locality-annotated allocation (DSM vocabulary). Native hardware has no
+  /// permanent locality, so this forwards to alloc(); it exists so that the
+  /// DSM lock variant instantiates on every model.
+  Word* alloc_owned(Pid /*owner*/, std::size_t n, std::uint64_t init = 0) {
+    return alloc(n, init);
+  }
+
+  std::uint64_t read(Pid, Word& w) const {
+    return w.v.load(std::memory_order_seq_cst);
+  }
+
+  void write(Pid, Word& w, std::uint64_t x) {
+    w.v.store(x, std::memory_order_seq_cst);
+  }
+
+  std::uint64_t faa(Pid, Word& w, std::uint64_t delta) {
+    return w.v.fetch_add(delta, std::memory_order_seq_cst);
+  }
+
+  bool cas(Pid, Word& w, std::uint64_t expected, std::uint64_t desired) {
+    return w.v.compare_exchange_strong(expected, desired,
+                                       std::memory_order_seq_cst);
+  }
+
+  std::uint64_t swap(Pid, Word& w, std::uint64_t x) {
+    return w.v.exchange(x, std::memory_order_seq_cst);
+  }
+
+  /// Busy-wait until pred(value) holds or the stop flag is raised. The
+  /// predicate is evaluated on fresh loads; lock hand-off wins ties with the
+  /// stop flag.
+  template <typename Pred>
+  WaitOutcome wait(Pid, Word& w, Pred&& pred,
+                   const std::atomic<bool>* stop) const {
+    pal::Backoff backoff;
+    for (;;) {
+      const std::uint64_t v = w.v.load(std::memory_order_seq_cst);
+      if (pred(v)) return {v, false};
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+        return {v, true};
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Two-word busy-wait (see CountingCcModel::wait_either).
+  template <typename Pred1, typename Pred2>
+  WaitOutcome2 wait_either(Pid, Word& w1, Pred1&& pred1, Word& w2,
+                           Pred2&& pred2,
+                           const std::atomic<bool>* stop) const {
+    pal::Backoff backoff;
+    for (;;) {
+      const std::uint64_t v1 = w1.v.load(std::memory_order_seq_cst);
+      if (pred1(v1)) return {v1, 0, false};
+      const std::uint64_t v2 = w2.v.load(std::memory_order_seq_cst);
+      if (pred2(v2)) return {v1, v2, false};
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+        return {v1, v2, true};
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Number of words allocated so far (space-accounting hook shared with the
+  /// counting models so bench_table1_space works on any model).
+  std::size_t words_allocated() const {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    return total_words_;
+  }
+
+ private:
+  Pid nprocs_;
+  mutable std::mutex alloc_mu_;
+  std::deque<std::vector<Word>> blocks_;  // one block per alloc; stable
+  std::size_t total_words_ = 0;
+};
+
+}  // namespace aml::model

@@ -1,0 +1,98 @@
+// Shared vocabulary for the memory models: process ids, per-process operation
+// counters (the RMR bookkeeping of Section 2 of the paper), wait outcomes,
+// and the scheduler hook that lets a deterministic scheduler gate every
+// shared-memory step.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace aml::model {
+
+/// Process identifier. The paper's N processes are 0..N-1.
+using Pid = std::uint32_t;
+inline constexpr Pid kNoPid = ~Pid{0};
+
+/// Per-process operation counts. `rmrs` implements the paper's RMR measure:
+/// in the CC model every write/CAS/F&A is an RMR, and a read is an RMR iff it
+/// is the process' first read of the word or the word was mutated by another
+/// process since the process' last access; in the DSM model any access to a
+/// word owned by another process is an RMR.
+struct OpCounters {
+  std::uint64_t reads = 0;        ///< All read operations.
+  std::uint64_t local_reads = 0;  ///< Reads satisfied from the local cache.
+  std::uint64_t writes = 0;
+  std::uint64_t faas = 0;
+  std::uint64_t cas_attempts = 0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t rmrs = 0;  ///< Remote memory references per the model rules.
+  std::uint64_t wait_wakeups = 0;  ///< Times a busy-wait was re-evaluated.
+  /// DSM only: busy-wait episodes on a word not local to the waiter. The
+  /// paper's point in Section 3 ("DSM variant") is that these are unbounded;
+  /// the DSM variant of the lock must keep this at zero.
+  std::uint64_t remote_spin_episodes = 0;
+
+  OpCounters& operator+=(const OpCounters& o) {
+    reads += o.reads;
+    local_reads += o.local_reads;
+    writes += o.writes;
+    faas += o.faas;
+    cas_attempts += o.cas_attempts;
+    cas_failures += o.cas_failures;
+    swaps += o.swaps;
+    rmrs += o.rmrs;
+    wait_wakeups += o.wait_wakeups;
+    remote_spin_episodes += o.remote_spin_episodes;
+    return *this;
+  }
+
+  std::uint64_t steps() const {
+    return reads + writes + faas + cas_attempts + swaps;
+  }
+};
+
+/// Result of a Model::wait() busy-wait: the last value read, and whether the
+/// wait ended because the stop flag was raised rather than the predicate
+/// becoming true. If the predicate holds for `value`, `stopped` is false even
+/// if the stop flag is also up (the lock hand-off wins, matching footnote 2
+/// of the paper).
+struct WaitOutcome {
+  std::uint64_t value = 0;
+  bool stopped = false;
+};
+
+/// Result of a Model::wait_either() on two words (needed by read/write-only
+/// algorithms such as Peterson locks, whose exit condition spans two
+/// variables).
+struct WaitOutcome2 {
+  std::uint64_t value1 = 0;
+  std::uint64_t value2 = 0;
+  bool stopped = false;
+};
+
+/// Hook that a deterministic scheduler installs into a counting model. Every
+/// shared-memory operation calls on_step() before executing; a busy wait
+/// parks in on_block() instead of spinning. With at most one process granted
+/// at a time this serializes the execution and makes it exactly reproducible
+/// from a seed.
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+
+  /// Gate before one shared-memory operation by process `p`. Returns when
+  /// the scheduler grants the step.
+  virtual void on_step(Pid p) = 0;
+
+  /// Park process `p` until `*version != seen_version` (the awaited word was
+  /// mutated), or — when `version2` is non-null — `*version2 != seen2`, or
+  /// `stop && stop->load()` (an abort signal arrived). The model re-reads
+  /// after this returns.
+  virtual void on_block(Pid p, const std::atomic<std::uint64_t>* version,
+                        std::uint64_t seen_version,
+                        const std::atomic<bool>* stop,
+                        const std::atomic<std::uint64_t>* version2 = nullptr,
+                        std::uint64_t seen2 = 0) = 0;
+};
+
+}  // namespace aml::model

@@ -1,0 +1,48 @@
+// Spin-wait backoff. On the single atomic-word spins the paper's algorithms
+// perform, the coherence protocol already bounds RMRs; backoff here only
+// reduces wasted cycles under oversubscription (more threads than cores).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace aml::pal {
+
+/// One CPU relax hint (PAUSE on x86, YIELD on arm, nothing elsewhere).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Portable fallback: a compiler barrier.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff that escalates to std::this_thread::yield() so that
+/// spinners make progress on machines with fewer cores than threads (this
+/// matters: the test machine may have a single core).
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kYieldThreshold) {
+      for (std::uint32_t i = 0; i < (1u << spins_); ++i) cpu_relax();
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kYieldThreshold = 6;
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace aml::pal

@@ -1,0 +1,103 @@
+// W-bit word bit-manipulation helpers used by the Tree data structure
+// (Section 4 of the paper).
+//
+// The paper's convention: a node stores a W-bit word whose j-th *most
+// significant* bit (counting from the left, 0-based) is associated with the
+// node's j-th child from the left. We call j the "offset". A logical W-bit
+// word is stored in the low W bits of a uint64_t; offset o therefore maps to
+// machine bit position (W - 1 - o) counting from the least significant bit.
+//
+// All helpers are constexpr and total for 2 <= W <= 64; offsets may be -1,
+// meaning "consider the whole word" (used by AdaptiveFindNext after a
+// sidestep to a right cousin, Algorithm 4.3 line 47).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "aml/pal/config.hpp"
+
+namespace aml::pal {
+
+/// EMPTY: the all-ones W-bit word, 2^W - 1 (paper, Figure 3 footnotes).
+constexpr std::uint64_t empty_word(unsigned w) {
+  return w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+/// Mask with only the `offset`-th MSB (of a W-bit word) set.
+/// Used by Remove() to build the F&A addend (Algorithm 4.2, line 38).
+constexpr std::uint64_t offset_mask(unsigned w, unsigned offset) {
+  return std::uint64_t{1} << (w - 1 - offset);
+}
+
+/// Mask covering every offset strictly to the right of `offset`
+/// (i.e. offsets offset+1 .. W-1). offset == -1 covers the whole word;
+/// offset == W-1 yields the empty mask.
+constexpr std::uint64_t right_of_mask(unsigned w, int offset) {
+  if (offset < 0) return empty_word(w);
+  unsigned bits_right = w - 1 - static_cast<unsigned>(offset);
+  return bits_right == 0 ? 0 : ((std::uint64_t{1} << bits_right) - 1);
+}
+
+/// HasZeroToTheRight(snap, offset): true iff some bit strictly to the right
+/// of `offset` is zero (paper, Figure 3 footnotes).
+constexpr bool has_zero_to_the_right(std::uint64_t snap, unsigned w,
+                                     int offset) {
+  const std::uint64_t region = right_of_mask(w, offset);
+  return (snap & region) != region;
+}
+
+/// GetFirstZeroToTheRight(snap, offset): the offset of the leftmost zero bit
+/// strictly to the right of `offset`. Precondition: such a bit exists.
+constexpr unsigned first_zero_to_the_right(std::uint64_t snap, unsigned w,
+                                           int offset) {
+  const std::uint64_t region = right_of_mask(w, offset);
+  const std::uint64_t zeros = ~snap & region;
+  AML_DASSERT(zeros != 0, "no zero bit to the right of offset");
+  // The leftmost zero has the highest machine bit position.
+  const unsigned pos =
+      63u - static_cast<unsigned>(std::countl_zero(zeros));
+  return w - 1 - pos;
+}
+
+/// GetFirstZero(snap): offset of the leftmost zero bit in the W-bit word.
+/// Precondition: snap != EMPTY.
+constexpr unsigned first_zero(std::uint64_t snap, unsigned w) {
+  return first_zero_to_the_right(snap, w, -1);
+}
+
+/// Number of set bits inside the W-bit region (test/introspection helper).
+constexpr unsigned popcount_w(std::uint64_t snap, unsigned w) {
+  return static_cast<unsigned>(std::popcount(snap & empty_word(w)));
+}
+
+/// Bit value (0/1) at `offset` in a W-bit word (test/introspection helper).
+constexpr unsigned bit_at(std::uint64_t snap, unsigned w, unsigned offset) {
+  return static_cast<unsigned>((snap >> (w - 1 - offset)) & 1u);
+}
+
+/// ceil(log_w(n)) for n >= 1, w >= 2: the tree height H (Section 4).
+constexpr unsigned ceil_log(std::uint64_t n, unsigned w) {
+  unsigned h = 0;
+  std::uint64_t reach = 1;
+  while (reach < n) {
+    // reach * w can overflow only when reach already exceeds any realistic n.
+    if (reach > (~std::uint64_t{0}) / w) return h + 1;
+    reach *= w;
+    ++h;
+  }
+  return h;
+}
+
+/// w^e with saturation (geometry helper; never overflows in practice since
+/// e <= H <= 64).
+constexpr std::uint64_t pow_sat(unsigned w, unsigned e) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < e; ++i) {
+    if (r > (~std::uint64_t{0}) / w) return ~std::uint64_t{0};
+    r *= w;
+  }
+  return r;
+}
+
+}  // namespace aml::pal

@@ -1,0 +1,37 @@
+// Cacheline utilities: padding wrappers to avoid false sharing between
+// per-process counters and between lock words that the algorithms assume are
+// independently cacheable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace aml::pal {
+
+/// Cache line size assumed throughout. std::hardware_destructive_interference_
+/// size is not reliably available on every toolchain; 64 is correct for all
+/// mainstream x86/ARM server parts.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A T padded and aligned to a full cache line.
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+
+ private:
+  // Guarantee the next element of an array starts on a fresh line even if
+  // sizeof(T) % kCacheLine == 0 handled by alignas; char pad for clarity.
+  static_assert(alignof(T) <= kCacheLine, "over-aligned payload");
+};
+
+}  // namespace aml::pal

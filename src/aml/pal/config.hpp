@@ -1,0 +1,35 @@
+// Platform abstraction layer: build configuration and assertion macros.
+//
+// AML_ASSERT is an always-on invariant check used on cold paths (construction,
+// test probes). AML_DASSERT compiles away in release builds and is used on hot
+// paths inside the lock algorithms to validate paper invariants (e.g. that a
+// Remove() never sets an already-set tree bit).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define AML_ASSERT(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AML_ASSERT failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define AML_DASSERT(cond, msg) AML_ASSERT(cond, msg)
+#else
+#define AML_DASSERT(cond, msg) \
+  do {                         \
+  } while (0)
+#endif
+
+namespace aml {
+
+/// Library version, mirrored from the CMake project version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+
+}  // namespace aml

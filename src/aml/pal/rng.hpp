@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for schedules and workloads.
+// SplitMix64 for seeding, xoshiro256** for the stream: fast, reproducible,
+// and independent of libstdc++'s distribution implementations (so a seed
+// produces the same schedule on every platform).
+#pragma once
+
+#include <cstdint>
+
+namespace aml::pal {
+
+/// SplitMix64: used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna (public domain reference constants).
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire-style rejection-free mapping
+  /// (slight modulo bias is irrelevant for schedule generation; we use the
+  /// multiply-shift trick which has none for bound << 2^64).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Bernoulli(p) with p expressed in parts-per-million.
+  constexpr bool chance_ppm(std::uint64_t ppm) { return below(1000000) < ppm; }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace aml::pal

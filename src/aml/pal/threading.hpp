@@ -1,0 +1,49 @@
+// Small threading utilities for tests and the native benchmarking harness.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "aml/pal/backoff.hpp"
+
+namespace aml::pal {
+
+/// Reusable spin barrier: all participants block until `count` arrive.
+/// Used to start benchmark phases simultaneously.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t count) : count_(count) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == count_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (phase_.load(std::memory_order_acquire) == phase) backoff.pause();
+    }
+  }
+
+ private:
+  const std::uint32_t count_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+/// Spawn `n` threads running fn(thread_index) and join them all. The
+/// canonical driver for native stress tests.
+inline void run_threads(std::uint32_t n,
+                        const std::function<void(std::uint32_t)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) threads.emplace_back(fn, i);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace aml::pal

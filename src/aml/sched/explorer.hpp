@@ -1,0 +1,206 @@
+// Bounded-exhaustive schedule exploration (stateless model checking).
+//
+// An execution under StepScheduler is fully determined by the sequence of
+// scheduling choices, so the space of executions of a deterministic workload
+// is a tree: each node is a decision point (the sorted runnable set), each
+// edge a chosen process. Explorer enumerates that tree by *replay*: every
+// execution reconstructs the world from scratch and follows a planned prefix
+// of choices, then a default policy; the decisions actually taken (and the
+// alternatives available) are recorded, and depth-first backtracking yields
+// the next plan.
+//
+// Full enumeration explodes, so we implement iterative context bounding
+// (Musuvathi & Qadeer): continuing the previously-running process is always
+// free; *preempting* it (scheduling someone else while it is still runnable)
+// consumes budget. Empirically almost all concurrency bugs need very few
+// preemptions; with budget c the number of executions is polynomial,
+// O((steps * nprocs)^c). Switching away from a process that is blocked or
+// done is free (it is not a preemption), and all alternatives at such forced
+// switches are explored.
+//
+// Abort signals are modelled as ghost processes that take one schedulable
+// step and then raise the signal, so the explorer also enumerates *when*
+// each abort lands relative to every shared-memory operation.
+//
+// Usage:
+//   ExploreConfig cfg{.nprocs = 3, .preemption_bound = 2};
+//   ExploreStats stats = explore(cfg, [&](ExecutionContext& ctx) {
+//     // Build a fresh world; install ctx.scheduler() hook; define bodies.
+//     ...
+//   });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aml/model/types.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::sched {
+
+struct ExploreConfig {
+  Pid nprocs = 2;
+  /// Maximum preemptive context switches per execution.
+  std::uint32_t preemption_bound = 2;
+  /// Hard cap on enumerated executions (stats report truncation).
+  std::uint64_t max_executions = 250'000;
+  std::uint64_t max_steps_per_exec = 100'000;
+};
+
+struct ExploreStats {
+  std::uint64_t executions = 0;
+  std::uint64_t decisions_explored = 0;  ///< total decision points visited
+  std::uint64_t max_depth = 0;           ///< longest execution (steps)
+  bool truncated = false;                ///< hit max_executions
+};
+
+namespace detail {
+
+/// One decision point of the last execution: what was runnable, what we
+/// picked, and whether alternatives are chargeable preemptions.
+struct Decision {
+  std::vector<Pid> runnable;  ///< sorted
+  std::uint32_t picked = 0;   ///< index into runnable
+  bool prev_runnable = false; ///< the previously-scheduled process could
+                              ///< have continued (so switching = preemption)
+  Pid prev = model::kNoPid;
+  std::uint32_t preemptions_used = 0;  ///< budget consumed BEFORE this pick
+};
+
+}  // namespace detail
+
+/// Handed to the world factory so it can construct the scheduler-driven run.
+/// The factory must: build a fresh world, call run(body), and (optionally)
+/// check invariants afterwards — throwing or recording failures itself.
+class ExecutionContext {
+ public:
+  ExecutionContext(Pid nprocs, SchedulerConfig config)
+      : scheduler_(nprocs, std::move(config)) {}
+
+  StepScheduler& scheduler() { return scheduler_; }
+
+  StepScheduler::Result run(const std::function<void(Pid)>& body) {
+    return scheduler_.run(body);
+  }
+
+ private:
+  StepScheduler scheduler_;
+};
+
+/// Enumerate executions of the workload built by `factory`. The factory is
+/// invoked once per execution with a fresh ExecutionContext whose scheduler
+/// policy is the explorer's replay policy; it must build a fresh world
+/// (model + locks), install the hook, call ctx.run(...), and verify
+/// invariants (e.g. with gtest EXPECTs).
+inline ExploreStats explore(
+    const ExploreConfig& config,
+    const std::function<void(ExecutionContext&)>& factory) {
+  ExploreStats stats;
+  // The plan: for decision k < plan.size(), pick runnable[plan[k]].
+  std::vector<std::uint32_t> plan;
+
+  for (;;) {
+    if (stats.executions >= config.max_executions) {
+      stats.truncated = true;
+      break;
+    }
+    // --- one execution -------------------------------------------------
+    auto trace = std::make_shared<std::vector<detail::Decision>>();
+    auto prev = std::make_shared<Pid>(model::kNoPid);
+    auto preemptions = std::make_shared<std::uint32_t>(0);
+    const std::vector<std::uint32_t> current_plan = plan;
+
+    Policy policy = [trace, prev, preemptions,
+                     current_plan](const PickContext& ctx) {
+      detail::Decision decision;
+      decision.runnable = ctx.runnable;  // sorted by scheduler
+      decision.prev = *prev;
+      decision.preemptions_used = *preemptions;
+      bool prev_runnable = false;
+      std::uint32_t prev_idx = 0;
+      for (std::uint32_t i = 0; i < ctx.runnable.size(); ++i) {
+        if (ctx.runnable[i] == *prev) {
+          prev_runnable = true;
+          prev_idx = i;
+        }
+      }
+      decision.prev_runnable = prev_runnable;
+      const std::size_t k = trace->size();
+      std::uint32_t pick_idx;
+      if (k < current_plan.size()) {
+        pick_idx = current_plan[k];
+        AML_ASSERT(pick_idx < ctx.runnable.size(),
+                   "explorer replay diverged: plan index out of range");
+      } else {
+        // Default: continue the previous process if possible (free),
+        // otherwise the lowest-id runnable.
+        pick_idx = prev_runnable ? prev_idx : 0;
+      }
+      const Pid picked = ctx.runnable[pick_idx];
+      if (prev_runnable && picked != *prev) ++(*preemptions);
+      decision.picked = pick_idx;
+      trace->push_back(decision);
+      *prev = picked;
+      return picked;
+    };
+
+    SchedulerConfig scfg;
+    scfg.policy = std::move(policy);
+    scfg.max_steps = config.max_steps_per_exec;
+    ExecutionContext ctx(config.nprocs, std::move(scfg));
+    factory(ctx);
+
+    stats.executions++;
+    stats.decisions_explored += trace->size();
+    if (trace->size() > stats.max_depth) stats.max_depth = trace->size();
+
+    // --- backtrack: find the deepest decision with an unexplored,
+    // budget-respecting alternative --------------------------------------
+    //
+    // At each decision the canonical exploration order is: the default pick
+    // first (continue prev, else lowest id), then the remaining indices
+    // ascending. The first execution through a prefix always takes the
+    // canonical first choice there, so "the next alternative after
+    // d.picked" is well-defined in canonical order regardless of the
+    // default's raw index.
+    bool advanced = false;
+    for (std::size_t k = trace->size(); k-- > 0;) {
+      const detail::Decision& d = (*trace)[k];
+      std::uint32_t default_idx = 0;
+      if (d.prev_runnable) {
+        for (std::uint32_t i = 0; i < d.runnable.size(); ++i) {
+          if (d.runnable[i] == d.prev) default_idx = i;
+        }
+      }
+      std::vector<std::uint32_t> canon;
+      canon.push_back(default_idx);
+      for (std::uint32_t i = 0; i < d.runnable.size(); ++i) {
+        if (i != default_idx) canon.push_back(i);
+      }
+      std::size_t pos = 0;
+      while (pos < canon.size() && canon[pos] != d.picked) ++pos;
+      AML_ASSERT(pos < canon.size(), "picked index missing from canon order");
+      for (std::size_t next = pos + 1; next < canon.size(); ++next) {
+        const std::uint32_t candidate = canon[next];
+        std::uint32_t cost = d.preemptions_used;
+        const Pid cand_pid = d.runnable[candidate];
+        if (d.prev_runnable && cand_pid != d.prev) cost++;
+        if (cost > config.preemption_bound) continue;
+        plan.clear();
+        for (std::size_t j = 0; j < k; ++j) {
+          plan.push_back((*trace)[j].picked);
+        }
+        plan.push_back(candidate);
+        advanced = true;
+        break;
+      }
+      if (advanced) break;
+    }
+    if (!advanced) break;  // tree exhausted
+  }
+  return stats;
+}
+
+}  // namespace aml::sched

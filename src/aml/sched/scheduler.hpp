@@ -1,0 +1,357 @@
+// Deterministic step scheduler for simulated executions.
+//
+// The counting memory models gate every shared-memory operation through a
+// ScheduleHook. StepScheduler implements that hook so that exactly one
+// process executes one shared-memory operation at a time, with the
+// interleaving chosen by a pluggable, seedable policy. This gives:
+//
+//   * determinism — a (seed, policy, workload) triple replays the identical
+//     execution, so every test failure is reproducible;
+//   * adversarial control — policies can starve processes, interleave a
+//     Remove() mid-flight with a FindNext() (the paper's "crossed paths"
+//     scenario), or hammer a single victim;
+//   * busy-wait soundness — a process spinning on a cached word takes no
+//     schedulable step until the word is mutated or its abort signal is
+//     raised, so schedule exploration terminates (this mirrors the CC cost
+//     model: a cached re-read is invisible to shared memory).
+//
+// Liveness violations (no runnable process while some are blocked) and step
+// budget exhaustion indicate algorithm bugs; the scheduler dumps state and
+// aborts the process so that ctest reports a hard failure.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aml/pal/config.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/model/types.hpp"
+
+namespace aml::sched {
+
+using model::Pid;
+
+/// Everything a scheduling policy may look at when picking the next process.
+struct PickContext {
+  const std::vector<Pid>& runnable;            ///< sorted ascending
+  std::uint64_t step;                          ///< global step count
+  pal::Xoshiro256& rng;                        ///< seeded stream
+  const std::vector<std::uint64_t>& steps_of;  ///< per-process steps taken
+};
+
+/// A policy returns one element of ctx.runnable.
+using Policy = std::function<Pid(const PickContext&)>;
+
+namespace policies {
+
+/// Uniformly random among runnable processes (the default).
+inline Policy random() {
+  return [](const PickContext& ctx) {
+    return ctx.runnable[ctx.rng.below(ctx.runnable.size())];
+  };
+}
+
+/// Cycle fairly through process ids.
+inline Policy round_robin() {
+  auto next = std::make_shared<Pid>(0);
+  return [next](const PickContext& ctx) {
+    for (std::size_t i = 0; i < ctx.runnable.size(); ++i) {
+      for (Pid cand : ctx.runnable) {
+        if (cand >= *next) {
+          *next = cand + 1;
+          return cand;
+        }
+      }
+      *next = 0;  // wrap
+    }
+    *next = ctx.runnable.front() + 1;
+    return ctx.runnable.front();
+  };
+}
+
+/// Always run the highest-priority runnable process. `priority[0]` is the
+/// most preferred. Processes not listed are least preferred (by id).
+inline Policy prefer(std::vector<Pid> priority) {
+  return [priority = std::move(priority)](const PickContext& ctx) {
+    for (Pid want : priority) {
+      for (Pid cand : ctx.runnable) {
+        if (cand == want) return cand;
+      }
+    }
+    return ctx.runnable.front();
+  };
+}
+
+/// Scripted prefix: run `pid` for exactly `steps` grants, then the next
+/// segment; when the script is exhausted, fall back to `fallback`. A segment
+/// whose process is not runnable is a scripting error (hard abort), because
+/// scenario tests rely on exact control.
+struct Segment {
+  Pid pid;
+  std::uint64_t steps;
+};
+
+inline Policy script(std::vector<Segment> segments, Policy fallback) {
+  struct State {
+    std::vector<Segment> segs;
+    std::size_t idx = 0;
+    std::uint64_t used = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->segs = std::move(segments);
+  return [st, fallback = std::move(fallback)](const PickContext& ctx) {
+    while (st->idx < st->segs.size() &&
+           st->used >= st->segs[st->idx].steps) {
+      st->idx++;
+      st->used = 0;
+    }
+    if (st->idx >= st->segs.size()) return fallback(ctx);
+    const Pid want = st->segs[st->idx].pid;
+    for (Pid cand : ctx.runnable) {
+      if (cand == want) {
+        st->used++;
+        return cand;
+      }
+    }
+    AML_ASSERT(false, "scripted process not runnable at its segment");
+    return ctx.runnable.front();
+  };
+}
+
+/// Replay an exact grant sequence (e.g. a Result::trace recorded with
+/// record_trace from a failing run), then fall back. Each replayed pid must
+/// be runnable at its turn — guaranteed when replaying a trace of the same
+/// deterministic workload.
+inline Policy replay(std::vector<Pid> trace, Policy fallback) {
+  auto pos = std::make_shared<std::size_t>(0);
+  return [trace = std::move(trace), pos,
+          fallback = std::move(fallback)](const PickContext& ctx) {
+    if (*pos >= trace.size()) return fallback(ctx);
+    const Pid want = trace[(*pos)++];
+    for (Pid cand : ctx.runnable) {
+      if (cand == want) return cand;
+    }
+    AML_ASSERT(false, "replayed process not runnable (divergent workload?)");
+    return ctx.runnable.front();
+  };
+}
+
+}  // namespace policies
+
+/// Scheduler configuration (namespace scope so it can serve as a default
+/// argument — GCC rejects in-class default args that need a nested class'
+/// default member initializers).
+struct SchedulerConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 5'000'000;
+  Policy policy;  ///< defaults to policies::random()
+  bool record_trace = false;
+};
+
+class StepScheduler final : public model::ScheduleHook {
+ public:
+  using Config = SchedulerConfig;
+
+  struct Result {
+    std::uint64_t steps = 0;
+    std::vector<Pid> trace;  ///< grant sequence if record_trace
+  };
+
+  explicit StepScheduler(Pid nprocs, Config config = Config())
+      : nprocs_(nprocs),
+        config_(std::move(config)),
+        rng_(config_.seed),
+        procs_(nprocs) {
+    if (!config_.policy) config_.policy = policies::random();
+    steps_of_.assign(nprocs, 0);
+  }
+
+  /// Invoked before every grant with the global step number. Used by tests
+  /// to raise abort signals at exact points in the execution.
+  void set_step_callback(std::function<void(std::uint64_t)> cb) {
+    step_callback_ = std::move(cb);
+  }
+
+  /// Invoked when no process is runnable but not all are done (e.g. everyone
+  /// parked waiting). May raise abort signals to unblock; return true if it
+  /// changed anything. If it returns false the scheduler declares deadlock.
+  void set_idle_callback(std::function<bool()> cb) {
+    idle_callback_ = std::move(cb);
+  }
+
+  /// Run `body(p)` for p = 0..nprocs-1 to completion under this scheduler.
+  /// The memory model(s) used by `body` must have this scheduler installed
+  /// as their hook before calling run().
+  Result run(const std::function<void(Pid)>& body) {
+    std::vector<std::thread> threads;
+    threads.reserve(nprocs_);
+    for (Pid p = 0; p < nprocs_; ++p) {
+      threads.emplace_back([this, &body, p] {
+        body(p);
+        finish(p);
+      });
+    }
+    drive();
+    for (auto& t : threads) t.join();
+    Result result;
+    result.steps = step_;
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+  // --- ScheduleHook ----------------------------------------------------
+
+  void on_step(Pid p) override {
+    std::unique_lock<std::mutex> lk(mu_);
+    Proc& proc = procs_[p];
+    proc.state = State::kAtGate;
+    cv_sched_.notify_one();
+    // The grant itself moves us to kRunning (scheduler-side), so the
+    // scheduler never observes a granted process as still runnable.
+    proc.cv.wait(lk, [&] { return proc.granted; });
+    proc.granted = false;
+  }
+
+  void on_block(Pid p, const std::atomic<std::uint64_t>* version,
+                std::uint64_t seen_version, const std::atomic<bool>* stop,
+                const std::atomic<std::uint64_t>* version2 = nullptr,
+                std::uint64_t seen2 = 0) override {
+    std::unique_lock<std::mutex> lk(mu_);
+    Proc& proc = procs_[p];
+    proc.state = State::kBlocked;
+    proc.version = version;
+    proc.seen_version = seen_version;
+    proc.version2 = version2;
+    proc.seen2 = seen2;
+    proc.stop = stop;
+    cv_sched_.notify_one();
+    proc.cv.wait(lk, [&] { return proc.granted; });
+    proc.granted = false;
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kNotStarted,
+    kRunning,
+    kAtGate,
+    kBlocked,
+    kDone,
+  };
+
+  struct Proc {
+    State state = State::kNotStarted;
+    bool granted = false;
+    const std::atomic<std::uint64_t>* version = nullptr;
+    std::uint64_t seen_version = 0;
+    const std::atomic<std::uint64_t>* version2 = nullptr;
+    std::uint64_t seen2 = 0;
+    const std::atomic<bool>* stop = nullptr;
+    std::condition_variable cv;
+  };
+
+  void finish(Pid p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    procs_[p].state = State::kDone;
+    cv_sched_.notify_one();
+  }
+
+  static bool blocked_runnable(const Proc& proc) {
+    if (proc.version->load(std::memory_order_acquire) != proc.seen_version) {
+      return true;
+    }
+    if (proc.version2 != nullptr &&
+        proc.version2->load(std::memory_order_acquire) != proc.seen2) {
+      return true;
+    }
+    return proc.stop != nullptr &&
+           proc.stop->load(std::memory_order_acquire);
+  }
+
+  bool settled() const {
+    for (const Proc& proc : procs_) {
+      if (proc.state == State::kNotStarted || proc.state == State::kRunning) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void drive() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      // Wait until every process is parked at a gate, blocked, or done, so
+      // grant decisions never race with an in-flight operation.
+      cv_sched_.wait(lk, [&] { return settled(); });
+
+      std::vector<Pid> runnable;
+      bool all_done = true;
+      for (Pid p = 0; p < nprocs_; ++p) {
+        const Proc& proc = procs_[p];
+        if (proc.state != State::kDone) all_done = false;
+        if (proc.state == State::kAtGate ||
+            (proc.state == State::kBlocked && blocked_runnable(proc))) {
+          runnable.push_back(p);
+        }
+      }
+      if (all_done) return;
+
+      if (runnable.empty()) {
+        // Everyone is parked on unchanged words: give the harness a chance
+        // to inject abort signals; otherwise this is a liveness violation.
+        if (idle_callback_ && idle_callback_()) continue;
+        dump_and_abort("deadlock: no runnable process");
+      }
+
+      if (step_callback_) step_callback_(step_);
+
+      const PickContext ctx{runnable, step_, rng_, steps_of_};
+      const Pid pick = config_.policy(ctx);
+      AML_ASSERT(std::find(runnable.begin(), runnable.end(), pick) !=
+                     runnable.end(),
+                 "policy picked a non-runnable process");
+      ++step_;
+      ++steps_of_[pick];
+      if (config_.record_trace) trace_.push_back(pick);
+      if (step_ > config_.max_steps) {
+        dump_and_abort("step budget exhausted (livelock?)");
+      }
+      Proc& proc = procs_[pick];
+      proc.state = State::kRunning;  // not runnable again until it re-posts
+      proc.granted = true;
+      proc.cv.notify_one();
+    }
+  }
+
+  [[noreturn]] void dump_and_abort(const char* why) {
+    std::fprintf(stderr, "StepScheduler fatal: %s at step %llu (seed %llu)\n",
+                 why, static_cast<unsigned long long>(step_),
+                 static_cast<unsigned long long>(config_.seed));
+    for (Pid p = 0; p < nprocs_; ++p) {
+      std::fprintf(stderr, "  p%u state=%d steps=%llu\n", p,
+                   static_cast<int>(procs_[p].state),
+                   static_cast<unsigned long long>(steps_of_[p]));
+    }
+    std::abort();
+  }
+
+  Pid nprocs_;
+  Config config_;
+  pal::Xoshiro256 rng_;
+  std::mutex mu_;
+  std::condition_variable cv_sched_;
+  std::deque<Proc> procs_;
+  std::uint64_t step_ = 0;
+  std::vector<std::uint64_t> steps_of_;
+  std::vector<Pid> trace_;
+  std::function<void(std::uint64_t)> step_callback_;
+  std::function<bool()> idle_callback_;
+};
+
+}  // namespace aml::sched

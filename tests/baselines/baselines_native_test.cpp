@@ -1,0 +1,131 @@
+// Baselines on native hardware: free-running mutual-exclusion stress for
+// every lock, abort storms for the abortable ones.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+
+#include "aml/baselines/baselines.hpp"
+#include "aml/model/native.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/pal/threading.hpp"
+
+namespace aml::baselines {
+namespace {
+
+using model::NativeModel;
+using model::Pid;
+
+template <typename Lock>
+void stress_rounds(Lock& lock, Pid n, int rounds) {
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> entries{0};
+  pal::run_threads(n, [&](std::uint32_t t) {
+    for (int i = 0; i < rounds; ++i) {
+      ASSERT_TRUE(lock.enter(t, nullptr));
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(t);
+      entries.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(entries.load(), n * static_cast<std::uint64_t>(rounds));
+}
+
+TEST(BaselinesNative, Mcs) {
+  NativeModel m(4);
+  McsLock<NativeModel> lock(m, 4);
+  stress_rounds(lock, 4, 500);
+}
+
+TEST(BaselinesNative, Clh) {
+  NativeModel m(4);
+  ClhLock<NativeModel> lock(m, 4);
+  stress_rounds(lock, 4, 500);
+}
+
+TEST(BaselinesNative, Ticket) {
+  NativeModel m(4);
+  TicketLock<NativeModel> lock(m, 4);
+  stress_rounds(lock, 4, 500);
+}
+
+TEST(BaselinesNative, Tas) {
+  NativeModel m(4);
+  TasLock<NativeModel> lock(m, 4);
+  stress_rounds(lock, 4, 500);
+}
+
+TEST(BaselinesNative, Tournament) {
+  NativeModel m(6);
+  TournamentAbortableLock<NativeModel> lock(m, 6);
+  stress_rounds(lock, 6, 300);
+}
+
+TEST(BaselinesNative, TournamentWithAborts) {
+  constexpr Pid kN = 6;
+  NativeModel m(kN);
+  TournamentAbortableLock<NativeModel> lock(m, kN);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    pal::Xoshiro256 rng(t + 1);
+    std::deque<std::atomic<bool>> sig(1);
+    for (int i = 0; i < 300; ++i) {
+      sig[0].store(rng.chance_ppm(250000), std::memory_order_release);
+      if (lock.enter(t, &sig[0])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(BaselinesNative, ScottSinglePassWithAborts) {
+  constexpr Pid kN = 8;
+  NativeModel m(kN);
+  ScottAbortableLock<NativeModel> lock(m, kN, 64);
+  std::deque<std::atomic<bool>> signals(kN);
+  for (Pid p = 1; p < kN; p += 2) signals[p].store(true);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> outcomes{0};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    if (lock.enter(t, &signals[t])) {
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(t);
+    }
+    outcomes.fetch_add(1);
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(outcomes.load(), kN);
+}
+
+TEST(BaselinesNative, LeeSinglePassWithAborts) {
+  constexpr Pid kN = 8;
+  NativeModel m(kN);
+  LeeStyleAbortableLock<NativeModel> lock(m, kN, 64);
+  std::deque<std::atomic<bool>> signals(kN);
+  for (Pid p = 2; p < kN; p += 3) signals[p].store(true);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> outcomes{0};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    if (lock.enter(t, &signals[t])) {
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(t);
+    }
+    outcomes.fetch_add(1);
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(outcomes.load(), kN);
+}
+
+}  // namespace
+}  // namespace aml::baselines

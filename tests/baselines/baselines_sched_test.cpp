@@ -1,0 +1,194 @@
+// Baseline locks under the deterministic scheduler: mutual exclusion and
+// (for the abortable ones) abort correctness, plus their Table 1 RMR cost
+// signatures on the counting CC model.
+#include <gtest/gtest.h>
+
+#include "aml/baselines/baselines.hpp"
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+using model::CountingCcModel;
+
+template <typename Lock>
+RunResult run_baseline(std::uint32_t n, const SinglePassOptions& opts) {
+  return single_pass_with<CountingCcModel>(
+      n,
+      [n](CountingCcModel& m) {
+        return std::make_unique<Lock>(m, n);
+      },
+      opts);
+}
+
+template <typename Lock>
+RunResult run_baseline_budget(std::uint32_t n,
+                              const SinglePassOptions& opts) {
+  return single_pass_with<CountingCcModel>(
+      n,
+      [n](CountingCcModel& m) {
+        return std::make_unique<Lock>(m, n, /*max_attempts=*/4 * n + 16);
+      },
+      opts);
+}
+
+TEST(BaselinesSched, McsMutexAndConstantRmr) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.gate_cs = false;
+    const auto r =
+        run_baseline<baselines::McsLock<CountingCcModel>>(16, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, 16u);
+    for (const auto& rec : r.records) EXPECT_LE(rec.rmr_total(), 8u);
+  }
+}
+
+TEST(BaselinesSched, ClhMutexAndConstantRmr) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.gate_cs = false;
+    const auto r =
+        run_baseline<baselines::ClhLock<CountingCcModel>>(16, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, 16u);
+    for (const auto& rec : r.records) EXPECT_LE(rec.rmr_total(), 6u);
+  }
+}
+
+TEST(BaselinesSched, TicketMutexButLinearRmr) {
+  SinglePassOptions opts;
+  opts.seed = 2;
+  opts.gate_cs = false;
+  const auto r =
+      run_baseline<baselines::TicketLock<CountingCcModel>>(32, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed, 32u);
+  // Broadcast spin: somebody pays many RMRs.
+  EXPECT_GE(r.complete_summary().max, 16u);
+}
+
+TEST(BaselinesSched, TasMutexAndAborts) {
+  SinglePassOptions opts;
+  opts.seed = 3;
+  opts.plans = plan_first_k(12, 5, AbortWhen::kOnIdle);
+  const auto r =
+      run_baseline<baselines::TasLock<CountingCcModel>>(12, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted, 12u);
+  EXPECT_GE(r.completed, 7u);
+}
+
+TEST(BaselinesSched, TournamentMutexNoAborts) {
+  for (std::uint32_t n : {2u, 3u, 8u, 16u, 31u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.gate_cs = false;
+    const auto r =
+        run_baseline<baselines::TournamentAbortableLock<CountingCcModel>>(
+            n, opts);
+    EXPECT_TRUE(r.mutex_ok) << "n=" << n;
+    EXPECT_EQ(r.completed, n);
+  }
+}
+
+TEST(BaselinesSched, TournamentAborts) {
+  for (std::uint64_t seed = 10; seed <= 16; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(16, 9, seed, AbortWhen::kOnIdle);
+    const auto r =
+        run_baseline<baselines::TournamentAbortableLock<CountingCcModel>>(
+            16, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed + r.aborted, 16u);
+    EXPECT_GE(r.completed, 7u);  // non-aborters complete
+  }
+}
+
+TEST(BaselinesSched, ScottMutexAndAborts) {
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(16, 8, seed, AbortWhen::kOnIdle);
+    const auto r =
+        run_baseline_budget<baselines::ScottAbortableLock<CountingCcModel>>(
+            16, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    // Scott's queue order is decided by the SWAP, not by the first shared
+    // op, so a marked process can become the queue head and acquire before
+    // its signal is raised; every other marked process aborts.
+    EXPECT_EQ(r.completed + r.aborted, 16u);
+    EXPECT_GE(r.aborted, 7u);
+    EXPECT_GE(r.completed, 8u);
+  }
+}
+
+TEST(BaselinesSched, ScottNoAbortIsConstantRmr) {
+  SinglePassOptions opts;
+  opts.seed = 5;
+  opts.gate_cs = false;
+  const auto r =
+      run_baseline_budget<baselines::ScottAbortableLock<CountingCcModel>>(
+          24, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed, 24u);
+  for (const auto& rec : r.records) EXPECT_LE(rec.rmr_total(), 8u);
+}
+
+TEST(BaselinesSched, LeeMutexAndAborts) {
+  for (std::uint64_t seed = 30; seed <= 36; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(16, 8, seed, AbortWhen::kOnIdle);
+    const auto r = run_baseline_budget<
+        baselines::LeeStyleAbortableLock<CountingCcModel>>(16, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed + r.aborted, 16u);
+    EXPECT_EQ(r.completed, 8u);
+  }
+}
+
+TEST(BaselinesSched, LeeHandoffScanGrowsWithAbortRun) {
+  // The exiter after a run of A consecutive aborted slots pays ~A RMRs —
+  // the Lee-row adaptive signature (contrast: our lock pays O(log_W A)).
+  SinglePassOptions opts;
+  opts.seed = 8;
+  opts.plans = plan_first_k(32, 24, AbortWhen::kOnIdle);
+  const auto r = run_baseline_budget<
+      baselines::LeeStyleAbortableLock<CountingCcModel>>(32, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  // Slot 0's exit scanned past all 24 poisoned slots.
+  EXPECT_GE(r.records[0].rmr_exit, 24u);
+}
+
+TEST(BaselinesSched, AndersonArrayLockConstantRmrFcfs) {
+  // Anderson's array queue lock is "ours minus the Tree": O(1) RMR per
+  // passage, FCFS, not abortable.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.gate_cs = false;
+    const auto r =
+        run_baseline_budget<baselines::AndersonLock<CountingCcModel>>(24,
+                                                                      opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, 24u);
+    for (const auto& rec : r.records) EXPECT_LE(rec.rmr_total(), 5u);
+  }
+}
+
+TEST(BaselinesSched, YangAndersonAliasBehaves) {
+  SinglePassOptions opts;
+  opts.seed = 4;
+  opts.gate_cs = false;
+  const auto r =
+      run_baseline<baselines::TtasLock<CountingCcModel>>(8, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed, 8u);
+}
+
+}  // namespace
+}  // namespace aml::harness

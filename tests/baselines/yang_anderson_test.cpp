@@ -1,0 +1,181 @@
+// The read/write-only Peterson-tournament (Yang-Anderson-class) lock, and
+// the wait_either primitive it depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+
+#include "aml/baselines/yang_anderson.hpp"
+#include "aml/harness/rmr_experiment.hpp"
+#include "aml/model/native.hpp"
+#include "aml/pal/threading.hpp"
+#include "aml/sched/explorer.hpp"
+
+namespace aml::baselines {
+namespace {
+
+using model::CountingCcModel;
+using model::NativeModel;
+using model::Pid;
+
+TEST(WaitEither, ReturnsOnFirstPredicate) {
+  CountingCcModel m(1);
+  auto* a = m.alloc(1, 0);
+  auto* b = m.alloc(1, 1);
+  auto out = m.wait_either(
+      0, *a, [](std::uint64_t v) { return v == 0; }, *b,
+      [](std::uint64_t) { return false; }, nullptr);
+  EXPECT_FALSE(out.stopped);
+  EXPECT_EQ(out.value1, 0u);
+}
+
+TEST(WaitEither, ReturnsOnSecondPredicate) {
+  CountingCcModel m(1);
+  auto* a = m.alloc(1, 1);
+  auto* b = m.alloc(1, 7);
+  auto out = m.wait_either(
+      0, *a, [](std::uint64_t v) { return v == 0; }, *b,
+      [](std::uint64_t v) { return v == 7; }, nullptr);
+  EXPECT_FALSE(out.stopped);
+  EXPECT_EQ(out.value2, 7u);
+}
+
+TEST(WaitEither, WakesOnEitherWordUnderScheduler) {
+  for (int which = 0; which < 2; ++which) {
+    CountingCcModel m(2);
+    auto* a = m.alloc(1, 1);
+    auto* b = m.alloc(1, 1);
+    sched::StepScheduler sched(2, {.seed = 3u + which});
+    m.set_hook(&sched);
+    bool woke = false;
+    sched.run([&](Pid p) {
+      if (p == 0) {
+        auto out = m.wait_either(
+            0, *a, [](std::uint64_t v) { return v == 0; }, *b,
+            [](std::uint64_t v) { return v == 0; }, nullptr);
+        EXPECT_FALSE(out.stopped);
+        woke = true;
+      } else {
+        m.write(1, which == 0 ? *a : *b, 0);
+      }
+    });
+    m.set_hook(nullptr);
+    EXPECT_TRUE(woke) << "which=" << which;
+  }
+}
+
+TEST(WaitEither, StopWinsWhenNeitherHolds) {
+  CountingCcModel m(1);
+  auto* a = m.alloc(1, 1);
+  auto* b = m.alloc(1, 1);
+  std::atomic<bool> stop{true};
+  auto out = m.wait_either(
+      0, *a, [](std::uint64_t v) { return v == 0; }, *b,
+      [](std::uint64_t v) { return v == 0; }, &stop);
+  EXPECT_TRUE(out.stopped);
+}
+
+TEST(YangAnderson, MutexUnderScheduler) {
+  for (std::uint32_t n : {2u, 3u, 8u, 16u, 32u}) {
+    harness::SinglePassOptions opts;
+    opts.seed = n;
+    opts.gate_cs = false;
+    const auto r = harness::single_pass_with<CountingCcModel>(
+        n,
+        [n](CountingCcModel& m) {
+          return std::make_unique<YangAndersonLock<CountingCcModel>>(m, n);
+        },
+        opts);
+    EXPECT_TRUE(r.mutex_ok) << "n=" << n;
+    EXPECT_EQ(r.completed, n);
+    // O(log N) shape: each of the ceil(log2 N) levels costs O(1).
+    EXPECT_LE(r.complete_summary().max, 8u * pal::ceil_log(n, 2) + 8u);
+  }
+}
+
+TEST(YangAnderson, AbortsUnderScheduler) {
+  for (std::uint64_t seed = 40; seed <= 46; ++seed) {
+    harness::SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = harness::plan_random_k(16, 8, seed,
+                                        harness::AbortWhen::kOnIdle);
+    const auto r = harness::single_pass_with<CountingCcModel>(
+        16,
+        [](CountingCcModel& m) {
+          return std::make_unique<YangAndersonLock<CountingCcModel>>(m, 16);
+        },
+        opts);
+    EXPECT_TRUE(r.mutex_ok) << "seed=" << seed;
+    EXPECT_EQ(r.completed + r.aborted, 16u);
+    EXPECT_GE(r.completed, 8u);
+  }
+}
+
+TEST(YangAnderson, NativeStress) {
+  constexpr Pid kN = 6;
+  NativeModel m(kN);
+  YangAndersonLock<NativeModel> lock(m, kN);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> entries{0};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(lock.enter(t, nullptr));
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(t);
+      entries.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(entries.load(), kN * 200u);
+}
+
+TEST(YangAnderson, NativeAborts) {
+  constexpr Pid kN = 4;
+  NativeModel m(kN);
+  YangAndersonLock<NativeModel> lock(m, kN);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    pal::Xoshiro256 rng(t * 13 + 1);
+    std::deque<std::atomic<bool>> sig(1);
+    for (int i = 0; i < 200; ++i) {
+      sig[0].store(rng.chance_ppm(300000), std::memory_order_release);
+      if (lock.enter(t, &sig[0])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+// Exhaustive 2-process Peterson-node verification via the explorer.
+TEST(YangAnderson, TwoProcessExhaustive) {
+  sched::ExploreConfig cfg;
+  cfg.nprocs = 2;
+  cfg.preemption_bound = 3;
+  const auto stats = sched::explore(cfg, [&](sched::ExecutionContext& ctx) {
+    CountingCcModel m(2);
+    YangAndersonLock<CountingCcModel> lock(m, 2);
+    std::atomic<int> in_cs{0};
+    bool violation = false;
+    m.set_hook(&ctx.scheduler());
+    ctx.run([&](Pid p) {
+      ASSERT_TRUE(lock.enter(p, nullptr));
+      if (in_cs.fetch_add(1) != 0) violation = true;
+      in_cs.fetch_sub(1);
+      lock.exit(p);
+    });
+    m.set_hook(nullptr);
+    ASSERT_FALSE(violation);
+  });
+  EXPECT_GT(stats.executions, 10u);
+  EXPECT_FALSE(stats.truncated);
+}
+
+}  // namespace
+}  // namespace aml::baselines

@@ -1,0 +1,186 @@
+// The production-API adapters: RAII guards, TimerWheel deadlines, timed
+// acquisition, thread registry, and the std::mutex-compatible facade.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "aml/core/adapters.hpp"
+#include "aml/pal/threading.hpp"
+
+namespace aml {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LockGuardTest, EntersAndExits) {
+  AbortableLock lock(LockConfig{.max_threads = 2});
+  {
+    LockGuard guard(lock, 0);
+    // Holding: a raised try from another id must abort.
+    AbortSignal sig;
+    sig.raise();
+    EXPECT_FALSE(lock.enter(1, sig));
+  }
+  // Released: id 1 can acquire now.
+  lock.enter(1);
+  lock.exit(1);
+}
+
+TEST(TryGuardTest, OwnsReflectsOutcome) {
+  AbortableLock lock(LockConfig{.max_threads = 2});
+  AbortSignal free_sig;
+  TryGuard ok(lock, 0, free_sig);
+  EXPECT_TRUE(ok.owns());
+  AbortSignal raised;
+  raised.raise();
+  {
+    TryGuard blocked(lock, 1, raised);
+    EXPECT_FALSE(blocked.owns());
+  }
+}
+
+namespace {
+// Poll helper: the host may be single-core and loaded, so fixed sleeps are
+// flaky; wait up to a generous budget for the wheel thread to act.
+bool eventually(const aml::AbortSignal& sig,
+                std::chrono::milliseconds budget = 3s) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sig.raised()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return sig.raised();
+}
+}  // namespace
+
+TEST(TimerWheelTest, RaisesAtDeadline) {
+  TimerWheel wheel;
+  AbortSignal sig;
+  wheel.arm(sig, TimerWheel::Clock::now() + 20ms);
+  EXPECT_TRUE(eventually(sig));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CancelPreventsRaise) {
+  TimerWheel wheel;
+  AbortSignal sig;
+  const auto token = wheel.arm(sig, TimerWheel::Clock::now() + 50ms);
+  wheel.cancel(token);
+  std::this_thread::sleep_for(80ms);
+  EXPECT_FALSE(sig.raised());
+}
+
+TEST(TimerWheelTest, OrdersMultipleDeadlines) {
+  TimerWheel wheel;
+  AbortSignal early, late;
+  wheel.arm(late, TimerWheel::Clock::now() + 60s);  // far future
+  wheel.arm(early, TimerWheel::Clock::now() + 10ms);
+  EXPECT_TRUE(eventually(early));
+  EXPECT_FALSE(late.raised());
+  EXPECT_EQ(wheel.pending(), 1u);  // the far deadline remains armed
+}
+
+TEST(TimedLockTest, SucceedsWhenFree) {
+  TimedAbortableLock lock(LockConfig{.max_threads = 2});
+  EXPECT_TRUE(lock.try_enter_for(0, 10ms));
+  lock.exit(0);
+}
+
+TEST(TimedLockTest, TimesOutWhenHeld) {
+  TimedAbortableLock lock(LockConfig{.max_threads = 2});
+  lock.enter(0);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(lock.try_enter_for(1, 15ms));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 14ms);
+  EXPECT_LT(elapsed, 2s);
+  lock.exit(0);
+  EXPECT_TRUE(lock.try_enter_for(1, 15ms));
+  lock.exit(1);
+}
+
+TEST(TimedLockTest, ContendedTimedAttempts) {
+  constexpr std::uint32_t kThreads = 4;
+  TimedAbortableLock lock(LockConfig{.max_threads = kThreads});
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> wins{0}, timeouts{0};
+  pal::run_threads(kThreads, [&](std::uint32_t t) {
+    for (int i = 0; i < 50; ++i) {
+      if (lock.try_enter_for(t, 500us)) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+        wins.fetch_add(1);
+      } else {
+        timeouts.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(wins.load() + timeouts.load(), kThreads * 50u);
+  EXPECT_GT(wins.load(), 0u);
+}
+
+TEST(ThreadRegistryTest, StableDenseIds) {
+  ThreadRegistry registry(8);
+  EXPECT_EQ(registry.id(), registry.id());  // stable within a thread
+  std::vector<std::uint32_t> ids(4);
+  pal::run_threads(4, [&](std::uint32_t t) { ids[t] = registry.id(); });
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i - 1], ids[i]);  // distinct
+    EXPECT_LT(ids[i], 8u);          // dense, within capacity
+  }
+}
+
+TEST(ThreadRegistryTest, IndependentRegistries) {
+  ThreadRegistry a(4), b(4);
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 0u);  // separate counters, same thread
+}
+
+TEST(StdAbortableMutexTest, WorksWithStdGuards) {
+  StdAbortableMutex mutex(4);
+  std::uint64_t counter = 0;
+  pal::run_threads(4, [&](std::uint32_t) {
+    for (int i = 0; i < 200; ++i) {
+      std::lock_guard<StdAbortableMutex> guard(mutex);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, 800u);
+}
+
+TEST(StdAbortableMutexTest, TryLockSemantics) {
+  StdAbortableMutex mutex(4);  // three distinct threads touch this mutex
+  EXPECT_TRUE(mutex.try_lock());
+  std::thread other([&] {
+    // Held by the main thread: a try from another thread must fail fast.
+    EXPECT_FALSE(mutex.try_lock());
+  });
+  other.join();
+  mutex.unlock();
+  std::thread third([&] {
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+  });
+  third.join();
+}
+
+TEST(StdAbortableMutexTest, UniqueLockAdoptAndRelease) {
+  StdAbortableMutex mutex(2);
+  std::unique_lock<StdAbortableMutex> ul(mutex, std::defer_lock);
+  EXPECT_FALSE(ul.owns_lock());
+  ul.lock();
+  EXPECT_TRUE(ul.owns_lock());
+  ul.unlock();
+  EXPECT_TRUE(ul.try_lock());
+}
+
+}  // namespace
+}  // namespace aml

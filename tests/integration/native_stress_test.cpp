@@ -1,0 +1,117 @@
+// Whole-stack native stress: the production AbortableLock under mixed
+// workloads — contention, abort storms, thread churn, and fairness sanity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "aml/core/abortable_lock.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/pal/threading.hpp"
+
+namespace aml {
+namespace {
+
+TEST(NativeStress, MixedAbortWorkload) {
+  constexpr std::uint32_t kThreads = 8;
+  constexpr int kRounds = 150;
+  AbortableLock lock(LockConfig{.max_threads = kThreads});
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> shared_counter{0};
+  std::uint64_t unprotected = 0;  // only touched inside the CS
+  std::atomic<std::uint64_t> completed{0};
+
+  pal::run_threads(kThreads, [&](std::uint32_t t) {
+    pal::Xoshiro256 rng(t * 31 + 5);
+    std::deque<AbortSignal> sig(1);
+    for (int i = 0; i < kRounds; ++i) {
+      sig[0].reset();
+      if (rng.chance_ppm(200000)) sig[0].raise();
+      if (lock.enter(t, sig[0])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        ++unprotected;  // data race iff mutual exclusion fails
+        shared_counter.fetch_add(1, std::memory_order_relaxed);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+        completed.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(unprotected, shared_counter.load());
+  EXPECT_EQ(completed.load(), shared_counter.load());
+  EXPECT_GT(completed.load(), 0u);
+}
+
+TEST(NativeStress, AbortLatencyIsBounded) {
+  // Bounded abort: once the signal is up, enter() must return quickly even
+  // though the lock is held the whole time.
+  AbortableLock lock(LockConfig{.max_threads = 2});
+  AbortSignal holder_sig;
+  ASSERT_TRUE(lock.enter(0, holder_sig));
+  AbortSignal sig;
+  sig.raise();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(lock.enter(1, sig));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
+  lock.exit(0);
+}
+
+TEST(NativeStress, RepeatedSoloAcquisitionRecyclesInstances) {
+  AbortableLock lock(LockConfig{.max_threads = 1});
+  for (int i = 0; i < 5000; ++i) {
+    lock.enter(0);
+    lock.exit(0);
+  }
+  SUCCEED();  // the capacity assertion inside would have fired on re-entry
+}
+
+TEST(NativeStress, SmallTreeWidthStillCorrect) {
+  // W = 2 maximizes tree depth and recycling pressure on version words.
+  constexpr std::uint32_t kThreads = 4;
+  AbortableLock lock(LockConfig{.max_threads = kThreads, .tree_width = 2});
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  pal::run_threads(kThreads, [&](std::uint32_t t) {
+    pal::Xoshiro256 rng(t + 77);
+    std::deque<AbortSignal> sig(1);
+    for (int i = 0; i < 200; ++i) {
+      sig[0].reset();
+      if (rng.chance_ppm(300000)) sig[0].raise();
+      if (lock.enter(t, sig[0])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(NativeStress, EveryThreadEventuallyEnters) {
+  // Starvation-freedom smoke: under sustained contention every thread
+  // completes its quota.
+  constexpr std::uint32_t kThreads = 6;
+  AbortableLock lock(LockConfig{.max_threads = kThreads});
+  std::vector<std::atomic<int>> quota(kThreads);
+  pal::run_threads(kThreads, [&](std::uint32_t t) {
+    for (int i = 0; i < 100; ++i) {
+      lock.enter(t);
+      quota[t].fetch_add(1);
+      lock.exit(t);
+    }
+  });
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(quota[t].load(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace aml

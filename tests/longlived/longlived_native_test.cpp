@@ -1,0 +1,157 @@
+// Long-lived lock on native hardware: free-running stress with real threads,
+// the AbortableLock facade, and abort storms driven by a controller thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "aml/core/abortable_lock.hpp"
+#include "aml/core/longlived.hpp"
+#include "aml/model/native.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/pal/threading.hpp"
+
+namespace aml {
+namespace {
+
+using model::NativeModel;
+using model::Pid;
+
+TEST(LongLivedNative, MutexUnderContention) {
+  constexpr Pid kN = 4;
+  constexpr int kRounds = 300;
+  NativeModel m(kN);
+  core::LongLivedLock<NativeModel> lock(m, {.nprocs = kN, .w = 64});
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> cs_entries{0};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(lock.enter(t, nullptr));
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(t);
+      cs_entries.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(cs_entries.load(), kN * static_cast<std::uint64_t>(kRounds));
+  EXPECT_GT(lock.total_incarnations(), 0u);
+}
+
+TEST(LongLivedNative, SelfAbortingAttempts) {
+  constexpr Pid kN = 4;
+  constexpr int kRounds = 200;
+  NativeModel m(kN);
+  core::LongLivedLock<NativeModel> lock(m, {.nprocs = kN, .w = 64});
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> completed{0}, aborted{0};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    pal::Xoshiro256 rng(t * 101 + 7);
+    std::deque<std::atomic<bool>> sig(1);
+    for (int i = 0; i < kRounds; ++i) {
+      sig[0].store(rng.chance_ppm(300000), std::memory_order_release);
+      if (lock.enter(t, &sig[0])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+        completed.fetch_add(1);
+      } else {
+        aborted.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(completed.load() + aborted.load(),
+            kN * static_cast<std::uint64_t>(kRounds));
+  EXPECT_GT(completed.load(), 0u);
+}
+
+TEST(LongLivedNative, ControllerDrivenAbortStorm) {
+  constexpr Pid kN = 6;
+  NativeModel m(kN);
+  core::LongLivedLock<NativeModel> lock(m, {.nprocs = kN, .w = 64});
+  std::deque<std::atomic<bool>> signals(kN);
+  std::atomic<bool> stop_controller{false};
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> attempts{0};
+
+  std::thread controller([&] {
+    pal::Xoshiro256 rng(999);
+    while (!stop_controller.load(std::memory_order_acquire)) {
+      signals[rng.below(kN)].store(true, std::memory_order_release);
+      std::this_thread::yield();
+    }
+    for (Pid p = 0; p < kN; ++p) signals[p].store(true);
+  });
+
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    for (int i = 0; i < 150; ++i) {
+      signals[t].store(false, std::memory_order_release);
+      if (lock.enter(t, &signals[t])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+      }
+      attempts.fetch_add(1);
+    }
+  });
+  stop_controller.store(true);
+  controller.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(attempts.load(), kN * 150u);
+}
+
+TEST(AbortableLockFacade, Quickstart) {
+  AbortableLock lock(LockConfig{.max_threads = 2});
+  AbortSignal signal;
+  ASSERT_TRUE(lock.enter(0, signal));
+  lock.exit(0);
+  lock.enter(1);
+  lock.exit(1);
+}
+
+TEST(AbortableLockFacade, AbortWhileBlocked) {
+  AbortableLock lock(LockConfig{.max_threads = 2});
+  AbortSignal holder_sig, waiter_sig;
+  ASSERT_TRUE(lock.enter(0, holder_sig));
+  std::atomic<bool> waiter_done{false};
+  bool waiter_got = true;
+  std::thread waiter([&] {
+    waiter_got = lock.enter(1, waiter_sig);
+    waiter_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(waiter_done.load());  // blocked behind the holder
+  waiter_sig.raise();
+  waiter.join();
+  EXPECT_FALSE(waiter_got);  // aborted
+  lock.exit(0);
+  // The waiter can come back after resetting its signal.
+  waiter_sig.reset();
+  ASSERT_TRUE(lock.enter(1, waiter_sig));
+  lock.exit(1);
+}
+
+TEST(AbortableLockFacade, SignalRaisedByAnotherThread) {
+  AbortableLock lock(LockConfig{.max_threads = 3});
+  AbortSignal sig;
+  ASSERT_TRUE(lock.enter(0, sig));
+  std::thread raiser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sig.raise();
+  });
+  AbortSignal own;
+  std::thread waiter([&] { EXPECT_FALSE(lock.enter(1, sig)); });
+  raiser.join();
+  waiter.join();
+  lock.exit(0);
+  (void)own;
+}
+
+}  // namespace
+}  // namespace aml

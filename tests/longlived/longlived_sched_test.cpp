@@ -1,0 +1,136 @@
+// Long-lived lock (Section 6) under the deterministic scheduler: mutual
+// exclusion across instance switches, Claim 25 (no one enters the same
+// incarnation twice — enforced inside the one-shot lock by the capacity
+// assertion), abort storms, lazy vs eager recycling, starvation freedom.
+#include <gtest/gtest.h>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+struct LlCase {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint32_t rounds;
+  std::uint32_t abort_ppm;
+  std::uint64_t seed;
+};
+
+class LongLivedSched : public ::testing::TestWithParam<LlCase> {};
+
+TEST_P(LongLivedSched, LazyRecyclingCorrect) {
+  const auto& c = GetParam();
+  LongLivedOptions opts;
+  opts.n = c.n;
+  opts.w = c.w;
+  opts.rounds = c.rounds;
+  opts.abort_ppm = c.abort_ppm;
+  opts.seed = c.seed;
+  const RunResult r = run_long_lived<core::VersionedSpace>(opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted,
+            static_cast<std::uint64_t>(c.n) * c.rounds);
+  // An attempt that was never marked to abort cannot return false.
+  for (const auto& rec : r.records) {
+    if (!rec.marked) EXPECT_TRUE(rec.acquired) << "pid " << rec.pid;
+  }
+  // Multiple rounds force instance switches.
+  if (c.rounds >= 4) EXPECT_GT(r.switches, 0u);
+}
+
+TEST_P(LongLivedSched, EagerRecyclingCorrect) {
+  const auto& c = GetParam();
+  LongLivedOptions opts;
+  opts.n = c.n;
+  opts.w = c.w;
+  opts.rounds = c.rounds;
+  opts.abort_ppm = c.abort_ppm;
+  opts.seed = c.seed + 1000;
+  const RunResult r = run_long_lived<core::EagerSpace>(opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted,
+            static_cast<std::uint64_t>(c.n) * c.rounds);
+  for (const auto& rec : r.records) {
+    if (!rec.marked) EXPECT_TRUE(rec.acquired);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LongLivedSched,
+    ::testing::Values(LlCase{1, 4, 10, 0, 1},
+                      LlCase{2, 2, 12, 0, 2},
+                      LlCase{2, 4, 12, 500000, 3},
+                      LlCase{3, 4, 10, 300000, 4},
+                      LlCase{4, 4, 8, 0, 5},
+                      LlCase{4, 4, 8, 400000, 6},
+                      LlCase{4, 2, 8, 700000, 7},
+                      LlCase{6, 4, 6, 250000, 8},
+                      LlCase{8, 8, 5, 0, 9},
+                      LlCase{8, 8, 5, 500000, 10},
+                      LlCase{8, 4, 6, 900000, 11},
+                      LlCase{12, 4, 4, 500000, 12},
+                      LlCase{16, 8, 3, 300000, 13}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "N" + std::to_string(c.n) + "_W" + std::to_string(c.w) + "_R" +
+             std::to_string(c.rounds) + "_A" + std::to_string(c.abort_ppm) +
+             "_S" + std::to_string(c.seed);
+    });
+
+TEST(LongLivedSchedEdge, HighChurnManySwitches) {
+  LongLivedOptions opts;
+  opts.n = 2;
+  opts.w = 2;  // 1-bit versions: wraparound stress for the lazy reset
+  opts.rounds = 40;
+  opts.abort_ppm = 500000;
+  opts.seed = 77;
+  const RunResult r = run_long_lived<core::VersionedSpace>(opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_GT(r.switches, 10u);
+}
+
+TEST(LongLivedSchedEdge, SoloProcessManyRounds) {
+  // A single process switches instances every passage (refcnt always drops
+  // to 0) — maximal recycling pressure on one pool.
+  LongLivedOptions opts;
+  opts.n = 1;
+  opts.w = 4;
+  opts.rounds = 50;
+  opts.seed = 5;
+  const RunResult r = run_long_lived<core::VersionedSpace>(opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed, 50u);
+  EXPECT_GE(r.switches, 49u);
+}
+
+TEST(LongLivedSchedEdge, DeterministicPerSeed) {
+  LongLivedOptions opts;
+  opts.n = 4;
+  opts.w = 4;
+  opts.rounds = 6;
+  opts.abort_ppm = 400000;
+  opts.seed = 31;
+  const RunResult a = run_long_lived<core::VersionedSpace>(opts);
+  const RunResult b = run_long_lived<core::VersionedSpace>(opts);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.switches, b.switches);
+}
+
+TEST(LongLivedSchedEdge, AllMarkedEveryRound) {
+  // Everyone tries to abort every round; whoever wins the hand-off race
+  // still completes, and the lock never wedges.
+  LongLivedOptions opts;
+  opts.n = 4;
+  opts.w = 4;
+  opts.rounds = 10;
+  opts.abort_ppm = 1000000;
+  opts.seed = 41;
+  const RunResult r = run_long_lived<core::VersionedSpace>(opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted, 40u);
+}
+
+}  // namespace
+}  // namespace aml::harness

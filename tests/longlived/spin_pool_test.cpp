@@ -1,0 +1,107 @@
+// SpinNodePool: pool discipline, pin-based quiescence, and the N+1 sizing
+// invariant.
+#include "aml/core/spin_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aml/model/counting_cc.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+using Pool = SpinNodePool<CountingCcModel>;
+
+TEST(SpinPool, AllocReturnsDistinctNodesFromOwnPool) {
+  CountingCcModel m(2);
+  Pool pool(m, 2, 3);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint32_t idx = pool.alloc(0);
+    EXPECT_LT(idx, 3u);  // owner 0's range
+    EXPECT_TRUE(seen.insert(idx).second);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::uint32_t idx = pool.alloc(1);
+    EXPECT_GE(idx, 3u);
+    EXPECT_TRUE(seen.insert(idx).second);
+  }
+}
+
+TEST(SpinPool, UnallocMakesNodeReusable) {
+  CountingCcModel m(1);
+  Pool pool(m, 1, 1);
+  const std::uint32_t idx = pool.alloc(0);
+  pool.unalloc(0, idx);
+  EXPECT_EQ(pool.alloc(0), idx);
+}
+
+TEST(SpinPool, RetiredUnpinnedNodeIsReclaimed) {
+  CountingCcModel m(1);
+  Pool pool(m, 1, 2);
+  const std::uint32_t a = pool.alloc(0);
+  const std::uint32_t b = pool.alloc(0);
+  // Retire `a` (the switch that replaced it sets go).
+  m.write(0, *pool.node(a).go, 1);
+  // Pool empty -> reclaim scan runs and finds `a`.
+  const std::uint32_t c = pool.alloc(0);
+  EXPECT_EQ(c, a);
+  EXPECT_NE(c, b);
+  // Reclaimed node's go must be reset.
+  EXPECT_EQ(m.read(0, *pool.node(c).go), 0u);
+}
+
+TEST(SpinPool, PinnedNodeIsNotReclaimed) {
+  CountingCcModel m(2);
+  Pool pool(m, 2, 2);
+  const std::uint32_t a = pool.alloc(0);
+  m.write(0, *pool.node(a).go, 1);     // retired...
+  pool.publish_pin(1, a);              // ...but process 1 pins it
+  const std::uint32_t b = pool.alloc(0);
+  EXPECT_NE(b, a);
+  m.write(0, *pool.node(b).go, 1);
+  // Only `b` is reclaimable now.
+  EXPECT_EQ(pool.alloc(0), b);
+  // Unpin: now `a` comes back.
+  pool.clear_pin(1);
+  m.write(0, *pool.node(b).go, 1);  // b retired again
+  const std::uint32_t d = pool.alloc(0);
+  const std::uint32_t e = pool.alloc(0);
+  EXPECT_NE(d, e);
+  EXPECT_TRUE((d == a && e == b) || (d == b && e == a));
+}
+
+TEST(SpinPool, PinOfForeignNodeDoesNotBlockOwnPool) {
+  CountingCcModel m(2);
+  Pool pool(m, 2, 1);
+  const std::uint32_t other = pool.alloc(1);  // node of owner 1
+  pool.publish_pin(0, other);
+  const std::uint32_t own = pool.alloc(0);    // must still succeed
+  EXPECT_LT(own, 1u);
+}
+
+TEST(SpinPool, NPlusOneSizingSurvivesWorstCasePinning) {
+  // N = 3 processes, pool 4 per owner. All other processes pin distinct
+  // nodes of owner 0; owner 0 must still allocate.
+  CountingCcModel m(3);
+  Pool pool(m, 3, 4);
+  const std::uint32_t n0 = pool.alloc(0);
+  const std::uint32_t n1 = pool.alloc(0);
+  const std::uint32_t n2 = pool.alloc(0);
+  m.write(0, *pool.node(n0).go, 1);
+  m.write(0, *pool.node(n1).go, 1);
+  m.write(0, *pool.node(n2).go, 1);
+  pool.publish_pin(1, n0);
+  pool.publish_pin(2, n1);
+  pool.publish_pin(0, n2);  // owner's own pin
+  // Three retired-but-pinned nodes; the fourth is free.
+  const std::uint32_t n3 = pool.alloc(0);
+  EXPECT_NE(n3, n0);
+  EXPECT_NE(n3, n1);
+  EXPECT_NE(n3, n2);
+}
+
+}  // namespace
+}  // namespace aml::core

@@ -1,0 +1,92 @@
+#include "aml/model/native.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace aml::model {
+namespace {
+
+TEST(Native, BasicOps) {
+  NativeModel m(1);
+  auto* w = m.alloc(1, 7);
+  EXPECT_EQ(m.read(0, *w), 7u);
+  m.write(0, *w, 8);
+  EXPECT_EQ(m.faa(0, *w, 2), 8u);
+  EXPECT_EQ(m.read(0, *w), 10u);
+  EXPECT_TRUE(m.cas(0, *w, 10, 11));
+  EXPECT_FALSE(m.cas(0, *w, 10, 12));
+  EXPECT_EQ(m.swap(0, *w, 20), 11u);
+  EXPECT_EQ(m.read(0, *w), 20u);
+}
+
+TEST(Native, WordsAreCacheLinePadded) {
+  NativeModel m(1);
+  auto* words = m.alloc(4, 0);
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&words[i]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&words[i + 1]);
+    EXPECT_GE(b - a, 64u);
+  }
+}
+
+TEST(Native, LargeAllocationsAreContiguous) {
+  NativeModel m(1);
+  auto* words = m.alloc(500, 3);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(m.read(0, words[i]), 3u);
+    m.write(0, words[i], static_cast<std::uint64_t>(i + 1));
+  }
+  ASSERT_EQ(m.read(0, words[499]), 500u);
+}
+
+TEST(Native, AllocStableAcrossGrowth) {
+  NativeModel m(1);
+  auto* first = m.alloc(1, 111);
+  for (int i = 0; i < 1000; ++i) m.alloc(1, i);
+  EXPECT_EQ(m.read(0, *first), 111u);
+  EXPECT_EQ(m.words_allocated(), 1001u);
+}
+
+TEST(Native, WaitWakesOnStore) {
+  NativeModel m(2);
+  auto* w = m.alloc(1, 0);
+  std::thread waiter([&] {
+    auto out = m.wait(
+        0, *w, [](std::uint64_t v) { return v == 5; }, nullptr);
+    EXPECT_EQ(out.value, 5u);
+    EXPECT_FALSE(out.stopped);
+  });
+  m.write(1, *w, 5);
+  waiter.join();
+}
+
+TEST(Native, WaitHonorsStop) {
+  NativeModel m(1);
+  auto* w = m.alloc(1, 0);
+  std::atomic<bool> stop{false};
+  std::thread waiter([&] {
+    auto out = m.wait(
+        0, *w, [](std::uint64_t v) { return v != 0; }, &stop);
+    EXPECT_TRUE(out.stopped);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  waiter.join();
+}
+
+TEST(Native, FaaConcurrentSum) {
+  NativeModel m(4);
+  auto* w = m.alloc(1, 0);
+  std::vector<std::thread> threads;
+  for (Pid p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < 10000; ++i) m.faa(p, *w, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.read(0, *w), 40000u);
+}
+
+}  // namespace
+}  // namespace aml::model

@@ -1,0 +1,131 @@
+// Interaction of the counting models with the deterministic scheduler:
+// accounting correctness under gating, cross-policy determinism, DSM under
+// the scheduler, and wait/wake accounting precision.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "aml/model/counting_cc.hpp"
+#include "aml/model/counting_dsm.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::model {
+namespace {
+
+using sched::StepScheduler;
+
+TEST(ScheduledModel, CountersMatchOpsUnderGating) {
+  CountingCcModel m(3);
+  auto* w = m.alloc(1, 0);
+  StepScheduler sched(3, {.seed = 2});
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    m.faa(p, *w, 1);   // RMR
+    m.read(p, *w);     // local (own faa cached it) unless invalidated
+    m.write(p, *w, p); // RMR
+  });
+  m.set_hook(nullptr);
+  const OpCounters total = m.total_counters();
+  EXPECT_EQ(total.faas, 3u);
+  EXPECT_EQ(total.reads, 3u);
+  EXPECT_EQ(total.writes, 3u);
+  // Each process: faa (1 RMR) + write (1 RMR) + read (0 or 1 depending on
+  // interleaving) => total RMRs in [6, 9].
+  EXPECT_GE(total.rmrs, 6u);
+  EXPECT_LE(total.rmrs, 9u);
+}
+
+TEST(ScheduledModel, WaitChargesOneRmrPerInvalidation) {
+  CountingCcModel m(2);
+  auto* w = m.alloc(1, 0);
+  StepScheduler::Config cfg;
+  // p1 writes 1, 2, 3; p0 waits for 3. Alternate strictly so every write
+  // invalidates p0's copy before its next check.
+  cfg.policy = sched::policies::round_robin();
+  StepScheduler sched(2, std::move(cfg));
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    if (p == 0) {
+      auto out = m.wait(
+          0, *w, [](std::uint64_t v) { return v == 3; }, nullptr);
+      EXPECT_EQ(out.value, 3u);
+    } else {
+      m.write(1, *w, 1);
+      m.write(1, *w, 2);
+      m.write(1, *w, 3);
+    }
+  });
+  m.set_hook(nullptr);
+  // p0: initial read + at most one re-read per invalidation: <= 4 RMRs,
+  // >= 2 (initial + final), and wait_wakeups at least 1.
+  EXPECT_GE(m.counters(0).rmrs, 2u);
+  EXPECT_LE(m.counters(0).rmrs, 4u);
+  EXPECT_GE(m.counters(0).wait_wakeups, 1u);
+}
+
+TEST(ScheduledModel, DsmUnderScheduler) {
+  CountingDsmModel m(2);
+  auto* local0 = m.alloc_owned(0, 1, 0);
+  StepScheduler sched(2, {.seed = 5});
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    if (p == 0) {
+      auto out = m.wait(
+          0, *local0, [](std::uint64_t v) { return v == 7; }, nullptr);
+      EXPECT_EQ(out.value, 7u);
+    } else {
+      m.write(1, *local0, 7);  // remote write wakes the local spinner
+    }
+  });
+  m.set_hook(nullptr);
+  EXPECT_EQ(m.counters(0).rmrs, 0u);  // spinning locally is free
+  EXPECT_EQ(m.counters(0).remote_spin_episodes, 0u);
+  EXPECT_EQ(m.counters(1).rmrs, 1u);  // one remote write
+}
+
+TEST(ScheduledModel, DifferentPoliciesSameFinalState) {
+  auto final_value = [](sched::Policy policy) {
+    CountingCcModel m(4);
+    auto* w = m.alloc(1, 0);
+    StepScheduler::Config cfg;
+    cfg.policy = std::move(policy);
+    StepScheduler sched(4, std::move(cfg));
+    m.set_hook(&sched);
+    sched.run([&](Pid p) {
+      for (int i = 0; i < 5; ++i) m.faa(p, *w, 1);
+    });
+    m.set_hook(nullptr);
+    return m.peek(*w);
+  };
+  EXPECT_EQ(final_value(sched::policies::random()), 20u);
+  EXPECT_EQ(final_value(sched::policies::round_robin()), 20u);
+  EXPECT_EQ(final_value(sched::policies::prefer({3, 2, 1, 0})), 20u);
+}
+
+TEST(ScheduledModel, StressManyWordsManyProcs) {
+  constexpr Pid kN = 32;
+  CountingCcModel m(kN);
+  std::vector<CountingCcModel::Word*> words;
+  for (int i = 0; i < 16; ++i) words.push_back(m.alloc(1, 0));
+  StepScheduler sched(kN, {.seed = 11});
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    pal::Xoshiro256 rng(p + 1);
+    for (int i = 0; i < 20; ++i) {
+      auto& w = *words[rng.below(words.size())];
+      switch (rng.below(4)) {
+        case 0: m.read(p, w); break;
+        case 1: m.write(p, w, p); break;
+        case 2: m.faa(p, w, 1); break;
+        case 3: m.cas(p, w, 0, p); break;
+      }
+    }
+  });
+  m.set_hook(nullptr);
+  const OpCounters total = m.total_counters();
+  EXPECT_EQ(total.steps(), kN * 20u);
+  EXPECT_LE(total.rmrs, total.steps());
+}
+
+}  // namespace
+}  // namespace aml::model

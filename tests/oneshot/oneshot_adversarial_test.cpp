@@ -1,0 +1,145 @@
+// Adversarial scheduling policies against the one-shot lock: priority
+// schedules that starve specific processes as long as anything else is
+// runnable, stop-and-go victim schedules, and the starvation-freedom
+// condition that every waiter eventually enters once the scheduler is
+// forced to run it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+
+#include "aml/core/oneshot.hpp"
+#include "aml/harness/workload.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+using model::Pid;
+
+// A priority schedule runs the highest-priority runnable process
+// exclusively. Starvation-freedom (Lemma 18) assumes every process keeps
+// taking steps, and the scheduler only deprioritizes — it never suppresses
+// a process forever when nothing else is runnable — so all must complete.
+TEST(OneShotAdversarial, PrioritySchedulesCannotStarve) {
+  constexpr Pid kN = 12;
+  for (int variant = 0; variant < 4; ++variant) {
+    std::vector<Pid> priority;
+    for (Pid p = 0; p < kN; ++p) {
+      switch (variant) {
+        case 0: priority.push_back(p); break;                // ascending
+        case 1: priority.push_back(kN - 1 - p); break;       // descending
+        case 2: priority.push_back((p * 5) % kN); break;     // strided
+        default: priority.push_back((p + 7) % kN); break;    // rotated
+      }
+    }
+    CountingCcModel m(kN);
+    OneShotLock<CountingCcModel> lock(m, kN, 4);
+    sched::SchedulerConfig cfg;
+    cfg.policy = sched::policies::prefer(priority);
+    sched::StepScheduler sched(kN, std::move(cfg));
+    std::atomic<int> in_cs{0};
+    std::atomic<bool> violation{false};
+    std::atomic<std::uint32_t> completed{0};
+    m.set_hook(&sched);
+    sched.run([&](Pid p) {
+      ASSERT_TRUE(lock.enter(p, nullptr).acquired);
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(p);
+      completed.fetch_add(1);
+    });
+    m.set_hook(nullptr);
+    EXPECT_FALSE(violation.load()) << "variant " << variant;
+    EXPECT_EQ(completed.load(), kN) << "variant " << variant;
+  }
+}
+
+// The adversary delays the *hand-off performer* maximally: the exiting
+// process has lowest priority, so its SignalNext is postponed until every
+// other process is parked. The lock must still hand over.
+TEST(OneShotAdversarial, ExiterDeprioritized) {
+  constexpr Pid kN = 8;
+  CountingCcModel m(kN);
+  OneShotLock<CountingCcModel> lock(m, kN, 2);
+  // Everyone prefers to run EXCEPT the current CS owner... approximated by
+  // static priorities that bury low slots (early owners) last.
+  sched::SchedulerConfig cfg;
+  cfg.policy = sched::policies::prefer({7, 6, 5, 4, 3, 2, 1, 0});
+  sched::StepScheduler sched(kN, std::move(cfg));
+  std::atomic<std::uint32_t> completed{0};
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    if (lock.enter(p, nullptr).acquired) {
+      lock.exit(p);
+      completed.fetch_add(1);
+    }
+  });
+  m.set_hook(nullptr);
+  EXPECT_EQ(completed.load(), kN);
+}
+
+// Aborters with maximal priority: every aborter's Remove and responsibility
+// hand-off runs ahead of the waiters it affects.
+TEST(OneShotAdversarial, AbortersRunFirst) {
+  constexpr Pid kN = 10;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    CountingCcModel m(kN);
+    OneShotLock<CountingCcModel> lock(m, kN, 2);
+    const auto plans = harness::plan_random_k(
+        kN, 5, seed, harness::AbortWhen::kPreRaised);
+    std::deque<std::atomic<bool>> signals(kN);
+    std::vector<Pid> priority;
+    for (Pid p = 0; p < kN; ++p) {
+      if (plans[p].when != harness::AbortWhen::kNever) {
+        signals[p].store(true);
+        priority.push_back(p);  // aborters first
+      }
+    }
+    for (Pid p = 0; p < kN; ++p) {
+      if (plans[p].when == harness::AbortWhen::kNever) priority.push_back(p);
+    }
+    sched::SchedulerConfig cfg;
+    cfg.policy = sched::policies::prefer(priority);
+    sched::StepScheduler sched(kN, std::move(cfg));
+    std::atomic<std::uint32_t> completed{0}, aborted{0};
+    m.set_hook(&sched);
+    sched.run([&](Pid p) {
+      if (lock.enter(p, &signals[p]).acquired) {
+        lock.exit(p);
+        completed.fetch_add(1);
+      } else {
+        aborted.fetch_add(1);
+      }
+    });
+    m.set_hook(nullptr);
+    EXPECT_EQ(completed.load() + aborted.load(), kN);
+    // Non-aborters always complete.
+    EXPECT_GE(completed.load(), 5u);
+  }
+}
+
+// Round-robin (maximally fair) as the liveness control group.
+TEST(OneShotAdversarial, RoundRobinBaseline) {
+  constexpr Pid kN = 16;
+  CountingCcModel m(kN);
+  OneShotLock<CountingCcModel> lock(m, kN, 4);
+  sched::SchedulerConfig cfg;
+  cfg.policy = sched::policies::round_robin();
+  sched::StepScheduler sched(kN, std::move(cfg));
+  std::atomic<std::uint32_t> completed{0};
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    if (lock.enter(p, nullptr).acquired) {
+      lock.exit(p);
+      completed.fetch_add(1);
+    }
+  });
+  m.set_hook(nullptr);
+  EXPECT_EQ(completed.load(), kN);
+}
+
+}  // namespace
+}  // namespace aml::core

@@ -1,0 +1,85 @@
+// Section 3 DSM variant: the spin-bit indirection must eliminate remote
+// busy-waiting (zero remote spin episodes on the DSM cost model), while the
+// CC algorithm run on DSM memory busy-waits remotely — the contrast that
+// motivates the variant.
+#include <gtest/gtest.h>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+TEST(OneShotDsm, DsmVariantNeverSpinsRemotely) {
+  for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.gate_cs = false;
+    const RunResult r =
+        oneshot_dsm_run(n, 4, core::Find::kAdaptive, /*dsm_variant=*/true,
+                        opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, n);
+    EXPECT_EQ(r.total_remote_spin_episodes(), 0u) << "n=" << n;
+  }
+}
+
+TEST(OneShotDsm, CcVariantOnDsmSpinsRemotely) {
+  SinglePassOptions opts;
+  opts.seed = 5;
+  opts.gate_cs = false;
+  const RunResult r =
+      oneshot_dsm_run(16, 4, core::Find::kAdaptive, /*dsm_variant=*/false,
+                      opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed, 16u);
+  // Every process except slot 0 busy-waits on a go slot that is not local.
+  EXPECT_GE(r.total_remote_spin_episodes(), 15u);
+}
+
+TEST(OneShotDsm, DsmVariantWithAborts) {
+  for (std::uint32_t aborters : {1u, 5u, 14u}) {
+    SinglePassOptions opts;
+    opts.seed = 100 + aborters;
+    opts.plans = plan_first_k(16, aborters, AbortWhen::kOnIdle);
+    const RunResult r =
+        oneshot_dsm_run(16, 4, core::Find::kAdaptive, /*dsm_variant=*/true,
+                        opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.aborted, aborters);
+    EXPECT_EQ(r.completed, 16u - aborters);
+    EXPECT_EQ(r.total_remote_spin_episodes(), 0u);
+  }
+}
+
+TEST(OneShotDsm, DsmVariantBoundedEnterRmr) {
+  // The DSM variant's enter is O(1) RMRs when nobody aborts: doorway F&A,
+  // announce write, go read, plus the Head write after a local spin.
+  SinglePassOptions opts;
+  opts.seed = 9;
+  opts.gate_cs = false;
+  const RunResult r =
+      oneshot_dsm_run(64, 8, core::Find::kAdaptive, /*dsm_variant=*/true,
+                      opts);
+  EXPECT_TRUE(r.mutex_ok);
+  for (const auto& rec : r.records) {
+    EXPECT_LE(rec.rmr_enter, 6u) << "pid " << rec.pid;
+  }
+}
+
+TEST(OneShotDsm, DeterministicPerSeed) {
+  SinglePassOptions opts;
+  opts.seed = 31;
+  opts.plans = plan_first_k(24, 11, AbortWhen::kOnIdle);
+  const RunResult a =
+      oneshot_dsm_run(24, 4, core::Find::kPlain, true, opts);
+  const RunResult b =
+      oneshot_dsm_run(24, 4, core::Find::kPlain, true, opts);
+  EXPECT_EQ(a.steps, b.steps);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].rmr_total(), b.records[i].rmr_total());
+  }
+}
+
+}  // namespace
+}  // namespace aml::harness

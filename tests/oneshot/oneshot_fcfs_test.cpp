@@ -1,0 +1,103 @@
+// FCFS (Lemma 17): the doorway is the F&A on Tail, so queue slots record
+// doorway order; a non-aborting process with an earlier slot must enter the
+// CS before any process with a later slot. We record CS entry order and
+// check it is exactly ascending slot order among completers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "aml/core/oneshot.hpp"
+#include "aml/harness/workload.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+using model::Pid;
+
+struct FcfsCase {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint32_t aborters;
+  std::uint64_t seed;
+};
+
+class OneShotFcfs : public ::testing::TestWithParam<FcfsCase> {};
+
+TEST_P(OneShotFcfs, CsOrderFollowsDoorwayOrder) {
+  const auto [n, w, aborters, seed] = GetParam();
+  CountingCcModel m(n);
+  OneShotLock<CountingCcModel> lock(m, n, w);
+  const auto plans =
+      harness::plan_random_k(n, aborters, seed, harness::AbortWhen::kOnIdle);
+
+  std::deque<std::atomic<bool>> signals(n);
+  sched::StepScheduler sched(n, {.seed = seed});
+  std::size_t cursor = 0;
+  sched.set_idle_callback([&]() {
+    while (cursor < n) {
+      const Pid p = static_cast<Pid>(cursor++);
+      if (plans[p].when == harness::AbortWhen::kOnIdle) {
+        signals[p].store(true, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  });
+
+  std::mutex order_mu;
+  std::vector<std::uint32_t> cs_slot_order;
+  std::vector<bool> acquired(n, false);
+  std::vector<std::uint32_t> slot_of(n, 0);
+
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    const auto r = lock.enter(p, &signals[p]);
+    slot_of[p] = r.slot;
+    acquired[p] = r.acquired;
+    if (r.acquired) {
+      {
+        std::lock_guard<std::mutex> guard(order_mu);
+        cs_slot_order.push_back(r.slot);
+      }
+      lock.exit(p);
+    }
+  });
+  m.set_hook(nullptr);
+
+  // CS entries must be in strictly ascending slot order.
+  for (std::size_t i = 1; i < cs_slot_order.size(); ++i) {
+    EXPECT_LT(cs_slot_order[i - 1], cs_slot_order[i]);
+  }
+  // Every process that never saw its signal raised must have completed.
+  std::uint32_t completions = 0;
+  for (Pid p = 0; p < n; ++p) {
+    if (plans[p].when == harness::AbortWhen::kNever) {
+      EXPECT_TRUE(acquired[p]) << "non-aborter starved, pid " << p;
+    }
+    if (acquired[p]) ++completions;
+  }
+  EXPECT_EQ(completions, cs_slot_order.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OneShotFcfs,
+    ::testing::Values(FcfsCase{4, 2, 1, 21}, FcfsCase{8, 2, 3, 22},
+                      FcfsCase{8, 4, 5, 23}, FcfsCase{16, 4, 7, 24},
+                      FcfsCase{32, 4, 15, 25}, FcfsCase{32, 8, 20, 26},
+                      FcfsCase{64, 8, 40, 27}, FcfsCase{64, 2, 30, 28},
+                      FcfsCase{100, 16, 55, 29}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "_W" +
+             std::to_string(info.param.w) + "_A" +
+             std::to_string(info.param.aborters) + "_S" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace aml::core

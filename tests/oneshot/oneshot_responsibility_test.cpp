@@ -1,0 +1,172 @@
+// The responsibility hand-off protocol (Section 3 + Property 14),
+// constructed exactly with a scripted schedule:
+//
+//   N=8, W=2 (height 3). Slots == pids (ordered doorway). Signals of p1, p2,
+//   p3 are pre-raised.
+//
+//   1. everyone executes the doorway F&A in pid order;
+//   2. p1 aborts: Remove(1) stops at level 1; Head(0) != LastExited(-1), so
+//      no responsibility;
+//   3. p2 aborts: Remove(2) stops at level 1 (node {2,3} not yet empty);
+//   4. p0 acquires (go[0] preset), writes Head=0, begins Exit: writes
+//      LastExited=0, then FindNext(0) ascends: node(1,0) has no zero to the
+//      right (slot 1 removed), node(2,0) still shows subtree {2,3} alive —
+//      p0 pauses just before descending;
+//   5. p3 aborts: its Remove completes node {2,3} (EMPTY) and sets the
+//      subtree's bit in node(2,0). Now Head == LastExited == 0, so p3
+//      assumes responsibility: its FindNext(0) ascends to the root, finds
+//      subtree {4..7}, descends to slot 4 and writes go[4] — the hand-off
+//      p0 is about to fail to perform;
+//   6. p0 resumes, descends into node {2,3}, reads EMPTY -> TOP, and exits
+//      WITHOUT signalling anyone;
+//   7. p4 wakes, and the lock keeps moving: p4..p7 chain through the CS.
+//
+// The decisive assertion is *who wrote what*: p0's exit performs exactly 2
+// writes (Head, LastExited) and never touches a go slot; p3 performs the
+// go[4] write. Plus, of course: nobody deadlocks, everyone completes or
+// aborts as planned, and mutual exclusion holds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+
+#include "aml/core/oneshot.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+using model::Pid;
+
+TEST(OneShotResponsibility, AborterCompletesExitersHandoff) {
+  constexpr Pid kN = 8;
+  CountingCcModel m(kN);
+  OneShotLock<CountingCcModel> lock(m, kN, 2, Find::kPlain);
+
+  std::deque<std::atomic<bool>> signals(kN);
+  signals[1].store(true);
+  signals[2].store(true);
+  signals[3].store(true);
+
+  sched::SchedulerConfig cfg;
+  cfg.policy = sched::policies::script(
+      {
+          {0, 1}, {1, 1}, {2, 1}, {3, 1},  // doorway F&As in pid order
+          {4, 1}, {5, 1}, {6, 1}, {7, 1},
+          {1, 4},   // p1: go read -> abort; Remove; Head/LastExited reads
+          {2, 4},   // p2: likewise
+          {0, 4},   // p0: go read, Head write; exit: Head read, LE write
+          {0, 2},   // p0: FindNext reads node(1,0), node(2,0) — pause
+          {3, 11},  // p3: abort, Remove completes {2,3}, takes
+                    // responsibility, signals slot 4
+          {0, 1},   // p0: reads node {2,3} == EMPTY -> TOP, exit returns
+      },
+      sched::policies::round_robin());
+  sched::StepScheduler sched(kN, std::move(cfg));
+
+  bool acquired[kN] = {};
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    const auto r = lock.enter(p, &signals[p]);
+    acquired[p] = r.acquired;
+    EXPECT_EQ(r.slot, p);  // ordered doorway
+    if (r.acquired) {
+      if (in_cs.fetch_add(1) != 0) violation.store(true);
+      in_cs.fetch_sub(1);
+      lock.exit(p);
+    }
+  });
+  m.set_hook(nullptr);
+
+  EXPECT_FALSE(violation.load());
+  EXPECT_TRUE(acquired[0]);
+  EXPECT_FALSE(acquired[1]);
+  EXPECT_FALSE(acquired[2]);
+  EXPECT_FALSE(acquired[3]);
+  for (Pid p = 4; p < kN; ++p) {
+    EXPECT_TRUE(acquired[p]) << "hand-off lost at pid " << p;
+  }
+
+  // The heart of the scenario: p0's FindNext crossed paths (TOP) so it wrote
+  // only Head and LastExited; the go[4] hand-off write came from p3.
+  EXPECT_EQ(m.counters(0).writes, 2u);
+  EXPECT_EQ(m.counters(1).writes, 0u);
+  EXPECT_EQ(m.counters(2).writes, 0u);
+  EXPECT_EQ(m.counters(3).writes, 1u);  // go[4]
+}
+
+// The responsibility chain ending in BOTTOM: every waiter aborts; whoever
+// holds the hand-off baton last discovers there is nobody left. The lock
+// must wind down cleanly (nobody blocks forever, nobody enters twice).
+TEST(OneShotResponsibility, ChainEndsInBottomWhenEveryoneAborts) {
+  constexpr Pid kN = 8;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    CountingCcModel m(kN);
+    OneShotLock<CountingCcModel> lock(m, kN, 2);
+    std::deque<std::atomic<bool>> signals(kN);
+    for (Pid p = 1; p < kN; ++p) signals[p].store(true);
+
+    sched::StepScheduler sched(kN, {.seed = seed});
+    std::atomic<int> in_cs{0};
+    std::atomic<bool> violation{false};
+    std::uint32_t completed = 0, aborted = 0;
+    std::mutex mu;
+    m.set_hook(&sched);
+    sched.run([&](Pid p) {
+      const auto r = lock.enter(p, &signals[p]);
+      if (r.acquired) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(p);
+      }
+      std::lock_guard<std::mutex> guard(mu);
+      (r.acquired ? completed : aborted)++;
+    });
+    m.set_hook(nullptr);
+    EXPECT_FALSE(violation.load());
+    EXPECT_EQ(completed + aborted, kN);
+    EXPECT_GE(completed, 1u);  // p0 at least
+  }
+}
+
+// Late abort: the signal lands after the hand-off has already granted the
+// slot. Depending on the exact read order the process either enters the CS
+// (signal ignored) or aborts and must pass the lock on — never losing it.
+TEST(OneShotResponsibility, SignalRacesGrantAtEveryStep) {
+  constexpr Pid kN = 4;
+  for (std::uint64_t raise_at = 0; raise_at < 40; ++raise_at) {
+    CountingCcModel m(kN);
+    OneShotLock<CountingCcModel> lock(m, kN, 2);
+    std::deque<std::atomic<bool>> signals(kN);
+
+    sched::StepScheduler sched(kN, {.seed = raise_at + 1});
+    sched.set_step_callback([&](std::uint64_t step) {
+      if (step == raise_at) signals[1].store(true);
+    });
+    std::atomic<int> in_cs{0};
+    std::atomic<bool> violation{false};
+    std::atomic<std::uint32_t> done{0};
+    m.set_hook(&sched);
+    sched.run([&](Pid p) {
+      const auto r = lock.enter(p, &signals[p]);
+      if (r.acquired) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(p);
+      } else {
+        EXPECT_EQ(p, 1u);  // only p1 ever has a signal
+      }
+      done.fetch_add(1);
+    });
+    m.set_hook(nullptr);
+    EXPECT_FALSE(violation.load());
+    EXPECT_EQ(done.load(), kN);
+  }
+}
+
+}  // namespace
+}  // namespace aml::core

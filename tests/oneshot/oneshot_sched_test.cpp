@@ -1,0 +1,165 @@
+// One-shot lock under the deterministic scheduler: mutual exclusion,
+// completion accounting, hand-off recovery through aborts, and the Theorem 2
+// liveness guarantees, across a parameterized (N, W, aborters, seed) grid.
+#include <gtest/gtest.h>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+struct Case {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint32_t aborters;
+  std::uint64_t seed;
+  core::Find find;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& c = info.param;
+  return "N" + std::to_string(c.n) + "_W" + std::to_string(c.w) + "_A" +
+         std::to_string(c.aborters) + "_S" + std::to_string(c.seed) +
+         (c.find == core::Find::kAdaptive ? "_ad" : "_pl");
+}
+
+class OneShotSched : public ::testing::TestWithParam<Case> {};
+
+TEST_P(OneShotSched, IdleAbortersEveryoneElseCompletes) {
+  const Case& c = GetParam();
+  SinglePassOptions opts;
+  opts.seed = c.seed;
+  opts.plans = plan_first_k(c.n, c.aborters, AbortWhen::kOnIdle);
+  const RunResult r = oneshot_cc_run(c.n, c.w, c.find, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.aborted, c.aborters);
+  EXPECT_EQ(r.completed, c.n - c.aborters);
+  // Every process that did not abort acquired the lock (starvation freedom
+  // under a fair schedule).
+  for (const auto& rec : r.records) {
+    if (rec.pid == 0 || rec.pid > c.aborters) {
+      EXPECT_TRUE(rec.acquired) << "pid " << rec.pid;
+    }
+  }
+}
+
+TEST_P(OneShotSched, PreRaisedAborters) {
+  const Case& c = GetParam();
+  SinglePassOptions opts;
+  opts.seed = c.seed;
+  opts.plans = plan_first_k(c.n, c.aborters, AbortWhen::kPreRaised);
+  const RunResult r = oneshot_cc_run(c.n, c.w, c.find, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted, c.n);
+  EXPECT_EQ(r.completed, c.n - c.aborters);
+}
+
+TEST_P(OneShotSched, StepRacedAborters) {
+  // Signals raised at arbitrary early steps race the hand-off chain,
+  // exercising the TOP/responsibility protocol.
+  const Case& c = GetParam();
+  SinglePassOptions opts;
+  opts.seed = c.seed;
+  opts.gate_cs = false;  // let hand-offs race the aborts
+  opts.plans = plan_first_k(c.n, c.aborters, AbortWhen::kAtStep);
+  for (std::uint32_t p = 1; p <= c.aborters; ++p) {
+    opts.plans[p].step = (c.seed * 13 + p * 7) % (3 * c.n);
+  }
+  const RunResult r = oneshot_cc_run(c.n, c.w, c.find, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted, c.n);
+  // A raced signal may lose to the hand-off, so aborted <= planned, but
+  // non-marked processes always complete.
+  EXPECT_GE(r.completed, c.n - c.aborters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OneShotSched,
+    ::testing::Values(
+        Case{2, 2, 1, 1, core::Find::kAdaptive},
+        Case{4, 2, 2, 2, core::Find::kAdaptive},
+        Case{4, 2, 3, 3, core::Find::kPlain},
+        Case{8, 2, 4, 4, core::Find::kAdaptive},
+        Case{8, 4, 7, 5, core::Find::kAdaptive},
+        Case{16, 2, 8, 6, core::Find::kPlain},
+        Case{16, 4, 10, 7, core::Find::kAdaptive},
+        Case{27, 3, 13, 8, core::Find::kAdaptive},
+        Case{32, 2, 20, 9, core::Find::kAdaptive},
+        Case{32, 8, 31, 10, core::Find::kPlain},
+        Case{64, 4, 32, 11, core::Find::kAdaptive},
+        Case{64, 8, 50, 12, core::Find::kAdaptive},
+        Case{100, 8, 60, 13, core::Find::kPlain},
+        Case{128, 16, 100, 14, core::Find::kAdaptive},
+        Case{128, 64, 64, 15, core::Find::kAdaptive}),
+    case_name);
+
+TEST(OneShotSchedEdge, AllButSurvivorAbortLockDies) {
+  // N-1 aborters: the survivor (slot 0) completes; after its exit the lock
+  // is dead (FindNext = BOTTOM) — no crash, everything returns.
+  for (std::uint32_t n : {2u, 4u, 8u, 32u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.plans = plan_all_but(n, 0, AbortWhen::kOnIdle);
+    const RunResult r = oneshot_cc_run(n, 4, core::Find::kAdaptive, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, 1u);
+    EXPECT_EQ(r.aborted, n - 1);
+  }
+}
+
+TEST(OneShotSchedEdge, NoAbortsNoGate) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.gate_cs = false;
+    opts.ordered_doorway = (seed % 2 == 0);
+    const RunResult r = oneshot_cc_run(16, 4, core::Find::kAdaptive, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, 16u);
+    EXPECT_EQ(r.aborted, 0u);
+  }
+}
+
+TEST(OneShotSchedEdge, NoAbortPassageIsConstantRmr) {
+  // Theorem 2: with A_i = 0 every passage costs O(1) RMRs. The constant for
+  // this implementation: doorway F&A + go read + Head write + exit's Head
+  // read + LastExited write + FindNext level-1 read + go write + spin
+  // wakeup = well under 12.
+  for (std::uint32_t n : {4u, 16u, 64u, 256u}) {
+    SinglePassOptions opts;
+    opts.seed = 3;
+    opts.gate_cs = false;
+    const RunResult r = oneshot_cc_run(n, 8, core::Find::kAdaptive, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    for (const auto& rec : r.records) {
+      EXPECT_LE(rec.rmr_total(), 12u) << "pid " << rec.pid << " n=" << n;
+    }
+  }
+}
+
+TEST(OneShotSchedEdge, SingleProcess) {
+  SinglePassOptions opts;
+  opts.seed = 1;
+  opts.gate_cs = false;
+  const RunResult r = oneshot_cc_run(1, 2, core::Find::kAdaptive, opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(OneShotSchedEdge, DeterministicAcrossRuns) {
+  SinglePassOptions opts;
+  opts.seed = 77;
+  opts.plans = plan_first_k(16, 9, AbortWhen::kOnIdle);
+  const RunResult a = oneshot_cc_run(16, 4, core::Find::kAdaptive, opts);
+  const RunResult b = oneshot_cc_run(16, 4, core::Find::kAdaptive, opts);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.steps, b.steps);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].acquired, b.records[i].acquired);
+    EXPECT_EQ(a.records[i].slot, b.records[i].slot);
+    EXPECT_EQ(a.records[i].rmr_total(), b.records[i].rmr_total());
+  }
+}
+
+}  // namespace
+}  // namespace aml::harness

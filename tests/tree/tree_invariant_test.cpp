@@ -1,0 +1,110 @@
+// The Remove invariant (Claim 3 / Lemma 4 / Corollary 5): in quiescent
+// states, Bit(p, lvl) = 1 iff every leaf in the corresponding subtree has
+// been removed — checked as a global structural probe after randomized
+// concurrent executions, across a (N, W, density, seed) grid.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aml/core/tree.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/sched/scheduler.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+using model::Pid;
+
+struct Grid {
+  std::uint32_t n;
+  std::uint32_t w;
+  std::uint32_t remove_ppm;
+  std::uint64_t seed;
+};
+
+class TreeInvariant : public ::testing::TestWithParam<Grid> {};
+
+// Verify: for every stored node and offset, the bit is set iff every REAL
+// leaf of the child subtree was removed (phantom leaves count as removed —
+// their bits are pre-set at construction).
+void check_remove_invariant(CountingCcModel& m, Tree<CountingCcModel>& tree,
+                            const std::vector<bool>& removed) {
+  const TreeGeometry& geo = tree.geometry();
+  const std::uint32_t n = geo.n_slots();
+  const std::uint32_t w = geo.w();
+  for (std::uint32_t lvl = 1; lvl <= geo.height(); ++lvl) {
+    const std::uint64_t span = geo.stride(lvl - 1);
+    for (std::uint64_t idx = 0; idx < geo.stored_width(lvl); ++idx) {
+      const std::uint64_t value = tree.read_node(0, lvl, idx);
+      for (std::uint32_t o = 0; o < w; ++o) {
+        const std::uint64_t first = (idx * w + o) * span;
+        bool subtree_removed = true;
+        for (std::uint64_t leaf = first;
+             leaf < first + span && subtree_removed; ++leaf) {
+          if (leaf < n && !removed[static_cast<std::uint32_t>(leaf)]) {
+            subtree_removed = false;
+          }
+        }
+        const bool bit = pal::bit_at(value, w, o) != 0;
+        ASSERT_EQ(bit, subtree_removed)
+            << "lvl=" << lvl << " idx=" << idx << " offset=" << o;
+      }
+    }
+  }
+  (void)m;
+}
+
+TEST_P(TreeInvariant, HoldsAfterConcurrentRemovals) {
+  const auto [n, w, ppm, seed] = GetParam();
+  CountingCcModel m(n);
+  Tree<CountingCcModel> tree(m, n, w);
+  std::vector<bool> removed(n, false);
+  pal::Xoshiro256 rng(seed);
+  for (std::uint32_t q = 0; q < n; ++q) {
+    removed[q] = rng.chance_ppm(ppm);
+  }
+  sched::StepScheduler sched(n, {.seed = seed});
+  m.set_hook(&sched);
+  sched.run([&](Pid p) {
+    if (removed[p]) tree.remove(p, p);
+  });
+  m.set_hook(nullptr);
+  check_remove_invariant(m, tree, removed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, TreeInvariant,
+    ::testing::Values(Grid{8, 2, 300000, 1}, Grid{8, 2, 800000, 2},
+                      Grid{16, 2, 500000, 3}, Grid{16, 4, 500000, 4},
+                      Grid{27, 3, 400000, 5}, Grid{27, 3, 1000000, 6},
+                      Grid{64, 4, 600000, 7}, Grid{64, 8, 900000, 8},
+                      Grid{100, 8, 500000, 9}, Grid{100, 5, 700000, 10},
+                      Grid{256, 16, 500000, 11}, Grid{300, 7, 650000, 12},
+                      Grid{128, 64, 500000, 13}, Grid{512, 2, 550000, 14}),
+    [](const auto& info) {
+      const auto& g = info.param;
+      return "N" + std::to_string(g.n) + "_W" + std::to_string(g.w) + "_P" +
+             std::to_string(g.remove_ppm / 1000) + "_S" +
+             std::to_string(g.seed);
+    });
+
+TEST(TreeInvariantEdge, FullRemovalSetsEveryStoredBit) {
+  CountingCcModel m(1);
+  Tree<CountingCcModel> tree(m, 37, 4);  // ragged
+  std::vector<bool> removed(37, true);
+  for (std::uint32_t q = 0; q < 37; ++q) tree.remove(0, q);
+  check_remove_invariant(m, tree, removed);
+  EXPECT_EQ(tree.read_node(0, tree.geometry().height(), 0),
+            tree.empty_value());
+}
+
+TEST(TreeInvariantEdge, FreshTreeHasOnlyPhantomBits) {
+  CountingCcModel m(1);
+  Tree<CountingCcModel> tree(m, 37, 4);
+  check_remove_invariant(m, tree, std::vector<bool>(37, false));
+}
+
+}  // namespace
+}  // namespace aml::core

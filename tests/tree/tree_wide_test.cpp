@@ -1,0 +1,112 @@
+// Wide-word trees (the deployment regime): W = 32/64, large N, randomized
+// operation mixes checked against a reference set, and the W-boundary
+// offsets (0, W-1) that the bit arithmetic must get exactly right.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "aml/core/tree.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/pal/rng.hpp"
+
+namespace aml::core {
+namespace {
+
+using model::CountingCcModel;
+
+TEST(TreeWide, SingleLevelW64) {
+  // N <= W: the tree is one node; FindNext is a single read.
+  CountingCcModel m(2);
+  Tree<CountingCcModel> tree(m, 64, 64);
+  ASSERT_EQ(tree.geometry().height(), 1u);
+  tree.remove(0, 1);
+  tree.remove(0, 63);
+  m.reset_counters();
+  const FindResult r = tree.find_next(1, 0);
+  ASSERT_TRUE(r.is_found());
+  EXPECT_EQ(r.slot, 2u);
+  EXPECT_EQ(m.counters(1).rmrs, 1u);  // exactly one node read
+  EXPECT_TRUE(tree.find_next(1, 62).is_bottom());  // 63 removed
+  EXPECT_TRUE(tree.find_next(1, 63).is_bottom());
+}
+
+TEST(TreeWide, BoundaryOffsetsW64) {
+  // Leaves at offsets 0 and 63 of their level-1 node, across node borders.
+  CountingCcModel m(1);
+  Tree<CountingCcModel> tree(m, 4096, 64);  // height 2
+  // Remove all of node 0's leaves except the last: FindNext(0)=63.
+  for (std::uint32_t q = 1; q < 63; ++q) tree.remove(0, q);
+  EXPECT_EQ(tree.find_next(0, 0).slot, 63u);
+  // Remove 63 too: next is 64, across the node boundary.
+  tree.remove(0, 63);
+  EXPECT_EQ(tree.find_next(0, 0).slot, 64u);
+  EXPECT_EQ(tree.adaptive_find_next(0, 0).slot, 64u);
+  // From the boundary leaf itself.
+  EXPECT_EQ(tree.find_next(0, 63).slot, 64u);
+  EXPECT_EQ(tree.adaptive_find_next(0, 63).slot, 64u);
+}
+
+TEST(TreeWide, RandomizedMixAgainstReferenceSet) {
+  for (auto [n, w] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1000, 32}, {2048, 64}, {4095, 64}, {513, 31}}) {
+    CountingCcModel m(1);
+    Tree<CountingCcModel> tree(m, n, w);
+    std::set<std::uint32_t> alive;
+    for (std::uint32_t q = 0; q < n; ++q) alive.insert(q);
+    pal::Xoshiro256 rng(n * 31 + w);
+    for (int op = 0; op < 600; ++op) {
+      if (rng.chance_ppm(500000) && alive.size() > 1) {
+        // Remove a random still-alive slot.
+        auto it = alive.begin();
+        std::advance(it, static_cast<long>(rng.below(alive.size())));
+        tree.remove(0, *it);
+        alive.erase(it);
+      } else {
+        // Query a random slot (alive or not) against the reference.
+        const auto p = static_cast<std::uint32_t>(rng.below(n));
+        const bool adaptive = rng.chance_ppm(500000);
+        const FindResult r = adaptive ? tree.adaptive_find_next(0, p)
+                                      : tree.find_next(0, p);
+        auto it = alive.upper_bound(p);
+        if (it == alive.end()) {
+          ASSERT_TRUE(r.is_bottom()) << "n=" << n << " p=" << p;
+        } else {
+          ASSERT_TRUE(r.is_found());
+          ASSERT_EQ(r.slot, *it) << "n=" << n << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(TreeWide, AdaptiveCostStaysConstantAtW64) {
+  // At W=64 with few aborts, AdaptiveFindNext should cost O(1) reads even
+  // at N = 64^3 = 262144 conceptual leaves (we use a ragged 100000).
+  CountingCcModel m(1);
+  Tree<CountingCcModel> tree(m, 100000, 64);
+  ASSERT_EQ(tree.geometry().height(), 3u);
+  for (std::uint32_t p : {0u, 63u, 64u, 4095u, 4096u, 99998u}) {
+    m.reset_counters();
+    const FindResult r = tree.adaptive_find_next(0, p);
+    ASSERT_TRUE(r.is_found());
+    EXPECT_EQ(r.slot, p + 1);
+    EXPECT_LE(m.counters(0).rmrs, 3u) << "p=" << p;
+  }
+}
+
+TEST(TreeWide, RemoveReturnsAscentDepthW64) {
+  CountingCcModel m(1);
+  Tree<CountingCcModel> tree(m, 4096, 64);
+  // Remove the first 63 slots: each stops at level 1.
+  for (std::uint32_t q = 0; q < 63; ++q) {
+    EXPECT_EQ(tree.remove(0, q), 1u);
+  }
+  // The 64th completes node 0 and ascends one level.
+  EXPECT_EQ(tree.remove(0, 63), 2u);
+}
+
+}  // namespace
+}  // namespace aml::core
