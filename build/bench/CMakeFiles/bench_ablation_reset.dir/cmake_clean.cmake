@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reset.dir/bench_ablation_reset.cpp.o"
+  "CMakeFiles/bench_ablation_reset.dir/bench_ablation_reset.cpp.o.d"
+  "bench_ablation_reset"
+  "bench_ablation_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

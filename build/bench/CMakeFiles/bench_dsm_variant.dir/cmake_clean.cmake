@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsm_variant.dir/bench_dsm_variant.cpp.o"
+  "CMakeFiles/bench_dsm_variant.dir/bench_dsm_variant.cpp.o.d"
+  "bench_dsm_variant"
+  "bench_dsm_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsm_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

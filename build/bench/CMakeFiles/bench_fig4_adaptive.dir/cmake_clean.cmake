@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_adaptive.dir/bench_fig4_adaptive.cpp.o"
+  "CMakeFiles/bench_fig4_adaptive.dir/bench_fig4_adaptive.cpp.o.d"
+  "bench_fig4_adaptive"
+  "bench_fig4_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_scaling.dir/bench_headline_scaling.cpp.o"
+  "CMakeFiles/bench_headline_scaling.dir/bench_headline_scaling.cpp.o.d"
+  "bench_headline_scaling"
+  "bench_headline_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

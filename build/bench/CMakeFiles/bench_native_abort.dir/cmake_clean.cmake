@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_abort.dir/bench_native_abort.cpp.o"
+  "CMakeFiles/bench_native_abort.dir/bench_native_abort.cpp.o.d"
+  "bench_native_abort"
+  "bench_native_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_noabort.dir/bench_table1_noabort.cpp.o"
+  "CMakeFiles/bench_table1_noabort.dir/bench_table1_noabort.cpp.o.d"
+  "bench_table1_noabort"
+  "bench_table1_noabort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_noabort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

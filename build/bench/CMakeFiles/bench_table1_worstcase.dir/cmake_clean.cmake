@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_worstcase.dir/bench_table1_worstcase.cpp.o"
+  "CMakeFiles/bench_table1_worstcase.dir/bench_table1_worstcase.cpp.o.d"
+  "bench_table1_worstcase"
+  "bench_table1_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transformation.dir/bench_transformation.cpp.o"
+  "CMakeFiles/bench_transformation.dir/bench_transformation.cpp.o.d"
+  "bench_transformation"
+  "bench_transformation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

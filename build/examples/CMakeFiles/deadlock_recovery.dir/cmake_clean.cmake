@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_recovery.dir/deadlock_recovery.cpp.o"
+  "CMakeFiles/deadlock_recovery.dir/deadlock_recovery.cpp.o.d"
+  "deadlock_recovery"
+  "deadlock_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

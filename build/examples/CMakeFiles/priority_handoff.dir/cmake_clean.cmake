@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_handoff.dir/priority_handoff.cpp.o"
+  "CMakeFiles/priority_handoff.dir/priority_handoff.cpp.o.d"
+  "priority_handoff"
+  "priority_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

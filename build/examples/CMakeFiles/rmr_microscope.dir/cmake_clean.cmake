@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmr_microscope.dir/rmr_microscope.cpp.o"
+  "CMakeFiles/rmr_microscope.dir/rmr_microscope.cpp.o.d"
+  "rmr_microscope"
+  "rmr_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmr_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

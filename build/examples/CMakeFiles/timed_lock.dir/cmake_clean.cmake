@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_lock.dir/timed_lock.cpp.o"
+  "CMakeFiles/timed_lock.dir/timed_lock.cpp.o.d"
+  "timed_lock"
+  "timed_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;aml_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_work_stealing "/root/repo/build/examples/work_stealing")
+set_tests_properties(example_work_stealing PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;aml_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_priority_handoff "/root/repo/build/examples/priority_handoff")
+set_tests_properties(example_priority_handoff PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;aml_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deadlock_recovery "/root/repo/build/examples/deadlock_recovery")
+set_tests_properties(example_deadlock_recovery PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;aml_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rmr_microscope "/root/repo/build/examples/rmr_microscope")
+set_tests_properties(example_rmr_microscope PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;aml_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timed_lock "/root/repo/build/examples/timed_lock")
+set_tests_properties(example_timed_lock PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;17;aml_example;/root/repo/examples/CMakeLists.txt;0;")

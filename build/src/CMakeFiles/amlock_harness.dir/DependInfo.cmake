@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aml/harness/audit.cpp" "src/CMakeFiles/amlock_harness.dir/aml/harness/audit.cpp.o" "gcc" "src/CMakeFiles/amlock_harness.dir/aml/harness/audit.cpp.o.d"
+  "/root/repo/src/aml/harness/stats.cpp" "src/CMakeFiles/amlock_harness.dir/aml/harness/stats.cpp.o" "gcc" "src/CMakeFiles/amlock_harness.dir/aml/harness/stats.cpp.o.d"
+  "/root/repo/src/aml/harness/table.cpp" "src/CMakeFiles/amlock_harness.dir/aml/harness/table.cpp.o" "gcc" "src/CMakeFiles/amlock_harness.dir/aml/harness/table.cpp.o.d"
+  "/root/repo/src/aml/harness/workload.cpp" "src/CMakeFiles/amlock_harness.dir/aml/harness/workload.cpp.o" "gcc" "src/CMakeFiles/amlock_harness.dir/aml/harness/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

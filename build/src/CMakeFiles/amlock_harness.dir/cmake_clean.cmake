@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amlock_harness.dir/aml/harness/audit.cpp.o"
+  "CMakeFiles/amlock_harness.dir/aml/harness/audit.cpp.o.d"
+  "CMakeFiles/amlock_harness.dir/aml/harness/stats.cpp.o"
+  "CMakeFiles/amlock_harness.dir/aml/harness/stats.cpp.o.d"
+  "CMakeFiles/amlock_harness.dir/aml/harness/table.cpp.o"
+  "CMakeFiles/amlock_harness.dir/aml/harness/table.cpp.o.d"
+  "CMakeFiles/amlock_harness.dir/aml/harness/workload.cpp.o"
+  "CMakeFiles/amlock_harness.dir/aml/harness/workload.cpp.o.d"
+  "libamlock_harness.a"
+  "libamlock_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amlock_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamlock_harness.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/baselines_native_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/baselines_native_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/baselines_native_test.cpp.o.d"
+  "/root/repo/tests/baselines/baselines_sched_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/baselines_sched_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/baselines_sched_test.cpp.o.d"
+  "/root/repo/tests/baselines/yang_anderson_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/yang_anderson_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/yang_anderson_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amlock_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/longlived/longlived_models_test.cpp" "tests/CMakeFiles/longlived_test.dir/longlived/longlived_models_test.cpp.o" "gcc" "tests/CMakeFiles/longlived_test.dir/longlived/longlived_models_test.cpp.o.d"
+  "/root/repo/tests/longlived/longlived_native_test.cpp" "tests/CMakeFiles/longlived_test.dir/longlived/longlived_native_test.cpp.o" "gcc" "tests/CMakeFiles/longlived_test.dir/longlived/longlived_native_test.cpp.o.d"
+  "/root/repo/tests/longlived/longlived_sched_test.cpp" "tests/CMakeFiles/longlived_test.dir/longlived/longlived_sched_test.cpp.o" "gcc" "tests/CMakeFiles/longlived_test.dir/longlived/longlived_sched_test.cpp.o.d"
+  "/root/repo/tests/longlived/spin_pool_test.cpp" "tests/CMakeFiles/longlived_test.dir/longlived/spin_pool_test.cpp.o" "gcc" "tests/CMakeFiles/longlived_test.dir/longlived/spin_pool_test.cpp.o.d"
+  "/root/repo/tests/longlived/versioned_space_test.cpp" "tests/CMakeFiles/longlived_test.dir/longlived/versioned_space_test.cpp.o" "gcc" "tests/CMakeFiles/longlived_test.dir/longlived/versioned_space_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amlock_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longlived_test.dir/longlived/longlived_models_test.cpp.o"
+  "CMakeFiles/longlived_test.dir/longlived/longlived_models_test.cpp.o.d"
+  "CMakeFiles/longlived_test.dir/longlived/longlived_native_test.cpp.o"
+  "CMakeFiles/longlived_test.dir/longlived/longlived_native_test.cpp.o.d"
+  "CMakeFiles/longlived_test.dir/longlived/longlived_sched_test.cpp.o"
+  "CMakeFiles/longlived_test.dir/longlived/longlived_sched_test.cpp.o.d"
+  "CMakeFiles/longlived_test.dir/longlived/spin_pool_test.cpp.o"
+  "CMakeFiles/longlived_test.dir/longlived/spin_pool_test.cpp.o.d"
+  "CMakeFiles/longlived_test.dir/longlived/versioned_space_test.cpp.o"
+  "CMakeFiles/longlived_test.dir/longlived/versioned_space_test.cpp.o.d"
+  "longlived_test"
+  "longlived_test.pdb"
+  "longlived_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longlived_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/model/counting_cc_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/counting_cc_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/counting_dsm_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/counting_dsm_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/model_conformance_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/model_conformance_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/native_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/native_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/scheduled_model_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/scheduled_model_test.cpp.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oneshot/oneshot_adversarial_test.cpp" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_adversarial_test.cpp.o" "gcc" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_adversarial_test.cpp.o.d"
+  "/root/repo/tests/oneshot/oneshot_basic_test.cpp" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_basic_test.cpp.o" "gcc" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_basic_test.cpp.o.d"
+  "/root/repo/tests/oneshot/oneshot_dsm_test.cpp" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_dsm_test.cpp.o" "gcc" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_dsm_test.cpp.o.d"
+  "/root/repo/tests/oneshot/oneshot_fcfs_test.cpp" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_fcfs_test.cpp.o" "gcc" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_fcfs_test.cpp.o.d"
+  "/root/repo/tests/oneshot/oneshot_responsibility_test.cpp" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_responsibility_test.cpp.o" "gcc" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_responsibility_test.cpp.o.d"
+  "/root/repo/tests/oneshot/oneshot_sched_test.cpp" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_sched_test.cpp.o" "gcc" "tests/CMakeFiles/oneshot_test.dir/oneshot/oneshot_sched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amlock_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_adversarial_test.cpp.o"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_adversarial_test.cpp.o.d"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_basic_test.cpp.o"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_basic_test.cpp.o.d"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_dsm_test.cpp.o"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_dsm_test.cpp.o.d"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_fcfs_test.cpp.o"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_fcfs_test.cpp.o.d"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_responsibility_test.cpp.o"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_responsibility_test.cpp.o.d"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_sched_test.cpp.o"
+  "CMakeFiles/oneshot_test.dir/oneshot/oneshot_sched_test.cpp.o.d"
+  "oneshot_test"
+  "oneshot_test.pdb"
+  "oneshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pal_test.dir/pal/bits_test.cpp.o"
+  "CMakeFiles/pal_test.dir/pal/bits_test.cpp.o.d"
+  "CMakeFiles/pal_test.dir/pal/cache_test.cpp.o"
+  "CMakeFiles/pal_test.dir/pal/cache_test.cpp.o.d"
+  "CMakeFiles/pal_test.dir/pal/rng_test.cpp.o"
+  "CMakeFiles/pal_test.dir/pal/rng_test.cpp.o.d"
+  "CMakeFiles/pal_test.dir/pal/threading_test.cpp.o"
+  "CMakeFiles/pal_test.dir/pal/threading_test.cpp.o.d"
+  "pal_test"
+  "pal_test.pdb"
+  "pal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree/geometry_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/geometry_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_concurrent_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/tree_concurrent_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/tree_concurrent_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_equivalence_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/tree_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/tree_equivalence_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_invariant_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/tree_invariant_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/tree_invariant_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_sequential_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/tree_sequential_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/tree_sequential_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_wide_test.cpp" "tests/CMakeFiles/tree_test.dir/tree/tree_wide_test.cpp.o" "gcc" "tests/CMakeFiles/tree_test.dir/tree/tree_wide_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amlock_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_test.dir/tree/geometry_test.cpp.o"
+  "CMakeFiles/tree_test.dir/tree/geometry_test.cpp.o.d"
+  "CMakeFiles/tree_test.dir/tree/tree_concurrent_test.cpp.o"
+  "CMakeFiles/tree_test.dir/tree/tree_concurrent_test.cpp.o.d"
+  "CMakeFiles/tree_test.dir/tree/tree_equivalence_test.cpp.o"
+  "CMakeFiles/tree_test.dir/tree/tree_equivalence_test.cpp.o.d"
+  "CMakeFiles/tree_test.dir/tree/tree_invariant_test.cpp.o"
+  "CMakeFiles/tree_test.dir/tree/tree_invariant_test.cpp.o.d"
+  "CMakeFiles/tree_test.dir/tree/tree_sequential_test.cpp.o"
+  "CMakeFiles/tree_test.dir/tree/tree_sequential_test.cpp.o.d"
+  "CMakeFiles/tree_test.dir/tree/tree_wide_test.cpp.o"
+  "CMakeFiles/tree_test.dir/tree/tree_wide_test.cpp.o.d"
+  "tree_test"
+  "tree_test.pdb"
+  "tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
