@@ -9,6 +9,7 @@
 
 #include "aml/core/eager_space.hpp"
 #include "aml/core/versioned_space.hpp"
+#include "aml/harness/report.hpp"
 #include "aml/harness/rmr_experiment.hpp"
 #include "aml/harness/table.hpp"
 #include "aml/model/counting_cc.hpp"
@@ -30,7 +31,7 @@ std::uint64_t recycle_cost(std::uint32_t words, std::uint32_t w) {
   return m.counters(0).rmrs;
 }
 
-void micro(std::uint32_t w) {
+void micro(aml::harness::BenchReport& br, std::uint32_t w) {
   Table table("Ablation (micro) — RMRs to recycle an instance of s words "
               "(W=" + std::to_string(w) + ")");
   table.headers({"s (words)", "eager reset", "lazy reset (quota)"});
@@ -41,8 +42,13 @@ void micro(std::uint32_t w) {
         recycle_cost<aml::core::VersionedSpace<Model>>(s, w);
     table.row({Table::num(std::uint64_t{s}), Table::num(eager),
                Table::num(lazy)});
+    br.sample("recycle_eager_rmr_w" + std::to_string(w),
+              static_cast<double>(eager))
+        .sample("recycle_lazy_rmr_w" + std::to_string(w),
+                static_cast<double>(lazy));
   }
   table.print();
+  br.table(table);
 }
 
 template <template <typename> class Policy>
@@ -62,7 +68,7 @@ aml::harness::Summary macro_rmr(std::uint32_t n, std::uint32_t w) {
 // eager rewrite from the switching process' passage. So lazy has a slightly
 // higher *mean* and a flat *max*, while eager's max passage grows linearly
 // with the instance footprint.
-void macro() {
+void macro(aml::harness::BenchReport& br) {
   Table table("Ablation (macro) — complete-passage RMRs under churn, lazy "
               "vs eager recycling (8 rounds, 25% abort marking)");
   table.headers({"N", "W", "lazy mean", "lazy max", "eager mean",
@@ -74,17 +80,24 @@ void macro() {
       table.row({Table::num(std::uint64_t{n}), Table::num(std::uint64_t{w}),
                  Table::num(lazy.mean), Table::num(lazy.max),
                  Table::num(eager.mean), Table::num(eager.max)});
+      br.sample("macro_lazy_max_rmr", static_cast<double>(lazy.max))
+          .sample("macro_eager_max_rmr", static_cast<double>(eager.max));
     }
   }
   table.print();
+  br.table(table);
 }
 
 }  // namespace
 
 int main() {
-  micro(8);
-  micro(16);
-  micro(64);
-  macro();
+  aml::harness::BenchReport report("ablation_reset");
+  report.config("macro_rounds", std::uint64_t{8})
+      .config("macro_abort_ppm", std::uint64_t{250000});
+  micro(report, 8);
+  micro(report, 16);
+  micro(report, 64);
+  macro(report);
+  report.write();
   return 0;
 }

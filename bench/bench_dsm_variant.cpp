@@ -1,6 +1,7 @@
 // Section 3, DSM variant: on the DSM cost model, the CC algorithm busy-waits
 // on remote go slots (unbounded RMRs — we report the episode count), while
 // the announce/spin-bit variant spins only on process-local bits.
+#include "aml/harness/report.hpp"
 #include "aml/harness/rmr_experiment.hpp"
 #include "aml/harness/table.hpp"
 
@@ -11,6 +12,8 @@ using aml::harness::SinglePassOptions;
 using aml::harness::Table;
 
 int main() {
+  aml::harness::BenchReport br("dsm_variant");
+  br.config("w", std::uint64_t{8});
   Table table("DSM model — CC algorithm vs DSM variant (Section 3)");
   table.headers({"algorithm", "N", "aborters", "remote-spin episodes",
                  "max complete RMR", "mutex"});
@@ -33,9 +36,14 @@ int main() {
                    Table::num(r.total_remote_spin_episodes()),
                    Table::num(r.complete_summary().max),
                    r.mutex_ok ? "yes" : "NO"});
+        br.sample(dsm_variant ? "dsm_remote_spin_episodes"
+                              : "cc_on_dsm_remote_spin_episodes",
+                  static_cast<double>(r.total_remote_spin_episodes()));
       }
     }
   }
   table.print();
+  br.table(table);
+  br.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "aml/core/tree.hpp"
+#include "aml/harness/report.hpp"
 #include "aml/harness/table.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/sched/scheduler.hpp"
@@ -117,6 +118,16 @@ int main() {
 
   const bool ok = found.find.is_found() && found.find.slot == 3 &&
                   bottom.find.is_bottom() && top.find.is_top();
+
+  aml::harness::BenchReport report("fig2_scenarios");
+  report.config("w", std::uint64_t{2})
+      .sample("found_rmrs", static_cast<double>(found.rmrs))
+      .sample("bottom_rmrs", static_cast<double>(bottom.rmrs))
+      .sample("top_rmrs", static_cast<double>(top.rmrs))
+      .summary("reproduced", std::uint64_t{ok ? 1u : 0u})
+      .table(table);
+  report.write();
+
   if (!ok) {
     std::fprintf(stderr, "figure-2 scenarios did not reproduce!\n");
     return 1;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "aml/core/tree.hpp"
+#include "aml/harness/report.hpp"
 #include "aml/harness/table.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/pal/bits.hpp"
@@ -23,7 +24,7 @@ using aml::model::CountingCcModel;
 
 namespace {
 
-void bench_sidestep_vs_ascent() {
+void bench_sidestep_vs_ascent(aml::harness::BenchReport& br) {
   Table table("Figure 4 — plain vs adaptive FindNext ascent (W=2, no aborts)");
   table.headers({"height H", "N=2^H", "caller p", "plain RMRs",
                  "adaptive RMRs", "ratio"});
@@ -53,15 +54,19 @@ void bench_sidestep_vs_ascent() {
                Table::num(adaptive_cost),
                Table::num(static_cast<double>(plain_cost) /
                           static_cast<double>(adaptive_cost))});
+    br.sample("ascent_plain_rmrs", static_cast<double>(plain_cost))
+        .sample("ascent_adaptive_rmrs", static_cast<double>(adaptive_cost));
   }
   table.print();
+  br.table(table);
 }
 
 // Caller p is the rightmost leaf of the left half of the tree (the position
 // where the plain ascent is forced to the root no matter what); the A slots
 // immediately to its right are aborted. Plain pays ~2 log_W N regardless of
 // A; adaptive pays O(log_W A).
-void bench_cost_vs_aborters(std::uint32_t w) {
+void bench_cost_vs_aborters(aml::harness::BenchReport& br,
+                            std::uint32_t w) {
   const std::uint32_t n = 4096;
   Table table("Figure 4 series — FindNext RMRs vs #aborters A (N=4096, W=" +
               std::to_string(w) + ", caller = rightmost leaf of left half)");
@@ -87,16 +92,24 @@ void bench_cost_vs_aborters(std::uint32_t w) {
     table.row({Table::num(std::uint64_t{a}), Table::num(plain_cost),
                Table::num(adaptive_cost),
                Table::num(std::uint64_t{aml::pal::ceil_log(a + 2, w)})});
+    const std::string suffix = "_w" + std::to_string(w);
+    br.sample("aborters_plain_rmrs" + suffix, static_cast<double>(plain_cost))
+        .sample("aborters_adaptive_rmrs" + suffix,
+                static_cast<double>(adaptive_cost));
   }
   table.print();
+  br.table(table);
 }
 
 }  // namespace
 
 int main() {
-  bench_sidestep_vs_ascent();
-  bench_cost_vs_aborters(2);
-  bench_cost_vs_aborters(8);
-  bench_cost_vs_aborters(64);
+  aml::harness::BenchReport report("fig4_adaptive");
+  report.config("n", std::uint64_t{4096});
+  bench_sidestep_vs_ascent(report);
+  bench_cost_vs_aborters(report, 2);
+  bench_cost_vs_aborters(report, 8);
+  bench_cost_vs_aborters(report, 64);
+  report.write();
   return 0;
 }

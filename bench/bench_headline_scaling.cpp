@@ -19,6 +19,8 @@
 
 #include "table1_common.hpp"
 
+#include "aml/harness/report.hpp"
+
 using namespace bench;
 using aml::harness::AbortWhen;
 using aml::harness::plan_first_k;
@@ -47,6 +49,10 @@ std::uint64_t ours_worst(std::uint32_t n, std::uint32_t w) {
 }  // namespace
 
 int main() {
+  aml::harness::BenchReport report("headline_scaling");
+  report.config("workload", "all-but-two abort, kOnIdle")
+      .config("find", "adaptive");
+
   Table table("Headline — worst-case passage RMRs vs N under the paper's "
               "word-size regimes (all-but-two abort)");
   table.headers({"N", "ours W=2 (log N)", "ours W=log2(N) (log/loglog)",
@@ -56,10 +62,17 @@ int main() {
     opts.seed = n;
     opts.plans = plan_first_k(n, n - 2, AbortWhen::kOnIdle);
     const RunResult tour = run_simple<TournamentCc>(n, opts);
-    table.row({fmt_u(n), fmt_u(ours_worst(n, 2)),
-               fmt_u(ours_worst(n, w_log(n))),
-               fmt_u(ours_worst(n, w_poly(n))),
-               fmt_u(tour.complete_summary().max)});
+    const std::uint64_t ours_w2 = ours_worst(n, 2);
+    const std::uint64_t ours_wlog = ours_worst(n, w_log(n));
+    const std::uint64_t ours_wpoly = ours_worst(n, w_poly(n));
+    const std::uint64_t tour_max = tour.complete_summary().max;
+    table.row({fmt_u(n), fmt_u(ours_w2), fmt_u(ours_wlog), fmt_u(ours_wpoly),
+               fmt_u(tour_max)});
+    report.sample("n", n)
+        .sample("ours_w2_max_rmr", static_cast<double>(ours_w2))
+        .sample("ours_wlog_max_rmr", static_cast<double>(ours_wlog))
+        .sample("ours_wpoly_max_rmr", static_cast<double>(ours_wpoly))
+        .sample("tournament_max_rmr", static_cast<double>(tour_max));
   }
   table.print();
 
@@ -69,5 +82,8 @@ int main() {
     detail.row({fmt_u(n), fmt_u(w_log(n)), fmt_u(w_poly(n))});
   }
   detail.print();
+
+  report.table(table).table(detail);
+  report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "aml/core/abortable_lock.hpp"
 #include "aml/pal/rng.hpp"
+#include "gbench_report.hpp"
 
 namespace {
 
@@ -73,3 +74,7 @@ void BM_TreeWidth(benchmark::State& state) {
 BENCHMARK(BM_TreeWidth)->Arg(2)->Arg(8)->Arg(64);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_gbench_with_report(argc, argv, "native_abort");
+}

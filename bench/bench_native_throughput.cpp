@@ -17,6 +17,7 @@
 #include "aml/baselines/baselines.hpp"
 #include "aml/core/abortable_lock.hpp"
 #include "aml/model/native.hpp"
+#include "gbench_report.hpp"
 
 namespace {
 
@@ -62,3 +63,7 @@ BENCHMARK_TEMPLATE(BM_Baseline,
     ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_gbench_with_report(argc, argv, "native_throughput");
+}

@@ -8,22 +8,30 @@
 //                                   not to aborts; see DESIGN.md)
 #include "table1_common.hpp"
 
+#include "aml/harness/report.hpp"
+
 using namespace bench;
 using aml::harness::AbortWhen;
+using aml::harness::BenchReport;
 using aml::harness::plan_first_k;
 
 namespace {
 
-void report(Table& table, const std::string& name, std::uint32_t aborters,
-            const RunResult& r) {
+void report(Table& table, BenchReport& br, const std::string& name,
+            std::uint32_t aborters, const RunResult& r) {
   table.row({name, fmt_u(aborters), fmt_u(r.complete_summary().max),
              fmt_u(r.aborted_summary().max), r.mutex_ok ? "yes" : "NO"});
+  br.sample("max_complete_rmr",
+            static_cast<double>(r.complete_summary().max));
 }
 
 }  // namespace
 
 int main() {
   const std::uint32_t n = 1024;
+  BenchReport br("table1_adaptive");
+  br.config("n", std::uint64_t{n}).config("workload",
+                                          "A aborters, kOnIdle");
   Table table(
       "Table 1 / adaptive column — passage RMRs vs aborters A (N=1024)");
   table.headers(
@@ -33,16 +41,19 @@ int main() {
     opts.seed = 100 + a;
     opts.plans = plan_first_k(n, a, AbortWhen::kOnIdle);
     for (std::uint32_t w : {2u, 16u, 64u}) {
-      report(table, "ours W=" + std::to_string(w) + " (adaptive)", a,
+      report(table, br, "ours W=" + std::to_string(w) + " (adaptive)", a,
              run_ours(n, w, aml::core::Find::kAdaptive, opts));
     }
-    report(table, "ours W=2 (plain)", a,
+    report(table, br, "ours W=2 (plain)", a,
            run_ours(n, 2, aml::core::Find::kPlain, opts));
-    report(table, "tournament (Jayanti-class)", a,
+    report(table, br, "tournament (Jayanti-class)", a,
            run_simple<TournamentCc>(n, opts));
-    report(table, "Scott (CLH-NB)", a, run_budgeted<ScottCc>(n, opts));
-    report(table, "Lee-style (F&A queue)", a, run_budgeted<LeeCc>(n, opts));
+    report(table, br, "Scott (CLH-NB)", a, run_budgeted<ScottCc>(n, opts));
+    report(table, br, "Lee-style (F&A queue)", a,
+           run_budgeted<LeeCc>(n, opts));
   }
   table.print();
+  br.table(table);
+  br.write();
   return 0;
 }

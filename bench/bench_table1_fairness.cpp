@@ -16,6 +16,7 @@
 #include "table1_common.hpp"
 
 #include "aml/core/oneshot.hpp"
+#include "aml/harness/report.hpp"
 #include "aml/sched/scheduler.hpp"
 
 using namespace bench;
@@ -67,6 +68,8 @@ std::uint64_t fcfs_inversions(std::uint32_t n, std::uint32_t aborters,
 }  // namespace
 
 int main() {
+  aml::harness::BenchReport br("table1_fairness");
+  br.config("fcfs_seeds_per_point", std::uint64_t{5});
   Table fcfs("Table 1 / fairness — one-shot FCFS audit (inversions between "
              "doorway order and CS order)");
   fcfs.headers({"N", "aborters", "seeds", "total inversions"});
@@ -77,6 +80,7 @@ int main() {
       total += fcfs_inversions(n, a, seed);
     }
     fcfs.row({fmt_u(n), fmt_u(a), "5", fmt_u(total)});
+    br.sample("fcfs_inversions", static_cast<double>(total));
   }
   fcfs.print();
 
@@ -106,7 +110,11 @@ int main() {
     }
     sf.row({fmt_u(n), fmt_u(rounds), fmt_u(ppm), fmt_u(mn), fmt_u(mx),
             r.mutex_ok ? "yes" : "NO"});
+    br.sample("min_completions", static_cast<double>(mn))
+        .sample("max_completions", static_cast<double>(mx));
   }
   sf.print();
+  br.table(fcfs).table(sf);
+  br.write();
   return 0;
 }

@@ -8,20 +8,27 @@
 //                                 every waiter)
 #include "table1_common.hpp"
 
+#include "aml/harness/report.hpp"
+
 using namespace bench;
+using aml::harness::BenchReport;
 
 namespace {
 
-void report(Table& table, const std::string& name, std::uint32_t n,
-            const RunResult& r) {
+void report(Table& table, BenchReport& br, const std::string& name,
+            std::uint32_t n, const RunResult& r) {
   table.row({name, fmt_u(n), fmt_u(r.complete_summary().max),
              Table::num(r.complete_summary().mean),
              r.mutex_ok ? "yes" : "NO"});
+  br.sample("max_passage_rmr",
+            static_cast<double>(r.complete_summary().max));
 }
 
 }  // namespace
 
 int main() {
+  BenchReport br("table1_noabort");
+  br.config("workload", "zero aborts, no CS gate");
   Table table("Table 1 / no-aborts column — passage RMRs, zero aborts");
   table.headers({"lock", "N", "max passage RMR", "mean passage RMR",
                  "mutex"});
@@ -30,19 +37,22 @@ int main() {
     opts.seed = n + 1;
     opts.gate_cs = false;
     for (std::uint32_t w : {2u, 64u}) {
-      report(table, "ours W=" + std::to_string(w) + " (adaptive)", n,
+      report(table, br, "ours W=" + std::to_string(w) + " (adaptive)", n,
              run_ours(n, w, aml::core::Find::kAdaptive, opts));
     }
-    report(table, "MCS", n, run_simple<McsCc>(n, opts));
-    report(table, "CLH", n, run_simple<ClhCc>(n, opts));
-    report(table, "tournament (Jayanti-class)", n,
+    report(table, br, "MCS", n, run_simple<McsCc>(n, opts));
+    report(table, br, "CLH", n, run_simple<ClhCc>(n, opts));
+    report(table, br, "tournament (Jayanti-class)", n,
            run_simple<TournamentCc>(n, opts));
-    report(table, "Yang-Anderson (read/write)", n,
+    report(table, br, "Yang-Anderson (read/write)", n,
            run_simple<aml::baselines::YangAndersonLock<Model>>(n, opts));
-    report(table, "Scott (CLH-NB)", n, run_budgeted<ScottCc>(n, opts));
-    report(table, "Lee-style (F&A queue)", n, run_budgeted<LeeCc>(n, opts));
-    report(table, "ticket", n, run_simple<TicketCc>(n, opts));
+    report(table, br, "Scott (CLH-NB)", n, run_budgeted<ScottCc>(n, opts));
+    report(table, br, "Lee-style (F&A queue)", n,
+           run_budgeted<LeeCc>(n, opts));
+    report(table, br, "ticket", n, run_simple<TicketCc>(n, opts));
   }
   table.print();
+  br.table(table);
+  br.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "aml/core/longlived.hpp"
 #include "aml/core/oneshot.hpp"
+#include "aml/harness/report.hpp"
 
 using namespace bench;
 
@@ -28,6 +29,8 @@ std::uint64_t words_for(std::uint32_t n, MakeLock&& make) {
 }  // namespace
 
 int main() {
+  aml::harness::BenchReport br("table1_space");
+  br.config("metric", "words allocated at construction");
   Table table("Table 1 / space column — words allocated at construction");
   table.headers({"lock", "N", "words", "words/N", "words/N^2"});
   auto add = [&](const std::string& name, std::uint32_t n,
@@ -35,6 +38,7 @@ int main() {
     table.row({name, fmt_u(n), fmt_u(words),
                Table::num(static_cast<double>(words) / n),
                Table::num(static_cast<double>(words) / n / n, 4)});
+    br.sample("words", static_cast<double>(words));
   };
 
   for (std::uint32_t n : {16u, 64u, 256u, 1024u, 4096u}) {
@@ -68,5 +72,7 @@ int main() {
         }));
   }
   table.print();
+  br.table(table);
+  br.write();
   return 0;
 }

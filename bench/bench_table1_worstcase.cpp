@@ -12,8 +12,11 @@
 //   Lee             O(N^2)-class (hand-off scan over poisoned slots: ~N)
 #include "table1_common.hpp"
 
+#include "aml/harness/report.hpp"
+
 using namespace bench;
 using aml::harness::AbortWhen;
+using aml::harness::BenchReport;
 using aml::harness::plan_first_k;
 
 namespace {
@@ -25,16 +28,20 @@ SinglePassOptions worst_opts(std::uint32_t n, std::uint64_t seed) {
   return opts;
 }
 
-void report(Table& table, const std::string& name, std::uint32_t n,
-            const RunResult& r) {
+void report(Table& table, BenchReport& br, const std::string& name,
+            std::uint32_t n, const RunResult& r) {
   table.row({name, fmt_u(n), fmt_u(r.complete_summary().max),
              Table::num(r.complete_summary().mean),
              fmt_u(r.aborted_summary().max), r.mutex_ok ? "yes" : "NO"});
+  br.sample("max_complete_rmr",
+            static_cast<double>(r.complete_summary().max));
 }
 
 }  // namespace
 
 int main() {
+  BenchReport br("table1_worstcase");
+  br.config("workload", "N-2 aborters, kOnIdle");
   Table table(
       "Table 1 / worst-case column — passage RMRs with N-2 aborters");
   table.headers({"lock", "N", "max complete RMR", "mean complete",
@@ -42,16 +49,19 @@ int main() {
   for (std::uint32_t n : {64u, 256u, 1024u}) {
     const SinglePassOptions opts = worst_opts(n, n);
     for (std::uint32_t w : {2u, 4u, 16u, 64u}) {
-      report(table, "ours W=" + std::to_string(w) + " (adaptive)", n,
+      report(table, br, "ours W=" + std::to_string(w) + " (adaptive)", n,
              run_ours(n, w, aml::core::Find::kAdaptive, opts));
     }
-    report(table, "ours W=2 (plain)", n,
+    report(table, br, "ours W=2 (plain)", n,
            run_ours(n, 2, aml::core::Find::kPlain, opts));
-    report(table, "tournament (Jayanti-class)", n,
+    report(table, br, "tournament (Jayanti-class)", n,
            run_simple<TournamentCc>(n, opts));
-    report(table, "Scott (CLH-NB)", n, run_budgeted<ScottCc>(n, opts));
-    report(table, "Lee-style (F&A queue)", n, run_budgeted<LeeCc>(n, opts));
+    report(table, br, "Scott (CLH-NB)", n, run_budgeted<ScottCc>(n, opts));
+    report(table, br, "Lee-style (F&A queue)", n,
+           run_budgeted<LeeCc>(n, opts));
   }
   table.print();
+  br.table(table);
+  br.write();
   return 0;
 }

@@ -8,10 +8,13 @@
 #include "table1_common.hpp"
 
 #include "aml/core/longlived.hpp"
+#include "aml/harness/report.hpp"
 
 using namespace bench;
 
 int main() {
+  aml::harness::BenchReport br("transformation");
+  br.config("rounds", std::uint64_t{4}).config("abort_ppm", std::uint64_t{0});
   Table table("Claim 28 — transformation overhead (no aborts)");
   table.headers({"N", "W", "one-shot max RMR", "long-lived max RMR",
                  "long-lived mean RMR"});
@@ -36,8 +39,16 @@ int main() {
                  fmt_u(oneshot.complete_summary().max),
                  fmt_u(longlived.complete_summary().max),
                  Table::num(longlived.complete_summary().mean)});
+      br.sample("oneshot_max_rmr",
+                static_cast<double>(oneshot.complete_summary().max))
+          .sample("longlived_max_rmr",
+                  static_cast<double>(longlived.complete_summary().max))
+          .sample("longlived_switches",
+                  static_cast<double>(longlived.switches));
     }
   }
   table.print();
+  br.table(table);
+  br.write();
   return 0;
 }

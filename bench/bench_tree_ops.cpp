@@ -4,6 +4,7 @@
 #include <string>
 
 #include "aml/core/tree.hpp"
+#include "aml/harness/report.hpp"
 #include "aml/harness/stats.hpp"
 #include "aml/harness/table.hpp"
 #include "aml/model/counting_cc.hpp"
@@ -18,7 +19,7 @@ using aml::model::CountingCcModel;
 namespace {
 
 // Claim 20: total and per-op Remove cost as R removers execute.
-void bench_remove(std::uint32_t w) {
+void bench_remove(aml::harness::BenchReport& br, std::uint32_t w) {
   const std::uint32_t n = 4096;
   Table table("Claim 20 — Remove() RMR cost vs removers R (N=4096, W=" +
               std::to_string(w) + ")");
@@ -38,12 +39,16 @@ void bench_remove(std::uint32_t w) {
     table.row({Table::num(std::uint64_t{r}), Table::num(s.max),
                Table::num(s.mean),
                Table::num(std::uint64_t{2 + aml::pal::ceil_log(r, w)})});
+    br.sample("remove_max_rmr_w" + std::to_string(w),
+              static_cast<double>(s.max));
   }
   table.print();
+  br.table(table);
 }
 
 // Claim 21: AdaptiveFindNext cost as a function of R_p, from random callers.
-void bench_adaptive_findnext(std::uint32_t w) {
+void bench_adaptive_findnext(aml::harness::BenchReport& br,
+                             std::uint32_t w) {
   const std::uint32_t n = 4096;
   Table table("Claim 21 — AdaptiveFindNext() RMR cost vs R_p (N=4096, W=" +
               std::to_string(w) + ")");
@@ -83,14 +88,22 @@ void bench_adaptive_findnext(std::uint32_t w) {
     table.row(
         {Table::num(std::uint64_t{r}), Table::num(s.max), Table::num(s.mean),
          Table::num(std::uint64_t{2 * (2 + aml::pal::ceil_log(r, w)) + 2})});
+    br.sample("findnext_max_rmr_w" + std::to_string(w),
+              static_cast<double>(s.max));
   }
   table.print();
+  br.table(table);
 }
 
 }  // namespace
 
 int main() {
-  for (std::uint32_t w : {2u, 4u, 16u, 64u}) bench_remove(w);
-  for (std::uint32_t w : {2u, 4u, 16u, 64u}) bench_adaptive_findnext(w);
+  aml::harness::BenchReport report("tree_ops");
+  report.config("n", std::uint64_t{4096});
+  for (std::uint32_t w : {2u, 4u, 16u, 64u}) bench_remove(report, w);
+  for (std::uint32_t w : {2u, 4u, 16u, 64u}) {
+    bench_adaptive_findnext(report, w);
+  }
+  report.write();
   return 0;
 }

@@ -1,0 +1,56 @@
+# ctest script: run a counting-model bench twice with the same configuration
+# and assert (a) each run writes a structurally sane BENCH_<name>.json and
+# (b) the two files are byte-identical — the determinism contract the
+# PR-over-PR regression trail depends on.
+#
+# Invoked as:
+#   cmake -DBENCH_BIN=<path> -DBENCH_NAME=<name> -DWORK_DIR=<dir>
+#         -P check_bench_json.cmake
+
+if(NOT BENCH_BIN OR NOT BENCH_NAME OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH_BIN=... -DBENCH_NAME=... -DWORK_DIR=... -P check_bench_json.cmake")
+endif()
+
+foreach(run run1 run2)
+  set(dir "${WORK_DIR}/${run}")
+  file(REMOVE_RECURSE "${dir}")
+  file(MAKE_DIRECTORY "${dir}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "AMLOCK_BENCH_DIR=${dir}" "${BENCH_BIN}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    WORKING_DIRECTORY "${dir}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH_BIN} (${run}) exited ${rc}:\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS "${dir}/BENCH_${BENCH_NAME}.json")
+    message(FATAL_ERROR "${run} did not write BENCH_${BENCH_NAME}.json")
+  endif()
+endforeach()
+
+set(json1 "${WORK_DIR}/run1/BENCH_${BENCH_NAME}.json")
+set(json2 "${WORK_DIR}/run2/BENCH_${BENCH_NAME}.json")
+
+# Schema: every top-level key present.
+file(READ "${json1}" content)
+foreach(key bench git_rev config samples summary tables)
+  string(FIND "${content}" "\"${key}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "BENCH_${BENCH_NAME}.json lacks top-level key \"${key}\":\n${content}")
+  endif()
+endforeach()
+string(FIND "${content}" "\"bench\": \"${BENCH_NAME}\"" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "BENCH_${BENCH_NAME}.json has wrong bench name:\n${content}")
+endif()
+
+# Determinism: byte-identical across the two runs.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${json1}" "${json2}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "BENCH_${BENCH_NAME}.json differs between identical runs")
+endif()
+
+message(STATUS "BENCH_${BENCH_NAME}.json: schema ok, byte-identical across runs")

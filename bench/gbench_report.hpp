@@ -1,0 +1,53 @@
+// Shared glue for google-benchmark based native benches: run the usual
+// console reporter, but also capture every run's adjusted real time into a
+// BenchReport so the binary emits BENCH_<name>.json like the counting
+// benches do.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "aml/harness/report.hpp"
+
+namespace bench {
+
+// ConsoleReporter subclass: forwards to the normal console output and
+// records each successful run as a sample named after the benchmark.
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsole(aml::harness::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->sample(run.benchmark_name() + "/real_ns",
+                      run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  aml::harness::BenchReport* report_;
+};
+
+// Custom main body for a gbench binary: initialize, run with the reporting
+// console, then write BENCH_<name>.json. Native timings are inherently
+// non-deterministic, so these reports are not expected to be byte-identical
+// across runs (unlike the counting-model benches).
+inline int run_gbench_with_report(int argc, char** argv, const char* name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  aml::harness::BenchReport report(name);
+  report.config("deterministic", std::uint64_t{0});
+  ReportingConsole console(&report);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&console);
+  report.summary("benchmarks_run", static_cast<std::uint64_t>(ran));
+  report.write();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench

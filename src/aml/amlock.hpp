@@ -13,6 +13,8 @@
 //     RMR-counting CC/DSM simulators implementing the paper's cost model.
 //   * aml::sched::StepScheduler              — deterministic executions.
 //   * aml::baselines::*                      — Table 1 comparison locks.
+//   * aml::obs::Metrics / aml::obs::NullMetrics — observability sinks
+//     (counters, event ring, hand-off histogram); zero-cost when disabled.
 #pragma once
 
 #include "aml/pal/bits.hpp"
@@ -24,6 +26,9 @@
 #include "aml/model/counting_cc.hpp"
 #include "aml/model/counting_dsm.hpp"
 #include "aml/sched/scheduler.hpp"
+#include "aml/obs/events.hpp"
+#include "aml/obs/histogram.hpp"
+#include "aml/obs/metrics.hpp"
 #include "aml/core/tree.hpp"
 #include "aml/core/oneshot.hpp"
 #include "aml/core/versioned_space.hpp"

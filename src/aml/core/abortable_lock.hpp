@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "aml/model/native.hpp"
+#include "aml/obs/metrics.hpp"
 #include "aml/core/longlived.hpp"
 
 namespace aml {
@@ -49,27 +50,38 @@ struct LockConfig {
   std::uint32_t tree_width = 64;
 };
 
-class AbortableLock {
+/// `Metrics` selects the observability sink (aml/obs/metrics.hpp). The
+/// default NullMetrics is statically guaranteed zero-cost: the sink handles
+/// embedded in the lock are empty and every hook is a static no-op, so the
+/// native enter/exit hot paths carry no observability loads or stores.
+template <typename Metrics = obs::NullMetrics>
+class BasicAbortableLock {
  public:
-  explicit AbortableLock(LockConfig config = {})
+  using MetricsSink = Metrics;
+
+  explicit BasicAbortableLock(LockConfig config = {})
       : model_(config.max_threads),
         lock_(model_, {.nprocs = config.max_threads,
                        .w = config.tree_width,
                        .find = core::Find::kAdaptive}) {}
 
-  AbortableLock(const AbortableLock&) = delete;
-  AbortableLock& operator=(const AbortableLock&) = delete;
+  BasicAbortableLock(const BasicAbortableLock&) = delete;
+  BasicAbortableLock& operator=(const BasicAbortableLock&) = delete;
+
+  /// Bind an observability sink (no-op for the NullMetrics default). Call
+  /// before the participating threads start.
+  void set_metrics(Metrics* sink) { lock_.set_metrics(sink); }
 
   /// Acquire the lock. Returns false iff the attempt was abandoned because
   /// `signal` was raised while waiting. Starvation-free when no signal is
   /// raised; bounded abort when one is.
   bool enter(std::uint32_t thread_id, const AbortSignal& signal) {
-    return lock_.enter(thread_id, signal.flag());
+    return lock_.enter(thread_id, signal.flag()).acquired;
   }
 
   /// Acquire without abort support (never returns false).
   void enter(std::uint32_t thread_id) {
-    const bool ok = lock_.enter(thread_id, nullptr);
+    const bool ok = lock_.enter(thread_id, nullptr).acquired;
     AML_ASSERT(ok, "unsignalled enter cannot abort");
   }
 
@@ -78,7 +90,20 @@ class AbortableLock {
 
  private:
   model::NativeModel model_;
-  core::LongLivedLock<model::NativeModel> lock_;
+  core::LongLivedLock<model::NativeModel, core::VersionedSpace,
+                      core::OneShotLock, Metrics>
+      lock_;
 };
+
+/// The production default: metrics disabled, fast path uninstrumented.
+using AbortableLock = BasicAbortableLock<>;
+
+static_assert(obs::kZeroCostSink<AbortableLock::MetricsSink>,
+              "the default AbortableLock must compile with a zero-cost "
+              "observability sink — no loads or stores on the hot path");
+
+/// The instrumented flavor (per-process counters, event ring, hand-off
+/// histogram). See aml/obs/metrics.hpp for usage.
+using ObservedAbortableLock = BasicAbortableLock<obs::Metrics>;
 
 }  // namespace aml

@@ -55,12 +55,16 @@ namespace aml::core {
 ///                 transformation is CC-only (its Spn busy-wait spins on a
 ///                 shared node); composing with the DSM variant is the
 ///                 Section 8 open problem, offered here for exploration —
-///                 correct, but with remote spinning on the spin nodes.
+///                 correct, but with remote spinning on the spin nodes;
+///   Metrics     — observability sink (see aml/obs/metrics.hpp); the default
+///                 NullMetrics compiles every instrumentation point away.
 template <typename M, template <typename> class SpacePolicy = VersionedSpace,
-          template <typename> class OneShotT = OneShotLock>
+          template <typename, typename> class OneShotT = OneShotLock,
+          typename Metrics = obs::NullMetrics>
 class LongLivedLock {
  public:
   using Space = SpacePolicy<M>;
+  using MetricsSink = Metrics;
 
   struct Config {
     Pid nprocs = 2;       ///< N: number of participating processes
@@ -91,11 +95,21 @@ class LongLivedLock {
   LongLivedLock(const LongLivedLock&) = delete;
   LongLivedLock& operator=(const LongLivedLock&) = delete;
 
-  /// Algorithm 6.1. Returns true when the critical section was entered;
-  /// false when the attempt was aborted (the abort signal was observed
-  /// while waiting). Bounded abort: returns within a finite number of the
-  /// caller's steps once the signal is up.
-  bool enter(Pid self, const std::atomic<bool>* abort_signal) {
+  /// Bind an observability sink to this lock, its spin-node pool, and every
+  /// one-shot instance (no-op for the NullMetrics default).
+  void set_metrics(Metrics* sink) {
+    obs_.bind(sink);
+    spin_pool_.set_metrics(sink);
+    for (auto& inst : instances_) inst->lock.set_metrics(sink);
+  }
+
+  /// Algorithm 6.1. `acquired` is true when the critical section was
+  /// entered; false when the attempt was aborted (the abort signal was
+  /// observed while waiting). `slot` is the queue index assigned by the
+  /// joined instance's doorway, or kNoSlot when the attempt aborted during
+  /// the spin-node wait, before joining an instance. Bounded abort: returns
+  /// within a finite number of the caller's steps once the signal is up.
+  EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
     Local& local = *locals_[self];
     const Packed desc = unpack(mem_.read(self, *lock_desc_));  // line 57
     if (desc.spn == local.old_spn) {
@@ -105,9 +119,16 @@ class LongLivedLock {
       // Refcnt decrement, so its owner cannot reclaim it while we are here.
       auto& node = spin_pool_.node(desc.spn);
       auto outcome = mem_.wait(
-          self, *node.go, [](std::uint64_t v) { return v != 0; },
+          self, *node.go,
+          [this, self](std::uint64_t v) {
+            obs_.on_spin_iteration(self);
+            return v != 0;
+          },
           abort_signal);
-      if (outcome.stopped) return false;  // lines 60-61 (refcnt untouched)
+      if (outcome.stopped) {  // lines 60-61 (refcnt untouched)
+        obs_.on_abort(self, kNoSlot);
+        return {false, kNoSlot};
+      }
     }
     const Packed joined = unpack(mem_.faa(self, *lock_desc_, 1));  // line 62
     AML_DASSERT(joined.refcnt < config_.nprocs, "Refcnt overflow");
@@ -117,9 +138,8 @@ class LongLivedLock {
     const EnterResult result = inst.lock.enter(self, abort_signal);  // line 63
     if (!result.acquired) {
       cleanup(self);  // lines 64-65
-      return false;
     }
-    return true;
+    return result;
   }
 
   /// Algorithm 6.2. Caller must hold the lock.
@@ -144,6 +164,17 @@ class LongLivedLock {
     std::uint64_t total = 0;
     for (const auto& inst : instances_) total += inst->space.incarnations();
     return total;
+  }
+  /// Successful instance switches (Cleanup CAS installs). Unlike
+  /// total_incarnations(), this excludes the next_incarnation() bumps made
+  /// by Cleanups whose install CAS subsequently lost, so it counts the
+  /// switches that actually happened (total_switches <= total_incarnations).
+  std::uint64_t total_switches() const {
+    return switches_.load(std::memory_order_relaxed);
+  }
+  /// Currently installed instance index, via a raw read (testing aid).
+  std::uint32_t peek_installed(Pid self) {
+    return unpack(mem_.read(self, *lock_desc_)).lock;
   }
   std::size_t spin_nodes() const { return spin_pool_.total_nodes(); }
 
@@ -180,7 +211,7 @@ class LongLivedLock {
   /// same objects serve every incarnation.
   struct Instance {
     Space space;
-    OneShotT<Space> lock;
+    OneShotT<Space, Metrics> lock;
 
     Instance(M& mem, const Config& config)
         : space(mem, config.nprocs, config.w),
@@ -216,6 +247,8 @@ class LongLivedLock {
     const std::uint64_t expected = pack(prev.lock, prev.spn, 0);
     const std::uint64_t desired = pack(new_lock, new_spn, 0);
     if (mem_.cas(self, *lock_desc_, expected, desired)) {
+      switches_.fetch_add(1, std::memory_order_relaxed);
+      obs_.on_switch(self);
       mem_.write(self, *spin_pool_.node(prev.spn).go, 1);  // line 77
       local.held = prev.lock;
     } else {
@@ -227,10 +260,12 @@ class LongLivedLock {
 
   M& mem_;
   Config config_;
-  SpinNodePool<M> spin_pool_;
+  SpinNodePool<M, Metrics> spin_pool_;
   std::vector<std::unique_ptr<Instance>> instances_;
   std::vector<pal::CachePadded<Local>> locals_;
   typename M::Word* lock_desc_ = nullptr;
+  std::atomic<std::uint64_t> switches_{0};
+  [[no_unique_address]] obs::SinkHandle<Metrics> obs_;
 };
 
 }  // namespace aml::core

@@ -33,10 +33,16 @@
 #include <vector>
 
 #include "aml/model/concepts.hpp"
+#include "aml/obs/metrics.hpp"
 #include "aml/pal/config.hpp"
 #include "aml/core/tree.hpp"
 
 namespace aml::core {
+
+/// Slot value reported for attempts that never received a queue slot (e.g.
+/// an abort during the long-lived lock's spin-node wait, before joining an
+/// instance).
+inline constexpr std::uint32_t kNoSlot = obs::kNoSlot;
 
 /// Which FindNext implementation SignalNext uses.
 enum class Find : std::uint8_t {
@@ -56,10 +62,13 @@ namespace detail {
 inline constexpr std::uint64_t kNoneExited = ~std::uint64_t{0};
 }  // namespace detail
 
-template <typename Space>
+/// `Metrics` selects the observability sink (see aml/obs/metrics.hpp). The
+/// default NullMetrics compiles every instrumentation point to nothing.
+template <typename Space, typename Metrics = obs::NullMetrics>
 class OneShotLock {
  public:
   using Word = typename Space::Word;
+  using MetricsSink = Metrics;
 
   OneShotLock(Space& space, std::uint32_t n_slots, std::uint32_t w,
               Find find = Find::kAdaptive)
@@ -83,20 +92,30 @@ class OneShotLock {
   const Tree<Space>& tree() const { return tree_; }
   Tree<Space>& tree() { return tree_; }
 
+  /// Bind an observability sink (no-op for the NullMetrics default).
+  void set_metrics(Metrics* sink) { obs_.bind(sink); }
+
   /// Algorithm 3.1. Blocks until the lock is acquired or the abort signal is
   /// observed while waiting. The returned slot is valid in both cases.
   EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
     const std::uint64_t i = space_.faa(self, *tail_, 1);  // doorway (line 1)
     AML_ASSERT(i < n_, "one-shot lock capacity exceeded (re-entry?)");
     const std::uint32_t slot = static_cast<std::uint32_t>(i);
+    obs_.on_enter(self, slot);
     auto outcome = space_.wait(
-        self, *go_[slot], [](std::uint64_t v) { return v != 0; },
+        self, *go_[slot],
+        [this, self](std::uint64_t v) {
+          obs_.on_spin_iteration(self);
+          return v != 0;
+        },
         abort_signal);
     if (outcome.stopped) {  // lines 3-5
       abort_slot(self, slot);
+      obs_.on_abort(self, slot);
       return {false, slot};
     }
     space_.write(self, *head_, i);  // line 6
+    obs_.on_granted(self, slot);
     return {true, slot};
   }
 
@@ -104,6 +123,7 @@ class OneShotLock {
   /// owner. Wait-free (bounded exit).
   void exit(Pid self) {
     const std::uint64_t head = space_.read(self, *head_);    // line 8
+    obs_.on_exit(self, static_cast<std::uint32_t>(head));
     space_.write(self, *last_exited_, head);                 // line 9
     signal_next(self, static_cast<std::uint32_t>(head));     // line 10
   }
@@ -133,6 +153,7 @@ class OneShotLock {
 
   /// Algorithm 3.4.
   void signal_next(Pid self, std::uint32_t head) {
+    obs_.on_findnext(self);
     const FindResult r = (find_ == Find::kPlain)
                              ? tree_.find_next(self, head)
                              : tree_.adaptive_find_next(self, head);
@@ -149,15 +170,17 @@ class OneShotLock {
   Word* head_ = nullptr;
   Word* last_exited_ = nullptr;
   std::vector<Word*> go_;
+  [[no_unique_address]] obs::SinkHandle<Metrics> obs_;
 };
 
 /// DSM variant (Section 3). Requires the space to provide
 /// alloc_owned(owner, n, init): the per-process spin bits are local to their
 /// owner; everything else is placed like the CC variant.
-template <typename Space>
+template <typename Space, typename Metrics = obs::NullMetrics>
 class OneShotLockDsm {
  public:
   using Word = typename Space::Word;
+  using MetricsSink = Metrics;
 
   static constexpr std::uint64_t kNoAnnounce = ~std::uint64_t{0};
 
@@ -190,29 +213,40 @@ class OneShotLockDsm {
 
   std::uint32_t capacity() const { return n_; }
 
+  /// Bind an observability sink (no-op for the NullMetrics default).
+  void set_metrics(Metrics* sink) { obs_.bind(sink); }
+
   EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
     const std::uint64_t i = space_.faa(self, *tail_, 1);
     AML_ASSERT(i < n_, "one-shot lock capacity exceeded (re-entry?)");
     const std::uint32_t slot = static_cast<std::uint32_t>(i);
+    obs_.on_enter(self, slot);
     // Publish the local spin bit, then check go[i]; the signaller writes
     // go[i] before reading announce[i], so one side always sees the other.
     space_.write(self, *announce_[slot], self);
     const std::uint64_t granted = space_.read(self, *go_[slot]);
     if (granted == 0) {
       auto outcome = space_.wait(
-          self, *spin_[self], [](std::uint64_t v) { return v != 0; },
+          self, *spin_[self],
+          [this, self](std::uint64_t v) {
+            obs_.on_spin_iteration(self);
+            return v != 0;
+          },
           abort_signal);
       if (outcome.stopped) {
         abort_slot(self, slot);
+        obs_.on_abort(self, slot);
         return {false, slot};
       }
     }
     space_.write(self, *head_, i);
+    obs_.on_granted(self, slot);
     return {true, slot};
   }
 
   void exit(Pid self) {
     const std::uint64_t head = space_.read(self, *head_);
+    obs_.on_exit(self, static_cast<std::uint32_t>(head));
     space_.write(self, *last_exited_, head);
     signal_next(self, static_cast<std::uint32_t>(head));
   }
@@ -227,6 +261,7 @@ class OneShotLockDsm {
   }
 
   void signal_next(Pid self, std::uint32_t head) {
+    obs_.on_findnext(self);
     const FindResult r = (find_ == Find::kPlain)
                              ? tree_.find_next(self, head)
                              : tree_.adaptive_find_next(self, head);
@@ -248,6 +283,7 @@ class OneShotLockDsm {
   std::vector<Word*> go_;
   std::vector<Word*> announce_;
   std::vector<Word*> spin_;  ///< spin_[p] is local to process p
+  [[no_unique_address]] obs::SinkHandle<Metrics> obs_;
 };
 
 }  // namespace aml::core

@@ -32,12 +32,13 @@
 #include <vector>
 
 #include "aml/model/types.hpp"
+#include "aml/obs/metrics.hpp"
 #include "aml/pal/cache.hpp"
 #include "aml/pal/config.hpp"
 
 namespace aml::core {
 
-template <typename M>
+template <typename M, typename Metrics = obs::NullMetrics>
 class SpinNodePool {
  public:
   using Word = typename M::Word;
@@ -78,6 +79,9 @@ class SpinNodePool {
   SpinNodePool& operator=(const SpinNodePool&) = delete;
 
   Node& node(std::uint32_t global_idx) { return nodes_[global_idx]; }
+
+  /// Bind an observability sink (no-op for the NullMetrics default).
+  void set_metrics(Metrics* sink) { obs_.bind(sink); }
 
   /// Publish that `self` holds `global_idx` as its oldSpn. MUST be invoked
   /// before the Refcnt decrement that makes the node's retirement possible.
@@ -131,6 +135,7 @@ class SpinNodePool {
       }
     }
     auto& fl = *free_lists_[self];
+    std::uint64_t reclaimed = 0;
     for (std::uint32_t k = 0; k < per_pool_; ++k) {
       const std::uint32_t idx = base + k;
       if (states_[idx] != State::kIssued || pinned[k]) continue;
@@ -138,7 +143,9 @@ class SpinNodePool {
       mem_.write(self, *nodes_[idx].go, 0);
       states_[idx] = State::kFree;
       fl.push_back(idx);
+      ++reclaimed;
     }
+    if (reclaimed != 0) obs_.on_spin_node_recycle(self, reclaimed);
   }
 
   M& mem_;
@@ -148,6 +155,7 @@ class SpinNodePool {
   std::vector<State> states_;  ///< owner-local; distinct bytes per owner
   std::vector<Word*> announce_;
   std::vector<pal::CachePadded<std::vector<std::uint32_t>>> free_lists_;
+  [[no_unique_address]] obs::SinkHandle<Metrics> obs_;
 };
 
 }  // namespace aml::core

@@ -1,0 +1,229 @@
+#include "aml/harness/report.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace aml::harness {
+
+namespace {
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string format_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integral doubles (the common case for counters) render exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    return format_i64(static_cast<std::int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string git_rev() {
+#ifdef AMLOCK_GIT_REV
+  return AMLOCK_GIT_REV;
+#else
+  if (const char* env = std::getenv("AMLOCK_GIT_REV")) return env;
+  return "unknown";
+#endif
+}
+
+BenchReport& BenchReport::config(const std::string& key, std::uint64_t v) {
+  config_.push_back({key, {Value::Kind::kNumber, format_u64(v)}});
+  return *this;
+}
+BenchReport& BenchReport::config(const std::string& key, std::int64_t v) {
+  config_.push_back({key, {Value::Kind::kNumber, format_i64(v)}});
+  return *this;
+}
+BenchReport& BenchReport::config(const std::string& key, double v) {
+  config_.push_back({key, {Value::Kind::kNumber, json_number(v)}});
+  return *this;
+}
+BenchReport& BenchReport::config(const std::string& key,
+                                 const std::string& v) {
+  config_.push_back({key, {Value::Kind::kString, v}});
+  return *this;
+}
+BenchReport& BenchReport::config(const std::string& key, const char* v) {
+  return config(key, std::string(v));
+}
+
+BenchReport& BenchReport::sample(const std::string& series, double v) {
+  for (auto& [name, vs] : samples_) {
+    if (name == series) {
+      vs.push_back(json_number(v));
+      return *this;
+    }
+  }
+  samples_.push_back({series, {json_number(v)}});
+  return *this;
+}
+
+BenchReport& BenchReport::samples(const std::string& series,
+                                  const std::vector<double>& vs) {
+  for (const double v : vs) sample(series, v);
+  return *this;
+}
+
+BenchReport& BenchReport::samples(const std::string& series,
+                                  const std::vector<std::uint64_t>& vs) {
+  for (const std::uint64_t v : vs) sample(series, static_cast<double>(v));
+  return *this;
+}
+
+BenchReport& BenchReport::summary(const std::string& key, double v) {
+  summary_.push_back({key, {Value::Kind::kNumber, json_number(v)}});
+  return *this;
+}
+BenchReport& BenchReport::summary(const std::string& key, std::uint64_t v) {
+  summary_.push_back({key, {Value::Kind::kNumber, format_u64(v)}});
+  return *this;
+}
+BenchReport& BenchReport::summary(const std::string& key, const Summary& s) {
+  summary(key + "_count", s.count);
+  summary(key + "_min", s.min);
+  summary(key + "_max", s.max);
+  summary(key + "_mean", s.mean);
+  summary(key + "_p50", s.p50);
+  summary(key + "_p90", s.p90);
+  summary(key + "_p99", s.p99);
+  return *this;
+}
+
+BenchReport& BenchReport::table(const Table& t) {
+  tables_.push_back({t.title(), t.header_row(), t.row_data()});
+  return *this;
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"" << json_escape(name_) << "\",\n";
+  os << "  \"git_rev\": \"" << json_escape(git_rev()) << "\",\n";
+
+  auto emit_object = [&os](const char* key, const std::vector<Entry>& entries,
+                           bool trailing_comma) {
+    os << "  \"" << key << "\": {";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\n    \"" << json_escape(entries[i].first) << "\": ";
+      if (entries[i].second.kind == Value::Kind::kString) {
+        os << "\"" << json_escape(entries[i].second.text) << "\"";
+      } else {
+        os << entries[i].second.text;
+      }
+    }
+    if (!entries.empty()) os << "\n  ";
+    os << "}" << (trailing_comma ? "," : "") << "\n";
+  };
+
+  emit_object("config", config_, true);
+
+  os << "  \"samples\": {";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n    \"" << json_escape(samples_[i].first) << "\": [";
+    const auto& vs = samples_[i].second;
+    for (std::size_t j = 0; j < vs.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << vs[j];
+    }
+    os << "]";
+  }
+  if (!samples_.empty()) os << "\n  ";
+  os << "},\n";
+
+  emit_object("summary", summary_, true);
+
+  os << "  \"tables\": [";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const auto& t = tables_[i];
+    if (i != 0) os << ",";
+    os << "\n    {\"title\": \"" << json_escape(t.title)
+       << "\", \"headers\": [";
+    for (std::size_t j = 0; j < t.headers.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << "\"" << json_escape(t.headers[j]) << "\"";
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      if (r != 0) os << ", ";
+      os << "[";
+      for (std::size_t c = 0; c < t.rows[r].size(); ++c) {
+        if (c != 0) os << ", ";
+        os << "\"" << json_escape(t.rows[r][c]) << "\"";
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  if (!tables_.empty()) os << "\n  ";
+  os << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string BenchReport::write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("AMLOCK_BENCH_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "[report] cannot open " << path << " for writing\n";
+    return "";
+  }
+  out << to_json();
+  if (!out) {
+    std::cerr << "[report] short write to " << path << "\n";
+    return "";
+  }
+  std::cout << "[report] wrote " << path << "\n";
+  return path;
+}
+
+}  // namespace aml::harness

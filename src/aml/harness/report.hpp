@@ -1,0 +1,105 @@
+// Machine-readable benchmark reports: every bench_* binary builds a
+// BenchReport alongside its text tables and writes BENCH_<name>.json for
+// the PR-over-PR regression trail (see EXPERIMENTS.md).
+//
+// Schema (all keys always present, in this order):
+//
+//   {
+//     "bench":   "<name>",
+//     "git_rev": "<short rev the binary was configured from>",
+//     "config":  { "<key>": <number|string>, ... },
+//     "samples": { "<series>": [<number>, ...], ... },
+//     "summary": { "<key>": <number>, ... },
+//     "tables":  [ {"title": ..., "headers": [...], "rows": [[...], ...]} ]
+//   }
+//
+// Emission is deterministic: keys keep insertion order, numbers render via
+// a fixed format, and nothing (timestamps, hostnames, pointers) varies
+// between runs — so counting-model benches produce byte-identical JSON for
+// identical seeds, which the schema test asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aml/harness/stats.hpp"
+#include "aml/harness/table.hpp"
+
+namespace aml::harness {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  // --- config (scalar parameters of the run) -----------------------------
+
+  BenchReport& config(const std::string& key, std::uint64_t v);
+  BenchReport& config(const std::string& key, std::int64_t v);
+  BenchReport& config(const std::string& key, double v);
+  BenchReport& config(const std::string& key, const std::string& v);
+  BenchReport& config(const std::string& key, const char* v);
+
+  // --- samples (raw measurement series) ----------------------------------
+
+  BenchReport& sample(const std::string& series, double v);
+  BenchReport& samples(const std::string& series,
+                       const std::vector<double>& vs);
+  BenchReport& samples(const std::string& series,
+                       const std::vector<std::uint64_t>& vs);
+
+  // --- summary (derived scalars) -----------------------------------------
+
+  BenchReport& summary(const std::string& key, double v);
+  BenchReport& summary(const std::string& key, std::uint64_t v);
+  /// Expands to <key>_count/min/max/mean/p50/p90/p99.
+  BenchReport& summary(const std::string& key, const Summary& s);
+
+  // --- tables (the text tables, archived verbatim) -----------------------
+
+  BenchReport& table(const Table& t);
+
+  // --- output ------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  std::string to_json() const;
+
+  /// Write BENCH_<name>.json into $AMLOCK_BENCH_DIR (or the working
+  /// directory when unset). Returns the path written, empty on I/O failure
+  /// (reported to stderr; benches should not die over a read-only dir).
+  std::string write() const;
+
+ private:
+  struct Value {
+    enum class Kind { kNumber, kString } kind = Kind::kNumber;
+    std::string text;  ///< pre-rendered JSON token
+  };
+  using Entry = std::pair<std::string, Value>;
+
+  struct TableDump {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::vector<Entry> config_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> samples_;
+  std::vector<Entry> summary_;
+  std::vector<TableDump> tables_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// Render a double as a JSON number token: integral values without a
+/// fraction, others with up to 17 significant digits (round-trippable),
+/// non-finite values as 0 (JSON has no inf/nan).
+std::string json_number(double v);
+
+/// The source revision baked in at configure time (AMLOCK_GIT_REV), else
+/// the AMLOCK_GIT_REV environment variable, else "unknown".
+std::string git_rev();
+
+}  // namespace aml::harness

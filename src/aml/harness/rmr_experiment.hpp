@@ -28,6 +28,7 @@
 #include "aml/harness/workload.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/model/counting_dsm.hpp"
+#include "aml/obs/metrics.hpp"
 #include "aml/pal/config.hpp"
 #include "aml/sched/scheduler.hpp"
 
@@ -53,7 +54,12 @@ struct RunResult {
   std::uint32_t completed = 0;
   std::uint32_t aborted = 0;
   bool mutex_ok = true;
-  std::uint64_t switches = 0;  ///< long-lived only: instance switches
+  std::uint64_t switches = 0;      ///< long-lived only: successful instance
+                                   ///< switches (Cleanup CAS installs)
+  std::uint64_t incarnations = 0;  ///< long-lived only: total space reuses
+                                   ///< (next_incarnation bumps, including
+                                   ///< those of switches whose install CAS
+                                   ///< lost) — >= switches
 
   std::vector<std::uint64_t> rmrs_of(bool acquired) const {
     std::vector<std::uint64_t> out;
@@ -83,6 +89,10 @@ struct SinglePassOptions {
   bool gate_cs = true;
   std::vector<AbortPlan> plans;  ///< size n (defaults to no aborts)
   std::uint64_t max_steps = 20'000'000;
+  /// Optional observability sink: bound to the lock (when the lock was
+  /// instantiated with the obs::Metrics sink type) for event/counter/latency
+  /// capture alongside the model's RMR accounting.
+  obs::Metrics* metrics = nullptr;
 };
 
 namespace detail {
@@ -109,6 +119,9 @@ template <typename Model, typename Lock>
 RunResult run_single_pass(Model& model, Lock& lock,
                           const SinglePassOptions& opts) {
   const Pid n = model.nprocs();
+  if constexpr (requires { lock.set_metrics(opts.metrics); }) {
+    if (opts.metrics != nullptr) lock.set_metrics(opts.metrics);
+  }
   std::vector<AbortPlan> plans = opts.plans;
   plans.resize(n);
 
@@ -212,11 +225,14 @@ RunResult run_single_pass(Model& model, Lock& lock,
 
 // --- convenience builders for the paper's lock flavors -------------------
 
-/// One-shot lock (CC variant) on the counting CC model.
+/// One-shot lock (CC variant) on the counting CC model. Instantiated with
+/// the obs::Metrics sink type so opts.metrics can be bound; when it is null
+/// every hook is a skipped null-check (observability stays quiet).
 inline RunResult oneshot_cc_run(Pid n, std::uint32_t w, core::Find find,
                                 const SinglePassOptions& opts) {
   model::CountingCcModel model(n);
-  core::OneShotLock<model::CountingCcModel> lock(model, n, w, find);
+  core::OneShotLock<model::CountingCcModel, obs::Metrics> lock(model, n, w,
+                                                               find);
   return run_single_pass(model, lock, opts);
 }
 
@@ -229,10 +245,12 @@ inline RunResult oneshot_dsm_run(Pid n, std::uint32_t w, core::Find find,
                                  const SinglePassOptions& opts) {
   model::CountingDsmModel model(n);
   if (dsm_variant) {
-    core::OneShotLockDsm<model::CountingDsmModel> lock(model, n, w, n, find);
+    core::OneShotLockDsm<model::CountingDsmModel, obs::Metrics> lock(
+        model, n, w, n, find);
     return run_single_pass(model, lock, opts);
   }
-  core::OneShotLock<model::CountingDsmModel> lock(model, n, w, find);
+  core::OneShotLock<model::CountingDsmModel, obs::Metrics> lock(model, n, w,
+                                                                find);
   return run_single_pass(model, lock, opts);
 }
 
@@ -257,6 +275,8 @@ struct LongLivedOptions {
   std::uint64_t raise_every = 61;  ///< force-raise one pending signal every k
                                    ///< steps (0 = only when idle)
   std::uint64_t max_steps = 50'000'000;
+  /// Optional observability sink, bound to the lock for the run.
+  obs::Metrics* metrics = nullptr;
 };
 
 /// Run `rounds` passes per process over a long-lived lock built on the
@@ -266,8 +286,9 @@ template <template <typename> class SpacePolicy = core::VersionedSpace>
 RunResult run_long_lived(const LongLivedOptions& opts) {
   using Model = model::CountingCcModel;
   Model model(opts.n);
-  core::LongLivedLock<Model, SpacePolicy> lock(
-      model, {.nprocs = opts.n, .w = opts.w, .find = opts.find});
+  core::LongLivedLock<Model, SpacePolicy, core::OneShotLock, obs::Metrics>
+      lock(model, {.nprocs = opts.n, .w = opts.w, .find = opts.find});
+  if (opts.metrics != nullptr) lock.set_metrics(opts.metrics);
   model.reset_counters();
 
   // Per-(process, round) abort marking, fixed up front for determinism.
@@ -320,11 +341,12 @@ RunResult run_long_lived(const LongLivedOptions& opts) {
       rec.pid = p;
       rec.marked = marked[p][round];
       const std::uint64_t r0 = counters.rmrs;
-      const bool ok = lock.enter(p, &signals[p]);
+      const core::EnterResult res = lock.enter(p, &signals[p]);
       rec.rmr_enter = counters.rmrs - r0;
-      rec.acquired = ok;
+      rec.acquired = res.acquired;
+      rec.slot = res.slot;
       wants[p].store(0, std::memory_order_release);
-      if (ok) {
+      if (res.acquired) {
         if (in_cs.fetch_add(1, std::memory_order_acq_rel) != 0) {
           violation.store(true, std::memory_order_release);
         }
@@ -340,7 +362,8 @@ RunResult run_long_lived(const LongLivedOptions& opts) {
 
   result.steps = run.steps;
   result.mutex_ok = !violation.load(std::memory_order_acquire);
-  result.switches = lock.total_incarnations();
+  result.switches = lock.total_switches();
+  result.incarnations = lock.total_incarnations();
   for (Pid p = 0; p < opts.n; ++p) {
     for (const auto& rec : records[p]) {
       if (rec.acquired) result.completed++;

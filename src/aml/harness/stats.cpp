@@ -17,10 +17,15 @@ Summary summarize(std::vector<std::uint64_t> samples) {
   double total = 0;
   for (std::uint64_t v : samples) total += static_cast<double>(v);
   s.mean = total / static_cast<double>(samples.size());
+  // Nearest-rank percentiles: the q-th percentile is the ceil(q*n)-th
+  // smallest sample. (The previous q*(n-1)+0.5 rounding collapsed p90/p99
+  // onto max for small n — e.g. n = 10 made p50 return the 6th sample.)
   auto pct = [&](double q) {
-    const std::size_t idx = static_cast<std::size_t>(
-        q * static_cast<double>(samples.size() - 1) + 0.5);
-    return samples[idx];
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank < 1) rank = 1;
+    if (rank > samples.size()) rank = samples.size();
+    return samples[rank - 1];
   };
   s.p50 = pct(0.50);
   s.p90 = pct(0.90);

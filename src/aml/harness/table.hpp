@@ -27,6 +27,10 @@ class Table {
 
   const std::string& title() const { return title_; }
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header_row() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
 
   // Cell formatting helpers.
   static std::string num(std::uint64_t v);

@@ -1,0 +1,100 @@
+// Observability event stream: a fixed-size ring buffer of lock lifecycle
+// events (enter / granted / abort / exit / instance switch) with logical
+// timestamps.
+//
+// The ring is a measurement aid, not a synchronization structure: writers
+// claim slots with one relaxed fetch_add and store plain Event payloads, so
+// pushes cost a handful of nanoseconds and never block the lock's hot path.
+// Once the ring wraps, a slow writer can race a fast one for the same slot
+// and the older event is overwritten (possibly torn); snapshot() must only
+// be called after the instrumented run has quiesced. Under the deterministic
+// scheduler exactly one process runs at a time, so the stream is totally
+// ordered and reproducible per seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/types.hpp"
+
+namespace aml::obs {
+
+/// Slot value for events that have no queue slot (e.g. an abort while
+/// waiting on the long-lived lock's spin node, before joining an instance).
+inline constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+enum class EventKind : std::uint8_t {
+  kEnter,    ///< doorway passed; slot assigned
+  kGranted,  ///< critical section entered
+  kAbort,    ///< attempt abandoned (abort signal observed)
+  kExit,     ///< critical section released
+  kSwitch,   ///< long-lived lock installed a fresh one-shot instance
+};
+
+inline const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnter: return "enter";
+    case EventKind::kGranted: return "granted";
+    case EventKind::kAbort: return "abort";
+    case EventKind::kExit: return "exit";
+    case EventKind::kSwitch: return "switch";
+  }
+  return "?";
+}
+
+struct Event {
+  EventKind kind = EventKind::kEnter;
+  model::Pid pid = 0;
+  std::uint32_t slot = kNoSlot;
+  std::uint64_t tick = 0;  ///< logical timestamp (see Metrics::now)
+};
+
+class EventRing {
+ public:
+  /// Capacity 0 disables recording entirely (push becomes a cheap no-op).
+  explicit EventRing(std::size_t capacity) : slots_(capacity) {}
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  void push(const Event& e) {
+    if (slots_.empty()) return;
+    const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    slots_[seq % slots_.size()] = e;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Total events offered to the ring (including overwritten ones).
+  std::uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to wraparound so far.
+  std::uint64_t dropped() const {
+    const std::uint64_t total = total_recorded();
+    return total > slots_.size() ? total - slots_.size() : 0;
+  }
+
+  /// The retained events, oldest first. Only meaningful once all
+  /// instrumented processes have quiesced (see file comment).
+  std::vector<Event> snapshot() const {
+    const std::uint64_t total = total_recorded();
+    std::vector<Event> out;
+    if (slots_.empty() || total == 0) return out;
+    const std::uint64_t kept =
+        total < slots_.size() ? total : slots_.size();
+    out.reserve(kept);
+    for (std::uint64_t i = total - kept; i < total; ++i) {
+      out.push_back(slots_[i % slots_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::vector<Event> slots_;
+};
+
+}  // namespace aml::obs

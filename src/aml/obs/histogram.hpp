@@ -1,0 +1,120 @@
+// Power-of-two-bucketed histogram for hand-off latency summaries.
+//
+// record() is wait-free (a few relaxed atomic adds plus bounded CAS loops
+// for min/max), so it is safe to call from inside instrumented lock paths.
+// Bucket i holds values whose bit width is i, i.e. [2^(i-1), 2^i); reported
+// percentiles are therefore upper bounds with at most 2x resolution, which
+// is the usual trade for a fixed-footprint concurrent histogram.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace aml::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  ///< bit widths 0..64
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;  ///< bucket upper bounds (nearest rank)
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+
+  /// Consistent only once writers have quiesced.
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    if (s.count == 0) return s;
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    s.p50 = percentile(s, 0.50);
+    s.p90 = percentile(s, 0.90);
+    s.p99 = percentile(s, 0.99);
+    return s;
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket i (0 -> 0, 1 -> 1, 2 -> 3, 3 -> 7...).
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t width = 0;
+    while (v != 0) {
+      ++width;
+      v >>= 1;
+    }
+    return width;
+  }
+
+ private:
+  static std::uint64_t percentile(const Snapshot& s, double q) {
+    // Nearest-rank over bucket upper bounds: the smallest bucket whose
+    // cumulative count reaches ceil(q * count).
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(s.count) + 0.9999999);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += s.buckets[i];
+      if (seen >= rank) return bucket_upper(i);
+    }
+    return s.max;
+  }
+
+  void update_min(std::uint64_t v) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace aml::obs

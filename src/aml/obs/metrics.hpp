@@ -1,0 +1,245 @@
+// aml::obs — the observability layer.
+//
+// The lock templates take a Metrics sink type parameter (default
+// NullMetrics) and route every instrumentation point through a
+// SinkHandle<Metrics> member. The two sink flavors:
+//
+//   * NullMetrics — the production default. SinkHandle<NullMetrics> is an
+//     empty class whose hooks are static no-ops, so with
+//     [[no_unique_address]] the sink occupies no storage and the enter/exit
+//     hot paths compile to exactly the uninstrumented code: no loads, no
+//     stores, no branches. kZeroCostSink<NullMetrics> static_asserts this.
+//
+//   * Metrics — per-process cache-padded counters (acquisitions, aborts,
+//     spin iterations, FindNext ascents, instance switches, spin-node
+//     recycles), an optional fixed-size event ring (see events.hpp), and a
+//     hand-off latency histogram (see histogram.hpp). Timestamps come from
+//     an internal logical event clock by default — deterministic under the
+//     step scheduler — or from a caller-installed clock (e.g. pal-level TSC
+//     on native hardware).
+//
+// A lock is instrumented by instantiating it with the Metrics sink type and
+// binding a sink instance:
+//
+//   aml::obs::Metrics metrics(nprocs, /*ring_capacity=*/4096);
+//   aml::core::OneShotLock<Model, aml::obs::Metrics> lock(model, n, w);
+//   lock.set_metrics(&metrics);
+//   ... run ...
+//   metrics.totals().acquisitions; metrics.ring().snapshot(); ...
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "aml/model/types.hpp"
+#include "aml/obs/events.hpp"
+#include "aml/obs/histogram.hpp"
+#include "aml/pal/cache.hpp"
+
+namespace aml::obs {
+
+using model::Pid;
+
+/// Per-process counters. Each process mutates only its own cache-padded
+/// copy, so recording is contention-free.
+struct Counters {
+  std::uint64_t acquisitions = 0;       ///< critical sections entered
+  std::uint64_t aborts = 0;             ///< attempts abandoned via the signal
+  std::uint64_t spin_iterations = 0;    ///< busy-wait predicate evaluations
+  std::uint64_t findnext_ascents = 0;   ///< SignalNext tree walks started
+  std::uint64_t instance_switches = 0;  ///< successful LockDesc CAS installs
+  std::uint64_t spin_node_recycles = 0; ///< spin nodes reclaimed into pools
+
+  Counters& operator+=(const Counters& o) {
+    acquisitions += o.acquisitions;
+    aborts += o.aborts;
+    spin_iterations += o.spin_iterations;
+    findnext_ascents += o.findnext_ascents;
+    instance_switches += o.instance_switches;
+    spin_node_recycles += o.spin_node_recycles;
+    return *this;
+  }
+};
+
+/// The disabled sink. Never instantiated at runtime; only its type matters.
+class NullMetrics {
+ public:
+  static constexpr bool kEnabled = false;
+};
+
+/// The enabled sink.
+class Metrics {
+ public:
+  static constexpr bool kEnabled = true;
+
+  /// `ring_capacity` 0 disables event recording (counters and the hand-off
+  /// histogram stay active).
+  explicit Metrics(Pid nprocs, std::size_t ring_capacity = 0)
+      : counters_(nprocs), ring_(ring_capacity) {}
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // --- instrumentation points (called via SinkHandle) --------------------
+
+  void on_enter(Pid p, std::uint32_t slot) {
+    emit(EventKind::kEnter, p, slot);
+  }
+
+  void on_granted(Pid p, std::uint32_t slot) {
+    counters_[p]->acquisitions++;
+    const std::uint64_t t = emit(EventKind::kGranted, p, slot);
+    const std::uint64_t handed =
+        pending_handoff_.exchange(0, std::memory_order_acq_rel);
+    if (handed != 0 && t > handed) handoff_.record(t - handed);
+  }
+
+  void on_abort(Pid p, std::uint32_t slot) {
+    counters_[p]->aborts++;
+    emit(EventKind::kAbort, p, slot);
+  }
+
+  void on_exit(Pid p, std::uint32_t slot) {
+    const std::uint64_t t = emit(EventKind::kExit, p, slot);
+    pending_handoff_.store(t, std::memory_order_release);
+  }
+
+  void on_switch(Pid p) {
+    counters_[p]->instance_switches++;
+    emit(EventKind::kSwitch, p, kNoSlot);
+  }
+
+  void on_spin_iteration(Pid p) { counters_[p]->spin_iterations++; }
+
+  void on_findnext(Pid p) { counters_[p]->findnext_ascents++; }
+
+  void on_spin_node_recycle(Pid p, std::uint64_t nodes) {
+    counters_[p]->spin_node_recycles += nodes;
+  }
+
+  // --- inspection --------------------------------------------------------
+
+  Pid nprocs() const { return static_cast<Pid>(counters_.size()); }
+  const Counters& of(Pid p) const { return *counters_[p]; }
+
+  Counters totals() const {
+    Counters total;
+    for (const auto& c : counters_) total += *c;
+    return total;
+  }
+
+  const EventRing& ring() const { return ring_; }
+  const LatencyHistogram& handoff() const { return handoff_; }
+
+  /// Current logical time (events recorded so far + 1 at the next event).
+  std::uint64_t now_ticks() const {
+    return logical_.load(std::memory_order_relaxed);
+  }
+
+  /// Install a timestamp source (e.g. a TSC reader, or the scheduler's step
+  /// counter). Must be set before instrumented processes start; null
+  /// restores the default logical event clock.
+  void set_clock(std::function<std::uint64_t()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  void reset() {
+    for (auto& c : counters_) *c = Counters{};
+    handoff_.reset();
+    pending_handoff_.store(0, std::memory_order_relaxed);
+    // The ring keeps its history; logical time keeps advancing so ticks
+    // stay unique across reset boundaries.
+  }
+
+ private:
+  std::uint64_t now() {
+    if (clock_) return clock_();
+    return logical_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t emit(EventKind kind, Pid p, std::uint32_t slot) {
+    const std::uint64_t t = now();
+    ring_.push(Event{kind, p, slot, t});
+    return t;
+  }
+
+  std::vector<pal::CachePadded<Counters>> counters_;
+  EventRing ring_;
+  LatencyHistogram handoff_;
+  std::atomic<std::uint64_t> pending_handoff_{0};
+  std::atomic<std::uint64_t> logical_{0};
+  std::function<std::uint64_t()> clock_;
+};
+
+/// What the lock templates actually hold: a bound-or-null pointer for an
+/// enabled sink, or an empty no-op shim for NullMetrics.
+template <typename Sink>
+class SinkHandle {
+ public:
+  using sink_type = Sink;
+
+  void bind(Sink* sink) { sink_ = sink; }
+  Sink* get() const { return sink_; }
+
+  void on_enter(Pid p, std::uint32_t slot) {
+    if (sink_ != nullptr) sink_->on_enter(p, slot);
+  }
+  void on_granted(Pid p, std::uint32_t slot) {
+    if (sink_ != nullptr) sink_->on_granted(p, slot);
+  }
+  void on_abort(Pid p, std::uint32_t slot) {
+    if (sink_ != nullptr) sink_->on_abort(p, slot);
+  }
+  void on_exit(Pid p, std::uint32_t slot) {
+    if (sink_ != nullptr) sink_->on_exit(p, slot);
+  }
+  void on_switch(Pid p) {
+    if (sink_ != nullptr) sink_->on_switch(p);
+  }
+  void on_spin_iteration(Pid p) {
+    if (sink_ != nullptr) sink_->on_spin_iteration(p);
+  }
+  void on_findnext(Pid p) {
+    if (sink_ != nullptr) sink_->on_findnext(p);
+  }
+  void on_spin_node_recycle(Pid p, std::uint64_t nodes) {
+    if (sink_ != nullptr) sink_->on_spin_node_recycle(p, nodes);
+  }
+
+ private:
+  Sink* sink_ = nullptr;
+};
+
+/// Disabled specialization: empty, all hooks static no-ops. With
+/// [[no_unique_address]] this adds zero bytes and zero instructions.
+template <>
+class SinkHandle<NullMetrics> {
+ public:
+  using sink_type = NullMetrics;
+
+  static void bind(NullMetrics*) {}
+  static NullMetrics* get() { return nullptr; }
+  static void on_enter(Pid, std::uint32_t) {}
+  static void on_granted(Pid, std::uint32_t) {}
+  static void on_abort(Pid, std::uint32_t) {}
+  static void on_exit(Pid, std::uint32_t) {}
+  static void on_switch(Pid) {}
+  static void on_spin_iteration(Pid) {}
+  static void on_findnext(Pid) {}
+  static void on_spin_node_recycle(Pid, std::uint64_t) {}
+};
+
+/// True when instrumenting with `Sink` costs nothing: the handle stores no
+/// state, so the optimizer erases every hook call. The deployment header
+/// static_asserts this for the default NullMetrics configuration.
+template <typename Sink>
+inline constexpr bool kZeroCostSink = std::is_empty_v<SinkHandle<Sink>>;
+
+static_assert(kZeroCostSink<NullMetrics>,
+              "the disabled metrics sink must compile to nothing");
+static_assert(!kZeroCostSink<Metrics>, "the enabled sink carries state");
+
+}  // namespace aml::obs

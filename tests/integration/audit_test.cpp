@@ -143,7 +143,7 @@ TEST(AuditedExecution, LongLivedHistoriesConserve) {
   m.set_hook(&sched);
   sched.run([&](Pid p) {
     for (int round = 0; round < 5; ++round) {
-      if (lock.enter(p, nullptr)) {
+      if (lock.enter(p, nullptr).acquired) {
         log.record(p, EventKind::kAcquire);
         log.record(p, EventKind::kRelease);
         lock.exit(p);

@@ -69,6 +69,32 @@ TEST(StatsTest, EmptySummary) {
   EXPECT_EQ(s.max, 0u);
 }
 
+// Nearest-rank percentiles: rank = ceil(q*n), value = sorted[rank-1].
+// The previous rounding formula (idx = q*(n-1)+0.5) put p50 of {10..100}
+// at 60 instead of 50.
+TEST(StatsTest, NearestRankPercentiles) {
+  const Summary s = summarize({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  EXPECT_EQ(s.p50, 50u);
+  EXPECT_EQ(s.p90, 90u);
+  EXPECT_EQ(s.p99, 100u);
+}
+
+TEST(StatsTest, NearestRankSingleton) {
+  const Summary s = summarize({7});
+  EXPECT_EQ(s.p50, 7u);
+  EXPECT_EQ(s.p90, 7u);
+  EXPECT_EQ(s.p99, 7u);
+}
+
+TEST(StatsTest, NearestRankSmallN) {
+  // n=4: p50 rank = ceil(0.5*4) = 2 -> second smallest; p90 and p99 both
+  // land on rank 4 -> the max.
+  const Summary s = summarize({4, 1, 3, 2});
+  EXPECT_EQ(s.p50, 2u);
+  EXPECT_EQ(s.p90, 4u);
+  EXPECT_EQ(s.p99, 4u);
+}
+
 TEST(WorkloadTest, PlanBuilders) {
   EXPECT_EQ(plan_aborters(plan_none(8)), 0u);
   const auto first = plan_first_k(8, 3);

@@ -1,0 +1,186 @@
+// BenchReport JSON emitter: schema shape, escaping, number rendering,
+// determinism, and file output. Includes a minimal structural JSON checker
+// (balanced braces/brackets outside strings, required keys in order) so the
+// suite does not need a JSON library.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "aml/harness/report.hpp"
+#include "aml/harness/stats.hpp"
+#include "aml/harness/table.hpp"
+
+namespace aml::harness {
+namespace {
+
+// Structural check: every brace/bracket outside a string literal balances
+// and the text ends exactly when the top-level value closes.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t end = std::string::npos;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth < 0) return false;
+      if (depth == 0) end = i;
+    }
+  }
+  if (in_string || depth != 0 || end == std::string::npos) return false;
+  for (std::size_t i = end + 1; i < s.size(); ++i) {
+    if (s[i] != '\n' && s[i] != ' ') return false;
+  }
+  return true;
+}
+
+TEST(JsonPrimitivesTest, Escaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonPrimitivesTest, Numbers) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  // Non-finite values cannot appear in JSON.
+  EXPECT_EQ(json_number(1.0 / 0.0), "0");
+  EXPECT_EQ(json_number(0.0 / 0.0), "0");
+}
+
+TEST(BenchReportTest, SchemaKeysPresentInOrder) {
+  BenchReport r("demo");
+  r.config("n", std::uint64_t{8}).config("label", "hello");
+  r.sample("rmrs", 3.0).sample("rmrs", 4.0);
+  r.summary("max_rmr", std::uint64_t{4});
+  Table t("tbl");
+  t.headers({"a", "b"});
+  t.row({"1", "2"});
+  r.table(t);
+
+  const std::string j = r.to_json();
+  EXPECT_TRUE(json_balanced(j)) << j;
+  const std::size_t bench = j.find("\"bench\"");
+  const std::size_t rev = j.find("\"git_rev\"");
+  const std::size_t config = j.find("\"config\"");
+  const std::size_t samples = j.find("\"samples\"");
+  const std::size_t summary = j.find("\"summary\"");
+  const std::size_t tables = j.find("\"tables\"");
+  ASSERT_NE(bench, std::string::npos);
+  ASSERT_NE(rev, std::string::npos);
+  ASSERT_NE(config, std::string::npos);
+  ASSERT_NE(samples, std::string::npos);
+  ASSERT_NE(summary, std::string::npos);
+  ASSERT_NE(tables, std::string::npos);
+  EXPECT_LT(bench, rev);
+  EXPECT_LT(rev, config);
+  EXPECT_LT(config, samples);
+  EXPECT_LT(samples, summary);
+  EXPECT_LT(summary, tables);
+
+  EXPECT_NE(j.find("\"bench\": \"demo\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"rmrs\": [3, 4]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"max_rmr\": 4"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"headers\": [\"a\", \"b\"]"), std::string::npos) << j;
+}
+
+TEST(BenchReportTest, EmptyReportStillHasAllKeys) {
+  const std::string j = BenchReport("empty").to_json();
+  EXPECT_TRUE(json_balanced(j)) << j;
+  for (const char* key :
+       {"\"bench\"", "\"git_rev\"", "\"config\"", "\"samples\"",
+        "\"summary\"", "\"tables\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(BenchReportTest, SummaryExpansion) {
+  BenchReport r("sum");
+  r.summary("rmr", summarize({1, 2, 3, 4, 5}));
+  const std::string j = r.to_json();
+  for (const char* key :
+       {"\"rmr_count\": 5", "\"rmr_min\": 1", "\"rmr_max\": 5",
+        "\"rmr_mean\": 3", "\"rmr_p50\": 3"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
+  }
+}
+
+TEST(BenchReportTest, DeterministicEmission) {
+  auto build = [] {
+    BenchReport r("det");
+    r.config("seed", std::uint64_t{42}).config("w", std::uint64_t{8});
+    r.samples("xs", std::vector<std::uint64_t>{7, 8, 9});
+    r.sample("ys", 2.25);
+    r.summary("total", std::uint64_t{24});
+    return r.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(BenchReportTest, SamplesAppendToExistingSeries) {
+  BenchReport r("series");
+  r.sample("a", 1.0);
+  r.sample("b", 10.0);
+  r.sample("a", 2.0);
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"a\": [1, 2]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"b\": [10]"), std::string::npos) << j;
+}
+
+TEST(BenchReportTest, WriteHonorsBenchDirEnv) {
+  const std::string dir = ::testing::TempDir();
+  ::setenv("AMLOCK_BENCH_DIR", dir.c_str(), 1);
+  BenchReport r("write_demo");
+  r.config("n", std::uint64_t{4});
+  const std::string path = r.write();
+  ::unsetenv("AMLOCK_BENCH_DIR");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BENCH_write_demo.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), r.to_json());
+  EXPECT_TRUE(json_balanced(content.str()));
+}
+
+TEST(BenchReportTest, GitRevNeverEmpty) {
+  EXPECT_FALSE(git_rev().empty());
+}
+
+TEST(BenchReportTest, TableArchivedVerbatim) {
+  Table t("Claim 1 — demo");
+  t.headers({"N", "max RMR"});
+  t.row({"8", "12"});
+  t.row({"16", "13"});
+  BenchReport r("tab");
+  r.table(t);
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"title\": \"Claim 1 — demo\""), std::string::npos) << j;
+  EXPECT_NE(j.find("[\"16\", \"13\"]"), std::string::npos) << j;
+}
+
+}  // namespace
+}  // namespace aml::harness

@@ -32,7 +32,7 @@ TEST(LongLivedModels, CorrectOnDsmModel) {
   m.set_hook(&sched);
   sched.run([&](Pid p) {
     for (int round = 0; round < 4; ++round) {
-      ASSERT_TRUE(lock.enter(p, nullptr));
+      ASSERT_TRUE(lock.enter(p, nullptr).acquired);
       if (in_cs.fetch_add(1) != 0) violation.store(true);
       in_cs.fetch_sub(1);
       lock.exit(p);
@@ -61,7 +61,7 @@ TEST(LongLivedModels, DsmVariantCompositionExploresOpenProblem) {
   m.set_hook(&sched);
   sched.run([&](Pid p) {
     for (int round = 0; round < 3; ++round) {
-      ASSERT_TRUE(lock.enter(p, nullptr));
+      ASSERT_TRUE(lock.enter(p, nullptr).acquired);
       if (in_cs.fetch_add(1) != 0) violation.store(true);
       in_cs.fetch_sub(1);
       lock.exit(p);
@@ -84,7 +84,7 @@ TEST(LongLivedModels, WSweepIncludingMinimum) {
     m.set_hook(&sched);
     sched.run([&](Pid p) {
       for (int round = 0; round < 3; ++round) {
-        ASSERT_TRUE(lock.enter(p, nullptr));
+        ASSERT_TRUE(lock.enter(p, nullptr).acquired);
         if (in_cs.fetch_add(1) != 0) violation.store(true);
         in_cs.fetch_sub(1);
         lock.exit(p);
@@ -105,7 +105,7 @@ TEST(LongLivedModels, InstanceAccountingUnderSoloChurn) {
   m.set_hook(&sched);
   sched.run([&](Pid p) {
     for (int round = 0; round < 20; ++round) {
-      ASSERT_TRUE(lock.enter(p, nullptr));
+      ASSERT_TRUE(lock.enter(p, nullptr).acquired);
       lock.exit(p);
     }
   });
@@ -122,7 +122,7 @@ TEST(LongLivedModels, RefcntReturnsToZeroWhenIdle) {
   m.set_hook(&sched);
   sched.run([&](Pid p) {
     for (int round = 0; round < 6; ++round) {
-      ASSERT_TRUE(lock.enter(p, nullptr));
+      ASSERT_TRUE(lock.enter(p, nullptr).acquired);
       lock.exit(p);
     }
   });
@@ -168,13 +168,13 @@ TEST(LongLivedModels, SpinNodeAbortLeavesRefcntUntouched) {
   sched.run([&](Pid p) {
     auto parked = [](std::uint64_t v) { return v != 0; };
     if (p == 1) {
-      ASSERT_TRUE(lock.enter(1, nullptr));
+      ASSERT_TRUE(lock.enter(1, nullptr).acquired);
       m.wait(1, *flag_b, parked, nullptr);  // hold the CS until idle #1
       lock.exit(1);
-      p1_second = lock.enter(1, &sig[0]);  // spins on oldSpn, aborted
+      p1_second = lock.enter(1, &sig[0]).acquired;  // spins on oldSpn, aborted
       if (p1_second) lock.exit(1);
     } else {
-      ASSERT_TRUE(lock.enter(0, nullptr));  // joins while p1 is parked
+      ASSERT_TRUE(lock.enter(0, nullptr).acquired);  // joins while p1 is parked
       m.wait(0, *flag_c, parked, nullptr);  // hold the CS until idle #3
       lock.exit(0);
     }

@@ -29,7 +29,7 @@ TEST(LongLivedNative, MutexUnderContention) {
   std::atomic<std::uint64_t> cs_entries{0};
   pal::run_threads(kN, [&](std::uint32_t t) {
     for (int i = 0; i < kRounds; ++i) {
-      ASSERT_TRUE(lock.enter(t, nullptr));
+      ASSERT_TRUE(lock.enter(t, nullptr).acquired);
       if (in_cs.fetch_add(1) != 0) violation.store(true);
       in_cs.fetch_sub(1);
       lock.exit(t);
@@ -54,7 +54,7 @@ TEST(LongLivedNative, SelfAbortingAttempts) {
     std::deque<std::atomic<bool>> sig(1);
     for (int i = 0; i < kRounds; ++i) {
       sig[0].store(rng.chance_ppm(300000), std::memory_order_release);
-      if (lock.enter(t, &sig[0])) {
+      if (lock.enter(t, &sig[0]).acquired) {
         if (in_cs.fetch_add(1) != 0) violation.store(true);
         in_cs.fetch_sub(1);
         lock.exit(t);
@@ -92,7 +92,7 @@ TEST(LongLivedNative, ControllerDrivenAbortStorm) {
   pal::run_threads(kN, [&](std::uint32_t t) {
     for (int i = 0; i < 150; ++i) {
       signals[t].store(false, std::memory_order_release);
-      if (lock.enter(t, &signals[t])) {
+      if (lock.enter(t, &signals[t]).acquired) {
         if (in_cs.fetch_add(1) != 0) violation.store(true);
         in_cs.fetch_sub(1);
         lock.exit(t);

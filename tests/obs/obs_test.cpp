@@ -1,0 +1,275 @@
+// aml::obs unit tests: event ring semantics, histogram summaries, metrics
+// counters and hand-off latency, the zero-cost disabled sink, and an
+// end-to-end sequential integration against the one-shot lock on the
+// counting CC model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "aml/core/oneshot.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/obs/events.hpp"
+#include "aml/obs/histogram.hpp"
+#include "aml/obs/metrics.hpp"
+
+namespace aml::obs {
+namespace {
+
+// --- compile-time contract --------------------------------------------------
+
+static_assert(kZeroCostSink<NullMetrics>,
+              "disabled sink must add no storage");
+static_assert(!kZeroCostSink<Metrics>, "enabled sink must carry a pointer");
+static_assert(
+    sizeof(core::OneShotLock<model::CountingCcModel>) <=
+        sizeof(core::OneShotLock<model::CountingCcModel, Metrics>),
+    "NullMetrics lock must not be larger than the instrumented one");
+
+// --- EventRing --------------------------------------------------------------
+
+TEST(EventRingTest, DisabledWhenCapacityZero) {
+  EventRing ring(0);
+  ring.push({EventKind::kEnter, 0, 1, 10});
+  EXPECT_EQ(ring.capacity(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(EventRingTest, RetainsInOrderBelowCapacity) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ring.push({EventKind::kEnter, static_cast<model::Pid>(i),
+               static_cast<std::uint32_t>(i), i + 1});
+  }
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].tick, i + 1);
+    EXPECT_EQ(events[i].slot, i);
+  }
+}
+
+TEST(EventRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.push({EventKind::kExit, 0, static_cast<std::uint32_t>(i), i + 1});
+  }
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: slots 6,7,8,9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].slot, 6u + i);
+  }
+}
+
+TEST(EventRingTest, KindNames) {
+  EXPECT_STREQ(event_kind_name(EventKind::kEnter), "enter");
+  EXPECT_STREQ(event_kind_name(EventKind::kGranted), "granted");
+  EXPECT_STREQ(event_kind_name(EventKind::kAbort), "abort");
+  EXPECT_STREQ(event_kind_name(EventKind::kExit), "exit");
+  EXPECT_STREQ(event_kind_name(EventKind::kSwitch), "switch");
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(HistogramTest, BucketGeometry) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(2), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(3), 7u);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  LatencyHistogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(HistogramTest, SummaryStats) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {1u, 2u, 3u, 100u}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 106u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 26.5);
+  // p50 rank = 2 -> value 2 lives in bucket 2 (upper bound 3).
+  EXPECT_EQ(s.p50, 3u);
+  // p99 rank = 4 -> 100 lives in bucket 7 (upper bound 127).
+  EXPECT_EQ(s.p99, 127u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  h.record(7);
+  EXPECT_EQ(h.snapshot().min, 7u);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, CountersPerProcessAndTotals) {
+  Metrics m(3);
+  m.on_granted(0, 5);
+  m.on_granted(0, 6);
+  m.on_abort(1, 2);
+  m.on_spin_iteration(2);
+  m.on_spin_iteration(2);
+  m.on_spin_iteration(2);
+  m.on_findnext(0);
+  m.on_switch(1);
+  m.on_spin_node_recycle(2, 4);
+  EXPECT_EQ(m.of(0).acquisitions, 2u);
+  EXPECT_EQ(m.of(1).aborts, 1u);
+  EXPECT_EQ(m.of(2).spin_iterations, 3u);
+  const Counters t = m.totals();
+  EXPECT_EQ(t.acquisitions, 2u);
+  EXPECT_EQ(t.aborts, 1u);
+  EXPECT_EQ(t.spin_iterations, 3u);
+  EXPECT_EQ(t.findnext_ascents, 1u);
+  EXPECT_EQ(t.instance_switches, 1u);
+  EXPECT_EQ(t.spin_node_recycles, 4u);
+}
+
+TEST(MetricsTest, HandoffLatencyRecordedBetweenExitAndGrant) {
+  Metrics m(2);
+  m.on_granted(0, 0);           // tick 1, no pending hand-off
+  m.on_exit(0, 0);              // tick 2, arms hand-off
+  m.on_enter(1, 1);             // tick 3
+  m.on_granted(1, 1);           // tick 4 -> latency 4 - 2 = 2
+  const auto s = m.handoff().snapshot();
+  ASSERT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 2u);
+}
+
+TEST(MetricsTest, RingRecordsLifecycle) {
+  Metrics m(2, /*ring_capacity=*/16);
+  m.on_enter(0, 0);
+  m.on_granted(0, 0);
+  m.on_exit(0, 0);
+  m.on_switch(1);
+  const auto events = m.ring().snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, EventKind::kEnter);
+  EXPECT_EQ(events[1].kind, EventKind::kGranted);
+  EXPECT_EQ(events[2].kind, EventKind::kExit);
+  EXPECT_EQ(events[3].kind, EventKind::kSwitch);
+  EXPECT_EQ(events[3].slot, kNoSlot);
+  // Logical clock: strictly increasing ticks.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].tick, events[i].tick);
+  }
+}
+
+TEST(MetricsTest, CustomClock) {
+  Metrics m(1, 4);
+  std::uint64_t fake = 100;
+  m.set_clock([&fake] { return fake; });
+  m.on_enter(0, 0);
+  fake = 250;
+  m.on_granted(0, 0);
+  const auto events = m.ring().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tick, 100u);
+  EXPECT_EQ(events[1].tick, 250u);
+}
+
+TEST(MetricsTest, ResetClearsCountersKeepsRingHistory) {
+  Metrics m(1, 8);
+  m.on_granted(0, 0);
+  m.reset();
+  EXPECT_EQ(m.totals().acquisitions, 0u);
+  EXPECT_EQ(m.ring().total_recorded(), 1u);  // documented: history retained
+}
+
+// --- SinkHandle -------------------------------------------------------------
+
+TEST(SinkHandleTest, NullBoundHandleIsInert) {
+  SinkHandle<Metrics> h;  // never bound
+  h.on_granted(0, 0);     // must not crash
+  EXPECT_EQ(h.get(), nullptr);
+}
+
+TEST(SinkHandleTest, BoundHandleForwards) {
+  Metrics m(1);
+  SinkHandle<Metrics> h;
+  h.bind(&m);
+  h.on_granted(0, 3);
+  EXPECT_EQ(m.totals().acquisitions, 1u);
+}
+
+// --- integration: instrumented one-shot lock on the counting model ----------
+
+TEST(ObsIntegrationTest, OneShotSequentialLifecycle) {
+  constexpr std::uint32_t kN = 4;
+  model::CountingCcModel mdl(kN);
+  core::OneShotLock<model::CountingCcModel, Metrics> lock(mdl, kN, 2);
+  Metrics metrics(kN, 64);
+  lock.set_metrics(&metrics);
+
+  std::deque<std::atomic<bool>> signals(kN);
+  for (std::uint32_t p = 0; p < kN; ++p) {
+    const auto r = lock.enter(p, &signals[p]);
+    ASSERT_TRUE(r.acquired);
+    lock.exit(p);
+  }
+
+  const Counters t = metrics.totals();
+  EXPECT_EQ(t.acquisitions, kN);
+  EXPECT_EQ(t.aborts, 0u);
+  // Every exit runs SignalNext.
+  EXPECT_EQ(t.findnext_ascents, kN);
+
+  // Sequential and uncontended: enter/granted/exit per process, in order.
+  const auto events = metrics.ring().snapshot();
+  ASSERT_EQ(events.size(), 3u * kN);
+  for (std::uint32_t p = 0; p < kN; ++p) {
+    EXPECT_EQ(events[3 * p].kind, EventKind::kEnter);
+    EXPECT_EQ(events[3 * p].pid, p);
+    EXPECT_EQ(events[3 * p].slot, p);  // FCFS doorway: slot == arrival order
+    EXPECT_EQ(events[3 * p + 1].kind, EventKind::kGranted);
+    EXPECT_EQ(events[3 * p + 2].kind, EventKind::kExit);
+  }
+
+  // Hand-offs: kN-1 exit->granted pairs.
+  EXPECT_EQ(metrics.handoff().snapshot().count, kN - 1);
+}
+
+TEST(ObsIntegrationTest, AbortIsCounted) {
+  model::CountingCcModel mdl(2);
+  core::OneShotLock<model::CountingCcModel, Metrics> lock(mdl, 2, 2);
+  Metrics metrics(2);
+  lock.set_metrics(&metrics);
+
+  std::deque<std::atomic<bool>> signals(2);
+  ASSERT_TRUE(lock.enter(0, &signals[0]).acquired);
+  signals[1].store(true, std::memory_order_release);
+  EXPECT_FALSE(lock.enter(1, &signals[1]).acquired);
+  lock.exit(0);
+
+  EXPECT_EQ(metrics.totals().aborts, 1u);
+  EXPECT_EQ(metrics.of(1).aborts, 1u);
+  EXPECT_GT(metrics.of(1).spin_iterations, 0u);
+}
+
+}  // namespace
+}  // namespace aml::obs

@@ -211,7 +211,7 @@ TEST(Explorer, LongLivedTwoRoundsExhaustive) {
     m.set_hook(&ctx.scheduler());
     ctx.run([&](Pid p) {
       for (int round = 0; round < 2; ++round) {
-        const bool ok = lock.enter(p, nullptr);
+        const bool ok = lock.enter(p, nullptr).acquired;
         ASSERT_TRUE(ok);
         if (in_cs.fetch_add(1) != 0) violation = true;
         in_cs.fetch_sub(1);
@@ -251,7 +251,7 @@ TEST(Explorer, LongLivedAbortTimingExhaustive) {
       }
       for (int round = 0; round < 2; ++round) {
         const bool marked = (p == 1 && round == 0);
-        const bool ok = lock.enter(p, marked ? &sig[0] : nullptr);
+        const bool ok = lock.enter(p, marked ? &sig[0] : nullptr).acquired;
         ASSERT_TRUE(ok || marked);
         if (ok) {
           if (in_cs.fetch_add(1) != 0) violation = true;
