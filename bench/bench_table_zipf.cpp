@@ -1,0 +1,125 @@
+// The lock table preserves the lock's *adaptive* RMR bound: per-passage RMR
+// under a Zipfian named-key workload depends on how many threads actually
+// contend, not on how many are registered.
+//
+// Setup (counting CC model, deterministic scheduler): the table is sized for
+// R registered threads (R grows across rows — the thread-pool capacity a
+// service provisions), but only C of them run the workload (fixed —
+// the live contention). If the table merely inherited a non-adaptive
+// O(log N) lock, per-passage RMR would grow with R; with the paper's lock
+// it must stay flat. The summary records the flatness ratio
+// max(mean_rmr)/min(mean_rmr) across R and flags flat_within_2x, which the
+// acceptance gate reads from BENCH_table_zipf.json.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "aml/harness/report.hpp"
+#include "aml/harness/stats.hpp"
+#include "aml/harness/table.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/sched/scheduler.hpp"
+#include "aml/table/lock_table.hpp"
+
+namespace {
+
+using aml::harness::Summary;
+using aml::harness::summarize;
+using aml::harness::Table;
+using aml::model::CountingCcModel;
+using aml::model::Pid;
+
+constexpr std::uint32_t kContenders = 4;   // C: threads that actually run
+constexpr std::uint32_t kStripes = 8;      // S
+constexpr std::uint32_t kKeys = 64;        // named resources
+constexpr double kTheta = 0.99;            // YCSB-default skew
+constexpr std::uint32_t kRounds = 16;      // passages per contender
+
+struct ZipfResult {
+  std::vector<std::uint64_t> passage_rmrs;  // enter+exit per passage
+  std::uint64_t steps = 0;
+};
+
+ZipfResult run_zipf(std::uint32_t registered, std::uint64_t seed) {
+  CountingCcModel model(registered);
+  aml::table::LockTable<CountingCcModel> table(
+      model, {.max_threads = registered,
+              .stripes = kStripes,
+              .tree_width = 8});
+  aml::pal::ZipfDistribution zipf(kKeys, kTheta);
+  model.reset_counters();
+
+  ZipfResult result;
+  std::vector<std::vector<std::uint64_t>> per_proc(registered);
+
+  aml::sched::StepScheduler::Config cfg;
+  cfg.seed = seed;
+  aml::sched::StepScheduler scheduler(registered, std::move(cfg));
+  model.set_hook(&scheduler);
+  const auto run = scheduler.run([&](Pid p) {
+    if (p >= kContenders) return;  // registered but idle: the point
+    aml::pal::Xoshiro256 rng(seed * 131 + p);
+    auto& counters = model.counters(p);
+    for (std::uint32_t r = 0; r < kRounds; ++r) {
+      const std::uint64_t key = zipf(rng);
+      const std::uint64_t r0 = counters.rmrs;
+      table.enter(p, key);
+      table.exit(p, key);
+      per_proc[p].push_back(counters.rmrs - r0);
+    }
+  });
+  model.set_hook(nullptr);
+  result.steps = run.steps;
+  for (const auto& v : per_proc) {
+    result.passage_rmrs.insert(result.passage_rmrs.end(), v.begin(), v.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  aml::harness::BenchReport br("table_zipf");
+  br.config("contenders", std::uint64_t{kContenders})
+      .config("stripes", std::uint64_t{kStripes})
+      .config("keys", std::uint64_t{kKeys})
+      .config("theta", kTheta)
+      .config("rounds", std::uint64_t{kRounds});
+
+  Table table("Lock table, Zipfian keys — per-passage RMR vs registered "
+              "threads (C = 4 contenders fixed)");
+  table.headers({"registered", "contending", "passages", "mean RMR",
+                 "p99 RMR", "max RMR"});
+
+  double min_mean = 0, max_mean = 0;
+  bool first = true;
+  for (std::uint32_t registered : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const ZipfResult r = run_zipf(registered, 1000 + registered);
+    const Summary s = summarize(r.passage_rmrs);
+    table.row({Table::num(std::uint64_t{registered}),
+               Table::num(std::uint64_t{kContenders}),
+               Table::num(std::uint64_t{s.count}), Table::num(s.mean),
+               Table::num(s.p99), Table::num(s.max)});
+    br.sample("registered", static_cast<double>(registered))
+        .sample("mean_rmr", s.mean)
+        .sample("p99_rmr", static_cast<double>(s.p99))
+        .sample("max_rmr", static_cast<double>(s.max));
+    if (first || s.mean < min_mean) min_mean = s.mean;
+    if (first || s.mean > max_mean) max_mean = s.mean;
+    first = false;
+  }
+
+  const double flatness = min_mean > 0 ? max_mean / min_mean : 0;
+  br.summary("rmr_flatness_ratio", flatness)
+      .summary("flat_within_2x", std::uint64_t{flatness <= 2.0 ? 1u : 0u});
+  table.print();
+  std::printf("\nflatness ratio max(mean)/min(mean) = %.3f (%s)\n", flatness,
+              flatness <= 2.0 ? "flat within 2x — adaptive bound preserved"
+                              : "NOT flat — adaptivity regression");
+  br.table(table);
+  br.write();
+  // The flatness claim is this bench's contract; fail loudly when broken so
+  // the CI smoke run catches adaptivity regressions, not just crashes.
+  return flatness <= 2.0 ? 0 : 1;
+}

@@ -15,6 +15,9 @@
 //   * aml::baselines::*                      — Table 1 comparison locks.
 //   * aml::obs::Metrics / aml::obs::NullMetrics — observability sinks
 //     (counters, event ring, hand-off histogram); zero-cost when disabled.
+//   * aml::table::NamedLockTable             — sharded named-lock service:
+//     keys -> stripes of long-lived abortable locks, RAII thread-id leasing,
+//     deadline-based acquisition, ordered multi-key transactions.
 #pragma once
 
 #include "aml/pal/bits.hpp"
@@ -37,3 +40,7 @@
 #include "aml/core/longlived.hpp"
 #include "aml/core/abortable_lock.hpp"
 #include "aml/core/adapters.hpp"
+#include "aml/table/hash.hpp"
+#include "aml/table/thread_registry.hpp"
+#include "aml/table/lock_table.hpp"
+#include "aml/table/named_table.hpp"

@@ -79,10 +79,15 @@ class BasicAbortableLock {
     return lock_.enter(thread_id, signal.flag()).acquired;
   }
 
-  /// Acquire without abort support (never returns false).
+  /// Acquire without abort support. An unsignalled attempt cannot observe a
+  /// stop flag, so enter() can only legitimately return acquired; retry
+  /// instead of asserting so that even a build that compiles assertions out
+  /// (or a future lock flavor with spurious abort exits) can never return
+  /// from here without the lock held.
   void enter(std::uint32_t thread_id) {
-    const bool ok = lock_.enter(thread_id, nullptr).acquired;
-    AML_ASSERT(ok, "unsignalled enter cannot abort");
+    while (!lock_.enter(thread_id, nullptr).acquired) {
+      // Unreachable with the current lock; harmless retry if it ever isn't.
+    }
   }
 
   /// Release the lock. Wait-free (bounded exit).

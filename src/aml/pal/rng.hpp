@@ -4,7 +4,9 @@
 // produces the same schedule on every platform).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace aml::pal {
 
@@ -56,6 +58,42 @@ class Xoshiro256 {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t s_[4]{};
+};
+
+/// Zipfian sampler over [0, n): P(k) proportional to 1/(k+1)^theta. The
+/// standard skewed-key workload for lock-manager benchmarks (theta ~ 0.99 is
+/// the YCSB default; theta = 0 degenerates to uniform). Sampling inverts the
+/// precomputed CDF by binary search — O(log n), allocation-free after
+/// construction, and exactly reproducible from the generator's seed (the
+/// CDF depends only on (n, theta), and libm's pow is deterministic for our
+/// purposes on a fixed platform; the benches additionally pin n and theta).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double theta) : cdf_(n) {
+    double sum = 0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[k] = sum;
+    }
+    for (std::uint64_t k = 0; k < n; ++k) cdf_[k] /= sum;
+  }
+
+  std::uint64_t operator()(Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    // First k with cdf_[k] > u.
+    std::uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] > u) hi = mid;
+      else lo = mid + 1;
+    }
+    return lo;
+  }
+
+  std::uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
 };
 
 }  // namespace aml::pal

@@ -151,7 +151,7 @@ inline Policy replay(std::vector<Pid> trace, Policy fallback) {
 struct SchedulerConfig {
   std::uint64_t seed = 1;
   std::uint64_t max_steps = 5'000'000;
-  Policy policy;  ///< defaults to policies::random()
+  Policy policy{};  ///< empty => policies::random() is substituted at start
   bool record_trace = false;
 };
 

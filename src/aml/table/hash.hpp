@@ -1,0 +1,48 @@
+// Key hashing for the lock table: arbitrary resource names (64-bit ids or
+// strings) -> stripe indices.
+//
+// Requirements are modest but strict: deterministic across platforms and
+// runs (bench JSON byte-stability depends on it), well-mixed low bits (the
+// stripe index is a mask of the low bits, so every input bit must diffuse
+// down), and no allocation. We use the finalizer of MurmurHash3 (fmix64) for
+// integers and FNV-1a/64 followed by the same finalizer for strings; both
+// are public-domain constants, avalanche well, and cost a handful of cycles.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace aml::table {
+
+/// MurmurHash3's 64-bit finalizer: full avalanche, so masking low bits is a
+/// sound stripe map.
+constexpr std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+constexpr std::uint64_t key_hash(std::uint64_t key) { return fmix64(key); }
+
+/// FNV-1a over the bytes, then fmix64 (FNV alone mixes high bits poorly).
+constexpr std::uint64_t key_hash(std::string_view key) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return fmix64(h);
+}
+
+/// Smallest power of two >= n (n >= 1). Stripe counts are rounded up to a
+/// power of two so the stripe map is a mask rather than a modulo.
+constexpr std::uint32_t round_up_pow2(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace aml::table

@@ -1,0 +1,225 @@
+// LockTable: a sharded named-lock service built from the paper's long-lived
+// abortable lock.
+//
+// Keys (64-bit ids or strings) hash onto S cache-independent *stripes*; each
+// stripe owns one LongLivedLock (Section 6 transformation over the Section 3
+// one-shot lock) together with that lock's spin-node pool and one-shot
+// instance pool. Acquiring a key acquires its stripe's lock, so two keys
+// conflict iff they collide on a stripe — the classic lock-manager striping
+// trade: S bounds memory (O(S * N * s(N)) words) while abortability bounds
+// the damage of a collision (a deadline or deadlock-avoidance signal gets a
+// waiter out in a bounded number of its own steps).
+//
+// The table is templated over the memory model like every algorithm here, so
+// the same code runs on native hardware (aml/table/named_table.hpp wraps it
+// into the deployable service) and on the counting models under the
+// deterministic scheduler — which is how the table's claim is tested: the
+// per-passage RMR of a key acquisition inherits the lock's adaptive bound,
+// independent of how many threads are registered (bench_table_zipf).
+//
+// Multi-key acquisition (enter_all) sorts the distinct stripe indices and
+// acquires ascending, the standard total-order discipline that makes
+// deadlock impossible among enter_all callers; the abort signal still bounds
+// the wait against single-key holders, and on abort every stripe taken so
+// far is released in reverse order before returning, so the attempt is
+// all-or-nothing.
+//
+// Threading contract: a thread uses a dense id from [0, max_threads)
+// (ThreadRegistry leases them) and must not re-enter a stripe it already
+// holds (the underlying lock is not reentrant); enter_all deduplicates
+// colliding keys within one call, so only *nested* separate calls can
+// self-collide.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "aml/core/longlived.hpp"
+#include "aml/core/oneshot.hpp"
+#include "aml/core/versioned_space.hpp"
+#include "aml/model/types.hpp"
+#include "aml/obs/metrics.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/table/hash.hpp"
+
+namespace aml::table {
+
+using model::Pid;
+
+template <typename M, typename Metrics = obs::NullMetrics>
+class LockTable {
+ public:
+  using StripeLock =
+      core::LongLivedLock<M, core::VersionedSpace, core::OneShotLock, Metrics>;
+  using MetricsSink = Metrics;
+
+  struct Config {
+    Pid max_threads = 16;     ///< N: dense thread ids the table accepts
+    std::uint32_t stripes = 16;  ///< S: rounded up to a power of two
+    std::uint32_t tree_width = 64;  ///< W of each stripe's tree
+    core::Find find = core::Find::kAdaptive;
+  };
+
+  LockTable(M& mem, Config config)
+      : config_(config), stripe_mask_(round_up_pow2(config.stripes) - 1) {
+    AML_ASSERT(config.stripes >= 1, "table needs at least one stripe");
+    const std::uint32_t nstripes = stripe_mask_ + 1;
+    stripes_.reserve(nstripes);
+    for (std::uint32_t s = 0; s < nstripes; ++s) {
+      stripes_.push_back(std::make_unique<StripeLock>(
+          mem, typename StripeLock::Config{.nprocs = config.max_threads,
+                                           .w = config.tree_width,
+                                           .find = config.find}));
+    }
+  }
+
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  // --- key -> stripe map ---------------------------------------------------
+
+  std::uint32_t stripe_count() const {
+    return static_cast<std::uint32_t>(stripes_.size());
+  }
+  Pid max_threads() const { return config_.max_threads; }
+
+  std::uint32_t stripe_of(std::uint64_t key) const {
+    return static_cast<std::uint32_t>(key_hash(key)) & stripe_mask_;
+  }
+  std::uint32_t stripe_of(std::string_view key) const {
+    return static_cast<std::uint32_t>(key_hash(key)) & stripe_mask_;
+  }
+
+  /// Direct access to a stripe's lock (introspection / tests).
+  StripeLock& stripe(std::uint32_t s) { return *stripes_[s]; }
+
+  // --- single-key operations ----------------------------------------------
+
+  /// Acquire the stripe guarding `key`. Returns false iff `signal` was
+  /// observed while waiting (bounded abort); with a null signal it blocks
+  /// until acquired (starvation-free).
+  template <typename Key>
+  bool enter(Pid self, Key key, const std::atomic<bool>* signal = nullptr) {
+    return enter_stripe(self, stripe_of(key), signal);
+  }
+
+  /// Release the stripe guarding `key`. Caller must hold it.
+  template <typename Key>
+  void exit(Pid self, Key key) {
+    exit_stripe(self, stripe_of(key));
+  }
+
+  bool enter_stripe(Pid self, std::uint32_t s,
+                    const std::atomic<bool>* signal = nullptr) {
+    return stripes_[s]->enter(self, signal).acquired;
+  }
+
+  void exit_stripe(Pid self, std::uint32_t s) { stripes_[s]->exit(self); }
+
+  // --- multi-key ordered acquisition --------------------------------------
+
+  /// Map keys to their distinct stripes, sorted ascending — the acquisition
+  /// order enter_all uses. Exposed so callers can pre-plan (and tests can
+  /// assert the discipline).
+  template <typename Key>
+  std::vector<std::uint32_t> plan(const std::vector<Key>& keys) const {
+    std::vector<std::uint32_t> order;
+    order.reserve(keys.size());
+    for (const Key& key : keys) order.push_back(stripe_of(key));
+    std::sort(order.begin(), order.end());
+    order.erase(std::unique(order.begin(), order.end()), order.end());
+    return order;
+  }
+
+  /// Acquire every stripe in `order` (ascending, distinct — what plan()
+  /// produces). All-or-nothing: if the signal aborts any acquisition, the
+  /// stripes already held are released in reverse order and the call returns
+  /// false. With a null signal it cannot deadlock against other enter_all
+  /// callers (total order) and blocks until all stripes are held.
+  bool enter_all(Pid self, const std::vector<std::uint32_t>& order,
+                 const std::atomic<bool>* signal = nullptr) {
+    AML_DASSERT(std::is_sorted(order.begin(), order.end()) &&
+                    std::adjacent_find(order.begin(), order.end()) ==
+                        order.end(),
+                "enter_all order must be sorted and distinct (use plan())");
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (!enter_stripe(self, order[i], signal)) {
+        while (i-- > 0) exit_stripe(self, order[i]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Release every stripe in `order` (reverse acquisition order).
+  void exit_all(Pid self, const std::vector<std::uint32_t>& order) {
+    for (std::size_t i = order.size(); i-- > 0;) {
+      exit_stripe(self, order[i]);
+    }
+  }
+
+  // --- per-stripe observability -------------------------------------------
+
+  /// Bind one sink per stripe (sinks[s] -> stripe s; vector may be shorter,
+  /// remaining stripes stay unbound). With per-stripe sinks, contention,
+  /// abort, and hand-off statistics roll up per shard, which is how a lock
+  /// service spots a hot key range. No-op for NullMetrics.
+  void set_stripe_metrics(const std::vector<Metrics*>& sinks) {
+    for (std::size_t s = 0; s < sinks.size() && s < stripes_.size(); ++s) {
+      stripes_[s]->set_metrics(sinks[s]);
+    }
+  }
+
+  void set_stripe_metrics(std::uint32_t s, Metrics* sink) {
+    stripes_[s]->set_metrics(sink);
+  }
+
+ private:
+  Config config_;
+  std::uint32_t stripe_mask_;
+  std::vector<std::unique_ptr<StripeLock>> stripes_;
+};
+
+/// RAII single-stripe guard over a LockTable. Check owns() after
+/// construction (false means the signal aborted the attempt).
+template <typename Table>
+class StripeGuard {
+ public:
+  StripeGuard(Table& table, Pid self, std::uint32_t s,
+              const std::atomic<bool>* signal = nullptr)
+      : table_(&table), self_(self), stripe_(s),
+        owns_(table.enter_stripe(self, s, signal)) {}
+
+  StripeGuard(StripeGuard&& o) noexcept
+      : table_(std::exchange(o.table_, nullptr)), self_(o.self_),
+        stripe_(o.stripe_), owns_(std::exchange(o.owns_, false)) {}
+  StripeGuard& operator=(StripeGuard&&) = delete;
+  StripeGuard(const StripeGuard&) = delete;
+  StripeGuard& operator=(const StripeGuard&) = delete;
+
+  ~StripeGuard() { release(); }
+
+  bool owns() const { return owns_; }
+  explicit operator bool() const { return owns_; }
+  std::uint32_t stripe() const { return stripe_; }
+
+  void release() {
+    if (owns_) {
+      table_->exit_stripe(self_, stripe_);
+      owns_ = false;
+    }
+  }
+
+ private:
+  Table* table_;
+  Pid self_;
+  std::uint32_t stripe_;
+  bool owns_;
+};
+
+}  // namespace aml::table

@@ -1,0 +1,318 @@
+// NamedLockTable: the deployable named-lock service — LockTable on native
+// hardware, plus the operational pieces a lock manager needs:
+//
+//   * ThreadRegistry integration: OS threads open a Session (RAII lease of a
+//     dense id), so thread pools need no manual id bookkeeping and ids are
+//     recycled as workers come and go;
+//   * deadline-based acquisition: try_acquire_for/until arm a TimerWheel
+//     deadline that raises the abort signal, and the lock's bounded-abort
+//     guarantee turns that into a bounded-latency negative answer;
+//   * multi-key transactions: acquire_all takes the distinct stripes in
+//     ascending order (deadlock-free among acquire_all users); the timed
+//     variant optionally slices its budget into shorter attempts, releasing
+//     everything and retrying between slices — deadline-abort as the
+//     deadlock-avoidance primitive against callers that do not follow the
+//     stripe order;
+//   * per-stripe observability: with the obs::Metrics sink type each stripe
+//     gets its own sink, so contention / abort / hand-off stats roll up per
+//     shard and hot key ranges are visible.
+//
+// Usage:
+//
+//   aml::table::NamedLockTable table({.max_threads = 64, .stripes = 32});
+//   // per worker thread (or per pooled task):
+//   auto session = table.open_session();
+//   if (auto g = session.try_acquire_for("order:1542", 2ms)) {
+//     ... critical section for that key ...
+//   }                                  // guard releases on scope exit
+//   auto tx = session.acquire_all({"acct:alice", "acct:bob"});
+//   ... transfer ...                   // tx releases all stripes
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "aml/core/abortable_lock.hpp"
+#include "aml/core/adapters.hpp"
+#include "aml/model/native.hpp"
+#include "aml/obs/metrics.hpp"
+#include "aml/pal/backoff.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/table/lock_table.hpp"
+#include "aml/table/thread_registry.hpp"
+
+namespace aml::table {
+
+struct TableConfig {
+  std::uint32_t max_threads = 64;  ///< concurrent sessions (registry slots)
+  std::uint32_t stripes = 32;      ///< rounded up to a power of two
+  std::uint32_t tree_width = 64;
+};
+
+template <typename Metrics = obs::NullMetrics>
+class BasicNamedLockTable {
+ public:
+  using Clock = TimerWheel::Clock;
+  using Table = LockTable<model::NativeModel, Metrics>;
+  using MetricsSink = Metrics;
+
+  explicit BasicNamedLockTable(TableConfig config = {})
+      : model_(config.max_threads),
+        table_(model_, {.max_threads = config.max_threads,
+                        .stripes = config.stripes,
+                        .tree_width = config.tree_width}),
+        registry_(config.max_threads),
+        signals_(config.max_threads) {
+    if constexpr (Metrics::kEnabled) {
+      sinks_.reserve(table_.stripe_count());
+      for (std::uint32_t s = 0; s < table_.stripe_count(); ++s) {
+        sinks_.push_back(std::make_unique<Metrics>(config.max_threads));
+        table_.set_stripe_metrics(s, sinks_.back().get());
+      }
+    }
+  }
+
+  BasicNamedLockTable(const BasicNamedLockTable&) = delete;
+  BasicNamedLockTable& operator=(const BasicNamedLockTable&) = delete;
+
+  class Session;
+  class Guard;
+  class MultiGuard;
+
+  /// Lease a dense id for the calling thread. The Session must not outlive
+  /// the table, and all guards must be released (they are, by RAII scoping)
+  /// before the Session is destroyed. Aborts if more than max_threads
+  /// sessions are live — size the registry to the pool.
+  Session open_session() { return Session(*this, registry_.acquire()); }
+
+  /// Sessions currently live (diagnostics).
+  std::uint32_t live_sessions() const { return registry_.live(); }
+  std::uint32_t stripe_count() const { return table_.stripe_count(); }
+  std::uint32_t max_threads() const { return registry_.max_threads(); }
+
+  std::uint32_t stripe_of(std::uint64_t key) const {
+    return table_.stripe_of(key);
+  }
+  std::uint32_t stripe_of(std::string_view key) const {
+    return table_.stripe_of(key);
+  }
+
+  /// Per-stripe sink (enabled flavor only; see ObservedNamedLockTable).
+  Metrics& stripe_metrics(std::uint32_t s)
+    requires(Metrics::kEnabled)
+  {
+    return *sinks_[s];
+  }
+
+  /// A session: the thread's dense id plus the signal slot timed attempts
+  /// use. Move-only; releasing it returns the id to the registry.
+  class Session {
+   public:
+    Session(Session&&) = default;
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    Session& operator=(Session&&) = delete;
+
+    std::uint32_t id() const { return lease_.id(); }
+
+    // --- single key -------------------------------------------------------
+
+    /// Blocking acquisition (starvation-free).
+    template <typename Key>
+    Guard acquire(Key key) {
+      const std::uint32_t s = owner_->table_.stripe_of(key);
+      const bool ok = owner_->table_.enter_stripe(id(), s, nullptr);
+      AML_ASSERT(ok, "unsignalled enter cannot abort");
+      return Guard(*owner_, id(), s, true);
+    }
+
+    /// Deadline-bounded acquisition: empty optional iff the deadline passed
+    /// before the lock was granted (bounded abort bounds the overshoot).
+    template <typename Key>
+    std::optional<Guard> try_acquire_until(Key key, Clock::time_point when) {
+      const std::uint32_t s = owner_->table_.stripe_of(key);
+      if (!owner_->timed_enter(id(), s, when)) return std::nullopt;
+      return Guard(*owner_, id(), s, true);
+    }
+
+    template <typename Key, typename Rep, typename Period>
+    std::optional<Guard> try_acquire_for(
+        Key key, std::chrono::duration<Rep, Period> budget) {
+      return try_acquire_until(key, Clock::now() + budget);
+    }
+
+    // --- multiple keys ----------------------------------------------------
+
+    /// Blocking multi-key acquisition in ascending stripe order
+    /// (deadlock-free among acquire_all/try_acquire_all users).
+    template <typename Key>
+    MultiGuard acquire_all(const std::vector<Key>& keys) {
+      std::vector<std::uint32_t> order = owner_->table_.plan(keys);
+      const bool ok = owner_->table_.enter_all(id(), order, nullptr);
+      AML_ASSERT(ok, "unsignalled enter_all cannot abort");
+      return MultiGuard(*owner_, id(), std::move(order), true);
+    }
+
+    /// Timed multi-key acquisition. The budget is spent in attempts of at
+    /// most `slice` (0 = one attempt with the whole budget): each attempt
+    /// arms the deadline, acquires in stripe order, and on abort releases
+    /// everything before retrying. Slicing exists to break deadlocks with
+    /// callers that hold stripes in a non-conforming order — the periodic
+    /// full release lets them through. Empty optional iff the overall
+    /// deadline passed without a complete acquisition.
+    template <typename Key, typename Rep, typename Period>
+    std::optional<MultiGuard> try_acquire_all_for(
+        const std::vector<Key>& keys,
+        std::chrono::duration<Rep, Period> budget,
+        std::chrono::nanoseconds slice = std::chrono::nanoseconds{0}) {
+      const Clock::time_point deadline = Clock::now() + budget;
+      std::vector<std::uint32_t> order = owner_->table_.plan(keys);
+      pal::Backoff backoff;
+      for (;;) {
+        const Clock::time_point now = Clock::now();
+        if (now >= deadline && !order.empty()) return std::nullopt;
+        Clock::time_point attempt_deadline = deadline;
+        if (slice.count() > 0 && now + slice < deadline) {
+          attempt_deadline = now + slice;
+        }
+        if (owner_->timed_enter_all(id(), order, attempt_deadline)) {
+          return MultiGuard(*owner_, id(), std::move(order), true);
+        }
+        if (attempt_deadline >= deadline) return std::nullopt;
+        backoff.pause();
+      }
+    }
+
+    // --- escape hatches ---------------------------------------------------
+
+    /// Abortable acquisition with a caller-managed signal (e.g. a deadlock
+    /// detector or priority manager instead of a deadline).
+    template <typename Key>
+    std::optional<Guard> try_acquire(Key key, const AbortSignal& signal) {
+      const std::uint32_t s = owner_->table_.stripe_of(key);
+      if (!owner_->table_.enter_stripe(id(), s, signal.flag())) {
+        return std::nullopt;
+      }
+      return Guard(*owner_, id(), s, true);
+    }
+
+   private:
+    friend class BasicNamedLockTable;
+    Session(BasicNamedLockTable& owner, ThreadRegistry::Lease lease)
+        : owner_(&owner), lease_(std::move(lease)) {}
+
+    BasicNamedLockTable* owner_;
+    ThreadRegistry::Lease lease_;
+  };
+
+  /// RAII holder of one stripe.
+  class Guard {
+   public:
+    Guard(Guard&& o) noexcept
+        : owner_(std::exchange(o.owner_, nullptr)), pid_(o.pid_),
+          stripe_(o.stripe_) {}
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard() { release(); }
+
+    std::uint32_t stripe() const { return stripe_; }
+
+    void release() {
+      if (owner_ != nullptr) {
+        owner_->table_.exit_stripe(pid_, stripe_);
+        owner_ = nullptr;
+      }
+    }
+
+   private:
+    friend class Session;
+    Guard(BasicNamedLockTable& owner, std::uint32_t pid, std::uint32_t s,
+          bool /*owns*/)
+        : owner_(&owner), pid_(pid), stripe_(s) {}
+
+    BasicNamedLockTable* owner_;
+    std::uint32_t pid_;
+    std::uint32_t stripe_;
+  };
+
+  /// RAII holder of a sorted set of stripes (released in reverse order).
+  class MultiGuard {
+   public:
+    MultiGuard(MultiGuard&& o) noexcept
+        : owner_(std::exchange(o.owner_, nullptr)), pid_(o.pid_),
+          order_(std::move(o.order_)) {}
+    MultiGuard(const MultiGuard&) = delete;
+    MultiGuard& operator=(const MultiGuard&) = delete;
+    MultiGuard& operator=(MultiGuard&&) = delete;
+    ~MultiGuard() { release(); }
+
+    const std::vector<std::uint32_t>& stripes() const { return order_; }
+
+    void release() {
+      if (owner_ != nullptr) {
+        owner_->table_.exit_all(pid_, order_);
+        owner_ = nullptr;
+      }
+    }
+
+   private:
+    friend class Session;
+    MultiGuard(BasicNamedLockTable& owner, std::uint32_t pid,
+               std::vector<std::uint32_t> order, bool /*owns*/)
+        : owner_(&owner), pid_(pid), order_(std::move(order)) {}
+
+    BasicNamedLockTable* owner_;
+    std::uint32_t pid_;
+    std::vector<std::uint32_t> order_;
+  };
+
+ private:
+  friend class Session;
+
+  /// One timed attempt on one stripe.
+  bool timed_enter(std::uint32_t pid, std::uint32_t s,
+                   Clock::time_point when) {
+    AbortSignal& signal = signals_[pid];
+    signal.reset();
+    const TimerWheel::Token token = wheel_.arm(signal, when);
+    const bool ok = table_.enter_stripe(pid, s, signal.flag());
+    wheel_.cancel(token);
+    return ok;
+  }
+
+  /// One timed all-or-nothing attempt on a stripe set.
+  bool timed_enter_all(std::uint32_t pid,
+                       const std::vector<std::uint32_t>& order,
+                       Clock::time_point when) {
+    AbortSignal& signal = signals_[pid];
+    signal.reset();
+    const TimerWheel::Token token = wheel_.arm(signal, when);
+    const bool ok = table_.enter_all(pid, order, signal.flag());
+    wheel_.cancel(token);
+    return ok;
+  }
+
+  model::NativeModel model_;
+  Table table_;
+  ThreadRegistry registry_;
+  std::deque<AbortSignal> signals_;  ///< one per dense id; timed ops only
+  TimerWheel wheel_;
+  std::vector<std::unique_ptr<Metrics>> sinks_;  ///< enabled flavor only
+};
+
+/// Production default: uninstrumented.
+using NamedLockTable = BasicNamedLockTable<>;
+
+/// Instrumented flavor: every stripe carries its own obs::Metrics sink,
+/// reachable via stripe_metrics(s).
+using ObservedNamedLockTable = BasicNamedLockTable<obs::Metrics>;
+
+}  // namespace aml::table

@@ -62,7 +62,9 @@ TEST(LongLivedAccountingTest, SpnWaitAbortsRecordNoSlot) {
       // An abort either never joined an instance (kNoSlot, spn-wait abort)
       // or aborted from a real queue slot — both are valid, slot 0 for a
       // spn-wait abort is not.
-      if (rec.slot != core::kNoSlot) EXPECT_LT(rec.slot, opts.n);
+      if (rec.slot != core::kNoSlot) {
+        EXPECT_LT(rec.slot, opts.n);
+      }
     }
   }
 }

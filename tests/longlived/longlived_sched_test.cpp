@@ -33,10 +33,14 @@ TEST_P(LongLivedSched, LazyRecyclingCorrect) {
             static_cast<std::uint64_t>(c.n) * c.rounds);
   // An attempt that was never marked to abort cannot return false.
   for (const auto& rec : r.records) {
-    if (!rec.marked) EXPECT_TRUE(rec.acquired) << "pid " << rec.pid;
+    if (!rec.marked) {
+      EXPECT_TRUE(rec.acquired) << "pid " << rec.pid;
+    }
   }
   // Multiple rounds force instance switches.
-  if (c.rounds >= 4) EXPECT_GT(r.switches, 0u);
+  if (c.rounds >= 4) {
+    EXPECT_GT(r.switches, 0u);
+  }
 }
 
 TEST_P(LongLivedSched, EagerRecyclingCorrect) {
@@ -52,7 +56,9 @@ TEST_P(LongLivedSched, EagerRecyclingCorrect) {
   EXPECT_EQ(r.completed + r.aborted,
             static_cast<std::uint64_t>(c.n) * c.rounds);
   for (const auto& rec : r.records) {
-    if (!rec.marked) EXPECT_TRUE(rec.acquired);
+    if (!rec.marked) {
+      EXPECT_TRUE(rec.acquired);
+    }
   }
 }
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 namespace aml::pal {
 namespace {
@@ -59,6 +61,45 @@ TEST(Rng, UniformInUnitInterval) {
     const double u = rng.uniform();
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Zipf, SamplesInRangeAndDeterministic) {
+  ZipfDistribution zipf(100, 0.99);
+  Xoshiro256 a(17), b(17);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = zipf(a);
+    EXPECT_LT(x, 100u);
+    EXPECT_EQ(x, zipf(b));  // same seed, same stream
+  }
+}
+
+TEST(Zipf, SkewFavorsSmallKeys) {
+  // With theta = 0.99 over 100 keys, key 0 alone carries ~19% of the mass;
+  // the top-10 keys carry well over half.
+  ZipfDistribution zipf(100, 0.99);
+  Xoshiro256 rng(23);
+  const int trials = 100000;
+  int head = 0, top10 = 0;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t x = zipf(rng);
+    if (x == 0) ++head;
+    if (x < 10) ++top10;
+  }
+  EXPECT_GT(head, trials / 8);
+  EXPECT_LT(head, trials / 3);
+  EXPECT_GT(top10, trials / 2);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(8, 0.0);
+  Xoshiro256 rng(29);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) counts[zipf(rng)]++;
+  for (const int c : counts) {
+    EXPECT_GT(c, trials / 8 - trials / 40);  // within ~20% of 1/8 each
+    EXPECT_LT(c, trials / 8 + trials / 40);
   }
 }
 

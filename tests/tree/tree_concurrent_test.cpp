@@ -174,7 +174,9 @@ TEST(TreeConcurrent, SequentialFindNextMonotone) {
     tree.remove(0, victim);
     const FindResult r = tree.find_next(0, 0);
     if (r.is_found()) {
-      if (have_last) EXPECT_GE(r.slot, last);
+      if (have_last) {
+        EXPECT_GE(r.slot, last);
+      }
       last = r.slot;
       have_last = true;
     }
