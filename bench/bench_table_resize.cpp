@@ -1,0 +1,289 @@
+// Contention-aware stripe auto-grow pays for itself: a Zipf-hot workload on
+// a deliberately under-striped table trips the grow policy mid-run, and the
+// per-passage RMR cost to COMPLETE a passage after the grow is no worse than
+// before it.
+//
+// Setup (counting CC model, deterministic scheduler): C contenders hammer a
+// Zipfian key set on a table that starts with 2 stripes — every key collides
+// into one of two locks, so StripeStats' attempt-depth high-water mark
+// crosses the policy threshold almost immediately. The grow policy runs from
+// the scheduler's step callback every kCheckInterval grants (the same
+// sampling cadence NamedLockTable::note_op uses in production), doubling the
+// stripe count up to kMaxStripes.
+//
+// What is measured — and why attempts are abortable. On the CC model a
+// hand-off grant is CHEAPER per passage than an uncontended acquisition (the
+// waiter parks on one local spin word while the exiting process pays the
+// promotion), so raw grant cost alone would *reward* queueing. What queueing
+// actually costs a caller is attempts that outlive their patience: every
+// enter here carries an abort signal with a deadline of kPatienceSteps x
+// attempt-number scheduler steps, raised by the step callback exactly like
+// NamedLockTable's TimerWheel raises deadline signals in production. A
+// timed-out attempt runs the paper's abort path (itself O(log N / log log N)
+// RMRs) and retries; the recorded per-passage RMR spans ALL attempts until
+// the passage completes. Pre-grow, two stripes queue deeper than the
+// patience bound and passages pay for aborted attempts; post-grow the same
+// workload fits the deadline on the first try.
+//
+// Each passage is tagged with the table phase at its first attempt: pre
+// (epoch 0), transition (new epoch, old generation still draining — these
+// passages bridge both generations and pay a second stripe acquisition),
+// post (new epoch, drained).
+//
+// Contract, read by the acceptance gate from BENCH_table_resize.json:
+// grow_triggered == 1 (the policy actually fired) and post_vs_pre_ratio <=
+// 1.0 + epsilon (adapting the stripe count must not cost steady-state RMR;
+// it should shed the abort/retry overhead, so the ratio is normally well
+// below 1).
+#include <cstdint>
+#include <cstdio>
+#include <atomic>
+#include <deque>
+#include <vector>
+
+#include "aml/harness/report.hpp"
+#include "aml/harness/stats.hpp"
+#include "aml/harness/table.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/pal/rng.hpp"
+#include "aml/sched/scheduler.hpp"
+#include "aml/table/lock_table.hpp"
+
+namespace {
+
+using aml::harness::Summary;
+using aml::harness::summarize;
+using aml::harness::Table;
+using aml::model::CountingCcModel;
+using aml::model::Pid;
+
+constexpr Pid kContenders = 8;
+constexpr std::uint32_t kInitialStripes = 2;  // deliberately under-striped
+constexpr std::uint32_t kMaxStripes = 16;
+constexpr std::uint32_t kThreshold = 3;       // stripe depth that = "hot"
+constexpr std::uint64_t kCheckInterval = 64;  // steps between policy checks
+constexpr std::uint32_t kKeys = 64;
+constexpr double kTheta = 0.99;
+constexpr std::uint32_t kRounds = 32;  // passages per contender
+// Patience per attempt, in scheduler steps. One hand-off cycle on this
+// workload is ~25 steps, so a queue of 4 (8 contenders on 2 stripes) blows
+// the deadline while a queue of 1-2 (post-grow) fits comfortably. Patience
+// scales linearly with the attempt number so every passage terminates.
+constexpr std::uint64_t kPatienceSteps = 48;
+// Policy checks only start after this many scheduler steps: the pre-grow
+// phase must be measured at full contention (all contenders deep in the
+// workload), or the handful of ramp-up passages would masquerade as the
+// under-striped baseline.
+constexpr std::uint64_t kWarmupSteps = 3000;
+
+struct Phase {
+  std::vector<std::uint64_t> pre;         // epoch 0
+  std::vector<std::uint64_t> transition;  // new epoch, old gen draining
+  std::vector<std::uint64_t> post;        // new epoch, drained
+  std::uint64_t pre_retries = 0;          // aborted attempts per phase
+  std::uint64_t transition_retries = 0;
+  std::uint64_t post_retries = 0;
+};
+
+struct RunResult {
+  Phase rmrs;
+  std::uint64_t final_epoch = 0;
+  std::uint32_t final_stripes = 0;
+  std::uint64_t grow_step = 0;  // scheduler step of the first grow
+  std::uint64_t steps = 0;
+  std::uint64_t aborts = 0;  // table-wide, from StripeStats
+};
+
+// Per-process deadline slot, the bench-local analogue of a TimerWheel entry:
+// the worker arms it before each attempt, the step callback raises the
+// signal once the deadline step passes. Raising the stop flag makes the
+// parked process runnable again (the scheduler re-checks it), which is
+// exactly how a timed-out attempt wakes into the abort path.
+struct PatienceSlot {
+  std::atomic<bool> signal{false};
+  std::atomic<std::uint64_t> deadline{0};
+  std::atomic<bool> armed{false};
+};
+
+RunResult run(std::uint64_t seed) {
+  CountingCcModel model(kContenders);
+  aml::table::LockTable<CountingCcModel> table(
+      model, {.max_threads = kContenders,
+              .stripes = kInitialStripes,
+              .tree_width = 8});
+  aml::pal::ZipfDistribution zipf(kKeys, kTheta);
+  model.reset_counters();
+
+  RunResult result;
+  std::vector<Phase> per_proc(kContenders);
+  std::deque<PatienceSlot> patience(kContenders);
+  std::atomic<std::uint64_t> now{0};
+
+  aml::sched::StepScheduler::Config cfg;
+  cfg.seed = seed;
+  aml::sched::StepScheduler scheduler(kContenders, std::move(cfg));
+  // The callback runs while every process is parked at a model gate, exactly
+  // like NamedLockTable's note_op sampling runs outside any critical
+  // section. It plays two production roles: the TimerWheel (raise deadline
+  // signals for armed attempts whose patience ran out) and the auto-grow
+  // cadence (every kCheckInterval grants, evaluate the policy against the
+  // live StripeStats).
+  scheduler.set_step_callback([&](std::uint64_t step) {
+    now.store(step, std::memory_order_relaxed);
+    for (Pid p = 0; p < kContenders; ++p) {
+      PatienceSlot& slot = patience[p];
+      if (slot.armed.load(std::memory_order_acquire) &&
+          step >= slot.deadline.load(std::memory_order_relaxed)) {
+        slot.signal.store(true, std::memory_order_release);
+      }
+    }
+    if (step < kWarmupSteps || step % kCheckInterval != 0) return;
+    if (table.maybe_grow(
+            {.inflight_threshold = kThreshold, .max_stripes = kMaxStripes}) &&
+        result.grow_step == 0) {
+      result.grow_step = step;
+    }
+  });
+
+  model.set_hook(&scheduler);
+  const auto sched_result = scheduler.run([&](Pid p) {
+    aml::pal::Xoshiro256 rng(seed * 977 + p);
+    auto& counters = model.counters(p);
+    PatienceSlot& slot = patience[p];
+    for (std::uint32_t r = 0; r < kRounds; ++r) {
+      const std::uint64_t key = zipf(rng);
+      const std::uint64_t epoch_at_enter = table.epoch();
+      const bool draining_at_enter = table.draining();
+      const std::uint64_t r0 = counters.rmrs;
+      std::uint64_t tries = 0;
+      for (;;) {
+        ++tries;
+        slot.signal.store(false, std::memory_order_relaxed);
+        slot.deadline.store(
+            now.load(std::memory_order_relaxed) + kPatienceSteps * tries,
+            std::memory_order_relaxed);
+        slot.armed.store(true, std::memory_order_release);
+        const bool ok = table.enter(p, key, &slot.signal);
+        slot.armed.store(false, std::memory_order_release);
+        if (ok) break;  // raised-on-free still grants: hand-off wins ties
+      }
+      table.exit(p, key);
+      const std::uint64_t rmr = counters.rmrs - r0;
+      if (epoch_at_enter == 0) {
+        per_proc[p].pre.push_back(rmr);
+        per_proc[p].pre_retries += tries - 1;
+      } else if (draining_at_enter) {
+        per_proc[p].transition.push_back(rmr);
+        per_proc[p].transition_retries += tries - 1;
+      } else {
+        per_proc[p].post.push_back(rmr);
+        per_proc[p].post_retries += tries - 1;
+      }
+    }
+  });
+  model.set_hook(nullptr);
+
+  result.steps = sched_result.steps;
+  result.final_epoch = table.epoch();
+  result.final_stripes = table.stripe_count();
+  for (std::uint32_t s = 0; s < table.stripe_count(); ++s) {
+    result.aborts += table.stripe_stats(s).aborts;
+  }
+  for (const Phase& ph : per_proc) {
+    result.rmrs.pre.insert(result.rmrs.pre.end(), ph.pre.begin(),
+                           ph.pre.end());
+    result.rmrs.transition.insert(result.rmrs.transition.end(),
+                                  ph.transition.begin(), ph.transition.end());
+    result.rmrs.post.insert(result.rmrs.post.end(), ph.post.begin(),
+                            ph.post.end());
+    result.rmrs.pre_retries += ph.pre_retries;
+    result.rmrs.transition_retries += ph.transition_retries;
+    result.rmrs.post_retries += ph.post_retries;
+  }
+  return result;
+}
+
+double retries_per_passage(std::uint64_t retries, std::size_t passages) {
+  return passages == 0 ? 0.0
+                       : static_cast<double>(retries) /
+                             static_cast<double>(passages);
+}
+
+}  // namespace
+
+int main() {
+  aml::harness::BenchReport br("table_resize");
+  br.config("contenders", std::uint64_t{kContenders})
+      .config("initial_stripes", std::uint64_t{kInitialStripes})
+      .config("max_stripes", std::uint64_t{kMaxStripes})
+      .config("inflight_threshold", std::uint64_t{kThreshold})
+      .config("check_interval", kCheckInterval)
+      .config("patience_steps", kPatienceSteps)
+      .config("keys", std::uint64_t{kKeys})
+      .config("theta", kTheta)
+      .config("rounds", std::uint64_t{kRounds});
+
+  const RunResult r = run(4242);
+  const Summary pre = summarize(r.rmrs.pre);
+  const Summary transition = summarize(r.rmrs.transition);
+  const Summary post = summarize(r.rmrs.post);
+  const double pre_rpp = retries_per_passage(r.rmrs.pre_retries,
+                                             r.rmrs.pre.size());
+  const double transition_rpp = retries_per_passage(
+      r.rmrs.transition_retries, r.rmrs.transition.size());
+  const double post_rpp = retries_per_passage(r.rmrs.post_retries,
+                                              r.rmrs.post.size());
+
+  Table table("Adaptive stripe grow under Zipf-hot keys — per-passage RMR "
+              "(all attempts) by phase");
+  table.headers({"phase", "passages", "mean RMR", "p99 RMR", "max RMR",
+                 "retries/passage"});
+  table.row({"pre-grow", Table::num(std::uint64_t{pre.count}),
+             Table::num(pre.mean), Table::num(pre.p99), Table::num(pre.max),
+             Table::num(pre_rpp)});
+  table.row({"transition", Table::num(std::uint64_t{transition.count}),
+             Table::num(transition.mean), Table::num(transition.p99),
+             Table::num(transition.max), Table::num(transition_rpp)});
+  table.row({"post-grow", Table::num(std::uint64_t{post.count}),
+             Table::num(post.mean), Table::num(post.p99),
+             Table::num(post.max), Table::num(post_rpp)});
+
+  br.samples("pre_rmrs", r.rmrs.pre)
+      .samples("transition_rmrs", r.rmrs.transition)
+      .samples("post_rmrs", r.rmrs.post);
+
+  const bool grew = r.final_epoch >= 1;
+  const double ratio = (grew && pre.mean > 0 && post.count > 0)
+                           ? post.mean / pre.mean
+                           : 0.0;
+  const bool ratio_ok = grew && post.count > 0 && ratio <= 1.05;
+  br.summary("grow_triggered", std::uint64_t{grew ? 1u : 0u})
+      .summary("grow_step", r.grow_step)
+      .summary("final_epoch", r.final_epoch)
+      .summary("final_stripes", std::uint64_t{r.final_stripes})
+      .summary("sched_steps", r.steps)
+      .summary("aborts", r.aborts)
+      .summary("pre_mean_rmr", pre.mean)
+      .summary("transition_mean_rmr", transition.mean)
+      .summary("post_mean_rmr", post.mean)
+      .summary("pre_retries_per_passage", pre_rpp)
+      .summary("transition_retries_per_passage", transition_rpp)
+      .summary("post_retries_per_passage", post_rpp)
+      .summary("post_vs_pre_ratio", ratio)
+      .summary("post_no_worse_than_pre",
+               std::uint64_t{ratio_ok ? 1u : 0u});
+  table.print();
+  std::printf(
+      "\ngrow: %s at step %llu -> %u stripes (epoch %llu); "
+      "post/pre mean RMR = %.3f (%s)\n",
+      grew ? "triggered" : "NOT TRIGGERED",
+      static_cast<unsigned long long>(r.grow_step), r.final_stripes,
+      static_cast<unsigned long long>(r.final_epoch), ratio,
+      ratio_ok ? "no worse than pre-grow" : "REGRESSION");
+  br.table(table);
+  br.write();
+  // Contract: the policy must fire on this workload and completing a
+  // passage must not cost more RMRs after the grow. Fail loudly so CI smoke
+  // catches it.
+  return (grew && ratio_ok) ? 0 : 1;
+}

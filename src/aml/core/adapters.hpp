@@ -65,8 +65,14 @@ class TryGuard {
 };
 
 /// A single background thread that raises abort signals when their deadline
-/// passes. arm() is O(log #pending); deadlines already due are raised
-/// immediately by the wheel thread.
+/// passes. Pending entries are indexed *by deadline* (a multimap ordered on
+/// `when`) with a token -> entry side index for cancel, so arm(), cancel()
+/// and each wheel wakeup are O(log #pending) — a previous revision scanned
+/// the whole token map on every wakeup, turning a deadline storm into
+/// O(#pending) work per fire. arm() wakes the wheel thread only when the new
+/// deadline becomes the earliest; armings behind the current front leave the
+/// wheel asleep until its already-correct wakeup time. Deadlines already due
+/// are raised immediately by the wheel thread.
 class TimerWheel {
  public:
   using Clock = std::chrono::steady_clock;
@@ -88,10 +94,18 @@ class TimerWheel {
 
   /// Raise `signal` at (or as soon as possible after) `when`.
   Token arm(AbortSignal& signal, Clock::time_point when) {
-    std::lock_guard<std::mutex> lk(mu_);
-    const Token token = next_token_++;
-    pending_.emplace(token, Entry{&signal, when});
-    cv_.notify_one();
+    bool new_earliest;
+    Token token;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      token = next_token_++;
+      const auto it = by_deadline_.emplace(when, Entry{&signal, token});
+      by_token_.emplace(token, it);
+      new_earliest = (it == by_deadline_.begin());
+    }
+    // Only a new front deadline changes the wheel's wakeup time; notifying
+    // unconditionally woke (and re-sorted) the wheel on every arm.
+    if (new_earliest) cv_.notify_one();
     return token;
   }
 
@@ -99,36 +113,39 @@ class TimerWheel {
   /// raised (callers reset() their signals between uses anyway).
   void cancel(Token token) {
     std::lock_guard<std::mutex> lk(mu_);
-    pending_.erase(token);
+    const auto it = by_token_.find(token);
+    if (it == by_token_.end()) return;  // fired or cancelled already
+    by_deadline_.erase(it->second);
+    by_token_.erase(it);
+    // No notify: removing the front at worst gives the wheel one spurious
+    // wakeup at the stale time, after which it re-arms on the new front.
   }
 
   std::size_t pending() const {
     std::lock_guard<std::mutex> lk(mu_);
-    return pending_.size();
+    return by_token_.size();
   }
 
  private:
   struct Entry {
     AbortSignal* signal;
-    Clock::time_point when;
+    Token token;
   };
+  using DeadlineMap = std::multimap<Clock::time_point, Entry>;
 
   void run() {
     std::unique_lock<std::mutex> lk(mu_);
     while (!stop_) {
-      if (pending_.empty()) {
-        cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+      if (by_deadline_.empty()) {
+        cv_.wait(lk, [&] { return stop_ || !by_deadline_.empty(); });
         continue;
       }
-      // Find the earliest deadline.
-      auto earliest = pending_.begin();
-      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-        if (it->second.when < earliest->second.when) earliest = it;
-      }
-      const auto when = earliest->second.when;
+      const auto front = by_deadline_.begin();
+      const auto when = front->first;
       if (Clock::now() >= when) {
-        earliest->second.signal->raise();
-        pending_.erase(earliest);
+        front->second.signal->raise();
+        by_token_.erase(front->second.token);
+        by_deadline_.erase(front);
         continue;
       }
       cv_.wait_until(lk, when);
@@ -137,7 +154,8 @@ class TimerWheel {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<Token, Entry> pending_;
+  DeadlineMap by_deadline_;                      ///< fire order
+  std::map<Token, DeadlineMap::iterator> by_token_;  ///< cancel index
   Token next_token_ = 1;
   bool stop_ = false;
   // Declared LAST: members initialize in declaration order, and the wheel

@@ -70,6 +70,15 @@ class NullMetrics {
   static constexpr bool kEnabled = false;
 };
 
+/// One sink's contention picture in a single value — what a per-stripe sink
+/// exports to a dashboard or a grow policy: grant/abort totals, the derived
+/// abort rate, and the hand-off latency distribution rollup.
+struct ContentionRollup {
+  Counters totals;
+  LatencyHistogram::Snapshot handoff;
+  double abort_rate = 0.0;  ///< aborts / (acquisitions + aborts); 0 if idle
+};
+
 /// The enabled sink.
 class Metrics {
  public:
@@ -133,6 +142,20 @@ class Metrics {
 
   const EventRing& ring() const { return ring_; }
   const LatencyHistogram& handoff() const { return handoff_; }
+
+  /// Totals + hand-off percentiles + abort rate in one call (consistent once
+  /// writers quiesce, like totals()).
+  ContentionRollup contention() const {
+    ContentionRollup r;
+    r.totals = totals();
+    r.handoff = handoff_.snapshot();
+    const std::uint64_t attempts = r.totals.acquisitions + r.totals.aborts;
+    if (attempts != 0) {
+      r.abort_rate = static_cast<double>(r.totals.aborts) /
+                     static_cast<double>(attempts);
+    }
+    return r;
+  }
 
   /// Current logical time (events recorded so far + 1 at the next event).
   std::uint64_t now_ticks() const {

@@ -30,6 +30,6 @@ namespace aml {
 
 /// Library version, mirrored from the CMake project version.
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionMinor = 1;
 
 }  // namespace aml

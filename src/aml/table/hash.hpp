@@ -9,8 +9,11 @@
 // are public-domain constants, avalanche well, and cost a handful of cycles.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string_view>
+
+#include "aml/pal/config.hpp"
 
 namespace aml::table {
 
@@ -37,12 +40,17 @@ constexpr std::uint64_t key_hash(std::string_view key) {
   return fmix64(h);
 }
 
-/// Smallest power of two >= n (n >= 1). Stripe counts are rounded up to a
-/// power of two so the stripe map is a mask rather than a modulo.
+/// Largest argument round_up_pow2 accepts: the result must itself fit in a
+/// uint32_t, so n may not exceed 2^31.
+inline constexpr std::uint32_t kMaxPow2 = std::uint32_t{1} << 31;
+
+/// Smallest power of two >= n. Stripe counts are rounded up to a power of
+/// two so the stripe map is a mask rather than a modulo. Requires
+/// 1 <= n <= 2^31 (asserted): the former `while (p < n) p <<= 1` loop spun
+/// forever above 2^31, where the shift wraps to zero before reaching n.
 constexpr std::uint32_t round_up_pow2(std::uint32_t n) {
-  std::uint32_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
+  AML_ASSERT(n >= 1 && n <= kMaxPow2, "round_up_pow2: n must be in [1, 2^31]");
+  return std::bit_ceil(n);
 }
 
 }  // namespace aml::table

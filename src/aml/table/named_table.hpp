@@ -8,14 +8,22 @@
 //     deadline that raises the abort signal, and the lock's bounded-abort
 //     guarantee turns that into a bounded-latency negative answer;
 //   * multi-key transactions: acquire_all takes the distinct stripes in
-//     ascending order (deadlock-free among acquire_all users); the timed
-//     variant optionally slices its budget into shorter attempts, releasing
-//     everything and retrying between slices — deadline-abort as the
-//     deadlock-avoidance primitive against callers that do not follow the
-//     stripe order;
+//     a global total order (deadlock-free among acquire_all users); the
+//     timed variant optionally slices its budget into shorter attempts,
+//     releasing everything and retrying between slices — deadline-abort as
+//     the deadlock-avoidance primitive against callers that do not follow
+//     the stripe order;
 //   * per-stripe observability: with the obs::Metrics sink type each stripe
 //     gets its own sink, so contention / abort / hand-off stats roll up per
-//     shard and hot key ranges are visible.
+//     shard and hot key ranges are visible;
+//   * contention-adaptive striping: with `auto_grow` enabled the table
+//     samples its always-on StripeStats every `grow_check_interval`
+//     operations and doubles the stripe count when any stripe's concurrent
+//     attempt depth reaches `grow_inflight_threshold` — the service-layer
+//     mirror of the lock's adaptive RMR bound. Guards address *keys* (their
+//     hashes), not stripe indices, so every guard stays valid across a grow:
+//     the underlying LockTable drains old-generation holders via per-epoch
+//     refcounts and a key never changes stripe mid-hold.
 //
 // Usage:
 //
@@ -29,11 +37,13 @@
 //   ... transfer ...                   // tx releases all stripes
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <utility>
@@ -54,6 +64,11 @@ struct TableConfig {
   std::uint32_t max_threads = 64;  ///< concurrent sessions (registry slots)
   std::uint32_t stripes = 32;      ///< rounded up to a power of two
   std::uint32_t tree_width = 64;
+  // --- contention-adaptive striping (see header comment) -----------------
+  bool auto_grow = false;           ///< sample stats and double when hot
+  std::uint32_t max_stripes = 1024; ///< auto-grow ceiling
+  std::uint32_t grow_inflight_threshold = 4;  ///< stripe depth = "hot"
+  std::uint32_t grow_check_interval = 64;     ///< ops between policy checks
 };
 
 template <typename Metrics = obs::NullMetrics>
@@ -62,16 +77,17 @@ class BasicNamedLockTable {
   using Clock = TimerWheel::Clock;
   using Table = LockTable<model::NativeModel, Metrics>;
   using MetricsSink = Metrics;
+  using StripeStatsView = typename Table::StripeStatsView;
 
   explicit BasicNamedLockTable(TableConfig config = {})
-      : model_(config.max_threads),
+      : config_(config), model_(config.max_threads),
         table_(model_, {.max_threads = config.max_threads,
                         .stripes = config.stripes,
                         .tree_width = config.tree_width}),
         registry_(config.max_threads),
         signals_(config.max_threads) {
     if constexpr (Metrics::kEnabled) {
-      sinks_.reserve(table_.stripe_count());
+      std::lock_guard<std::mutex> lk(sinks_mu_);
       for (std::uint32_t s = 0; s < table_.stripe_count(); ++s) {
         sinks_.push_back(std::make_unique<Metrics>(config.max_threads));
         table_.set_stripe_metrics(s, sinks_.back().get());
@@ -97,6 +113,18 @@ class BasicNamedLockTable {
   std::uint32_t stripe_count() const { return table_.stripe_count(); }
   std::uint32_t max_threads() const { return registry_.max_threads(); }
 
+  /// Stripe-array epoch: 0 at construction, +1 per (auto-)grow.
+  std::uint64_t epoch() const { return table_.epoch(); }
+  /// True while the previous stripe generation still drains.
+  bool draining() const { return table_.draining(); }
+
+  /// Always-on contention counters of current-generation stripe `s`.
+  StripeStatsView stripe_stats(std::uint32_t s) const {
+    return table_.stripe_stats(s);
+  }
+  /// Largest concurrent-attempt high-water mark across current stripes.
+  std::uint32_t peak_inflight() const { return table_.peak_inflight(); }
+
   std::uint32_t stripe_of(std::uint64_t key) const {
     return table_.stripe_of(key);
   }
@@ -105,11 +133,19 @@ class BasicNamedLockTable {
   }
 
   /// Per-stripe sink (enabled flavor only; see ObservedNamedLockTable).
+  /// Sinks are allocated per *stripe slot* and survive grows: after a
+  /// resize, stripe s of the new generation shares sink s with the old
+  /// generation's stripe s, so a shard's history stays in one sink.
   Metrics& stripe_metrics(std::uint32_t s)
     requires(Metrics::kEnabled)
   {
+    std::lock_guard<std::mutex> lk(sinks_mu_);
     return *sinks_[s];
   }
+
+  /// Run the grow policy now (auto_grow normally does this every
+  /// grow_check_interval operations). Returns true iff the table grew.
+  bool try_grow() { return grow_step(); }
 
   /// A session: the thread's dense id plus the signal slot timed attempts
   /// use. Move-only; releasing it returns the id to the registry.
@@ -127,19 +163,21 @@ class BasicNamedLockTable {
     /// Blocking acquisition (starvation-free).
     template <typename Key>
     Guard acquire(Key key) {
-      const std::uint32_t s = owner_->table_.stripe_of(key);
-      const bool ok = owner_->table_.enter_stripe(id(), s, nullptr);
+      const std::uint64_t h = Table::hash_of(key);
+      owner_->note_op();
+      const bool ok = owner_->table_.enter_hash(id(), h, nullptr);
       AML_ASSERT(ok, "unsignalled enter cannot abort");
-      return Guard(*owner_, id(), s, true);
+      return Guard(*owner_, id(), h);
     }
 
     /// Deadline-bounded acquisition: empty optional iff the deadline passed
     /// before the lock was granted (bounded abort bounds the overshoot).
     template <typename Key>
     std::optional<Guard> try_acquire_until(Key key, Clock::time_point when) {
-      const std::uint32_t s = owner_->table_.stripe_of(key);
-      if (!owner_->timed_enter(id(), s, when)) return std::nullopt;
-      return Guard(*owner_, id(), s, true);
+      const std::uint64_t h = Table::hash_of(key);
+      owner_->note_op();
+      if (!owner_->timed_enter(id(), h, when)) return std::nullopt;
+      return Guard(*owner_, id(), h);
     }
 
     template <typename Key, typename Rep, typename Period>
@@ -150,14 +188,15 @@ class BasicNamedLockTable {
 
     // --- multiple keys ----------------------------------------------------
 
-    /// Blocking multi-key acquisition in ascending stripe order
+    /// Blocking multi-key acquisition in a global total stripe order
     /// (deadlock-free among acquire_all/try_acquire_all users).
     template <typename Key>
     MultiGuard acquire_all(const std::vector<Key>& keys) {
-      std::vector<std::uint32_t> order = owner_->table_.plan(keys);
-      const bool ok = owner_->table_.enter_all(id(), order, nullptr);
-      AML_ASSERT(ok, "unsignalled enter_all cannot abort");
-      return MultiGuard(*owner_, id(), std::move(order), true);
+      std::vector<std::uint64_t> hashes = owner_->table_.plan_hashes(keys);
+      owner_->note_op();
+      const bool ok = owner_->table_.enter_hashes(id(), hashes, nullptr);
+      AML_ASSERT(ok, "unsignalled enter_hashes cannot abort");
+      return MultiGuard(*owner_, id(), std::move(hashes));
     }
 
     /// Timed multi-key acquisition. The budget is spent in attempts of at
@@ -173,17 +212,18 @@ class BasicNamedLockTable {
         std::chrono::duration<Rep, Period> budget,
         std::chrono::nanoseconds slice = std::chrono::nanoseconds{0}) {
       const Clock::time_point deadline = Clock::now() + budget;
-      std::vector<std::uint32_t> order = owner_->table_.plan(keys);
+      std::vector<std::uint64_t> hashes = owner_->table_.plan_hashes(keys);
       pal::Backoff backoff;
       for (;;) {
         const Clock::time_point now = Clock::now();
-        if (now >= deadline && !order.empty()) return std::nullopt;
+        if (now >= deadline && !hashes.empty()) return std::nullopt;
         Clock::time_point attempt_deadline = deadline;
         if (slice.count() > 0 && now + slice < deadline) {
           attempt_deadline = now + slice;
         }
-        if (owner_->timed_enter_all(id(), order, attempt_deadline)) {
-          return MultiGuard(*owner_, id(), std::move(order), true);
+        owner_->note_op();
+        if (owner_->timed_enter_all(id(), hashes, attempt_deadline)) {
+          return MultiGuard(*owner_, id(), std::move(hashes));
         }
         if (attempt_deadline >= deadline) return std::nullopt;
         backoff.pause();
@@ -196,11 +236,12 @@ class BasicNamedLockTable {
     /// detector or priority manager instead of a deadline).
     template <typename Key>
     std::optional<Guard> try_acquire(Key key, const AbortSignal& signal) {
-      const std::uint32_t s = owner_->table_.stripe_of(key);
-      if (!owner_->table_.enter_stripe(id(), s, signal.flag())) {
+      const std::uint64_t h = Table::hash_of(key);
+      owner_->note_op();
+      if (!owner_->table_.enter_hash(id(), h, signal.flag())) {
         return std::nullopt;
       }
-      return Guard(*owner_, id(), s, true);
+      return Guard(*owner_, id(), h);
     }
 
    private:
@@ -212,53 +253,61 @@ class BasicNamedLockTable {
     ThreadRegistry::Lease lease_;
   };
 
-  /// RAII holder of one stripe.
+  /// RAII holder of one key's stripe. Identified by the key's hash, so the
+  /// guard stays valid across auto-grow; stripe() reports the stripe index
+  /// at acquisition time (diagnostics — it may be stale after a grow).
   class Guard {
    public:
     Guard(Guard&& o) noexcept
         : owner_(std::exchange(o.owner_, nullptr)), pid_(o.pid_),
-          stripe_(o.stripe_) {}
+          hash_(o.hash_), stripe_(o.stripe_) {}
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
     Guard& operator=(Guard&&) = delete;
     ~Guard() { release(); }
 
     std::uint32_t stripe() const { return stripe_; }
+    std::uint64_t key_hash() const { return hash_; }
 
     void release() {
       if (owner_ != nullptr) {
-        owner_->table_.exit_stripe(pid_, stripe_);
+        owner_->table_.exit_hash(pid_, hash_);
         owner_ = nullptr;
       }
     }
 
    private:
     friend class Session;
-    Guard(BasicNamedLockTable& owner, std::uint32_t pid, std::uint32_t s,
-          bool /*owns*/)
-        : owner_(&owner), pid_(pid), stripe_(s) {}
+    Guard(BasicNamedLockTable& owner, std::uint32_t pid, std::uint64_t hash)
+        : owner_(&owner), pid_(pid), hash_(hash),
+          stripe_(static_cast<std::uint32_t>(hash) &
+                  (owner.table_.stripe_count() - 1)) {}
 
     BasicNamedLockTable* owner_;
     std::uint32_t pid_;
+    std::uint64_t hash_;
     std::uint32_t stripe_;
   };
 
-  /// RAII holder of a sorted set of stripes (released in reverse order).
+  /// RAII holder of a key set (released in reverse stripe order).
   class MultiGuard {
    public:
     MultiGuard(MultiGuard&& o) noexcept
         : owner_(std::exchange(o.owner_, nullptr)), pid_(o.pid_),
-          order_(std::move(o.order_)) {}
+          hashes_(std::move(o.hashes_)), stripes_(std::move(o.stripes_)) {}
     MultiGuard(const MultiGuard&) = delete;
     MultiGuard& operator=(const MultiGuard&) = delete;
     MultiGuard& operator=(MultiGuard&&) = delete;
     ~MultiGuard() { release(); }
 
-    const std::vector<std::uint32_t>& stripes() const { return order_; }
+    /// Distinct stripe indices at acquisition time (diagnostics — may be
+    /// stale after a grow; the hash set is the stable identity).
+    const std::vector<std::uint32_t>& stripes() const { return stripes_; }
+    const std::vector<std::uint64_t>& key_hashes() const { return hashes_; }
 
     void release() {
       if (owner_ != nullptr) {
-        owner_->table_.exit_all(pid_, order_);
+        owner_->table_.exit_hashes(pid_, hashes_);
         owner_ = nullptr;
       }
     }
@@ -266,46 +315,92 @@ class BasicNamedLockTable {
    private:
     friend class Session;
     MultiGuard(BasicNamedLockTable& owner, std::uint32_t pid,
-               std::vector<std::uint32_t> order, bool /*owns*/)
-        : owner_(&owner), pid_(pid), order_(std::move(order)) {}
+               std::vector<std::uint64_t> hashes)
+        : owner_(&owner), pid_(pid), hashes_(std::move(hashes)) {
+      const std::uint32_t mask = owner.table_.stripe_count() - 1;
+      stripes_.reserve(hashes_.size());
+      for (const std::uint64_t h : hashes_) {
+        stripes_.push_back(static_cast<std::uint32_t>(h) & mask);
+      }
+      std::sort(stripes_.begin(), stripes_.end());
+      stripes_.erase(std::unique(stripes_.begin(), stripes_.end()),
+                     stripes_.end());
+    }
 
     BasicNamedLockTable* owner_;
     std::uint32_t pid_;
-    std::vector<std::uint32_t> order_;
+    std::vector<std::uint64_t> hashes_;
+    std::vector<std::uint32_t> stripes_;
   };
 
  private:
   friend class Session;
 
-  /// One timed attempt on one stripe.
-  bool timed_enter(std::uint32_t pid, std::uint32_t s,
+  /// One timed attempt on one key.
+  bool timed_enter(std::uint32_t pid, std::uint64_t hash,
                    Clock::time_point when) {
     AbortSignal& signal = signals_[pid];
     signal.reset();
     const TimerWheel::Token token = wheel_.arm(signal, when);
-    const bool ok = table_.enter_stripe(pid, s, signal.flag());
+    const bool ok = table_.enter_hash(pid, hash, signal.flag());
     wheel_.cancel(token);
     return ok;
   }
 
-  /// One timed all-or-nothing attempt on a stripe set.
+  /// One timed all-or-nothing attempt on a key set.
   bool timed_enter_all(std::uint32_t pid,
-                       const std::vector<std::uint32_t>& order,
+                       const std::vector<std::uint64_t>& hashes,
                        Clock::time_point when) {
     AbortSignal& signal = signals_[pid];
     signal.reset();
     const TimerWheel::Token token = wheel_.arm(signal, when);
-    const bool ok = table_.enter_all(pid, order, signal.flag());
+    const bool ok = table_.enter_hashes(pid, hashes, signal.flag());
     wheel_.cancel(token);
     return ok;
   }
 
+  /// Called at the top of every acquisition: with auto_grow on, every
+  /// grow_check_interval-th call runs the grow policy. The counter is a
+  /// relaxed fetch_add — one shared cache line, but only touched once per
+  /// acquisition and never inside a critical section.
+  void note_op() {
+    if (!config_.auto_grow) return;
+    const std::uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % config_.grow_check_interval == 0) grow_step();
+  }
+
+  bool grow_step() {
+    const typename Table::GrowPolicy policy{
+        .inflight_threshold = config_.grow_inflight_threshold,
+        .max_stripes = config_.max_stripes};
+    if constexpr (Metrics::kEnabled) {
+      // Bind sinks inside resize()'s pre-publication hook so an observed
+      // stripe is never visible without its sink. Sinks live in a deque
+      // (stable addresses) keyed by stripe slot: slot s's sink is shared by
+      // every generation's stripe s, preserving shard history across grows.
+      return table_.maybe_grow(
+          policy, [this](std::uint32_t s, typename Table::StripeLock& lock) {
+            std::lock_guard<std::mutex> lk(sinks_mu_);
+            while (sinks_.size() <= s) {
+              sinks_.push_back(
+                  std::make_unique<Metrics>(config_.max_threads));
+            }
+            lock.set_metrics(sinks_[s].get());
+          });
+    } else {
+      return table_.maybe_grow(policy);
+    }
+  }
+
+  TableConfig config_;
   model::NativeModel model_;
   Table table_;
   ThreadRegistry registry_;
   std::deque<AbortSignal> signals_;  ///< one per dense id; timed ops only
   TimerWheel wheel_;
-  std::vector<std::unique_ptr<Metrics>> sinks_;  ///< enabled flavor only
+  std::atomic<std::uint64_t> ops_{0};        ///< auto-grow sampling counter
+  std::mutex sinks_mu_;                      ///< guards sinks_ growth
+  std::deque<std::unique_ptr<Metrics>> sinks_;  ///< enabled flavor only
 };
 
 /// Production default: uninstrumented.

@@ -2,9 +2,13 @@
 // acquisition, thread registry, and the std::mutex-compatible facade.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <deque>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -82,6 +86,87 @@ TEST(TimerWheelTest, OrdersMultipleDeadlines) {
   EXPECT_TRUE(eventually(early));
   EXPECT_FALSE(late.raised());
   EXPECT_EQ(wheel.pending(), 1u);  // the far deadline remains armed
+}
+
+// Earliest-fires-first under load: many deadlines armed in shuffled order
+// with real spacing must raise strictly in deadline order. (The old wheel
+// found the earliest by scanning the token map — ordering held but each
+// wakeup was O(n); this pins the behavior the deadline index must keep.)
+TEST(TimerWheelTest, EarliestFiresFirstUnderLoad) {
+  constexpr int kSignals = 16;
+  TimerWheel wheel;
+  std::deque<AbortSignal> signals(kSignals);
+  // Deadline i = base + i * spacing; armed in a shuffled order so insertion
+  // order and fire order disagree everywhere.
+  const auto base = TimerWheel::Clock::now() + 30ms;
+  const auto spacing = 15ms;
+  std::vector<int> arm_order;
+  for (int i = 0; i < kSignals; ++i) arm_order.push_back(i);
+  std::mt19937 shuffle_rng(1234);
+  std::shuffle(arm_order.begin(), arm_order.end(), shuffle_rng);
+  for (const int i : arm_order) {
+    wheel.arm(signals[i], base + i * spacing);
+  }
+
+  // Observe the raise order by polling with a DESCENDING scan: if signal i
+  // is seen raised at its scan instant, every j < i fired before i (wheel
+  // order) and is scanned after i, so it must also read raised in the same
+  // sweep. A gap below the highest raised index is therefore a race-free
+  // witness of out-of-order firing.
+  const auto poll_deadline =
+      TimerWheel::Clock::now() + 30ms + kSignals * spacing + 3s;
+  for (;;) {
+    int highest = -1;
+    for (int i = kSignals - 1; i >= 0; --i) {
+      const bool raised = signals[i].raised();
+      if (raised && highest < 0) highest = i;
+      if (!raised && i < highest) {
+        FAIL() << "deadline " << highest << " fired before deadline " << i;
+      }
+    }
+    if (highest == kSignals - 1) break;  // all fired, in order throughout
+    ASSERT_LT(TimerWheel::Clock::now(), poll_deadline)
+        << "a deadline never fired";
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// Interleaved arm/cancel storm from several threads: every cancelled-early
+// entry must stay unraised, every kept deadline must fire, and the wheel
+// must end empty — exercising the deadline map + token index consistency.
+TEST(TimerWheelTest, InterleavedArmCancelStress) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kPerThread = 64;
+  TimerWheel wheel;
+  std::deque<AbortSignal> kept(kThreads * kPerThread);
+  std::deque<AbortSignal> cancelled(kThreads * kPerThread);
+
+  pal::run_threads(kThreads, [&](std::uint32_t t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::size_t slot = t * kPerThread + i;
+      // A near deadline we keep, and a far one we cancel immediately. The
+      // pair lands on both sides of the wheel's current front, so cancels
+      // hit front and interior entries alike.
+      wheel.arm(kept[slot], TimerWheel::Clock::now() +
+                                std::chrono::milliseconds(1 + (i % 7)));
+      const auto token = wheel.arm(
+          cancelled[slot], TimerWheel::Clock::now() + 60s + slot * 1ms);
+      wheel.cancel(token);
+    }
+  });
+
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (std::size_t s = 0; s < kept.size(); ++s) {
+    while (!kept[s].raised() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_TRUE(kept[s].raised()) << "kept deadline " << s << " never fired";
+  }
+  for (std::size_t s = 0; s < cancelled.size(); ++s) {
+    EXPECT_FALSE(cancelled[s].raised()) << "cancelled entry " << s << " fired";
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
 }
 
 TEST(TimedLockTest, SucceedsWhenFree) {

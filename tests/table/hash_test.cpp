@@ -1,0 +1,57 @@
+// Key hashing and stripe-count rounding: determinism, avalanche sanity, and
+// the round_up_pow2 domain fix (the old loop spun forever past 2^31).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+
+#include "aml/table/hash.hpp"
+
+namespace aml::table {
+namespace {
+
+TEST(Hash, IntegerHashIsDeterministicAndMixed) {
+  EXPECT_EQ(key_hash(std::uint64_t{42}), key_hash(std::uint64_t{42}));
+  EXPECT_NE(key_hash(std::uint64_t{42}), key_hash(std::uint64_t{43}));
+  // Low bits must differ for adjacent keys (the stripe map masks low bits).
+  int low_bit_diffs = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    if ((key_hash(k) & 0xF) != (key_hash(k + 1) & 0xF)) ++low_bit_diffs;
+  }
+  EXPECT_GT(low_bit_diffs, 32);
+}
+
+TEST(Hash, StringHashMatchesAcrossCalls) {
+  EXPECT_EQ(key_hash(std::string_view{"acct:alice"}),
+            key_hash(std::string_view{"acct:alice"}));
+  EXPECT_NE(key_hash(std::string_view{"acct:alice"}),
+            key_hash(std::string_view{"acct:bob"}));
+  EXPECT_NE(key_hash(std::string_view{""}),
+            key_hash(std::string_view{"a"}));
+}
+
+TEST(Hash, RoundUpPow2CoversDomain) {
+  EXPECT_EQ(round_up_pow2(1), 1u);
+  EXPECT_EQ(round_up_pow2(2), 2u);
+  EXPECT_EQ(round_up_pow2(3), 4u);
+  EXPECT_EQ(round_up_pow2(5), 8u);
+  EXPECT_EQ(round_up_pow2(1023), 1024u);
+  EXPECT_EQ(round_up_pow2(1024), 1024u);
+  // The values that made the old shift loop spin forever: anything above
+  // 2^31 has no uint32_t power-of-two ceiling. The boundary itself is fine.
+  EXPECT_EQ(round_up_pow2((1u << 31) - 1), 1u << 31);
+  EXPECT_EQ(round_up_pow2(1u << 31), 1u << 31);
+  // Compile-time evaluation still works (AML_ASSERT's failure branch is
+  // never constant-evaluated on valid input).
+  static_assert(round_up_pow2(6) == 8);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(HashDeathTest, RoundUpPow2RejectsOutOfDomain) {
+  EXPECT_DEATH(round_up_pow2(0), "round_up_pow2");
+  EXPECT_DEATH(round_up_pow2((1u << 31) + 1), "round_up_pow2");
+}
+#endif
+
+}  // namespace
+}  // namespace aml::table
