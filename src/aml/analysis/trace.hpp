@@ -1,0 +1,175 @@
+// Replayable execution traces.
+//
+// A scheduled execution is fully determined by its grant (choice) sequence,
+// so persisting that sequence makes any failure reproducible: the scheduler
+// writes a trace file before aborting on a liveness violation, the explorer
+// writes one for the first failing execution it finds, and tools/aml_replay
+// (or sched::policies::replay) re-runs it step for step.
+//
+// Format (line-oriented text, "aml-trace-v1"):
+//
+//   aml-trace-v1
+//   workload <name>            # registry name or scheduler label, no spaces
+//   nprocs <n>
+//   seed <n>
+//   reason <free text to end of line>        # optional
+//   c <pid>                                  # one line per choice, or
+//   c <pid> <addr> <K> <addr2> <K2>          # ... with the step footprint
+//   end
+//
+// Footprint addresses are the models' stable word/signal ids ("-" = none);
+// kinds are "?" (unknown), "R" (read), "M" (mutate). Footprints are
+// informational — replay only needs the pid column — but they make a trace
+// self-describing when debugging a race by hand.
+//
+// This header deliberately depends only on aml/model (not aml/sched) so the
+// scheduler itself can include it to emit fatal traces.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aml/model/types.hpp"
+
+namespace aml::analysis {
+
+struct TraceFile {
+  std::string workload;  ///< registry name of the workload that produced it
+  std::uint32_t nprocs = 0;
+  std::uint64_t seed = 0;
+  std::string reason;  ///< why it was emitted (violation / deadlock / ...)
+  std::vector<model::Pid> choices;
+  /// Parallel to `choices` when non-empty; may be empty (choices-only trace).
+  std::vector<model::Footprint> footprints;
+};
+
+namespace detail {
+
+inline char kind_char(model::Footprint::Kind k) {
+  switch (k) {
+    case model::Footprint::Kind::kRead:
+      return 'R';
+    case model::Footprint::Kind::kMutate:
+      return 'M';
+    case model::Footprint::Kind::kNone:
+      break;
+  }
+  return '?';
+}
+
+inline bool parse_kind(const std::string& s, model::Footprint::Kind* out) {
+  if (s == "R") {
+    *out = model::Footprint::Kind::kRead;
+  } else if (s == "M") {
+    *out = model::Footprint::Kind::kMutate;
+  } else if (s == "?") {
+    *out = model::Footprint::Kind::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+inline std::string addr_str(std::uint64_t addr) {
+  return addr == model::Footprint::kNoAddr ? "-" : std::to_string(addr);
+}
+
+inline bool parse_addr(const std::string& s, std::uint64_t* out) {
+  if (s == "-") {
+    *out = model::Footprint::kNoAddr;
+    return true;
+  }
+  std::istringstream in(s);
+  return static_cast<bool>(in >> *out);
+}
+
+}  // namespace detail
+
+/// Serialize a trace. Returns false on I/O failure (never throws).
+inline bool write_trace(const std::string& path, const TraceFile& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "aml-trace-v1\n";
+  out << "workload " << (trace.workload.empty() ? "unknown" : trace.workload)
+      << "\n";
+  out << "nprocs " << trace.nprocs << "\n";
+  out << "seed " << trace.seed << "\n";
+  if (!trace.reason.empty()) out << "reason " << trace.reason << "\n";
+  const bool with_fp = trace.footprints.size() == trace.choices.size() &&
+                       !trace.footprints.empty();
+  for (std::size_t i = 0; i < trace.choices.size(); ++i) {
+    out << "c " << trace.choices[i];
+    if (with_fp) {
+      const model::Footprint& f = trace.footprints[i];
+      out << ' ' << detail::addr_str(f.addr) << ' ' << detail::kind_char(f.kind)
+          << ' ' << detail::addr_str(f.addr2) << ' '
+          << detail::kind_char(f.kind2);
+    }
+    out << "\n";
+  }
+  out << "end\n";
+  return static_cast<bool>(out.flush());
+}
+
+/// Parse a trace file. Returns false (and fills `error` when non-null) on
+/// malformed input; a well-formed file round-trips through write_trace().
+inline bool load_trace(const std::string& path, TraceFile* trace,
+                       std::string* error = nullptr) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = path + ": " + why;
+    return false;
+  };
+  std::ifstream in(path);
+  if (!in) return fail("cannot open");
+  std::string line;
+  if (!std::getline(in, line) || line != "aml-trace-v1") {
+    return fail("missing aml-trace-v1 header");
+  }
+  *trace = TraceFile{};
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "workload") {
+      fields >> trace->workload;
+    } else if (tag == "nprocs") {
+      if (!(fields >> trace->nprocs)) return fail("bad nprocs");
+    } else if (tag == "seed") {
+      if (!(fields >> trace->seed)) return fail("bad seed");
+    } else if (tag == "reason") {
+      std::getline(fields >> std::ws, trace->reason);
+    } else if (tag == "c") {
+      model::Pid pid = 0;
+      if (!(fields >> pid)) return fail("bad choice line: " + line);
+      trace->choices.push_back(pid);
+      std::string a, k, a2, k2;
+      if (fields >> a >> k >> a2 >> k2) {
+        model::Footprint f;
+        if (!detail::parse_addr(a, &f.addr) || !detail::parse_kind(k, &f.kind) ||
+            !detail::parse_addr(a2, &f.addr2) ||
+            !detail::parse_kind(k2, &f.kind2)) {
+          return fail("bad footprint: " + line);
+        }
+        trace->footprints.push_back(f);
+      }
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown tag: " + tag);
+    }
+  }
+  if (!saw_end) return fail("truncated (no end marker)");
+  if (!trace->footprints.empty() &&
+      trace->footprints.size() != trace->choices.size()) {
+    return fail("footprint count does not match choice count");
+  }
+  return true;
+}
+
+}  // namespace aml::analysis

@@ -1,0 +1,152 @@
+// Named model-checking workloads shared by the analysis tests and the
+// aml_replay tool (aml::analysis).
+//
+// A workload is a factory the explorer invokes once per execution: it builds
+// a fresh world (model + lock), installs the scheduler hook, registers
+// oracles, runs the process bodies and reports failures through
+// ExecutionContext::fail(). Keeping them in a registry means a failure trace
+// emitted by a test names a workload the standalone replay tool can rebuild
+// byte-for-byte — the trace's choice sequence then reproduces the failing
+// interleaving deterministically.
+//
+// The flagship entry is `oneshot-handoff-bug`: the one-shot queue lock with
+// the abort-path responsibility hand-off deliberately disabled
+// (FaultInjection::skip_abort_responsibility — Algorithm 3.3 line 15
+// skipped). Three processes compete while a fourth delivers an abort signal
+// to the middle one; in the buggy interleaving the exiting process signals
+// the aborting slot (a wasted wake-up) and the aborter, who observes
+// Head == LastExited and is therefore responsible for re-signalling, skips
+// it — the third process sleeps forever. The abort signal is a gated
+// model::Signal so DPOR sees the raise/observe race (a plain std::atomic
+// store would have no footprint and the reduction could unsoundly prune the
+// failing interleaving).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aml/analysis/oracles.hpp"
+#include "aml/core/oneshot.hpp"
+#include "aml/model/counting_cc.hpp"
+#include "aml/sched/explorer.hpp"
+
+namespace aml::analysis {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+  Pid nprocs = 0;
+  std::function<void(sched::ExecutionContext&)> factory;
+};
+
+namespace detail {
+
+/// Three competitors (p0..p2) on a 3-slot one-shot lock; p3 raises p1's
+/// abort signal as its only (gated) step. `inject` disables the abort path's
+/// responsibility hand-off. Failures reported: mutual-exclusion violation,
+/// lost wake-up (a competitor parked forever; detected by the idle rescue),
+/// and any oracle violation (folded in by ExecutionContext::run).
+inline void oneshot_handoff(sched::ExecutionContext& ctx, bool inject) {
+  using Model = model::CountingCcModel;
+  constexpr Pid kProcs = 4;
+  constexpr std::uint32_t kSlots = 3;
+  Model m(kProcs);
+  m.set_hook(&ctx.scheduler());
+  core::OneShotLock<Model> lock(m, kSlots, /*w=*/4, core::Find::kPlain);
+  if (inject) {
+    core::FaultInjection faults;
+    faults.skip_abort_responsibility = true;
+    lock.inject_faults(faults);
+  }
+
+  OneShotOracle<core::OneShotLock<Model>> queue_oracle(lock);
+  TreeOracle<Model> tree_oracle(lock.tree());
+  OracleSet oracles;
+  oracles.watch(queue_oracle);
+  oracles.watch(tree_oracle);
+  oracles.install(ctx.scheduler());
+
+  // One gated Signal per competitor. Only p1's is ever raised by the
+  // workload (by p3); the others exist so the idle rescue can unpark a
+  // starved competitor and let the execution terminate cleanly.
+  model::Signal* sig[kSlots];
+  for (std::uint32_t i = 0; i < kSlots; ++i) sig[i] = m.alloc_signal();
+
+  std::atomic<bool> rescued{false};
+  ctx.scheduler().set_idle_callback([&] {
+    if (rescued.load(std::memory_order_relaxed)) return false;
+    rescued.store(true, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < kSlots; ++i) {
+      sig[i]->flag.store(true, std::memory_order_seq_cst);
+    }
+    return true;
+  });
+
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+  Model::Word* scratch = m.alloc(1, 0);
+
+  ctx.run([&](Pid p) {
+    if (p == 3) {
+      m.raise_signal(p, *sig[1]);
+      return;
+    }
+    const auto r = lock.enter(p, &sig[p]->flag);
+    if (r.acquired) {
+      if (in_cs.fetch_add(1, std::memory_order_seq_cst) != 0) {
+        overlap.store(true, std::memory_order_seq_cst);
+      }
+      m.read(p, *scratch);  // hold the critical section for one gated step
+      in_cs.fetch_sub(1, std::memory_order_seq_cst);
+      lock.exit(p);
+    }
+  });
+
+  if (overlap.load(std::memory_order_relaxed)) {
+    ctx.fail("mutual exclusion violated: two processes in the CS");
+  }
+  if (rescued.load(std::memory_order_relaxed)) {
+    ctx.fail(
+        "lost wake-up: a competitor was parked forever and had to be "
+        "rescued by an injected abort signal");
+  }
+}
+
+}  // namespace detail
+
+/// All registered workloads, by name.
+inline const std::vector<WorkloadInfo>& workload_registry() {
+  static const std::vector<WorkloadInfo> registry = {
+      {
+          "oneshot-handoff-bug",
+          "one-shot lock, abort responsibility hand-off skipped (seeded "
+          "bug): an abort racing an exit loses a wake-up",
+          4,
+          [](sched::ExecutionContext& ctx) {
+            detail::oneshot_handoff(ctx, /*inject=*/true);
+          },
+      },
+      {
+          "oneshot-handoff-clean",
+          "same workload with the hand-off intact: must pass under full "
+          "exploration",
+          4,
+          [](sched::ExecutionContext& ctx) {
+            detail::oneshot_handoff(ctx, /*inject=*/false);
+          },
+      },
+  };
+  return registry;
+}
+
+/// Look up a workload by name; nullptr if absent.
+inline const WorkloadInfo* find_workload(const std::string& name) {
+  for (const auto& w : workload_registry()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace aml::analysis

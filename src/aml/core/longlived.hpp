@@ -178,6 +178,37 @@ class LongLivedLock {
   }
   std::size_t spin_nodes() const { return spin_pool_.total_nodes(); }
 
+  // --- oracle probes (no gating, no accounting; scheduler-thread safe) --
+
+  /// Unpacked LockDesc snapshot for invariant oracles.
+  struct DescView {
+    std::uint32_t lock = 0;
+    std::uint32_t spn = 0;
+    std::uint32_t refcnt = 0;
+  };
+  DescView probe_desc() const {
+    const Packed d = unpack(mem_.peek(*lock_desc_));
+    return {d.lock, d.spn, d.refcnt};
+  }
+  /// Version word of instance `idx`'s space. Only instantiable when the
+  /// space policy exposes peek_version() (VersionedSpace).
+  std::uint64_t probe_space_version(std::uint32_t idx) const {
+    return instances_[idx]->space.peek_version();
+  }
+  /// Wraparound mask of the spaces' version fields (same for all instances).
+  /// Only instantiable when the space policy exposes version_mask().
+  std::uint64_t probe_space_version_mask() const {
+    return instances_[0]->space.version_mask();
+  }
+  const Config& config() const { return config_; }
+
+  /// Test-only: overwrite the packed LockDesc word, bypassing the algorithm
+  /// (oracle fire-tests manufacture illegal states with this).
+  void debug_poke_desc(std::uint32_t lock, std::uint32_t spn,
+                       std::uint32_t refcnt) {
+    mem_.poke(*lock_desc_, pack(lock, spn, refcnt));
+  }
+
  private:
   static constexpr std::uint32_t kRefBits = 16;
   static constexpr std::uint32_t kSpnBits = 32;

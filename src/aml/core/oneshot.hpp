@@ -62,6 +62,20 @@ namespace detail {
 inline constexpr std::uint64_t kNoneExited = ~std::uint64_t{0};
 }  // namespace detail
 
+/// Test-only fault injection: reproduce the hand-off bugs the analysis layer
+/// exists to catch. Every flag defaults to off (correct algorithm); a test
+/// switches one on to seed a deliberately broken protocol whose failure only
+/// manifests under specific interleavings (see tests/analysis).
+struct FaultInjection {
+  /// exit() skips SignalNext entirely (unconditional lost hand-off).
+  bool skip_exit_signal = false;
+  /// abort_slot() skips the crossed-paths responsibility hand-off (Algorithm
+  /// 3.3 line 15): the exiter's FindNext that returned TOP assumed the
+  /// aborter would signal; nobody does — an interleaving-dependent lost
+  /// wakeup.
+  bool skip_abort_responsibility = false;
+};
+
 /// `Metrics` selects the observability sink (see aml/obs/metrics.hpp). The
 /// default NullMetrics compiles every instrumentation point to nothing.
 template <typename Space, typename Metrics = obs::NullMetrics>
@@ -125,6 +139,7 @@ class OneShotLock {
     const std::uint64_t head = space_.read(self, *head_);    // line 8
     obs_.on_exit(self, static_cast<std::uint32_t>(head));
     space_.write(self, *last_exited_, head);                 // line 9
+    if (faults_.skip_exit_signal) return;                    // seeded bug
     signal_next(self, static_cast<std::uint32_t>(head));     // line 10
   }
 
@@ -139,6 +154,27 @@ class OneShotLock {
     return space_.read(self, *go_[i]);
   }
 
+  // --- oracle probes (no gating, no accounting; scheduler-thread safe) --
+
+  std::uint64_t probe_head() const { return space_.peek(*head_); }
+  std::uint64_t probe_tail() const { return space_.peek(*tail_); }
+  std::uint64_t probe_last_exited() const {
+    return space_.peek(*last_exited_);
+  }
+  std::uint64_t probe_go(std::uint32_t i) const {
+    return space_.peek(*go_[i]);
+  }
+
+  /// Seed a protocol bug (tests only — see FaultInjection).
+  void inject_faults(const FaultInjection& faults) { faults_ = faults; }
+
+  /// Test-only pokes bypassing the algorithm (oracle fire-tests). Only
+  /// instantiable over spaces with poke() (the raw models).
+  void debug_poke_tail(std::uint64_t v) { space_.poke(*tail_, v); }
+  void debug_poke_go(std::uint32_t i, std::uint64_t v) {
+    space_.poke(*go_[i], v);
+  }
+
  private:
   /// Algorithm 3.3.
   void abort_slot(Pid self, std::uint32_t i) {
@@ -146,6 +182,7 @@ class OneShotLock {
     const std::uint64_t head = space_.read(self, *head_);        // line 12
     const std::uint64_t last = space_.read(self, *last_exited_);
     if (head != last) return;                                    // lines 13-14
+    if (faults_.skip_abort_responsibility) return;  // seeded bug (tests)
     // Process `head` may be mid-exit and its FindNext may have crossed paths
     // with our Remove; assume responsibility for its hand-off.
     signal_next(self, static_cast<std::uint32_t>(head));         // line 15
@@ -170,6 +207,7 @@ class OneShotLock {
   Word* head_ = nullptr;
   Word* last_exited_ = nullptr;
   std::vector<Word*> go_;
+  FaultInjection faults_;  ///< all-off by default (correct algorithm)
   [[no_unique_address]] obs::SinkHandle<Metrics> obs_;
 };
 

@@ -171,7 +171,27 @@ class Tree {
     return read_maybe_virtual(self, lvl, idx);
   }
 
+  /// Oracle probe: raw value of node (lvl, idx) with no gating and no RMR
+  /// accounting. Safe from the scheduler thread between grants (every worker
+  /// is parked); virtual nodes read as EMPTY. Not part of the algorithm.
+  std::uint64_t peek_node(std::uint32_t lvl, std::uint64_t idx) const {
+    if (lvl < 1 || lvl >= levels_.size()) return empty_;
+    const auto& level = levels_[lvl];
+    if (idx >= level.size()) return empty_;
+    return space_.peek(*level[idx]);
+  }
+
   std::uint64_t empty_value() const { return empty_; }
+
+  /// Test-only: overwrite node (lvl, idx) with an arbitrary value, bypassing
+  /// the algorithm (oracle fire-tests manufacture illegal states with this).
+  /// Only instantiable over spaces with poke() (the raw models).
+  void debug_poke_node(std::uint32_t lvl, std::uint64_t idx,
+                       std::uint64_t v) {
+    Word* node = stored_node(lvl, idx);
+    AML_ASSERT(node != nullptr, "debug_poke_node: virtual node");
+    space_.poke(*node, v);
+  }
 
  private:
   /// Shared descent of both algorithms (Algorithm 4.1 lines 26-36): from

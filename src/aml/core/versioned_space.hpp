@@ -132,6 +132,16 @@ class VersionedSpace {
 
   std::size_t logical_words() const { return records_.size(); }
 
+  // --- oracle probes (no gating, no accounting; scheduler-thread safe) --
+
+  /// Current instance version (the recycler-bumped word).
+  std::uint64_t peek_version() const { return mem_.peek(*version_word_); }
+  /// Raw V_w = (v_w << 1) | b_w of logical word `idx`.
+  std::uint64_t peek_vw(std::size_t idx) const {
+    return mem_.peek(*records_[idx].vw);
+  }
+  std::uint64_t version_mask() const { return version_mask_; }
+
   // --- model vocabulary --------------------------------------------------
 
   std::uint64_t read(Pid self, Word& w) {

@@ -30,6 +30,7 @@ AuditReport audit_common(const std::vector<Event>& events, bool one_shot) {
   bool inside = false;
   model::Pid holder = model::kNoPid;
   std::map<model::Pid, std::uint64_t> acquires_by_pid;
+  std::map<model::Pid, std::int64_t> open_attempts;  // doorways - resolutions
   bool have_last_slot = false;
   std::uint32_t last_slot = 0;
 
@@ -37,10 +38,12 @@ AuditReport audit_common(const std::vector<Event>& events, bool one_shot) {
     switch (e.kind) {
       case EventKind::kDoorway:
         report.doorways++;
+        open_attempts[e.pid]++;
         break;
       case EventKind::kAcquire:
         report.acquires++;
         acquires_by_pid[e.pid]++;
+        open_attempts[e.pid]--;
         if (inside) report.mutex_ok = false;  // overlap
         inside = true;
         holder = e.pid;
@@ -58,11 +61,23 @@ AuditReport audit_common(const std::vector<Event>& events, bool one_shot) {
         break;
       case EventKind::kAbort:
         report.aborts++;
+        open_attempts[e.pid]--;
         break;
     }
   }
   if (inside) report.conservation_ok = false;  // acquire without release
   if (report.acquires != report.releases) report.conservation_ok = false;
+  // Starvation freedom: per process, every doorway must have resolved into
+  // an acquire or an abort by the end of the history. (Aborts recorded
+  // before the doorway — an attempt abandoned on the spin-node wait, before
+  // joining an instance — make the per-pid balance negative; only positive
+  // balances are starvation.)
+  for (const auto& [pid, open] : open_attempts) {
+    if (open > 0) {
+      report.unresolved_attempts += static_cast<std::uint64_t>(open);
+    }
+  }
+  report.starvation_ok = report.unresolved_attempts == 0;
   if (one_shot) {
     for (const auto& [pid, count] : acquires_by_pid) {
       if (count > 1) report.conservation_ok = false;  // double acquire
@@ -85,7 +100,9 @@ std::string AuditReport::to_string() const {
   std::ostringstream os;
   os << "audit{mutex=" << (mutex_ok ? "ok" : "VIOLATED")
      << " conservation=" << (conservation_ok ? "ok" : "VIOLATED")
+     << " starvation=" << (starvation_ok ? "ok" : "VIOLATED")
      << " fcfs_inversions=" << fcfs_inversions
+     << " unresolved=" << unresolved_attempts
      << " doorways=" << doorways << " acquires=" << acquires
      << " releases=" << releases << " aborts=" << aborts << "}";
   return os.str();

@@ -6,7 +6,11 @@
 //   * conservation     — every acquire has a release; every attempt ends;
 //   * FCFS             — critical-section order follows doorway (queue
 //                        slot) order among completers (one-shot lock);
-//   * single shot      — no process acquires twice (one-shot workloads).
+//   * single shot      — no process acquires twice (one-shot workloads);
+//   * starvation freedom — every attempt that completed its doorway resolved
+//                        (acquired or aborted) by the end of the history: a
+//                        process still parked when the run is over is a lost
+//                        wake-up, the failure mode of a broken hand-off.
 //
 // Tests and the fairness bench build on this instead of re-deriving ad-hoc
 // checks.
@@ -56,14 +60,17 @@ class EventLog {
 struct AuditReport {
   bool mutex_ok = true;          ///< no overlapping critical sections
   bool conservation_ok = true;   ///< acquires == releases, no double acquire
+  bool starvation_ok = true;     ///< every doorway resolved by history end
   std::uint64_t fcfs_inversions = 0;  ///< CS entries out of slot order
+  std::uint64_t unresolved_attempts = 0;  ///< doorways never acquired/aborted
   std::uint64_t doorways = 0;
   std::uint64_t acquires = 0;
   std::uint64_t releases = 0;
   std::uint64_t aborts = 0;
 
   bool clean() const {
-    return mutex_ok && conservation_ok && fcfs_inversions == 0;
+    return mutex_ok && conservation_ok && starvation_ok &&
+           fcfs_inversions == 0;
   }
   std::string to_string() const;
 };

@@ -78,15 +78,51 @@ class CountingCcModel {
     return alloc(n, init);
   }
 
+  /// Allocate a gated abort signal (model::Signal). The signal's id is drawn
+  /// from the same address space as word ids so step footprints can name it;
+  /// the returned pointer is stable for the model's lifetime.
+  Signal* alloc_signal() {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    signals_.emplace_back();
+    Signal& s = signals_.back();
+    s.id = next_id_++;
+    signal_ids_.emplace(&s.flag, s.id);
+    return &s;
+  }
+
+  /// Raise an abort signal as a gated, footprinted step of process `p`.
+  /// This is the adversary's action in the paper's model (no RMR charge),
+  /// but unlike a plain atomic store it is visible to the scheduler and to
+  /// partial-order reduction: the raise conflicts with every wait watching
+  /// the signal, so reduced exploration still reorders abort deliveries
+  /// against the waits they interrupt.
+  void raise_signal(Pid p, Signal& s) {
+    gate(p, Footprint{s.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
+    s.flag.store(true, std::memory_order_release);
+  }
+
+  /// Footprint address of a stop flag: the signal id if `stop` belongs to a
+  /// Signal allocated from this model, kNoAddr otherwise (plain atomics stay
+  /// usable, they are just invisible to reduction).
+  std::uint64_t signal_addr(const std::atomic<bool>* stop) const {
+    if (stop == nullptr) return Footprint::kNoAddr;
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    const auto it = signal_ids_.find(stop);
+    return it == signal_ids_.end() ? Footprint::kNoAddr : it->second;
+  }
+
   std::uint64_t read(Pid p, Word& w) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kRead,
+                      Footprint::Kind::kNone});
     const auto [value, version] = load_pair(w);
     account_read(p, w, version);
     return value;
   }
 
   void write(Pid p, Word& w, std::uint64_t x) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     w.value = x;
     const std::uint64_t nv =
@@ -99,7 +135,8 @@ class CountingCcModel {
   }
 
   std::uint64_t faa(Pid p, Word& w, std::uint64_t delta) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     const std::uint64_t old = w.value;
     w.value = old + delta;
@@ -114,7 +151,8 @@ class CountingCcModel {
   }
 
   bool cas(Pid p, Word& w, std::uint64_t expected, std::uint64_t desired) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     const bool ok = (w.value == expected);
     if (ok) w.value = desired;
@@ -132,7 +170,8 @@ class CountingCcModel {
   }
 
   std::uint64_t swap(Pid p, Word& w, std::uint64_t x) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     const std::uint64_t old = w.value;
     w.value = x;
@@ -152,8 +191,13 @@ class CountingCcModel {
   /// cost model the paper charges.
   template <typename Pred>
   WaitOutcome wait(Pid p, Word& w, Pred&& pred, const std::atomic<bool>* stop) {
+    // The wait also reads the stop flag, so the step footprint carries the
+    // signal's address (when registered): a concurrent raise_signal is then
+    // a dependent step and reduction explores both orderings.
+    const Footprint fp{w.id, signal_addr(stop), Footprint::Kind::kRead,
+                       Footprint::Kind::kRead};
     for (;;) {
-      gate(p);
+      gate(p, fp);
       const auto [value, version] = load_pair(w);
       account_read(p, w, version);
       if (pred(value)) return {value, false};
@@ -173,12 +217,17 @@ class CountingCcModel {
   template <typename Pred1, typename Pred2>
   WaitOutcome2 wait_either(Pid p, Word& w1, Pred1&& pred1, Word& w2,
                            Pred2&& pred2, const std::atomic<bool>* stop) {
+    const std::uint64_t stop_addr = signal_addr(stop);
+    const Footprint fp1{w1.id, stop_addr, Footprint::Kind::kRead,
+                        Footprint::Kind::kRead};
+    const Footprint fp2{w2.id, stop_addr, Footprint::Kind::kRead,
+                        Footprint::Kind::kRead};
     for (;;) {
-      gate(p);
+      gate(p, fp1);
       const auto [v1, ver1] = load_pair(w1);
       account_read(p, w1, ver1);
       if (pred1(v1)) return {v1, 0, false};
-      gate(p);
+      gate(p, fp2);
       const auto [v2, ver2] = load_pair(w2);
       account_read(p, w2, ver2);
       if (pred2(v2)) return {v1, v2, false};
@@ -240,8 +289,14 @@ class CountingCcModel {
   }
 
  private:
-  void gate(Pid p) {
-    if (hook_ != nullptr) hook_->on_step(p);
+  /// Announce the step's footprint, then gate. The announcement always
+  /// precedes the matching on_step() so a scheduler can attach the footprint
+  /// to the grant decision it is about to make.
+  void gate(Pid p, const Footprint& f) {
+    if (hook_ != nullptr) {
+      hook_->on_footprint(p, f);
+      hook_->on_step(p);
+    }
   }
 
   static void lock_word(Word& w) {
@@ -306,6 +361,8 @@ class CountingCcModel {
   ScheduleHook* hook_ = nullptr;
   mutable std::mutex alloc_mu_;
   std::deque<std::vector<Word>> blocks_;  // one block per alloc; stable
+  std::deque<Signal> signals_;            // stable addresses, ids in word space
+  std::unordered_map<const std::atomic<bool>*, std::uint64_t> signal_ids_;
   std::size_t next_id_ = 0;
   std::vector<pal::CachePadded<OpCounters>> counters_;
   // Per-process cache-validity table, touched only by the owning process.

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "aml/pal/backoff.hpp"
@@ -29,7 +30,8 @@ class CountingDsmModel {
     std::atomic<std::uint32_t> lock{0};
     std::atomic<std::uint64_t> version{0};
     std::uint64_t value = 0;
-    Pid owner = kNoPid;  ///< the process this word is local to
+    std::uint32_t id = 0;  ///< dense id, stable across replays (footprints)
+    Pid owner = kNoPid;    ///< the process this word is local to
   };
 
   explicit CountingDsmModel(Pid nprocs)
@@ -51,10 +53,37 @@ class CountingDsmModel {
     std::vector<Word>& block = blocks_.back();
     for (std::size_t i = 0; i < n; ++i) {
       block[i].value = init;
+      block[i].id = static_cast<std::uint32_t>(next_id_++);
       block[i].owner = owner;
     }
     total_words_ += n;
     return block.data();
+  }
+
+  /// Allocate a gated abort signal (see CountingCcModel::alloc_signal).
+  Signal* alloc_signal() {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    signals_.emplace_back();
+    Signal& s = signals_.back();
+    s.id = next_id_++;
+    signal_ids_.emplace(&s.flag, s.id);
+    return &s;
+  }
+
+  /// Raise an abort signal as a gated, footprinted step of process `p`
+  /// (see CountingCcModel::raise_signal).
+  void raise_signal(Pid p, Signal& s) {
+    gate(p, Footprint{s.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
+    s.flag.store(true, std::memory_order_release);
+  }
+
+  /// Footprint address of a stop flag; kNoAddr when unregistered.
+  std::uint64_t signal_addr(const std::atomic<bool>* stop) const {
+    if (stop == nullptr) return Footprint::kNoAddr;
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    const auto it = signal_ids_.find(stop);
+    return it == signal_ids_.end() ? Footprint::kNoAddr : it->second;
   }
 
   /// Model-concept alloc: words local to nobody (always remote). The lock
@@ -65,7 +94,8 @@ class CountingDsmModel {
   }
 
   std::uint64_t read(Pid p, Word& w) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kRead,
+                      Footprint::Kind::kNone});
     const auto [value, version] = load_pair(w);
     (void)version;
     auto& c = counters(p);
@@ -79,7 +109,8 @@ class CountingDsmModel {
   }
 
   void write(Pid p, Word& w, std::uint64_t x) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     w.value = x;
     w.version.fetch_add(1, std::memory_order_release);
@@ -90,7 +121,8 @@ class CountingDsmModel {
   }
 
   std::uint64_t faa(Pid p, Word& w, std::uint64_t delta) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     const std::uint64_t old = w.value;
     w.value = old + delta;
@@ -103,7 +135,8 @@ class CountingDsmModel {
   }
 
   bool cas(Pid p, Word& w, std::uint64_t expected, std::uint64_t desired) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     const bool ok = (w.value == expected);
     if (ok) w.value = desired;
@@ -117,7 +150,8 @@ class CountingDsmModel {
   }
 
   std::uint64_t swap(Pid p, Word& w, std::uint64_t x) {
-    gate(p);
+    gate(p, Footprint{w.id, Footprint::kNoAddr, Footprint::Kind::kMutate,
+                      Footprint::Kind::kNone});
     lock_word(w);
     const std::uint64_t old = w.value;
     w.value = x;
@@ -131,9 +165,11 @@ class CountingDsmModel {
 
   template <typename Pred>
   WaitOutcome wait(Pid p, Word& w, Pred&& pred, const std::atomic<bool>* stop) {
+    const Footprint fp{w.id, signal_addr(stop), Footprint::Kind::kRead,
+                       Footprint::Kind::kRead};
     bool first = true;
     for (;;) {
-      gate(p);
+      gate(p, fp);
       const auto [value, version] = load_pair(w);
       auto& c = counters(p);
       c.reads++;
@@ -159,13 +195,18 @@ class CountingDsmModel {
   template <typename Pred1, typename Pred2>
   WaitOutcome2 wait_either(Pid p, Word& w1, Pred1&& pred1, Word& w2,
                            Pred2&& pred2, const std::atomic<bool>* stop) {
+    const std::uint64_t stop_addr = signal_addr(stop);
+    const Footprint fp1{w1.id, stop_addr, Footprint::Kind::kRead,
+                        Footprint::Kind::kRead};
+    const Footprint fp2{w2.id, stop_addr, Footprint::Kind::kRead,
+                        Footprint::Kind::kRead};
     bool first = true;
     for (;;) {
-      gate(p);
+      gate(p, fp1);
       const auto [v1, ver1] = load_pair(w1);
       charge_read(p, w1, first);
       if (pred1(v1)) return {v1, 0, false};
-      gate(p);
+      gate(p, fp2);
       const auto [v2, ver2] = load_pair(w2);
       charge_read(p, w2, first);
       first = false;
@@ -224,8 +265,12 @@ class CountingDsmModel {
   }
 
  private:
-  void gate(Pid p) {
-    if (hook_ != nullptr) hook_->on_step(p);
+  /// Announce the step's footprint, then gate (see CountingCcModel::gate).
+  void gate(Pid p, const Footprint& f) {
+    if (hook_ != nullptr) {
+      hook_->on_footprint(p, f);
+      hook_->on_step(p);
+    }
   }
 
   /// Read accounting for wait_either (episode counted once per wait on a
@@ -276,6 +321,9 @@ class CountingDsmModel {
   ScheduleHook* hook_ = nullptr;
   mutable std::mutex alloc_mu_;
   std::deque<std::vector<Word>> blocks_;  // one block per alloc; stable
+  std::deque<Signal> signals_;            // stable addresses, ids in word space
+  std::unordered_map<const std::atomic<bool>*, std::uint64_t> signal_ids_;
+  std::size_t next_id_ = 0;
   std::size_t total_words_ = 0;
   std::vector<pal::CachePadded<OpCounters>> counters_;
 };

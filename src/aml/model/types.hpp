@@ -71,6 +71,66 @@ struct WaitOutcome2 {
   bool stopped = false;
 };
 
+/// Memory footprint of one shared-memory step, announced to the scheduler
+/// hook just before the step gates. Partial-order reduction (aml/sched)
+/// uses footprints to decide which steps commute: two steps are dependent
+/// iff they touch a common address and at least one mutates it. Addresses
+/// are the models' stable word/signal ids, not raw pointers, so they are
+/// identical across replayed executions of the same workload.
+///
+/// A step may touch up to two addresses (wait_either rounds, and waits that
+/// also watch a registered abort signal). `kind == Kind::kNone` marks an
+/// unknown footprint, which is conservatively dependent with everything.
+struct Footprint {
+  enum class Kind : std::uint8_t {
+    kNone = 0,    ///< unknown — conservatively dependent with every step
+    kRead = 1,    ///< read (including busy-wait re-reads)
+    kMutate = 2,  ///< write / F&A / CAS / SWAP / signal raise
+  };
+  static constexpr std::uint64_t kNoAddr = ~std::uint64_t{0};
+
+  std::uint64_t addr = kNoAddr;
+  std::uint64_t addr2 = kNoAddr;
+  Kind kind = Kind::kNone;
+  Kind kind2 = Kind::kNone;
+
+  bool known() const { return kind != Kind::kNone; }
+};
+
+/// Two steps are dependent (do not commute) iff both footprints are known
+/// and some address appears in both with at least one side mutating it.
+/// Unknown footprints are dependent with everything, which keeps reduction
+/// sound for steps the models cannot classify.
+inline bool footprints_dependent(const Footprint& a, const Footprint& b) {
+  if (!a.known() || !b.known()) return true;
+  const std::uint64_t aa[2] = {a.addr, a.addr2};
+  const Footprint::Kind ak[2] = {a.kind, a.kind2};
+  const std::uint64_t ba[2] = {b.addr, b.addr2};
+  const Footprint::Kind bk[2] = {b.kind, b.kind2};
+  for (int i = 0; i < 2; ++i) {
+    if (aa[i] == Footprint::kNoAddr) continue;
+    for (int j = 0; j < 2; ++j) {
+      if (ba[j] == Footprint::kNoAddr || aa[i] != ba[j]) continue;
+      if (ak[i] == Footprint::Kind::kMutate ||
+          bk[j] == Footprint::Kind::kMutate) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// A gated abort/stop flag. Unlike a plain std::atomic<bool>, a Signal is
+/// allocated by a counting model, carries a stable footprint address, and is
+/// raised through a *gated, footprinted* model step — which is what lets
+/// partial-order reduction see the race between an abort signal and the wait
+/// it interrupts. Workloads explored with DPOR must use Signals for abort
+/// delivery; plain atomics remain fine for the unreduced explorer.
+struct Signal {
+  std::atomic<bool> flag{false};
+  std::uint64_t id = Footprint::kNoAddr;
+};
+
 /// Hook that a deterministic scheduler installs into a counting model. Every
 /// shared-memory operation calls on_step() before executing; a busy wait
 /// parks in on_block() instead of spinning. With at most one process granted
@@ -79,6 +139,11 @@ struct WaitOutcome2 {
 class ScheduleHook {
  public:
   virtual ~ScheduleHook() = default;
+
+  /// Announce the memory footprint of process `p`'s *next* gated step. Called
+  /// immediately before the matching on_step(); hooks that do not track
+  /// footprints can ignore it.
+  virtual void on_footprint(Pid /*p*/, const Footprint& /*f*/) {}
 
   /// Gate before one shared-memory operation by process `p`. Returns when
   /// the scheduler grants the step.

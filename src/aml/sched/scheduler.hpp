@@ -16,13 +16,17 @@
 //     model: a cached re-read is invisible to shared memory).
 //
 // Liveness violations (no runnable process while some are blocked) and step
-// budget exhaustion indicate algorithm bugs; the scheduler dumps state and
-// aborts the process so that ctest reports a hard failure.
+// budget exhaustion indicate algorithm bugs; the scheduler writes a
+// replayable trace file (the full choice sequence — see aml/analysis/trace),
+// dumps state, and aborts the process so that ctest reports a hard failure
+// that can be reproduced exactly with policies::replay or tools/aml_replay.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -30,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "aml/analysis/trace.hpp"
 #include "aml/pal/config.hpp"
 #include "aml/pal/rng.hpp"
 #include "aml/model/types.hpp"
@@ -44,6 +49,11 @@ struct PickContext {
   std::uint64_t step;                          ///< global step count
   pal::Xoshiro256& rng;                        ///< seeded stream
   const std::vector<std::uint64_t>& steps_of;  ///< per-process steps taken
+  /// Footprint of each process' *next* step (indexed by pid), as announced
+  /// through ScheduleHook::on_footprint. Entries are only meaningful for
+  /// currently-runnable processes; partial-order reduction uses them to
+  /// decide which runnable steps commute.
+  const std::vector<model::Footprint>& pending;
 };
 
 /// A policy returns one element of ctx.runnable.
@@ -153,6 +163,11 @@ struct SchedulerConfig {
   std::uint64_t max_steps = 5'000'000;
   Policy policy{};  ///< empty => policies::random() is substituted at start
   bool record_trace = false;
+  /// Label stamped into emitted trace files (workload name); "sched" if
+  /// empty. Lets a fatal trace say which workload reproduces it.
+  std::string trace_label{};
+  /// Directory for fatal trace files; empty => $AMLOCK_TRACE_DIR, else ".".
+  std::string trace_dir{};
 };
 
 class StepScheduler final : public model::ScheduleHook {
@@ -162,6 +177,13 @@ class StepScheduler final : public model::ScheduleHook {
   struct Result {
     std::uint64_t steps = 0;
     std::vector<Pid> trace;  ///< grant sequence if record_trace
+    /// Per-grant footprints (parallel to `trace`) if record_trace.
+    std::vector<model::Footprint> footprints;
+    /// First invariant-probe violation ("" = none) and the step it fired at.
+    /// The execution continues to completion after a violation (probes are
+    /// read-only), so callers get the full choice sequence for replay.
+    std::string violation;
+    std::uint64_t violation_step = 0;
   };
 
   explicit StepScheduler(Pid nprocs, Config config = Config())
@@ -171,6 +193,7 @@ class StepScheduler final : public model::ScheduleHook {
         procs_(nprocs) {
     if (!config_.policy) config_.policy = policies::random();
     steps_of_.assign(nprocs, 0);
+    pending_.assign(nprocs, model::Footprint{});
   }
 
   /// Invoked before every grant with the global step number. Used by tests
@@ -184,6 +207,18 @@ class StepScheduler final : public model::ScheduleHook {
   /// changed anything. If it returns false the scheduler declares deadlock.
   void set_idle_callback(std::function<bool()> cb) {
     idle_callback_ = std::move(cb);
+  }
+
+  /// Register an invariant probe: a read-only predicate over the workload's
+  /// state (typically an aml::analysis oracle bound to the world under test)
+  /// evaluated at *every* decision point and once after the last process
+  /// finishes. Safe because probes run on the scheduler thread while every
+  /// worker is parked. Return "" when the invariant holds, a description of
+  /// the violation otherwise. The first violation is recorded in
+  /// Result::violation (with the step number) and the execution continues,
+  /// so the caller still gets a complete, replayable choice sequence.
+  void add_invariant_probe(std::function<std::string()> probe) {
+    probes_.push_back(std::move(probe));
   }
 
   /// Run `body(p)` for p = 0..nprocs-1 to completion under this scheduler.
@@ -202,11 +237,24 @@ class StepScheduler final : public model::ScheduleHook {
     for (auto& t : threads) t.join();
     Result result;
     result.steps = step_;
-    result.trace = std::move(trace_);
+    if (config_.record_trace) {
+      result.trace = std::move(choices_);
+      result.footprints = std::move(footprints_);
+    }
+    result.violation = std::move(violation_);
+    result.violation_step = violation_step_;
     return result;
   }
 
   // --- ScheduleHook ----------------------------------------------------
+
+  void on_footprint(Pid p, const model::Footprint& f) override {
+    // Called by the worker thread immediately before its on_step()/on_block()
+    // park. No lock needed: the write is ordered before the scheduler's read
+    // by the mutex acquire in the park that follows, and the scheduler only
+    // reads footprints of parked (settled) processes.
+    procs_[p].footprint = f;
+  }
 
   void on_step(Pid p) override {
     std::unique_lock<std::mutex> lk(mu_);
@@ -253,6 +301,7 @@ class StepScheduler final : public model::ScheduleHook {
     const std::atomic<std::uint64_t>* version2 = nullptr;
     std::uint64_t seen2 = 0;
     const std::atomic<bool>* stop = nullptr;
+    model::Footprint footprint;  ///< footprint of the next gated step
     std::condition_variable cv;
   };
 
@@ -299,7 +348,9 @@ class StepScheduler final : public model::ScheduleHook {
             (proc.state == State::kBlocked && blocked_runnable(proc))) {
           runnable.push_back(p);
         }
+        pending_[p] = proc.footprint;
       }
+      run_probes();
       if (all_done) return;
 
       if (runnable.empty()) {
@@ -311,14 +362,17 @@ class StepScheduler final : public model::ScheduleHook {
 
       if (step_callback_) step_callback_(step_);
 
-      const PickContext ctx{runnable, step_, rng_, steps_of_};
+      const PickContext ctx{runnable, step_, rng_, steps_of_, pending_};
       const Pid pick = config_.policy(ctx);
       AML_ASSERT(std::find(runnable.begin(), runnable.end(), pick) !=
                      runnable.end(),
                  "policy picked a non-runnable process");
       ++step_;
       ++steps_of_[pick];
-      if (config_.record_trace) trace_.push_back(pick);
+      // The choice sequence is always recorded (it is what makes a fatal
+      // execution replayable); per-step footprints only when requested.
+      choices_.push_back(pick);
+      if (config_.record_trace) footprints_.push_back(pending_[pick]);
       if (step_ > config_.max_steps) {
         dump_and_abort("step budget exhausted (livelock?)");
       }
@@ -329,6 +383,42 @@ class StepScheduler final : public model::ScheduleHook {
     }
   }
 
+  /// Evaluate the invariant probes at a quiescent point. Only the first
+  /// violation is kept; probing stops afterwards (the state is already
+  /// corrupt, follow-on reports would just be noise).
+  void run_probes() {
+    if (probes_.empty() || !violation_.empty()) return;
+    for (const auto& probe : probes_) {
+      std::string msg = probe();
+      if (!msg.empty()) {
+        violation_ = std::move(msg);
+        violation_step_ = step_;
+        return;
+      }
+    }
+  }
+
+  /// Persist the choice sequence executed so far as a replayable trace file
+  /// (aml/analysis/trace format). Returns the path, or "" on I/O failure.
+  std::string write_fatal_trace(const char* why) {
+    analysis::TraceFile trace;
+    trace.workload =
+        config_.trace_label.empty() ? "sched" : config_.trace_label;
+    trace.nprocs = nprocs_;
+    trace.seed = config_.seed;
+    trace.reason = why;
+    trace.choices = choices_;
+    trace.footprints = footprints_;  // empty unless record_trace
+    std::string dir = config_.trace_dir;
+    if (dir.empty()) {
+      const char* env = std::getenv("AMLOCK_TRACE_DIR");
+      dir = (env != nullptr && env[0] != '\0') ? env : ".";
+    }
+    const std::string path = dir + "/" + trace.workload + "-seed" +
+                             std::to_string(config_.seed) + "-fatal.trace";
+    return analysis::write_trace(path, trace) ? path : std::string{};
+  }
+
   [[noreturn]] void dump_and_abort(const char* why) {
     std::fprintf(stderr, "StepScheduler fatal: %s at step %llu (seed %llu)\n",
                  why, static_cast<unsigned long long>(step_),
@@ -337,6 +427,24 @@ class StepScheduler final : public model::ScheduleHook {
       std::fprintf(stderr, "  p%u state=%d steps=%llu\n", p,
                    static_cast<int>(procs_[p].state),
                    static_cast<unsigned long long>(steps_of_[p]));
+    }
+    const std::string path = write_fatal_trace(why);
+    if (!path.empty()) {
+      std::fprintf(stderr,
+                   "  replayable trace (%zu choices) written to %s\n"
+                   "  reproduce with tools/aml_replay --replay %s (or feed the"
+                   " choice sequence to sched::policies::replay)\n",
+                   choices_.size(), path.c_str(), path.c_str());
+    } else {
+      // No filesystem? Still print the tail so the log alone narrows it down.
+      const std::size_t n = choices_.size();
+      const std::size_t from = n > 64 ? n - 64 : 0;
+      std::fprintf(stderr, "  trace write failed; last %zu choices:",
+                   n - from);
+      for (std::size_t i = from; i < n; ++i) {
+        std::fprintf(stderr, " %u", choices_[i]);
+      }
+      std::fprintf(stderr, "\n");
     }
     std::abort();
   }
@@ -349,7 +457,12 @@ class StepScheduler final : public model::ScheduleHook {
   std::deque<Proc> procs_;
   std::uint64_t step_ = 0;
   std::vector<std::uint64_t> steps_of_;
-  std::vector<Pid> trace_;
+  std::vector<Pid> choices_;  ///< full grant sequence (always recorded)
+  std::vector<model::Footprint> footprints_;  ///< per-grant, if record_trace
+  std::vector<model::Footprint> pending_;     ///< per-pid next-step footprint
+  std::string violation_;
+  std::uint64_t violation_step_ = 0;
+  std::vector<std::function<std::string()>> probes_;
   std::function<void(std::uint64_t)> step_callback_;
   std::function<bool()> idle_callback_;
 };

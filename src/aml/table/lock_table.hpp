@@ -469,6 +469,52 @@ class LockTable {
     cur_mut().stripes[s]->set_metrics(sink);
   }
 
+  // --- analysis introspection ----------------------------------------------
+
+  /// Snapshot of one stripe-array generation for the invariant oracles in
+  /// aml/analysis/oracles.hpp.
+  struct GenerationView {
+    std::uint64_t epoch = 0;
+    std::uint32_t stripe_count = 0;
+    std::uint64_t pins = 0;
+    bool retired = false;
+    bool is_current = false;
+  };
+
+  /// All generations ever created, oldest first. Generations are never freed
+  /// before the table, and `gens_` only grows inside resize(), which on a
+  /// scheduled model runs entirely within one granted step window — so the
+  /// snapshot is consistent whenever every worker is parked (the only time
+  /// oracle probes run). Not meaningful under free-running native threads.
+  std::vector<GenerationView> debug_generations() const {
+    std::vector<GenerationView> out;
+    const Generation* current = current_.load(std::memory_order_acquire);
+    out.reserve(gens_.size());
+    for (const auto& g : gens_) {
+      GenerationView v;
+      v.epoch = g->epoch;
+      v.stripe_count = g->mask + 1;
+      v.pins = g->pins.load(std::memory_order_acquire);
+      v.retired = g->retired.load(std::memory_order_acquire);
+      v.is_current = (g.get() == current);
+      out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Test-only: bias generation `gen_idx`'s pin count to manufacture an
+  /// illegal state (e.g. a retired generation with pinned passages) so oracle
+  /// fire-tests can observe a violation. Never call outside tests.
+  void debug_corrupt_pins(std::size_t gen_idx, std::uint64_t delta) {
+    gens_[gen_idx]->pins.fetch_add(delta, std::memory_order_seq_cst);
+  }
+
+  /// Test-only: force generation `gen_idx`'s retired flag. See
+  /// debug_corrupt_pins.
+  void debug_force_retired(std::size_t gen_idx, bool retired) {
+    gens_[gen_idx]->retired.store(retired, std::memory_order_seq_cst);
+  }
+
  private:
   /// Always-on per-stripe counters (plain atomics: no model words, no RMRs).
   struct StripeStats {

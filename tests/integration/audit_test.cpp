@@ -65,6 +65,32 @@ TEST(AuditUnit, DetectsForeignRelease) {
   EXPECT_FALSE(audit_one_shot(log.events()).conservation_ok);
 }
 
+TEST(AuditUnit, DetectsStarvedAttempt) {
+  EventLog log;
+  log.record(0, EventKind::kDoorway, 0);
+  log.record(1, EventKind::kDoorway, 1);  // p1 never acquires nor aborts
+  log.record(0, EventKind::kAcquire, 0);
+  log.record(0, EventKind::kRelease);
+  const AuditReport r = audit_one_shot(log.events());
+  EXPECT_FALSE(r.starvation_ok) << r.to_string();
+  EXPECT_EQ(r.unresolved_attempts, 1u);
+  EXPECT_FALSE(r.clean());
+  // Resolving the attempt (even by abort) clears the finding.
+  log.record(1, EventKind::kAbort);
+  const AuditReport resolved = audit_one_shot(log.events());
+  EXPECT_TRUE(resolved.starvation_ok) << resolved.to_string();
+  EXPECT_EQ(resolved.unresolved_attempts, 0u);
+}
+
+TEST(AuditUnit, AbortBeforeDoorwayIsNotStarvation) {
+  // A long-lived attempt may abort on the spin-node wait, before joining an
+  // instance (no doorway event). The balance goes negative, not positive.
+  EventLog log;
+  log.record(0, EventKind::kAbort);
+  const AuditReport r = audit_long_lived(log.events());
+  EXPECT_TRUE(r.starvation_ok) << r.to_string();
+}
+
 TEST(AuditUnit, DoubleAcquireOnlyFlaggedForOneShot) {
   EventLog log;
   for (int round = 0; round < 2; ++round) {
@@ -143,10 +169,14 @@ TEST(AuditedExecution, LongLivedHistoriesConserve) {
   m.set_hook(&sched);
   sched.run([&](Pid p) {
     for (int round = 0; round < 5; ++round) {
-      if (lock.enter(p, nullptr).acquired) {
+      const auto r = lock.enter(p, nullptr);
+      log.record(p, EventKind::kDoorway, r.slot);
+      if (r.acquired) {
         log.record(p, EventKind::kAcquire);
         log.record(p, EventKind::kRelease);
         lock.exit(p);
+      } else {
+        log.record(p, EventKind::kAbort);
       }
     }
   });
@@ -154,6 +184,8 @@ TEST(AuditedExecution, LongLivedHistoriesConserve) {
   const AuditReport report = audit_long_lived(log.events());
   EXPECT_TRUE(report.mutex_ok) << report.to_string();
   EXPECT_TRUE(report.conservation_ok);
+  EXPECT_TRUE(report.starvation_ok) << report.to_string();
+  EXPECT_EQ(report.unresolved_attempts, 0u);
   EXPECT_EQ(report.acquires, kN * 5u);
 }
 

@@ -8,6 +8,8 @@
 #include <deque>
 #include <vector>
 
+#include "aml/analysis/oracles.hpp"
+#include "aml/harness/audit.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/pal/rng.hpp"
 #include "aml/sched/scheduler.hpp"
@@ -90,8 +92,13 @@ TEST(LockTableResize, MutualExclusionAcrossEpochTransition) {
     return false;
   });
 
+  // The generation oracle checks the two-generation protocol at every
+  // scheduler decision point of this execution.
+  analysis::TableGenOracle<CcTable> gen_oracle(table);
+  scheduler.add_invariant_probe([&gen_oracle] { return gen_oracle.check(); });
+
   mem.set_hook(&scheduler);
-  scheduler.run([&](Pid p) {
+  const auto result = scheduler.run([&](Pid p) {
     if (p == 0) {
       ASSERT_TRUE(table.enter(0, kKey));
       if (in_cs.fetch_add(1, std::memory_order_acq_rel) != 0) {
@@ -114,6 +121,7 @@ TEST(LockTableResize, MutualExclusionAcrossEpochTransition) {
   });
   mem.set_hook(nullptr);
 
+  EXPECT_TRUE(result.violation.empty()) << result.violation;
   EXPECT_FALSE(violation.load());
   EXPECT_TRUE(p1_done.load());  // the hand-off reached p1: no lost wakeup
   EXPECT_EQ(table.epoch(), 1u);
@@ -143,6 +151,7 @@ TEST(LockTableResize, RandomizedMidRunResizeKeepsPerKeyExclusion) {
   std::atomic<bool> violation{false};
   std::atomic<std::uint64_t> passages{0};
   bool resized = false;
+  harness::EventLog log;
 
   sched::StepScheduler::Config cfg;
   cfg.seed = 21;
@@ -157,8 +166,11 @@ TEST(LockTableResize, RandomizedMidRunResizeKeepsPerKeyExclusion) {
     }
   });
 
+  analysis::TableGenOracle<CcTable> gen_oracle(table);
+  scheduler.add_invariant_probe([&gen_oracle] { return gen_oracle.check(); });
+
   mem.set_hook(&scheduler);
-  scheduler.run([&](Pid p) {
+  const auto result = scheduler.run([&](Pid p) {
     pal::ZipfDistribution zipf(kKeys, 0.99);
     pal::Xoshiro256 rng(p * 131 + 17);
     for (std::uint32_t r = 0; r < kRounds; ++r) {
@@ -166,22 +178,36 @@ TEST(LockTableResize, RandomizedMidRunResizeKeepsPerKeyExclusion) {
         // Multi-key passage through the bridged path.
         std::vector<std::uint64_t> keys{zipf(rng), zipf(rng)};
         const auto hashes = table.plan_hashes(keys);
+        log.record(p, harness::EventKind::kDoorway);
         ASSERT_TRUE(table.enter_hashes(p, hashes));
+        log.record(p, harness::EventKind::kAcquire);
+        log.record(p, harness::EventKind::kRelease);
         table.exit_hashes(p, hashes);
         passages.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       const std::uint64_t key = zipf(rng);
+      log.record(p, harness::EventKind::kDoorway);
       ASSERT_TRUE(table.enter(p, key));
+      log.record(p, harness::EventKind::kAcquire);
       if (in_cs[key].fetch_add(1, std::memory_order_acq_rel) != 0) {
         violation.store(true, std::memory_order_release);
       }
       in_cs[key].fetch_sub(1, std::memory_order_acq_rel);
+      log.record(p, harness::EventKind::kRelease);
       table.exit(p, key);
       passages.fetch_add(1, std::memory_order_relaxed);
     }
   });
   mem.set_hook(nullptr);
+
+  // No generation-protocol violation at any decision point, and every
+  // passage that entered its doorway resolved: starvation freedom held
+  // across the mid-run resize.
+  EXPECT_TRUE(result.violation.empty()) << result.violation;
+  const harness::AuditReport audit = harness::audit_long_lived(log.events());
+  EXPECT_TRUE(audit.starvation_ok) << audit.to_string();
+  EXPECT_EQ(audit.unresolved_attempts, 0u);
 
   EXPECT_FALSE(violation.load());
   EXPECT_TRUE(resized);

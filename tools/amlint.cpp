@@ -1,0 +1,426 @@
+// amlint — the repo's atomics-discipline lint.
+//
+// Walks a source tree (normally src/aml) and enforces the concurrency house
+// rules that generic linters cannot express:
+//
+//   R1  every atomic operation names an explicit std::memory_order — an
+//       implicit seq_cst is indistinguishable from an unconsidered one, and
+//       this codebase documents every fence choice (seq_cst pairs are
+//       load-bearing, e.g. the lock table's pin/drain Dekker).
+//   R2  no blocking primitives (std::mutex, condition_variable, lock/
+//       unique/scoped guards, sleeps) in the hot paths: src/aml/core and
+//       src/aml/table. The paper's algorithms are busy-wait local-spin;
+//       a hidden mutex would invalidate every RMR claim.
+//   R3  no unpadded arrays of atomics (std::vector/std::array of
+//       std::atomic) in the hot paths — shared per-slot state must be
+//       pal::CachePadded to avoid false sharing, which would corrupt the
+//       cache-coherent RMR accounting story.
+//   R4  model-gated code (src/aml/core) keeps its shared state in the word
+//       spaces (paper primitives: read/write/FAA/CAS/wait on model words).
+//       A plain std::atomic member bypasses the schedule gate, the RMR
+//       accounting and the DPOR footprints. Pointers/references to atomics
+//       are allowed: the paper's abort signal is exactly such an interface.
+//
+// Findings can be suppressed through an allowlist file (one entry per line):
+//
+//   <rule>|<path-substring>|<line-substring>|<justification>
+//
+// Blank lines and lines starting with '#' are ignored. Every entry must
+// justify itself; unused entries are reported as warnings so the list cannot
+// rot. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+// The scanner is token-based, not a real C++ parser: comments, string and
+// character literals are blanked before matching, and calls may span lines.
+// It is deliberately strict — prefer fixing the code or adding a justified
+// allowlist entry over weakening a rule.
+
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;   // path relative to the scanned root
+  std::size_t line;   // 1-based
+  std::string rule;   // "R1".."R4"
+  std::string message;
+  std::string excerpt;  // the offending source line (trimmed)
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_part;
+  std::string line_part;
+  std::string why;
+  bool used = false;
+};
+
+/// Blank comments and the contents of string/char literals, preserving
+/// offsets and newlines so positions keep mapping to lines.
+std::string blank_noncode(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChr } st = St::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChr;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n' && n != '\0') out[++i] = ' ';
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (n != '\n' && n != '\0') out[++i] = ' ';
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// The source line containing `pos`, whitespace-trimmed (for excerpts; taken
+/// from the original text so comments show).
+std::string excerpt_at(const std::string& original, std::size_t pos) {
+  std::size_t begin = original.rfind('\n', pos);
+  begin = begin == std::string::npos ? 0 : begin + 1;
+  std::size_t end = original.find('\n', pos);
+  if (end == std::string::npos) end = original.size();
+  std::string line = original.substr(begin, end - begin);
+  const std::size_t a = line.find_first_not_of(" \t");
+  const std::size_t b = line.find_last_not_of(" \t\r");
+  if (a == std::string::npos) return {};
+  return line.substr(a, b - a + 1);
+}
+
+/// Span [open, close] of the parenthesized argument list starting at the
+/// '(' at `open`; npos when unbalanced.
+std::size_t close_paren(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// R1: every atomic member-function call must name a memory order.
+void check_r1(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  static const char* kOps[] = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_or",
+      "fetch_and",     "fetch_xor",
+      "test_and_set",  "compare_exchange_weak",
+      "compare_exchange_strong",
+  };
+  for (const char* op : kOps) {
+    const std::string needle = std::string(op) + "(";
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      // Must be a member call: preceded by '.' or '->', and not a longer
+      // identifier (e.g. reload().
+      if (at == 0 || ident_char(code[at - 1]) ||
+          !(code[at - 1] == '.' ||
+            (code[at - 1] == '>' && at >= 2 && code[at - 2] == '-'))) {
+        continue;
+      }
+      const std::size_t open = at + needle.size() - 1;
+      const std::size_t close = close_paren(code, open);
+      if (close == std::string::npos) continue;
+      const std::string args = code.substr(open, close - open + 1);
+      if (args.find("memory_order") != std::string::npos) continue;
+      findings->push_back({rel, line_of(code, at), "R1",
+                           std::string("atomic ") + op +
+                               "() without an explicit std::memory_order",
+                           excerpt_at(original, at)});
+    }
+  }
+  // Free fences, too.
+  std::size_t pos = 0;
+  while ((pos = code.find("atomic_thread_fence(", pos)) != std::string::npos) {
+    const std::size_t open = code.find('(', pos);
+    const std::size_t close = close_paren(code, open);
+    const std::string args =
+        close == std::string::npos ? "" : code.substr(open, close - open + 1);
+    if (args.find("memory_order") == std::string::npos) {
+      findings->push_back({rel, line_of(code, pos), "R1",
+                           "atomic_thread_fence without an explicit "
+                           "std::memory_order",
+                           excerpt_at(original, pos)});
+    }
+    pos = open;
+    ++pos;
+  }
+}
+
+/// R2: no blocking primitives in hot paths.
+void check_r2(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  static const char* kBlocked[] = {
+      "std::mutex",         "std::shared_mutex",
+      "std::timed_mutex",   "std::recursive_mutex",
+      "std::condition_variable", "std::lock_guard",
+      "std::unique_lock",   "std::scoped_lock",
+      "std::this_thread::sleep", "usleep(", "nanosleep(",
+  };
+  for (const char* tok : kBlocked) {
+    std::size_t pos = 0;
+    while ((pos = code.find(tok, pos)) != std::string::npos) {
+      findings->push_back({rel, line_of(code, pos), "R2",
+                           std::string("blocking primitive in a hot path: ") +
+                               tok,
+                           excerpt_at(original, pos)});
+      pos += std::string(tok).size();
+    }
+  }
+}
+
+/// R3: arrays of atomics must be cache-line padded.
+void check_r3(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  static const char* kBad[] = {"std::vector<std::atomic",
+                               "std::array<std::atomic",
+                               "std::deque<std::atomic"};
+  for (const char* tok : kBad) {
+    std::size_t pos = 0;
+    while ((pos = code.find(tok, pos)) != std::string::npos) {
+      findings->push_back(
+          {rel, line_of(code, pos), "R3",
+           "unpadded array of atomics (wrap the element in pal::CachePadded)",
+           excerpt_at(original, pos)});
+      pos += std::string(tok).size();
+    }
+  }
+}
+
+/// R4: no plain std::atomic state in model-gated code (pointers/references
+/// to atomics — the abort-signal interface — are fine).
+void check_r4(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  const std::string needle = "std::atomic<";
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += needle.size();
+    // Inside another template argument list (std::vector<std::atomic<...>):
+    // R3's business; don't double-report.
+    if (at > 0 && code[at - 1] == '<') continue;
+    // Find the matching '>' of the atomic's template argument.
+    int depth = 0;
+    std::size_t i = at + needle.size() - 1;
+    for (; i < code.size(); ++i) {
+      if (code[i] == '<') ++depth;
+      if (code[i] == '>' && --depth == 0) break;
+    }
+    if (i >= code.size()) continue;
+    ++i;
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+      ++i;
+    }
+    if (i < code.size() && (code[i] == '*' || code[i] == '&')) continue;
+    findings->push_back({rel, line_of(code, at), "R4",
+                         "plain std::atomic state in model-gated code (use "
+                         "the word-space primitives)",
+                         excerpt_at(original, at)});
+  }
+}
+
+bool in_hot_path(const std::string& rel) {
+  return rel.find("core/") != std::string::npos ||
+         rel.find("table/") != std::string::npos;
+}
+
+bool in_model_gated(const std::string& rel) {
+  return rel.find("core/") != std::string::npos;
+}
+
+bool load_allowlist(const std::string& path, std::vector<AllowEntry>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    AllowEntry e;
+    std::istringstream is(line);
+    std::getline(is, e.rule, '|');
+    std::getline(is, e.path_part, '|');
+    std::getline(is, e.line_part, '|');
+    std::getline(is, e.why);
+    if (e.rule.empty() || e.path_part.empty()) {
+      std::cerr << "amlint: malformed allowlist entry: " << line << "\n";
+      return false;
+    }
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+bool allowed(const Finding& f, std::vector<AllowEntry>* allow) {
+  for (AllowEntry& e : *allow) {
+    if (e.rule != f.rule) continue;
+    if (f.file.find(e.path_part) == std::string::npos) continue;
+    if (!e.line_part.empty() &&
+        f.excerpt.find(e.line_part) == std::string::npos) {
+      continue;
+    }
+    e.used = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allow_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: amlint <source-root> [--allow <allowlist>]\n";
+      return 0;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "amlint: unexpected argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: amlint <source-root> [--allow <allowlist>]\n";
+    return 2;
+  }
+  std::vector<AllowEntry> allow;
+  if (!allow_path.empty() && !load_allowlist(allow_path, &allow)) {
+    std::cerr << "amlint: cannot read allowlist " << allow_path << "\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::cerr << "amlint: walk error under " << root << ": " << ec.message()
+                << "\n";
+      return 2;
+    }
+    if (!it->is_regular_file()) continue;
+    const fs::path& p = it->path();
+    const std::string ext = p.extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "amlint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string original = buf.str();
+    const std::string code = blank_noncode(original);
+    const std::string rel =
+        fs::relative(p, root, ec).generic_string();
+    ++files;
+    check_r1(code, original, rel, &findings);
+    if (in_hot_path(rel)) {
+      check_r2(code, original, rel, &findings);
+      check_r3(code, original, rel, &findings);
+    }
+    if (in_model_gated(rel)) {
+      check_r4(code, original, rel, &findings);
+    }
+  }
+
+  std::size_t reported = 0;
+  for (const Finding& f : findings) {
+    if (allowed(f, &allow)) continue;
+    ++reported;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n    " << f.excerpt << "\n";
+  }
+  for (const AllowEntry& e : allow) {
+    if (!e.used) {
+      std::cerr << "amlint: warning: unused allowlist entry: " << e.rule << "|"
+                << e.path_part << "|" << e.line_part << "\n";
+    }
+  }
+  std::cout << "amlint: " << files << " files, " << reported
+            << " finding(s)";
+  if (!allow.empty()) {
+    std::size_t used = 0;
+    for (const AllowEntry& e : allow) used += e.used ? 1 : 0;
+    std::cout << ", " << used << " allowlisted";
+  }
+  std::cout << "\n";
+  return reported == 0 ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Deliberate amlint violations — test fixture only, never included by the
+// build. The CI lint test runs amlint over tools/testdata and asserts it
+// FAILS, proving the rules actually bite:
+//   R1: implicit-seq_cst atomic ops (no std::memory_order argument)
+//   R2: a mutex in a path amlint treats as hot (this file is under core/)
+//   R3: an unpadded vector of atomics
+//   R4: plain std::atomic state in model-gated code
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace amlint_testdata {
+
+class BadCounter {
+ public:
+  void hit() {
+    count_.fetch_add(1);                 // R1: implicit seq_cst
+    last_ = count_.load();               // R1: implicit seq_cst
+    ready_.store(true);                  // R1: implicit seq_cst
+  }
+
+  void locked_hit() {
+    std::lock_guard<std::mutex> lk(mu_); // R2: blocking in a hot path
+    ++last_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};  // R4: plain atomic in core code
+  std::atomic<bool> ready_{false};       // R4
+  std::vector<std::atomic<int>> slots_;  // R3: unpadded atomic array
+  std::mutex mu_;                        // R2
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace amlint_testdata
