@@ -31,6 +31,7 @@
 #include "aml/core/oneshot.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/sched/explorer.hpp"
+#include "aml/table/lock_table.hpp"
 
 namespace aml::analysis {
 
@@ -114,6 +115,103 @@ inline void oneshot_handoff(sched::ExecutionContext& ctx, bool inject) {
   }
 }
 
+/// Two competitors on one key of a single-stripe LockTable whose stripe
+/// starts on the amortized (Jayanti) lock; p2 raises p1's abort signal (a
+/// gated step) and then grows the table with a hybrid policy tuned to flip
+/// every new stripe to the paper lock (threshold 0, min_samples 0). p1
+/// retries after an abort, so its second passage can bridge into the
+/// new-generation paper stripe while p0 still holds the old amortized one —
+/// the dual-acquire bridge must preserve mutual exclusion *across lock
+/// algorithms*, and the amortized lock's abandon/revive/recycle transitions
+/// race the epoch switch. Failures: overlap in the CS, a lost wake-up
+/// (idle rescue), a TableGenOracle violation, or the resize not happening.
+inline void table_hybrid_resize_bridge(sched::ExecutionContext& ctx) {
+  using Model = model::CountingCcModel;
+  using Table = table::LockTable<Model>;
+  constexpr Pid kProcs = 3;
+  constexpr std::uint64_t kKey = 5;
+  Model m(kProcs);
+  m.set_hook(&ctx.scheduler());
+  Table lock_table(m, {.max_threads = kProcs,
+                       .stripes = 1,
+                       .tree_width = 4,
+                       .find = core::Find::kPlain,
+                       .algo = table::StripeAlgo::kAmortized,
+                       .hybrid = {.enabled = true,
+                                  .abort_rate_threshold = 0.0,
+                                  .min_samples = 0}});
+
+  TableGenOracle<Table> gen_oracle(lock_table);
+  ctx.scheduler().add_invariant_probe(
+      [&gen_oracle] { return gen_oracle.check(); });
+
+  // p1's abort signal (raised by p2) plus one rescue signal per competitor
+  // so the idle rescue can unpark a starved process and terminate cleanly.
+  model::Signal* abort_sig = m.alloc_signal();
+  model::Signal* rescue[2] = {m.alloc_signal(), m.alloc_signal()};
+
+  std::atomic<bool> rescued{false};
+  ctx.scheduler().set_idle_callback([&] {
+    if (rescued.load(std::memory_order_relaxed)) return false;
+    rescued.store(true, std::memory_order_relaxed);
+    abort_sig->flag.store(true, std::memory_order_seq_cst);
+    for (auto* s : rescue) s->flag.store(true, std::memory_order_seq_cst);
+    return true;
+  });
+
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+  std::atomic<bool> resized{false};
+  Model::Word* scratch = m.alloc(1, 0);
+
+  const auto passage = [&](Pid p, const std::atomic<bool>* stop) {
+    if (!lock_table.enter_hash(p, kKey, stop)) return false;
+    if (in_cs.fetch_add(1, std::memory_order_seq_cst) != 0) {
+      overlap.store(true, std::memory_order_seq_cst);
+    }
+    m.read(p, *scratch);  // hold the critical section for one gated step
+    in_cs.fetch_sub(1, std::memory_order_seq_cst);
+    lock_table.exit_hash(p, kKey);
+    return true;
+  };
+
+  ctx.run([&](Pid p) {
+    if (p == 2) {
+      // A full passage first guarantees the parent stripe has at least one
+      // recorded attempt before the resize in *every* interleaving, so the
+      // zero-threshold hybrid policy deterministically flips both children
+      // to the paper lock (a zero-attempt parent inherits its algorithm).
+      passage(2, nullptr);
+      m.raise_signal(p, *abort_sig);
+      resized.store(lock_table.resize(2), std::memory_order_seq_cst);
+      return;
+    }
+    if (p == 0) {
+      passage(0, &rescue[0]->flag);
+      return;
+    }
+    // p1: first attempt may abort on p2's signal; the retry exercises the
+    // amortized lock's revive/recycle path, possibly across the epoch
+    // switch into a paper-lock stripe.
+    if (!passage(1, &abort_sig->flag)) passage(1, &rescue[1]->flag);
+  });
+
+  if (overlap.load(std::memory_order_relaxed)) {
+    ctx.fail("mutual exclusion violated: two processes in the CS");
+  }
+  if (rescued.load(std::memory_order_relaxed)) {
+    ctx.fail("lost wake-up: a competitor was parked forever");
+  }
+  if (!resized.load(std::memory_order_relaxed)) {
+    ctx.fail("resize(2) unexpectedly refused");
+  }
+  if (lock_table.epoch() != 1 ||
+      lock_table.stripe_algo(0) != table::StripeAlgo::kPaper ||
+      lock_table.stripe_algo(1) != table::StripeAlgo::kPaper) {
+    ctx.fail("hybrid policy did not flip the new generation to kPaper");
+  }
+}
+
 }  // namespace detail
 
 /// All registered workloads, by name.
@@ -135,6 +233,15 @@ inline const std::vector<WorkloadInfo>& workload_registry() {
           4,
           [](sched::ExecutionContext& ctx) {
             detail::oneshot_handoff(ctx, /*inject=*/false);
+          },
+      },
+      {
+          "table-hybrid-resize-bridge",
+          "LockTable stripe switches amortized->paper across a mid-passage "
+          "resize; dual-acquire bridging must hold across algorithms",
+          3,
+          [](sched::ExecutionContext& ctx) {
+            detail::table_hybrid_resize_bridge(ctx);
           },
       },
   };

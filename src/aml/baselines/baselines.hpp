@@ -8,6 +8,7 @@
 
 #include "aml/baselines/anderson.hpp"
 #include "aml/baselines/clh.hpp"
+#include "aml/baselines/jayanti.hpp"
 #include "aml/baselines/lee.hpp"
 #include "aml/baselines/mcs.hpp"
 #include "aml/baselines/scott.hpp"

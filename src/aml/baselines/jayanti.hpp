@@ -1,0 +1,151 @@
+// Jayanti & Jayanti-style abortable queue lock with constant *amortized* RMR
+// (arxiv 1809.04561): the Table 1 row that beats the source paper's
+// worst-case-adaptive O(log_W A) bound on steady workloads, at the price of a
+// worst case that degrades to O(concurrent aborts) for a single passage.
+//
+// Rendition (see DESIGN.md's substitution table): a CLH-formulation queue on
+// SWAP+CAS. Each process owns one spare node; a node carries a `status` word
+// and a `prev` word. enter() publishes the node kWaiting, SWAPs it into
+// `tail`, and chain-walks from its predecessor:
+//
+//   - kReleased  — the lock token. Consume it (the dead node becomes our new
+//     spare) and hold the lock through our own node.
+//   - kAbandoned — the position's owner aborted. Read `prev` FIRST, then
+//     claim with CAS(status, kAbandoned -> kRecycled); on success splice to
+//     `prev`, on failure the owner revived in place — keep waiting on it.
+//   - abort      — write own status kAbandoned (one RMR; the release token is
+//     level-triggered, so no hand-off can be lost) and remember the node as
+//     pending.
+//
+// A pending node is *revived* on the next enter() with CAS(status,
+// kAbandoned -> kWaiting): success resumes the old queue position (prev is
+// kept pointing at the current chain target by the walk), failure means our
+// unique successor already recycled the node, so it is free to re-enqueue.
+//
+// Amortization: every claim-CAS consumes one abandonment epoch, and each
+// epoch is paid for by the O(1) abort that created it, so total RMRs are
+// O(#attempts): O(1) amortized per passage, with N+1 nodes total. All shared
+// state lives in model words (gated ops), so the lock composes with the DPOR
+// explorer, the invariant oracles, and amlint R4.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "aml/model/concepts.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::baselines {
+
+template <typename M>
+class JayantiAbortableLock {
+ public:
+  using Word = typename M::Word;
+  using Pid = model::Pid;
+
+  /// Long-lived: space is N+1 nodes regardless of the number of attempts.
+  JayantiAbortableLock(M& mem, Pid nprocs) : mem_(mem) {
+    const std::uint64_t nodes = static_cast<std::uint64_t>(nprocs) + 1;
+    status_.reserve(nodes);
+    prev_.reserve(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+      // Node 0 is the initial token (the lock starts free); the others are
+      // the processes' spares.
+      status_.push_back(mem_.alloc(1, i == 0 ? kReleased : kRecycled));
+      prev_.push_back(mem_.alloc(1, 0));
+    }
+    tail_ = mem_.alloc(1, 0);
+    node_.resize(nprocs);
+    owner_.assign(nprocs, 0);
+    pending_.assign(nprocs, 0);
+    for (Pid p = 0; p < nprocs; ++p) {
+      node_[p] = static_cast<std::uint64_t>(p) + 1;
+    }
+  }
+
+  JayantiAbortableLock(const JayantiAbortableLock&) = delete;
+  JayantiAbortableLock& operator=(const JayantiAbortableLock&) = delete;
+
+  bool enter(Pid self, const std::atomic<bool>* stop) {
+    AML_ASSERT(static_cast<std::size_t>(self) < node_.size(),
+               "pid out of range");
+    const std::uint64_t m = node_[self];
+    if (pending_[self] != 0) {
+      pending_[self] = 0;
+      if (mem_.cas(self, *status_[m], kAbandoned, kWaiting)) {
+        // Revived in place: prev still names our chain target (the walk
+        // below keeps it current), so we resume the old queue position.
+        return walk(self, m, mem_.read(self, *prev_[m]), stop);
+      }
+      // Our successor recycled the node between the abort and now; it is
+      // free again, fall through to a fresh enqueue.
+    }
+    mem_.write(self, *status_[m], kWaiting);
+    const std::uint64_t pred = mem_.swap(self, *tail_, m);
+    mem_.write(self, *prev_[m], pred);
+    return walk(self, m, pred, stop);
+  }
+
+  void exit(Pid self) {
+    mem_.write(self, *status_[owner_[self]], kReleased);
+  }
+
+  /// Nodes whose abandonment epoch was consumed by a successor (diagnostic).
+  std::uint64_t debug_node_count() const { return status_.size(); }
+
+ private:
+  static constexpr std::uint64_t kWaiting = 0;
+  static constexpr std::uint64_t kReleased = 1;
+  static constexpr std::uint64_t kAbandoned = 2;
+  static constexpr std::uint64_t kRecycled = 3;
+
+  /// Chain-walk from `cur` until we consume the release token or abort.
+  bool walk(Pid self, std::uint64_t m, std::uint64_t cur,
+            const std::atomic<bool>* stop) {
+    for (;;) {
+      auto outcome = mem_.wait(
+          self, *status_[cur], [](std::uint64_t v) { return v != kWaiting; },
+          stop);
+      if (outcome.stopped) {
+        // O(1) abort. The token is level-triggered (a kReleased predecessor
+        // stays kReleased), so abandoning cannot lose a hand-off: whoever
+        // claims our node continues the walk from `prev` = cur.
+        mem_.write(self, *status_[m], kAbandoned);
+        pending_[self] = 1;
+        return false;
+      }
+      if (outcome.value == kReleased) {
+        // Consumed the token: `cur` is dead to every other process (we were
+        // its unique successor position) and becomes our next spare.
+        node_[self] = cur;
+        owner_[self] = m;
+        return true;
+      }
+      AML_DASSERT(outcome.value == kAbandoned, "walk saw recycled node");
+      // Read prev BEFORE the claim: after a failed revival the owner
+      // re-enqueues the node with a new prev, and adopting that value would
+      // put two walkers on one position.
+      const std::uint64_t next = mem_.read(self, *prev_[cur]);
+      if (mem_.cas(self, *status_[cur], kAbandoned, kRecycled)) {
+        // Keep our own prev naming the live chain target so a successor
+        // that claims *us* (or our own revival) resumes from the right
+        // node, not from a spliced-out one.
+        mem_.write(self, *prev_[m], next);
+        cur = next;
+      }
+      // CAS failure: the owner revived the position in place; keep waiting
+      // on it.
+    }
+  }
+
+  M& mem_;
+  Word* tail_ = nullptr;
+  std::vector<Word*> status_;
+  std::vector<Word*> prev_;
+  std::vector<std::uint64_t> node_;     ///< process-local: spare node
+  std::vector<std::uint64_t> owner_;    ///< process-local: node of current hold
+  std::vector<std::uint8_t> pending_;   ///< process-local: abort to revive
+};
+
+}  // namespace aml::baselines

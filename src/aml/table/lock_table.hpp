@@ -1,5 +1,6 @@
 // LockTable: a sharded named-lock service built from the paper's long-lived
-// abortable lock.
+// abortable lock — and, per stripe, optionally from the Jayanti & Jayanti
+// constant-amortized-RMR lock instead (see "Algorithm-polymorphic stripes").
 //
 // Keys (64-bit ids or strings) hash onto S cache-independent *stripes*; each
 // stripe owns one LongLivedLock (Section 6 transformation over the Section 3
@@ -64,6 +65,38 @@
 // attempts, double the stripe count (up to `max_stripes`). Full latency
 // histograms stay in the optional per-stripe obs::Metrics sinks.
 //
+// Stats are per generation: inflight/max_inflight start at zero in every new
+// generation, so a high-water mark earned *before* a grow can never re-fire
+// GrowPolicy right after it and double the table to max_stripes in one storm
+// (each further grow must be provoked by fresh contention on the new, wider
+// array). Acquisition/abort *rates*, by contrast, stay meaningful across a
+// grow: each new stripe is seeded with half of its parent stripe's totals
+// (halved because a parent splits into two children), exposed as
+// StripeStatsView::inherited_* and folded into HybridPolicy decisions so a
+// freshly split stripe keeps its contention history until it earns its own.
+//
+// == Algorithm-polymorphic stripes (HybridPolicy) ==
+//
+// Each stripe lock is chosen per stripe at generation build time between two
+// algorithms with complementary cost signatures:
+//
+//   * StripeAlgo::kPaper — the paper's long-lived lock: worst-case adaptive
+//     O(log_W A) RMR per passage, robust under abort storms;
+//   * StripeAlgo::kAmortized — the Jayanti & Jayanti queue lock
+//     (baselines/jayanti.hpp): O(1) *amortized* RMR, cheaper on steady
+//     workloads, but a single passage can pay for a run of concurrent
+//     aborts.
+//
+// Config::algo picks the uniform default. When Config::hybrid.enabled, each
+// resize() re-chooses per stripe from the parent stripe's observed abort
+// rate (live totals + inherited seed): rate >= abort_rate_threshold selects
+// the paper lock, below it the amortized lock; stripes whose parents lack
+// min_samples attempts inherit the parent's algorithm unchanged. The drain's
+// dual-acquire bridging is algorithm-agnostic — an overlapping passage holds
+// the old stripe's lock whichever algorithm either generation uses — so
+// mutual exclusion is preserved across an algorithm switch (covered by the
+// table_hybrid_resize_bridge DPOR workload).
+//
 // Multi-key acquisition (enter_hashes) sorts the distinct stripe indices and
 // acquires ascending, the standard total-order discipline that makes
 // deadlock impossible among multi-key callers; the abort signal still bounds
@@ -90,6 +123,7 @@
 #include <utility>
 #include <vector>
 
+#include "aml/baselines/jayanti.hpp"
 #include "aml/core/longlived.hpp"
 #include "aml/core/oneshot.hpp"
 #include "aml/core/versioned_space.hpp"
@@ -108,11 +142,97 @@ using model::Pid;
 /// its domain.
 inline constexpr std::uint32_t kMaxStripes = std::uint32_t{1} << 20;
 
+/// Per-stripe lock algorithm (see "Algorithm-polymorphic stripes" above).
+enum class StripeAlgo : std::uint8_t {
+  kPaper,      ///< paper long-lived lock: worst-case adaptive O(log_W A)
+  kAmortized,  ///< Jayanti & Jayanti queue lock: O(1) amortized RMR
+};
+
+/// Per-stripe algorithm re-choice policy, evaluated at every resize() the
+/// same way GrowPolicy is evaluated by maybe_grow(). Disabled by default:
+/// every stripe then inherits its parent's (ultimately Config::algo's)
+/// algorithm.
+struct HybridPolicy {
+  bool enabled = false;
+  /// Parent abort rate at/above which a new stripe gets the paper lock
+  /// (abort storms dominate); below it the amortized lock (steady traffic).
+  double abort_rate_threshold = 0.125;
+  /// Parent attempts (live + inherited) required to trust its rate; thin
+  /// parents pass their algorithm through unchanged.
+  std::uint64_t min_samples = 16;
+};
+
+/// A stripe lock that is one of the two algorithms, chosen at construction.
+/// Presents the long-lived lock interface the table (and NamedLockTable's
+/// sink binding) expects; the amortized lock's bool protocol is adapted to
+/// EnterResult with slot 0, and its grant/abort metrics are forwarded at this
+/// layer since the baseline itself is metrics-free.
+template <typename M, typename Metrics = obs::NullMetrics>
+class PolyStripeLock {
+ public:
+  using PaperLock =
+      core::LongLivedLock<M, core::VersionedSpace, core::OneShotLock, Metrics>;
+  using AmortizedLock = baselines::JayantiAbortableLock<M>;
+  using Config = typename PaperLock::Config;
+
+  PolyStripeLock(M& mem, Config config, StripeAlgo algo) : algo_(algo) {
+    if (algo == StripeAlgo::kPaper) {
+      paper_ = std::make_unique<PaperLock>(mem, config);
+    } else {
+      amortized_ = std::make_unique<AmortizedLock>(mem, config.nprocs);
+    }
+  }
+
+  StripeAlgo algo() const { return algo_; }
+
+  core::EnterResult enter(Pid self, const std::atomic<bool>* signal) {
+    if (paper_ != nullptr) return paper_->enter(self, signal);
+    core::EnterResult result;
+    result.acquired = amortized_->enter(self, signal);
+    result.slot = 0;
+    if (result.acquired) {
+      sink_.on_enter(self, result.slot);
+    } else {
+      sink_.on_abort(self, result.slot);
+    }
+    return result;
+  }
+
+  void exit(Pid self) {
+    if (paper_ != nullptr) {
+      paper_->exit(self);
+    } else {
+      amortized_->exit(self);
+    }
+  }
+
+  /// Same binding contract as LongLivedLock::set_metrics: set before the
+  /// instrumented processes start (construction or resize()'s
+  /// on_stripe_built hook), never concurrent with passages.
+  void set_metrics(Metrics* sink) {
+    if (paper_ != nullptr) {
+      paper_->set_metrics(sink);
+    } else {
+      sink_.bind(sink);
+    }
+  }
+
+  /// Introspection: non-null exactly for the matching algo().
+  PaperLock* paper() { return paper_.get(); }
+  AmortizedLock* amortized() { return amortized_.get(); }
+
+ private:
+  StripeAlgo algo_;
+  std::unique_ptr<PaperLock> paper_;
+  std::unique_ptr<AmortizedLock> amortized_;
+  [[no_unique_address]] obs::SinkHandle<Metrics> sink_;  ///< amortized path
+};
+
 template <typename M, typename Metrics = obs::NullMetrics>
 class LockTable {
  public:
-  using StripeLock =
-      core::LongLivedLock<M, core::VersionedSpace, core::OneShotLock, Metrics>;
+  using StripeLock = PolyStripeLock<M, Metrics>;
+  using PaperStripeLock = typename StripeLock::PaperLock;
   using MetricsSink = Metrics;
 
   struct Config {
@@ -120,6 +240,8 @@ class LockTable {
     std::uint32_t stripes = 16;  ///< S: rounded up to a power of two
     std::uint32_t tree_width = 64;  ///< W of each stripe's tree
     core::Find find = core::Find::kAdaptive;
+    StripeAlgo algo = StripeAlgo::kPaper;  ///< uniform default algorithm
+    HybridPolicy hybrid{};  ///< per-stripe re-choice on resize
   };
 
   /// Always-on per-stripe contention snapshot (see stripe_stats()).
@@ -128,6 +250,8 @@ class LockTable {
     std::uint64_t aborts = 0;        ///< attempts abandoned via the signal
     std::uint32_t inflight = 0;      ///< attempts running right now
     std::uint32_t max_inflight = 0;  ///< high-water mark of `inflight`
+    std::uint64_t inherited_attempts = 0;  ///< parent-seeded attempt history
+    std::uint64_t inherited_aborts = 0;    ///< parent-seeded abort history
   };
 
   /// Auto-grow policy evaluated by maybe_grow().
@@ -186,6 +310,11 @@ class LockTable {
   /// Direct access to a current-generation stripe's lock (introspection /
   /// tests; not stable across resize).
   StripeLock& stripe(std::uint32_t s) { return *cur_mut().stripes[s]; }
+
+  /// Algorithm of current-generation stripe `s` (not stable across resize).
+  StripeAlgo stripe_algo(std::uint32_t s) const {
+    return cur().stripes[s]->algo();
+  }
 
   // --- single-key operations (resize-safe) ---------------------------------
 
@@ -436,6 +565,8 @@ class LockTable {
     view.aborts = st.aborts.load(std::memory_order_relaxed);
     view.inflight = st.inflight.load(std::memory_order_relaxed);
     view.max_inflight = st.max_inflight.load(std::memory_order_relaxed);
+    view.inherited_attempts = st.seed_attempts;
+    view.inherited_aborts = st.seed_aborts;
     return view;
   }
 
@@ -517,11 +648,17 @@ class LockTable {
 
  private:
   /// Always-on per-stripe counters (plain atomics: no model words, no RMRs).
+  /// The seed_* fields are the parent stripe's halved totals, written once at
+  /// generation build (before publication, hence plain) — rate history for
+  /// HybridPolicy, deliberately NOT counted by GrowPolicy (see "Contention
+  /// stats" in the header comment).
   struct StripeStats {
     std::atomic<std::uint64_t> acquisitions{0};
     std::atomic<std::uint64_t> aborts{0};
     std::atomic<std::uint32_t> inflight{0};
     std::atomic<std::uint32_t> max_inflight{0};
+    std::uint64_t seed_attempts = 0;
+    std::uint64_t seed_aborts = 0;
   };
 
   /// One stripe-array epoch. Old generations are kept (never freed before
@@ -563,6 +700,30 @@ class LockTable {
   }
   Generation& cur_mut() { return *current_.load(std::memory_order_acquire); }
 
+  /// Algorithm for a new stripe: the uniform default at construction;
+  /// across a resize, the parent's algorithm, re-chosen from the parent's
+  /// abort rate when HybridPolicy is enabled and the parent has enough
+  /// samples (live + inherited) to trust it.
+  StripeAlgo choose_algo(std::uint32_t s, Generation* prev) const {
+    if (prev == nullptr) return config_.algo;
+    const std::uint32_t parent = s & prev->mask;
+    StripeAlgo algo = prev->stripes[parent]->algo();
+    if (!config_.hybrid.enabled) return algo;
+    const StripeStats& pst = *prev->stats[parent];
+    const std::uint64_t live_aborts = pst.aborts.load(std::memory_order_relaxed);
+    const std::uint64_t aborts = live_aborts + pst.seed_aborts;
+    const std::uint64_t attempts =
+        pst.acquisitions.load(std::memory_order_relaxed) + live_aborts +
+        pst.seed_attempts;
+    // attempts == 0 must inherit even when min_samples == 0: 0/0 is NaN and
+    // every NaN comparison is false, which would silently pick kAmortized.
+    if (attempts == 0 || attempts < config_.hybrid.min_samples) return algo;
+    const double rate =
+        static_cast<double>(aborts) / static_cast<double>(attempts);
+    return rate >= config_.hybrid.abort_rate_threshold ? StripeAlgo::kPaper
+                                                       : StripeAlgo::kAmortized;
+  }
+
   std::unique_ptr<Generation> make_generation(
       std::uint32_t nstripes, std::uint64_t epoch, Generation* prev,
       const StripeBuiltFn& on_stripe_built) {
@@ -574,9 +735,23 @@ class LockTable {
     gen->stats = std::vector<pal::CachePadded<StripeStats>>(nstripes);
     for (std::uint32_t s = 0; s < nstripes; ++s) {
       gen->stripes.push_back(std::make_unique<StripeLock>(
-          mem_, typename StripeLock::Config{.nprocs = config_.max_threads,
-                                            .w = config_.tree_width,
-                                            .find = config_.find}));
+          mem_,
+          typename StripeLock::Config{.nprocs = config_.max_threads,
+                                      .w = config_.tree_width,
+                                      .find = config_.find},
+          choose_algo(s, prev)));
+      if (prev != nullptr) {
+        // Rate history carries over (halved: a parent splits into two
+        // children); depth high-water marks deliberately do not — every
+        // further grow must be provoked by fresh contention.
+        const StripeStats& pst = *prev->stats[s & prev->mask];
+        StripeStats& st = *gen->stats[s];
+        const std::uint64_t pacq =
+            pst.acquisitions.load(std::memory_order_relaxed);
+        const std::uint64_t pab = pst.aborts.load(std::memory_order_relaxed);
+        st.seed_attempts = (pst.seed_attempts + pacq + pab) / 2;
+        st.seed_aborts = (pst.seed_aborts + pab) / 2;
+      }
       if (on_stripe_built) on_stripe_built(s, *gen->stripes.back());
     }
     return gen;

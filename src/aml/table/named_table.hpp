@@ -23,7 +23,11 @@
 //     mirror of the lock's adaptive RMR bound. Guards address *keys* (their
 //     hashes), not stripe indices, so every guard stays valid across a grow:
 //     the underlying LockTable drains old-generation holders via per-epoch
-//     refcounts and a key never changes stripe mid-hold.
+//     refcounts and a key never changes stripe mid-hold;
+//   * algorithm-polymorphic stripes: TableConfig::algo picks the stripe lock
+//     (paper adaptive vs Jayanti & Jayanti constant-amortized-RMR), and with
+//     TableConfig::hybrid enabled every (auto-)grow re-chooses per stripe
+//     from observed abort rates — see lock_table.hpp's header comment.
 //
 // Usage:
 //
@@ -69,6 +73,9 @@ struct TableConfig {
   std::uint32_t max_stripes = 1024; ///< auto-grow ceiling
   std::uint32_t grow_inflight_threshold = 4;  ///< stripe depth = "hot"
   std::uint32_t grow_check_interval = 64;     ///< ops between policy checks
+  // --- algorithm-polymorphic stripes (see lock_table.hpp) ----------------
+  StripeAlgo algo = StripeAlgo::kPaper;  ///< uniform default stripe lock
+  HybridPolicy hybrid{};  ///< per-stripe re-choice on every (auto-)grow
 };
 
 template <typename Metrics = obs::NullMetrics>
@@ -83,7 +90,9 @@ class BasicNamedLockTable {
       : config_(config), model_(config.max_threads),
         table_(model_, {.max_threads = config.max_threads,
                         .stripes = config.stripes,
-                        .tree_width = config.tree_width}),
+                        .tree_width = config.tree_width,
+                        .algo = config.algo,
+                        .hybrid = config.hybrid}),
         registry_(config.max_threads),
         signals_(config.max_threads) {
     if constexpr (Metrics::kEnabled) {
@@ -130,6 +139,12 @@ class BasicNamedLockTable {
   }
   std::uint32_t stripe_of(std::string_view key) const {
     return table_.stripe_of(key);
+  }
+
+  /// Algorithm of current-generation stripe `s` (may change across a grow
+  /// when TableConfig::hybrid is enabled).
+  StripeAlgo stripe_algo(std::uint32_t s) const {
+    return table_.stripe_algo(s);
   }
 
   /// Per-stripe sink (enabled flavor only; see ObservedNamedLockTable).
@@ -204,19 +219,37 @@ class BasicNamedLockTable {
     /// arms the deadline, acquires in stripe order, and on abort releases
     /// everything before retrying. Slicing exists to break deadlocks with
     /// callers that hold stripes in a non-conforming order — the periodic
-    /// full release lets them through. Empty optional iff the overall
-    /// deadline passed without a complete acquisition.
+    /// full release lets them through.
+    ///
+    /// Contract:
+    ///   * An empty key set succeeds vacuously and immediately, whatever the
+    ///     budget (even zero or negative): a degenerate transaction has
+    ///     nothing to wait for, so no deadline is armed and no grow check
+    ///     runs. The returned guard holds nothing and releases nothing.
+    ///   * With keys, a non-positive budget — or one that expires before
+    ///     the acquisition completes — yields an empty optional; the call
+    ///     never "succeeds for free" against an already-expired deadline.
+    ///   * The call gives up only once Clock::now() has actually reached
+    ///     the overall deadline: after a failed attempt the wall clock is
+    ///     re-checked, so a final slice that lands exactly on the deadline
+    ///     (or a timer that fires marginally early) cannot abandon budget
+    ///     that still remains.
     template <typename Key, typename Rep, typename Period>
     std::optional<MultiGuard> try_acquire_all_for(
         const std::vector<Key>& keys,
         std::chrono::duration<Rep, Period> budget,
         std::chrono::nanoseconds slice = std::chrono::nanoseconds{0}) {
-      const Clock::time_point deadline = Clock::now() + budget;
       std::vector<std::uint64_t> hashes = owner_->table_.plan_hashes(keys);
+      if (hashes.empty()) {
+        const bool ok = owner_->table_.enter_hashes(id(), hashes, nullptr);
+        AML_ASSERT(ok, "empty acquisition cannot abort");
+        return MultiGuard(*owner_, id(), std::move(hashes));
+      }
+      const Clock::time_point deadline = Clock::now() + budget;
       pal::Backoff backoff;
       for (;;) {
         const Clock::time_point now = Clock::now();
-        if (now >= deadline && !hashes.empty()) return std::nullopt;
+        if (now >= deadline) return std::nullopt;
         Clock::time_point attempt_deadline = deadline;
         if (slice.count() > 0 && now + slice < deadline) {
           attempt_deadline = now + slice;
@@ -225,7 +258,7 @@ class BasicNamedLockTable {
         if (owner_->timed_enter_all(id(), hashes, attempt_deadline)) {
           return MultiGuard(*owner_, id(), std::move(hashes));
         }
-        if (attempt_deadline >= deadline) return std::nullopt;
+        if (Clock::now() >= deadline) return std::nullopt;
         backoff.pause();
       }
     }

@@ -367,6 +367,28 @@ TEST(OracleFire, TableGenOracleCatchesPinnedRetiredGeneration) {
 
 // --- oracles stay silent on legal executions --------------------------------
 
+TEST(OracleQuiet, HybridResizeBridgeFullExplorationNeverFires) {
+  // The table-hybrid-resize-bridge workload overlaps two passages on one
+  // key while a resize flips the stripe from the amortized lock to the
+  // paper lock (and p1's abort/retry exercises abandon/revive across the
+  // switch). DPOR-complete exploration must find no mutex violation, no
+  // lost wake-up, and no generation-protocol violation — the dual-acquire
+  // bridge is algorithm-agnostic.
+  const auto* wl = find_workload("table-hybrid-resize-bridge");
+  ASSERT_NE(wl, nullptr);
+  sched::ExploreConfig config;
+  config.nprocs = wl->nprocs;
+  config.preemption_bound = 2;
+  config.max_executions = 500'000;
+  config.reduction = sched::Reduction::kDpor;
+  config.workload = wl->name;
+  config.trace_dir = temp_dir();
+  const auto stats = sched::explore(config, wl->factory);
+  EXPECT_FALSE(stats.failed) << stats.failure;
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.executions, 10u);  // a real state space was covered
+}
+
 TEST(OracleQuiet, FullExplorationOfCleanWorkloadNeverFires) {
   // The clean hand-off workload registers the queue and tree oracles on
   // every execution; DPOR-complete exploration (182 executions) must not

@@ -106,6 +106,68 @@ TEST(BaselinesNative, ScottSinglePassWithAborts) {
   EXPECT_EQ(outcomes.load(), kN);
 }
 
+TEST(BaselinesNative, Jayanti) {
+  NativeModel m(4);
+  JayantiAbortableLock<NativeModel> lock(m, 4);
+  stress_rounds(lock, 4, 500);
+}
+
+TEST(BaselinesNative, JayantiAbortReviveRecycleSequential) {
+  // Deterministic walk through every node state transition: abort leaves a
+  // kAbandoned node, revival resumes the old queue position, a successor's
+  // claim recycles an abandoned node, and a failed revival re-enqueues.
+  NativeModel m(2);
+  JayantiAbortableLock<NativeModel> lock(m, 2);
+  std::atomic<bool> raised{true};
+
+  // Round 1: p0 holds; p1's attempt sees the raised signal and abandons.
+  ASSERT_TRUE(lock.enter(0, nullptr));
+  EXPECT_FALSE(lock.enter(1, &raised));
+  lock.exit(0);
+  // Revival: p1's node is still queued behind p0's released node.
+  ASSERT_TRUE(lock.enter(1, nullptr));
+  lock.exit(1);
+
+  // Round 2: p1 abandons again behind the holder; this time p0 re-enters
+  // first and its walk claims (recycles) the abandoned node.
+  ASSERT_TRUE(lock.enter(0, nullptr));
+  EXPECT_FALSE(lock.enter(1, &raised));
+  lock.exit(0);
+  ASSERT_TRUE(lock.enter(0, nullptr));
+  lock.exit(0);
+  // Failed revival: p1 finds its node recycled and enqueues it afresh.
+  ASSERT_TRUE(lock.enter(1, nullptr));
+  lock.exit(1);
+
+  // Everything still works afterwards.
+  ASSERT_TRUE(lock.enter(0, nullptr));
+  lock.exit(0);
+}
+
+TEST(BaselinesNative, JayantiWithAborts) {
+  constexpr Pid kN = 6;
+  NativeModel m(kN);
+  JayantiAbortableLock<NativeModel> lock(m, kN);
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> grants{0};
+  pal::run_threads(kN, [&](std::uint32_t t) {
+    pal::Xoshiro256 rng(t + 7);
+    std::deque<std::atomic<bool>> sig(1);
+    for (int i = 0; i < 300; ++i) {
+      sig[0].store(rng.chance_ppm(250000), std::memory_order_release);
+      if (lock.enter(t, &sig[0])) {
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        in_cs.fetch_sub(1);
+        lock.exit(t);
+        grants.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_GE(grants.load(), 1u);
+}
+
 TEST(BaselinesNative, LeeSinglePassWithAborts) {
   constexpr Pid kN = 8;
   NativeModel m(kN);

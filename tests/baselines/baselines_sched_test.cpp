@@ -164,6 +164,53 @@ TEST(BaselinesSched, LeeHandoffScanGrowsWithAbortRun) {
   EXPECT_GE(r.records[0].rmr_exit, 24u);
 }
 
+TEST(BaselinesSched, JayantiMutexNoAbortConstantRmr) {
+  // No aborts: the amortized lock behaves like CLH — O(1) worst case too.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.gate_cs = false;
+    const auto r =
+        run_baseline<baselines::JayantiAbortableLock<CountingCcModel>>(16,
+                                                                       opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed, 16u);
+    for (const auto& rec : r.records) EXPECT_LE(rec.rmr_total(), 8u);
+  }
+}
+
+TEST(BaselinesSched, JayantiMutexAndAborts) {
+  for (std::uint64_t seed = 40; seed <= 46; ++seed) {
+    SinglePassOptions opts;
+    opts.seed = seed;
+    opts.plans = plan_random_k(16, 8, seed, AbortWhen::kOnIdle);
+    const auto r =
+        run_baseline<baselines::JayantiAbortableLock<CountingCcModel>>(16,
+                                                                       opts);
+    EXPECT_TRUE(r.mutex_ok);
+    EXPECT_EQ(r.completed + r.aborted, 16u);
+    EXPECT_GE(r.completed, 8u);  // non-aborters complete
+    EXPECT_GE(r.aborted, 1u);
+  }
+}
+
+TEST(BaselinesSched, JayantiAmortizedTotalRmrLinearInAttempts) {
+  // The amortization claim: total RMRs across every attempt (granted and
+  // abandoned alike) stay linear in the number of attempts, even when half
+  // the queue abandons — each abandonment epoch is claimed exactly once.
+  SinglePassOptions opts;
+  opts.seed = 9;
+  opts.plans = plan_first_k(32, 16, AbortWhen::kOnIdle);
+  const auto r =
+      run_baseline<baselines::JayantiAbortableLock<CountingCcModel>>(32,
+                                                                     opts);
+  EXPECT_TRUE(r.mutex_ok);
+  EXPECT_EQ(r.completed + r.aborted, 32u);
+  std::uint64_t total = 0;
+  for (const auto& rec : r.records) total += rec.rmr_total();
+  EXPECT_LE(total, 8u * 32u);
+}
+
 TEST(BaselinesSched, AndersonArrayLockConstantRmrFcfs) {
   // Anderson's array queue lock is "ours minus the Tree": O(1) RMR per
   // passage, FCFS, not abortable.

@@ -57,6 +57,59 @@ TEST(TableNative, TimedAcquireRespectsDeadline) {
   EXPECT_TRUE(after.has_value());
 }
 
+// try_acquire_all_for edge contracts (see the method's doc comment): an
+// empty key set succeeds vacuously whatever the budget; with keys, an
+// expired or non-positive budget yields nullopt, never a free success.
+TEST(TableNative, TryAcquireAllForEdgeBudgets) {
+  NamedLockTable table({.max_threads = 2, .stripes = 4});
+  auto session = table.open_session();
+  const std::vector<std::uint64_t> none;
+  const std::vector<std::uint64_t> keys{7, 8};
+
+  // Empty key set: vacuous immediate success for zero, negative, and
+  // positive budgets alike; the guard holds nothing and releases cleanly.
+  for (const auto budget : {0ms, -5ms, 10ms}) {
+    auto tx = session.try_acquire_all_for(none, budget);
+    ASSERT_TRUE(tx.has_value()) << "budget " << budget.count() << "ms";
+    EXPECT_TRUE(tx->key_hashes().empty());
+    EXPECT_TRUE(tx->stripes().empty());
+    tx->release();
+  }
+
+  // Non-empty key set with an already-expired budget: nullopt, regardless
+  // of whether the keys are free (zero and negative budgets, sliced or
+  // not).
+  EXPECT_FALSE(session.try_acquire_all_for(keys, 0ms).has_value());
+  EXPECT_FALSE(session.try_acquire_all_for(keys, -5ms).has_value());
+  EXPECT_FALSE(session.try_acquire_all_for(keys, 0ms, 1ms).has_value());
+
+  // Sanity: the same keys with a real budget succeed.
+  auto ok = session.try_acquire_all_for(keys, 100ms);
+  EXPECT_TRUE(ok.has_value());
+}
+
+// A sliced timed acquisition must keep retrying until the wall-clock
+// deadline truly passes: a holder that releases midway through the budget
+// (after several slices have failed) must still be overtaken.
+TEST(TableNative, TryAcquireAllForSlicedRetriesUntilWallClock) {
+  NamedLockTable table({.max_threads = 2, .stripes = 4});
+  auto holder = table.open_session();
+  const std::vector<std::uint64_t> keys{11, 12};
+  auto held = holder.acquire(std::uint64_t{11});
+  std::atomic<bool> got{false};
+  std::thread contender([&] {
+    auto session = table.open_session();
+    // Slice (3ms) is far shorter than the budget: early attempts abort
+    // while the key is held, later ones land after the release below.
+    auto tx = session.try_acquire_all_for(keys, 500ms, 3ms);
+    got.store(tx.has_value());
+  });
+  std::this_thread::sleep_for(30ms);
+  held.release();
+  contender.join();
+  EXPECT_TRUE(got.load());
+}
+
 // The headline native stress: pooled threads churn sessions, acquire
 // Zipf-distributed keys under tiny deadlines (a deadline storm: most
 // attempts on hot keys abort), and occasionally run multi-key transactions.
@@ -245,6 +298,57 @@ TEST(TableNative, AutoGrowKeepsHeldGuardExclusive) {
 
   auto after = holder.try_acquire_for(std::uint64_t{5}, 100ms);
   EXPECT_TRUE(after.has_value());
+}
+
+// Amortized stripes through the service layer: a NamedLockTable configured
+// with StripeAlgo::kAmortized serves blocking, timed, and multi-key traffic,
+// and a hybrid-policy grow flips a stormy stripe to the paper lock while a
+// guard from the old generation stays exclusive.
+TEST(TableNative, AmortizedStripesAndHybridGrow) {
+  NamedLockTable table({.max_threads = 4,
+                        .stripes = 2,
+                        .auto_grow = false,
+                        .max_stripes = 16,
+                        .grow_inflight_threshold = 1,
+                        .grow_check_interval = 1,
+                        .algo = StripeAlgo::kAmortized,
+                        .hybrid = {.enabled = true,
+                                   .abort_rate_threshold = 0.5,
+                                   .min_samples = 2}});
+  for (std::uint32_t s = 0; s < table.stripe_count(); ++s) {
+    EXPECT_EQ(table.stripe_algo(s), StripeAlgo::kAmortized);
+  }
+  auto holder = table.open_session();
+  const std::uint64_t key = 5;
+  auto held = holder.acquire(key);
+
+  // Abort storm on the held key's amortized stripe: rate 2/2 over threshold.
+  std::thread contender([&] {
+    auto session = table.open_session();
+    EXPECT_FALSE(session.try_acquire_for(key, 2ms).has_value());
+    EXPECT_FALSE(session.try_acquire_for(key, 2ms).has_value());
+  });
+  contender.join();
+
+  ASSERT_TRUE(table.try_grow());
+  EXPECT_EQ(table.stripe_count(), 4u);
+  // The stormy stripe's children run the paper lock now; the old-generation
+  // guard still excludes a bridged contender.
+  EXPECT_EQ(table.stripe_algo(table.stripe_of(key)), StripeAlgo::kPaper);
+  std::thread post_grow([&] {
+    auto session = table.open_session();
+    EXPECT_FALSE(session.try_acquire_for(key, 2ms).has_value());
+  });
+  post_grow.join();
+  held.release();
+  EXPECT_FALSE(table.draining());
+
+  auto after = holder.try_acquire_for(key, 100ms);
+  EXPECT_TRUE(after.has_value());
+  after->release();
+  auto tx = holder.try_acquire_all_for(std::vector<std::uint64_t>{1, 2, 3},
+                                       100ms, 5ms);
+  EXPECT_TRUE(tx.has_value());
 }
 
 // Auto-grow under churn: Zipf-hot blocking traffic on a deliberately tiny

@@ -15,7 +15,8 @@
 //       std::atomic) in the hot paths — shared per-slot state must be
 //       pal::CachePadded to avoid false sharing, which would corrupt the
 //       cache-coherent RMR accounting story.
-//   R4  model-gated code (src/aml/core) keeps its shared state in the word
+//   R4  model-gated code (src/aml/core and the model-checked baseline
+//       src/aml/baselines/jayanti.hpp) keeps its shared state in the word
 //       spaces (paper primitives: read/write/FAA/CAS/wait on model words).
 //       A plain std::atomic member bypasses the schedule gate, the RMR
 //       accounting and the DPOR footprints. Pointers/references to atomics
@@ -296,7 +297,11 @@ bool in_hot_path(const std::string& rel) {
 }
 
 bool in_model_gated(const std::string& rel) {
-  return rel.find("core/") != std::string::npos;
+  // core/ runs under the DPOR explorer wholesale; of the baselines only the
+  // Jayanti amortized lock is model-checked (the table's hybrid stripes embed
+  // it), so it carries the same no-plain-atomics discipline.
+  return rel.find("core/") != std::string::npos ||
+         rel.find("baselines/jayanti") != std::string::npos;
 }
 
 bool load_allowlist(const std::string& path, std::vector<AllowEntry>* out) {

@@ -1,0 +1,24 @@
+// Deliberate amlint violation — test fixture only, never included by the
+// build. This file lives under a baselines/ directory with a "jayanti" name
+// so it falls inside R4's extended model-gated scope (core/ plus
+// baselines/jayanti*); the dedicated CI test runs amlint over
+// tools/testdata/r4scope alone (rel paths keep the baselines/ prefix) and
+// asserts it FAILS, proving the scope extension bites. Only R4 applies here:
+// every atomic op spells its memory order (no R1), and baselines/ is not a
+// hot path (no R2/R3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace amlint_testdata {
+
+class BadJayantiNode {
+ public:
+  void release() { status_.store(1, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint64_t> status_{0};  // R4: plain atomic, model-gated
+};
+
+}  // namespace amlint_testdata
