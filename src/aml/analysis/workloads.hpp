@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "aml/analysis/oracles.hpp"
+#include "aml/baselines/jayanti.hpp"
 #include "aml/core/oneshot.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/sched/explorer.hpp"
@@ -212,6 +213,116 @@ inline void table_hybrid_resize_bridge(sched::ExecutionContext& ctx) {
   }
 }
 
+/// The amortized (Jayanti) lock's claim-CAS ABA window, made reachable at a
+/// low preemption bound. Cast (5 processes): a *holder* (p0) that parks
+/// inside its critical section on a gated word, so its kWaiting node walls
+/// off the queue without costing the bound a preemption; an *abandoner*
+/// (p1) queued behind the wall whose abort signal is raised mid-run; a
+/// *re-aborter* (p2) with a pre-raised try-lock signal that abandons behind
+/// p1, then — gated until after p1's abandonment — revives its node, walks
+/// over p1's abandoned node (claiming and recycling it, splicing its own
+/// prev past it), and abandons *again*; a *walker* (p3) queued behind p2;
+/// and a *controller* (p4) whose gated writes sequence the above. The racy
+/// window is p3's walk: it can read the abandoned p2-node's prev (naming
+/// p1's node), get preempted across p2's entire revive-splice-reabandon,
+/// and only then run its claim-CAS. A state-only CAS succeeds against the
+/// second abandonment while splicing to the first's prev — putting p3 on
+/// the recycled p1 node (two walkers on one position: a runaway walk or a
+/// mutex violation). The epoch-versioned status word must make the stale
+/// claim fail and re-observe. Everything except that one preemption is
+/// block-release choreography, so the failing interleaving exists within
+/// preemption bound 1. Failures: overlap in the CS, a lost wake-up (idle
+/// rescue), a deadlock, or a runaway walk (the explorer's step budget).
+inline void jayanti_abandon_epochs(sched::ExecutionContext& ctx) {
+  using Model = model::CountingCcModel;
+  constexpr Pid kProcs = 5;
+  Model m(kProcs);
+  m.set_hook(&ctx.scheduler());
+  baselines::JayantiAbortableLock<Model> lock(m, kProcs);
+
+  // The re-aborter's try-lock signal is raised before any process starts
+  // (constant, so it is not a race DPOR needs to explore); the abandoner's
+  // signal is raised by the controller (gated). The rescue signals let the
+  // idle callback unpark a starved completer and surface a lost wake-up as
+  // a clean failure instead of a hang.
+  std::atomic<bool> raised{true};
+  model::Signal* abort_sig = m.alloc_signal();
+  model::Signal* rescue[2] = {m.alloc_signal(), m.alloc_signal()};
+
+  // Block-release choreography (all gated words): the holder parks its
+  // critical section on `cs_gate`; the re-aborter parks between its two
+  // attempts on `revive_gate`; `abandoner_done` / `reaborter_done` hand the
+  // baton back to the controller.
+  Model::Word* cs_gate = m.alloc(1, 0);
+  Model::Word* revive_gate = m.alloc(1, 0);
+  Model::Word* abandoner_done = m.alloc(1, 0);
+  Model::Word* reaborter_done = m.alloc(1, 0);
+
+  std::atomic<bool> rescued{false};
+  ctx.scheduler().set_idle_callback([&] {
+    if (rescued.load(std::memory_order_relaxed)) return false;
+    rescued.store(true, std::memory_order_relaxed);
+    for (auto* s : rescue) s->flag.store(true, std::memory_order_seq_cst);
+    return true;
+  });
+
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+  Model::Word* scratch = m.alloc(1, 0);
+
+  const auto is_set = [](std::uint64_t v) { return v != 0; };
+  const auto attempt = [&](Pid p, const std::atomic<bool>* stop,
+                           Model::Word* cs_wait) {
+    if (!lock.enter(p, stop)) return false;
+    if (in_cs.fetch_add(1, std::memory_order_seq_cst) != 0) {
+      overlap.store(true, std::memory_order_seq_cst);
+    }
+    if (cs_wait != nullptr) {
+      m.wait(p, *cs_wait, is_set, nullptr);  // park while holding (the wall)
+    } else {
+      m.read(p, *scratch);  // hold the critical section for one gated step
+    }
+    in_cs.fetch_sub(1, std::memory_order_seq_cst);
+    lock.exit(p);
+    return true;
+  };
+
+  ctx.run([&](Pid p) {
+    switch (p) {
+      case 0:  // holder: walls the queue until the controller releases it
+        attempt(0, &rescue[0]->flag, cs_gate);
+        break;
+      case 1:  // abandoner: aborts mid-queue when the controller raises it
+        attempt(1, &abort_sig->flag, nullptr);
+        m.write(1, *abandoner_done, 1);
+        break;
+      case 2:  // re-aborter: abandon, park, then revive-and-reabandon
+        attempt(2, &raised, nullptr);
+        m.wait(2, *revive_gate, is_set, nullptr);
+        attempt(2, &raised, nullptr);
+        m.write(2, *reaborter_done, 1);
+        break;
+      case 3:  // walker: its prev-read/claim-CAS window is the race
+        attempt(3, &rescue[1]->flag, nullptr);
+        break;
+      default:  // controller: force abandon, then release the revival
+        m.raise_signal(4, *abort_sig);
+        m.wait(4, *abandoner_done, is_set, nullptr);
+        m.write(4, *revive_gate, 1);
+        m.wait(4, *reaborter_done, is_set, nullptr);
+        m.write(4, *cs_gate, 1);
+        break;
+    }
+  });
+
+  if (overlap.load(std::memory_order_relaxed)) {
+    ctx.fail("mutual exclusion violated: two processes in the CS");
+  }
+  if (rescued.load(std::memory_order_relaxed)) {
+    ctx.fail("lost wake-up: a competitor was parked forever");
+  }
+}
+
 }  // namespace detail
 
 /// All registered workloads, by name.
@@ -233,6 +344,17 @@ inline const std::vector<WorkloadInfo>& workload_registry() {
           4,
           [](sched::ExecutionContext& ctx) {
             detail::oneshot_handoff(ctx, /*inject=*/false);
+          },
+      },
+      {
+          "jayanti-abandon-epochs",
+          "amortized lock, choreographed abandonments at adjacent queue "
+          "positions with a revive-and-reabandon between a walker's prev "
+          "read and its claim-CAS: the epoch-versioned claim must not "
+          "consume the second abandonment with the first's prev",
+          5,
+          [](sched::ExecutionContext& ctx) {
+            detail::jayanti_abandon_epochs(ctx);
           },
       },
       {

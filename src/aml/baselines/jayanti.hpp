@@ -5,22 +5,46 @@
 //
 // Rendition (see DESIGN.md's substitution table): a CLH-formulation queue on
 // SWAP+CAS. Each process owns one spare node; a node carries a `status` word
-// and a `prev` word. enter() publishes the node kWaiting, SWAPs it into
-// `tail`, and chain-walks from its predecessor:
+// and a `prev` word. The status word packs a 2-bit state into its low bits
+// and an *abandonment epoch* into the bits above (see "Epoch versioning"
+// below). enter() publishes the node kWaiting, SWAPs it into `tail`, and
+// chain-walks from its predecessor:
 //
 //   - kReleased  — the lock token. Consume it (the dead node becomes our new
 //     spare) and hold the lock through our own node.
 //   - kAbandoned — the position's owner aborted. Read `prev` FIRST, then
-//     claim with CAS(status, kAbandoned -> kRecycled); on success splice to
-//     `prev`, on failure the owner revived in place — keep waiting on it.
-//   - abort      — write own status kAbandoned (one RMR; the release token is
-//     level-triggered, so no hand-off can be lost) and remember the node as
-//     pending.
+//     claim with CAS(status, observed word -> kRecycled at the same epoch);
+//     on success splice to `prev`, on failure the owner revived in place or
+//     abandoned anew — re-observe and retry.
+//   - abort      — bump the node's epoch and write own status kAbandoned
+//     (one RMR; the release token is level-triggered, so no hand-off can be
+//     lost) and remember the node as pending.
 //
 // A pending node is *revived* on the next enter() with CAS(status,
-// kAbandoned -> kWaiting): success resumes the old queue position (prev is
-// kept pointing at the current chain target by the walk), failure means our
-// unique successor already recycled the node, so it is free to re-enqueue.
+// kAbandoned at the pending epoch -> kWaiting at that epoch): success
+// resumes the old queue position (prev is kept pointing at the current chain
+// target by the walk), failure means our unique successor already recycled
+// the node, so it is free to re-enqueue.
+//
+// == Epoch versioning (why the claim-CAS compares the full word) ==
+//
+// A state-only claim-CAS is ABA-prone: a walker reads prev of an abandoned
+// node, the node's owner revives it, splices its own prev past a recycled
+// predecessor, and aborts *again* — and the stale CAS(kAbandoned ->
+// kRecycled) would now consume the second abandonment while splicing to the
+// prev of the first, putting two walkers on one position (reachable with 4
+// processes and two aborts at adjacent queue positions). So every
+// abandonment gets a fresh epoch: the abort increments the node's epoch
+// before writing kAbandoned, all other transitions (revive, re-enqueue,
+// release, recycle) carry the epoch through unchanged, and both the claim
+// CAS and the revival CAS compare the full packed word. A claim can then
+// only consume the specific abandonment whose prev the walker read —
+// (kAbandoned, e) occurs at most once per node — and a CAS that lost to a
+// revive-and-re-abort fails, re-observes, and adopts the *current* prev.
+// Epochs are tracked process-locally (a node's status is written only by its
+// current owner while kWaiting, and ownership transfers hand the epoch over
+// through the observed kReleased word), so the versioning costs no extra
+// shared-memory operations.
 //
 // Amortization: every claim-CAS consumes one abandonment epoch, and each
 // epoch is paid for by the O(1) abort that created it, so total RMRs are
@@ -51,13 +75,16 @@ class JayantiAbortableLock {
     prev_.reserve(nodes);
     for (std::uint64_t i = 0; i < nodes; ++i) {
       // Node 0 is the initial token (the lock starts free); the others are
-      // the processes' spares.
-      status_.push_back(mem_.alloc(1, i == 0 ? kReleased : kRecycled));
+      // the processes' spares. All nodes start at epoch 0.
+      status_.push_back(
+          mem_.alloc(1, pack(i == 0 ? kReleased : kRecycled, 0)));
       prev_.push_back(mem_.alloc(1, 0));
     }
     tail_ = mem_.alloc(1, 0);
     node_.resize(nprocs);
+    node_epoch_.assign(nprocs, 0);
     owner_.assign(nprocs, 0);
+    owner_epoch_.assign(nprocs, 0);
     pending_.assign(nprocs, 0);
     for (Pid p = 0; p < nprocs; ++p) {
       node_[p] = static_cast<std::uint64_t>(p) + 1;
@@ -71,24 +98,26 @@ class JayantiAbortableLock {
     AML_ASSERT(static_cast<std::size_t>(self) < node_.size(),
                "pid out of range");
     const std::uint64_t m = node_[self];
+    const std::uint64_t e = node_epoch_[self];
     if (pending_[self] != 0) {
       pending_[self] = 0;
-      if (mem_.cas(self, *status_[m], kAbandoned, kWaiting)) {
+      if (mem_.cas(self, *status_[m], pack(kAbandoned, e), pack(kWaiting, e))) {
         // Revived in place: prev still names our chain target (the walk
         // below keeps it current), so we resume the old queue position.
         return walk(self, m, mem_.read(self, *prev_[m]), stop);
       }
-      // Our successor recycled the node between the abort and now; it is
-      // free again, fall through to a fresh enqueue.
+      // Our successor recycled that abandonment epoch between the abort and
+      // now; the node is free again, fall through to a fresh enqueue.
     }
-    mem_.write(self, *status_[m], kWaiting);
+    mem_.write(self, *status_[m], pack(kWaiting, e));
     const std::uint64_t pred = mem_.swap(self, *tail_, m);
     mem_.write(self, *prev_[m], pred);
     return walk(self, m, pred, stop);
   }
 
   void exit(Pid self) {
-    mem_.write(self, *status_[owner_[self]], kReleased);
+    mem_.write(self, *status_[owner_[self]],
+               pack(kReleased, owner_epoch_[self]));
   }
 
   /// Nodes whose abandonment epoch was consumed by a successor (diagnostic).
@@ -99,43 +128,65 @@ class JayantiAbortableLock {
   static constexpr std::uint64_t kReleased = 1;
   static constexpr std::uint64_t kAbandoned = 2;
   static constexpr std::uint64_t kRecycled = 3;
+  static constexpr std::uint64_t kStateBits = 2;
+  static constexpr std::uint64_t kStateMask = (std::uint64_t{1} << kStateBits) - 1;
+
+  static constexpr std::uint64_t pack(std::uint64_t state,
+                                      std::uint64_t epoch) {
+    return (epoch << kStateBits) | state;
+  }
+  static constexpr std::uint64_t state_of(std::uint64_t w) {
+    return w & kStateMask;
+  }
+  static constexpr std::uint64_t epoch_of(std::uint64_t w) {
+    return w >> kStateBits;
+  }
 
   /// Chain-walk from `cur` until we consume the release token or abort.
   bool walk(Pid self, std::uint64_t m, std::uint64_t cur,
             const std::atomic<bool>* stop) {
     for (;;) {
       auto outcome = mem_.wait(
-          self, *status_[cur], [](std::uint64_t v) { return v != kWaiting; },
-          stop);
+          self, *status_[cur],
+          [](std::uint64_t v) { return state_of(v) != kWaiting; }, stop);
       if (outcome.stopped) {
         // O(1) abort. The token is level-triggered (a kReleased predecessor
         // stays kReleased), so abandoning cannot lose a hand-off: whoever
-        // claims our node continues the walk from `prev` = cur.
-        mem_.write(self, *status_[m], kAbandoned);
+        // claims our node continues the walk from `prev` = cur. The epoch
+        // bump makes this abandonment claimable exactly once (see "Epoch
+        // versioning" in the header comment).
+        node_epoch_[self] += 1;
+        mem_.write(self, *status_[m], pack(kAbandoned, node_epoch_[self]));
         pending_[self] = 1;
         return false;
       }
-      if (outcome.value == kReleased) {
+      if (state_of(outcome.value) == kReleased) {
         // Consumed the token: `cur` is dead to every other process (we were
-        // its unique successor position) and becomes our next spare.
+        // its unique successor position) and becomes our next spare,
+        // inheriting its epoch from the released word.
         node_[self] = cur;
         owner_[self] = m;
+        owner_epoch_[self] = node_epoch_[self];
+        node_epoch_[self] = epoch_of(outcome.value);
         return true;
       }
-      AML_DASSERT(outcome.value == kAbandoned, "walk saw recycled node");
-      // Read prev BEFORE the claim: after a failed revival the owner
-      // re-enqueues the node with a new prev, and adopting that value would
-      // put two walkers on one position.
+      AML_DASSERT(state_of(outcome.value) == kAbandoned,
+                  "walk saw recycled node");
+      // Read prev BEFORE the claim: the full-word CAS below then certifies
+      // that the abandonment we observed is still current, so the prev we
+      // read belongs to it. A stale claim (the owner revived, spliced, and
+      // re-abandoned at a higher epoch) fails and we re-observe.
       const std::uint64_t next = mem_.read(self, *prev_[cur]);
-      if (mem_.cas(self, *status_[cur], kAbandoned, kRecycled)) {
+      if (mem_.cas(self, *status_[cur], outcome.value,
+                   pack(kRecycled, epoch_of(outcome.value)))) {
         // Keep our own prev naming the live chain target so a successor
         // that claims *us* (or our own revival) resumes from the right
         // node, not from a spliced-out one.
         mem_.write(self, *prev_[m], next);
         cur = next;
       }
-      // CAS failure: the owner revived the position in place; keep waiting
-      // on it.
+      // CAS failure: the owner revived the position in place (wait again)
+      // or abandoned it anew (re-observe and claim the fresh epoch).
     }
   }
 
@@ -143,8 +194,10 @@ class JayantiAbortableLock {
   Word* tail_ = nullptr;
   std::vector<Word*> status_;
   std::vector<Word*> prev_;
-  std::vector<std::uint64_t> node_;     ///< process-local: spare node
+  std::vector<std::uint64_t> node_;        ///< process-local: spare node
+  std::vector<std::uint64_t> node_epoch_;  ///< epoch of the spare's word
   std::vector<std::uint64_t> owner_;    ///< process-local: node of current hold
+  std::vector<std::uint64_t> owner_epoch_;  ///< epoch of the held node
   std::vector<std::uint8_t> pending_;   ///< process-local: abort to revive
 };
 

@@ -70,8 +70,9 @@
 // GrowPolicy right after it and double the table to max_stripes in one storm
 // (each further grow must be provoked by fresh contention on the new, wider
 // array). Acquisition/abort *rates*, by contrast, stay meaningful across a
-// grow: each new stripe is seeded with half of its parent stripe's totals
-// (halved because a parent splits into two children), exposed as
+// grow: each new stripe is seeded with its parent stripe's totals divided by
+// the grow fan-out (a parent splits into nstripes/prev_count children, so the
+// children's inherited history sums back to the parent's), exposed as
 // StripeStatsView::inherited_* and folded into HybridPolicy decisions so a
 // freshly split stripe keeps its contention history until it earns its own.
 //
@@ -187,11 +188,12 @@ class PolyStripeLock {
 
   core::EnterResult enter(Pid self, const std::atomic<bool>* signal) {
     if (paper_ != nullptr) return paper_->enter(self, signal);
+    sink_.on_enter(self, 0);
     core::EnterResult result;
     result.acquired = amortized_->enter(self, signal);
     result.slot = 0;
     if (result.acquired) {
-      sink_.on_enter(self, result.slot);
+      sink_.on_granted(self, result.slot);
     } else {
       sink_.on_abort(self, result.slot);
     }
@@ -202,6 +204,7 @@ class PolyStripeLock {
     if (paper_ != nullptr) {
       paper_->exit(self);
     } else {
+      sink_.on_exit(self, 0);
       amortized_->exit(self);
     }
   }
@@ -733,6 +736,12 @@ class LockTable {
     gen->prev = prev;
     gen->stripes.reserve(nstripes);
     gen->stats = std::vector<pal::CachePadded<StripeStats>>(nstripes);
+    // Resize is grow-only over powers of two, so every parent stripe splits
+    // into exactly `fanout` children; dividing the carried-over totals by it
+    // keeps the children's inherited history summing to the parent's (a
+    // constant /2 would double-count on a >2x jump).
+    const std::uint64_t fanout =
+        prev != nullptr ? nstripes / (prev->mask + std::uint64_t{1}) : 1;
     for (std::uint32_t s = 0; s < nstripes; ++s) {
       gen->stripes.push_back(std::make_unique<StripeLock>(
           mem_,
@@ -741,7 +750,7 @@ class LockTable {
                                       .find = config_.find},
           choose_algo(s, prev)));
       if (prev != nullptr) {
-        // Rate history carries over (halved: a parent splits into two
+        // Rate history carries over (split evenly across the parent's
         // children); depth high-water marks deliberately do not — every
         // further grow must be provoked by fresh contention.
         const StripeStats& pst = *prev->stats[s & prev->mask];
@@ -749,8 +758,8 @@ class LockTable {
         const std::uint64_t pacq =
             pst.acquisitions.load(std::memory_order_relaxed);
         const std::uint64_t pab = pst.aborts.load(std::memory_order_relaxed);
-        st.seed_attempts = (pst.seed_attempts + pacq + pab) / 2;
-        st.seed_aborts = (pst.seed_aborts + pab) / 2;
+        st.seed_attempts = (pst.seed_attempts + pacq + pab) / fanout;
+        st.seed_aborts = (pst.seed_aborts + pab) / fanout;
       }
       if (on_stripe_built) on_stripe_built(s, *gen->stripes.back());
     }

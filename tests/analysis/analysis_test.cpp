@@ -389,6 +389,28 @@ TEST(OracleQuiet, HybridResizeBridgeFullExplorationNeverFires) {
   EXPECT_GT(stats.executions, 10u);  // a real state space was covered
 }
 
+TEST(OracleQuiet, JayantiAbandonEpochsFullExplorationNeverFires) {
+  // Two try-lock processes abandon at adjacent queue positions and one
+  // revives and re-abandons — the window where a state-only claim-CAS
+  // would ABA (consume the second abandonment while splicing to the
+  // first's prev, putting two walkers on one position). DPOR-complete
+  // exploration must find no mutex violation, no lost wake-up, and no
+  // runaway walk: the epoch-versioned claim fails stale and re-observes.
+  const auto* wl = find_workload("jayanti-abandon-epochs");
+  ASSERT_NE(wl, nullptr);
+  sched::ExploreConfig config;
+  config.nprocs = wl->nprocs;
+  config.preemption_bound = 2;
+  config.max_executions = 500'000;
+  config.reduction = sched::Reduction::kDpor;
+  config.workload = wl->name;
+  config.trace_dir = temp_dir();
+  const auto stats = sched::explore(config, wl->factory);
+  EXPECT_FALSE(stats.failed) << stats.failure;
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.executions, 10u);  // a real state space was covered
+}
+
 TEST(OracleQuiet, FullExplorationOfCleanWorkloadNeverFires) {
   // The clean hand-off workload registers the queue and tree oracles on
   // every execution; DPOR-complete exploration (182 executions) must not
