@@ -1,69 +1,143 @@
-// Native-hardware lock/unlock microbenchmarks (google-benchmark): the
-// production AbortableLock against the classic baselines, uncontended and
-// under thread contention.
+// Native-hardware lock/unlock throughput: the production AbortableLock
+// against std::mutex and the ticket-lock baseline, uncontended and under
+// thread contention, with per-acquisition latency percentiles.
+//
+// Unlike the counting-model benches this measures wall-clock time, so the
+// numbers vary run to run: the committed BENCH_native_throughput.json is a
+// *schema-stable* record (CI diffs it with numeric values normalized, so
+// structural drift fails the gate while honest jitter does not). Each run
+// also self-checks mutual exclusion — every lock protects a plain counter
+// whose final value must equal the op count — so the bench doubles as a
+// native stress test.
 //
 // Note: on a single-core host the contended numbers measure hand-off through
 // the OS scheduler rather than cache-line transfer; the RMR benches (the
 // bench_table1_* binaries) are the paper-faithful comparison. These numbers
 // establish that the lock is a practical, deployable artifact.
-//
-// Lock instances are function-local statics shared across the benchmark's
-// thread-count variants: they are locks, so reuse across runs is safe, and
-// this avoids any teardown race between benchmark threads.
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
 
-#include <atomic>
-
-#include "aml/baselines/baselines.hpp"
+#include "aml/baselines/ticket.hpp"
 #include "aml/core/abortable_lock.hpp"
+#include "aml/harness/report.hpp"
+#include "aml/harness/stats.hpp"
+#include "aml/harness/table.hpp"
 #include "aml/model/native.hpp"
-#include "gbench_report.hpp"
+#include "aml/pal/threading.hpp"
 
 namespace {
 
+using aml::harness::Summary;
+using aml::harness::summarize;
+using aml::harness::Table;
 using aml::model::NativeModel;
+using Clock = std::chrono::steady_clock;
 
-constexpr std::uint32_t kMaxThreads = 8;
+constexpr std::uint32_t kMaxThreads = 4;
+constexpr std::uint32_t kOpsPerThread = 10'000;
 
-void BM_AmlockEnterExit(benchmark::State& state) {
-  static aml::AbortableLock lock(
-      aml::LockConfig{.max_threads = kMaxThreads});
-  const auto tid = static_cast<std::uint32_t>(state.thread_index());
-  for (auto _ : state) {
-    lock.enter(tid);
-    benchmark::DoNotOptimize(tid);
-    lock.exit(tid);
-  }
+struct RunResult {
+  double ops_per_sec = 0;
+  Summary latency_ns;  ///< per-acquisition enter..exit wall time
+  bool exclusion_held = false;
+};
+
+/// Run `threads` workers, each doing kOpsPerThread enter/protected-increment/
+/// exit rounds through the callables, timing every acquisition.
+template <typename Enter, typename Exit>
+RunResult run_one(std::uint32_t threads, Enter enter, Exit exit_fn) {
+  std::vector<std::vector<std::uint64_t>> lat(threads);
+  for (auto& v : lat) v.reserve(kOpsPerThread);
+  std::uint64_t protected_counter = 0;  // plain: torn unless exclusion holds
+
+  const auto wall0 = Clock::now();
+  aml::pal::run_threads(threads, [&](std::uint32_t tid) {
+    for (std::uint32_t op = 0; op < kOpsPerThread; ++op) {
+      const auto t0 = Clock::now();
+      enter(tid);
+      protected_counter++;
+      exit_fn(tid);
+      const auto t1 = Clock::now();
+      lat[tid].push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+  });
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+
+  RunResult r;
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(threads) * kOpsPerThread;
+  r.ops_per_sec = wall_s > 0 ? static_cast<double>(total_ops) / wall_s : 0;
+  std::vector<std::uint64_t> all;
+  all.reserve(total_ops);
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  r.latency_ns = summarize(all);
+  r.exclusion_held = protected_counter == total_ops;
+  return r;
 }
-BENCHMARK(BM_AmlockEnterExit)->Threads(1)->Threads(2)->Threads(4)
-    ->UseRealTime();
 
-template <typename Lock>
-void BM_Baseline(benchmark::State& state) {
-  static NativeModel model(kMaxThreads);
-  static Lock lock(model, kMaxThreads);
-  const auto tid = static_cast<std::uint32_t>(state.thread_index());
-  for (auto _ : state) {
-    lock.enter(tid, nullptr);
-    benchmark::DoNotOptimize(tid);
-    lock.exit(tid);
+RunResult run_lock(const std::string& lock, std::uint32_t threads) {
+  if (lock == "amlock") {
+    aml::AbortableLock l(aml::LockConfig{.max_threads = kMaxThreads});
+    return run_one(
+        threads, [&](std::uint32_t tid) { l.enter(tid); },
+        [&](std::uint32_t tid) { l.exit(tid); });
   }
+  if (lock == "std_mutex") {
+    std::mutex m;
+    return run_one(
+        threads, [&](std::uint32_t) { m.lock(); },
+        [&](std::uint32_t) { m.unlock(); });
+  }
+  // ticket
+  NativeModel model(kMaxThreads);
+  aml::baselines::TicketLock<NativeModel> l(model, kMaxThreads);
+  return run_one(
+      threads, [&](std::uint32_t tid) { l.enter(tid, nullptr); },
+      [&](std::uint32_t tid) { l.exit(tid); });
 }
-
-BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::McsLock<NativeModel>)
-    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::ClhLock<NativeModel>)
-    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::TicketLock<NativeModel>)
-    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Baseline, aml::baselines::TasLock<NativeModel>)
-    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-BENCHMARK_TEMPLATE(BM_Baseline,
-                   aml::baselines::TournamentAbortableLock<NativeModel>)
-    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  return bench::run_gbench_with_report(argc, argv, "native_throughput");
+int main() {
+  aml::harness::BenchReport br("native_throughput");
+  br.config("max_threads", std::uint64_t{kMaxThreads})
+      .config("ops_per_thread", std::uint64_t{kOpsPerThread})
+      .config("locks", "amlock,std_mutex,ticket")
+      .config("values", "wall-clock (nondeterministic); CI diffs structure");
+
+  Table table("Native enter/exit throughput and per-acquisition latency");
+  table.headers({"lock", "threads", "ops/sec", "p50 ns", "p90 ns", "p99 ns",
+                 "max ns"});
+
+  bool ok = true;
+  for (const std::string lock : {"amlock", "std_mutex", "ticket"}) {
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+      const RunResult r = run_lock(lock, threads);
+      ok = ok && r.exclusion_held;
+      table.row({lock, Table::num(std::uint64_t{threads}),
+                 Table::num(r.ops_per_sec),
+                 Table::num(r.latency_ns.p50), Table::num(r.latency_ns.p90),
+                 Table::num(r.latency_ns.p99), Table::num(r.latency_ns.max)});
+      const std::string prefix = lock + "_t" + std::to_string(threads);
+      br.summary(prefix + "_ops_per_sec", r.ops_per_sec)
+          .summary(prefix + "_latency_ns", r.latency_ns);
+    }
+  }
+
+  table.print();
+  br.summary("mutual_exclusion_held", std::uint64_t{ok ? 1u : 0u});
+  br.table(table);
+  br.write();
+  if (!ok) {
+    std::printf("FAIL: protected counter torn — mutual exclusion violated\n");
+    return 1;
+  }
+  return 0;
 }

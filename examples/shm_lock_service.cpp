@@ -1,0 +1,246 @@
+// Cross-process named-lock service demo: a shared counter service over
+// aml::ipc.
+//
+// The parent forks three workers, then creates two shm segments: the
+// ShmNamedLockTable ("the lock service") and a small ShmArena data segment
+// holding the state the locks protect — a deliberately non-atomic shadow
+// counter (read, spin, write back: torn under any mutual-exclusion failure),
+// per-worker completion counts, and a recovery tally. Workers attach to
+// both, lease a session pid each, and increment the shadow counter under the
+// named key. Worker 0 crashes (_exit, destructors skipped) while HOLDING the
+// lock halfway through; the survivors' deadline-bounded acquires time out
+// against the dead holder, their recover_dead() sweep forces the victim's
+// exit, and the run completes.
+//
+// Self-checks at the end (exit nonzero on violation, so the demo doubles as
+// an integration test): the shadow counter equals the sum of completed
+// increments (mutual exclusion held, including across the recovery), the
+// exact expected total landed (no increment lost or duplicated by the forced
+// exit), and at least one survivor performed a recovery.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "aml/ipc/shm_arena.hpp"
+#include "aml/ipc/shm_table.hpp"
+
+using namespace std::chrono_literals;
+using aml::ipc::ShmArena;
+using aml::ipc::ShmNamedLockTable;
+using aml::ipc::ShmTableConfig;
+
+namespace {
+
+constexpr int kWorkers = 3;
+constexpr int kIters = 60;
+constexpr int kCrashAt = kIters / 2;
+constexpr std::uint64_t kKey = 1;  // every worker contends on one name
+constexpr std::uint64_t kDataHash = 0xDA7A;
+
+ShmTableConfig service_config() {
+  ShmTableConfig cfg;
+  cfg.nprocs = 4;   // three workers + headroom for the reclaimed pid
+  cfg.stripes = 1;
+  return cfg;
+}
+
+/// The protected state, in its own tiny arena. Allocation order is the
+/// replay contract between parent and workers.
+struct SharedState {
+  std::atomic<std::uint64_t>* shadow;      // non-atomic-discipline counter
+  std::atomic<std::uint64_t>* counts;      // per-worker completed increments
+  std::atomic<std::uint64_t>* recoveries;  // recover_dead() wins
+  std::atomic<std::uint64_t>* started;     // start barrier
+
+  explicit SharedState(ShmArena& arena)
+      : shadow(arena.alloc_array<std::atomic<std::uint64_t>>(1)),
+        counts(arena.alloc_array<std::atomic<std::uint64_t>>(kWorkers)),
+        recoveries(arena.alloc_array<std::atomic<std::uint64_t>>(1)),
+        started(arena.alloc_array<std::atomic<std::uint64_t>>(1)) {}
+};
+
+/// Retry-attach until the parent (which forks first, creates second) has
+/// sealed the segments.
+template <typename Open>
+auto attach_with_retry(Open open) -> decltype(open(nullptr)) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  std::string error;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto handle = open(&error)) return handle;
+    std::this_thread::sleep_for(10ms);
+  }
+  std::fprintf(stderr, "worker attach failed: %s\n", error.c_str());
+  return nullptr;
+}
+
+int worker_main(int index, const std::string& lock_seg,
+                const std::string& data_seg) {
+  auto table = attach_with_retry([&](std::string* e) {
+    return ShmNamedLockTable::attach(lock_seg, service_config(), e, 1s);
+  });
+  if (table == nullptr) return 20;
+  auto data = attach_with_retry([&](std::string* e) {
+    return ShmArena::attach(data_seg, kDataHash, e, 1s);
+  });
+  if (data == nullptr) return 21;
+  SharedState state(*data);
+  if (!data->verify_replay(nullptr)) return 22;
+
+  auto session = table->open_session();
+  if (!session.has_value()) return 23;
+
+  // Deadline-bounded acquire with the client-side recovery loop: a timeout
+  // means the holder is slow *or dead* — sweep for dead holders and retry.
+  auto acquire_with_recovery = [&]() {
+    for (;;) {
+      if (auto guard = session->try_acquire_for(kKey, 100ms)) return guard;
+      if (session->recover_dead() > 0) {
+        state.recoveries[0].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // Start barrier: nobody races ahead before every worker has attached and
+  // leased a pid (otherwise fast survivors can finish before the crash and
+  // leave nobody around to recover it).
+  state.started[0].fetch_add(1, std::memory_order_acq_rel);
+  while (state.started[0].load(std::memory_order_acquire) < kWorkers) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  for (int i = 0; i < kIters; ++i) {
+    const auto guard = acquire_with_recovery();
+    if (index == 0 && i == kCrashAt) {
+      ::_exit(42);  // crash while holding: no release, no destructors
+    }
+    // Critical section: a read-modify-write that tears unless mutual
+    // exclusion holds across processes (and across the recovery path).
+    const std::uint64_t v = state.shadow[0].load(std::memory_order_relaxed);
+    for (int spin = 0; spin < 64; ++spin) {
+      asm volatile("");
+    }
+    state.shadow[0].store(v + 1, std::memory_order_relaxed);
+    state.counts[index].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Drain: survivors stay on duty until someone has swept the crashed
+  // holder, so the run always exercises the recovery path no matter how the
+  // iteration schedules interleaved.
+  while (state.recoveries[0].load(std::memory_order_acquire) == 0) {
+    if (auto guard = session->try_acquire_for(kKey, 100ms)) {
+      std::this_thread::sleep_for(1ms);  // let the crasher make progress
+      continue;
+    }
+    if (session->recover_dead() > 0) {
+      state.recoveries[0].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const std::string suffix = std::to_string(::getpid());
+  const std::string lock_seg = "/aml-demo-locks-" + suffix;
+  const std::string data_seg = "/aml-demo-data-" + suffix;
+
+  // Fork first: constructing the table spawns a timer thread, and forking a
+  // multithreaded process is asking for an inherited allocator lock.
+  pid_t workers[kWorkers];
+  for (int w = 0; w < kWorkers; ++w) {
+    workers[w] = ::fork();
+    if (workers[w] == 0) ::_exit(worker_main(w, lock_seg, data_seg));
+  }
+
+  std::string error;
+  auto table = ShmNamedLockTable::create(lock_seg, service_config(), &error);
+  if (table == nullptr) {
+    std::fprintf(stderr, "create(%s): %s\n", lock_seg.c_str(), error.c_str());
+    return 1;
+  }
+  auto data = ShmArena::create(data_seg, 1 << 16, kDataHash, &error);
+  if (data == nullptr) {
+    std::fprintf(stderr, "create(%s): %s\n", data_seg.c_str(), error.c_str());
+    return 1;
+  }
+  SharedState state(*data);
+  data->seal();
+
+  // Reap the crasher first: until it is reaped its pid is a zombie, not
+  // ESRCH, and the survivors' death detection correctly waits it out.
+  bool ok = true;
+  int status = 0;
+  ::waitpid(workers[0], &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 42) {
+    std::fprintf(stderr, "crasher exited %d, want 42\n", WEXITSTATUS(status));
+    ok = false;
+  }
+  for (int w = 1; w < kWorkers; ++w) {
+    ::waitpid(workers[w], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "worker %d exited %d, want 0\n", w,
+                   WEXITSTATUS(status));
+      ok = false;
+    }
+  }
+
+  // The service stayed healthy through the crash: the parent can acquire.
+  if (auto session = table->open_session()) {
+    auto guard = session->try_acquire_for(kKey, 2s);
+    if (!guard.has_value()) {
+      std::fprintf(stderr, "FAIL: table wedged after recovery\n");
+      ok = false;
+    }
+  }
+
+  const std::uint64_t shadow = state.shadow[0].load();
+  const std::uint64_t recoveries = state.recoveries[0].load();
+  std::uint64_t completed = 0;
+  std::printf("workers=%d iters=%d crash_at=%d\n", kWorkers, kIters,
+              kCrashAt);
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::uint64_t c = state.counts[w].load();
+    completed += c;
+    std::printf("  worker %d: %llu increments%s\n", w,
+                static_cast<unsigned long long>(c),
+                w == 0 ? " (crashed holding the lock)" : "");
+  }
+  std::printf("shadow counter=%llu recoveries=%llu\n",
+              static_cast<unsigned long long>(shadow),
+              static_cast<unsigned long long>(recoveries));
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kCrashAt) +
+      static_cast<std::uint64_t>(kWorkers - 1) * kIters;
+  if (shadow != completed) {
+    std::fprintf(stderr, "FAIL: shadow %llu != completed %llu "
+                         "(mutual exclusion violated)\n",
+                 static_cast<unsigned long long>(shadow),
+                 static_cast<unsigned long long>(completed));
+    ok = false;
+  }
+  if (shadow != expected) {
+    std::fprintf(stderr, "FAIL: shadow %llu != expected %llu "
+                         "(lost or duplicated increments)\n",
+                 static_cast<unsigned long long>(shadow),
+                 static_cast<unsigned long long>(expected));
+    ok = false;
+  }
+  if (recoveries == 0) {
+    std::fprintf(stderr, "FAIL: no survivor recovered the dead holder\n");
+    ok = false;
+  }
+
+  ShmNamedLockTable::unlink(lock_seg);
+  ShmArena::unlink(data_seg);
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -323,6 +323,120 @@ inline void jayanti_abandon_epochs(sched::ExecutionContext& ctx) {
   }
 }
 
+/// Crash-as-forced-abort: the model-checkable core of the aml::ipc
+/// owner-death recovery hand-off (see aml/ipc/shm_lock.hpp). A process
+/// cannot literally vanish mid-step under the gated scheduler, so the crash
+/// is modeled as what recovery makes of it: the victim stops taking steps
+/// while holding the CS (returns without exit) and a *recoverer executing
+/// under its own pid* finishes the passage by running the victim's exit —
+/// which is precisely what ShmStripeLock::recover does (the victim pid in
+/// the real protocol is only the journal being read; every memory operation
+/// is the recoverer's own step, so pid-gating is faithful).
+///
+/// Choreography: p0 acquires first (p2/p3 are gated behind a p0_holding
+/// word, p1 never enters, so p0 deterministically takes slot 0 and the
+/// pre-set go[0] grants immediately), runs its CS, then "crashes" — it
+/// publishes p0_holding and crashed and returns while still the holder. p1
+/// waits on crashed, force-exits the dead holder's passage, then raises
+/// p3's abort signal so the recovery hand-off races a live abort: p3's
+/// Remove can cross paths with the forced exit's FindNext exactly as
+/// Algorithm 3.3's responsibility rule anticipates. p2 runs a full passage
+/// behind the recovery. Failures: CS overlap, a lost wake-up after the
+/// forced exit (idle rescue), or any OneShot/Tree oracle violation.
+inline void ipc_crash_recovery(sched::ExecutionContext& ctx) {
+  using Model = model::CountingCcModel;
+  constexpr Pid kProcs = 4;
+  constexpr std::uint32_t kSlots = 3;
+  Model m(kProcs);
+  m.set_hook(&ctx.scheduler());
+  core::OneShotLock<Model> lock(m, kSlots, /*w=*/4, core::Find::kPlain);
+
+  OneShotOracle<core::OneShotLock<Model>> queue_oracle(lock);
+  TreeOracle<Model> tree_oracle(lock.tree());
+  OracleSet oracles;
+  oracles.watch(queue_oracle);
+  oracles.watch(tree_oracle);
+  oracles.install(ctx.scheduler());
+
+  model::Signal* sig0 = m.alloc_signal();
+  model::Signal* sig2 = m.alloc_signal();
+  model::Signal* sig3 = m.alloc_signal();  // raised by the recoverer (p1)
+
+  std::atomic<bool> rescued{false};
+  ctx.scheduler().set_idle_callback([&] {
+    if (rescued.load(std::memory_order_relaxed)) return false;
+    rescued.store(true, std::memory_order_relaxed);
+    sig0->flag.store(true, std::memory_order_seq_cst);
+    sig2->flag.store(true, std::memory_order_seq_cst);
+    sig3->flag.store(true, std::memory_order_seq_cst);
+    return true;
+  });
+
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+  Model::Word* scratch = m.alloc(1, 0);
+  Model::Word* p0_holding = m.alloc(1, 0);
+  Model::Word* crashed = m.alloc(1, 0);
+
+  auto cs = [&](Pid p) {
+    if (in_cs.fetch_add(1, std::memory_order_seq_cst) != 0) {
+      overlap.store(true, std::memory_order_seq_cst);
+    }
+    m.read(p, *scratch);  // hold the CS for one gated step
+    in_cs.fetch_sub(1, std::memory_order_seq_cst);
+  };
+
+  ctx.run([&](Pid p) {
+    switch (p) {
+      case 0: {  // the victim: acquires, then crashes while holding
+        const auto r = lock.enter(p, &sig0->flag);
+        AML_ASSERT(r.acquired, "slot 0 is pre-granted");
+        cs(p);  // leaves in_cs before "dying": a dead holder occupies no CS
+        m.write(p, *p0_holding, 1);
+        m.write(p, *crashed, 1);
+        return;  // no exit — the crash
+      }
+      case 1: {  // the recoverer: forced exit on the victim's behalf
+        m.wait(p, *crashed, [](std::uint64_t v) { return v != 0; }, nullptr);
+        lock.exit(p);  // ShmStripeLock::recover's kHolding arm
+        m.raise_signal(p, *sig3);
+        return;
+      }
+      case 2: {  // a survivor taking a full passage behind the recovery
+        m.wait(p, *p0_holding, [](std::uint64_t v) { return v != 0; },
+               nullptr);
+        const auto r = lock.enter(p, &sig2->flag);
+        if (r.acquired) {
+          cs(p);
+          lock.exit(p);
+        }
+        return;
+      }
+      case 3: {  // a survivor whose abort races the recovery hand-off
+        m.wait(p, *p0_holding, [](std::uint64_t v) { return v != 0; },
+               nullptr);
+        const auto r = lock.enter(p, &sig3->flag);
+        if (r.acquired) {
+          cs(p);
+          lock.exit(p);
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  });
+
+  if (overlap.load(std::memory_order_relaxed)) {
+    ctx.fail("mutual exclusion violated: two processes in the CS");
+  }
+  if (rescued.load(std::memory_order_relaxed)) {
+    ctx.fail(
+        "lost wake-up after the forced exit: a survivor was parked forever "
+        "and had to be rescued");
+  }
+}
+
 }  // namespace detail
 
 /// All registered workloads, by name.
@@ -355,6 +469,16 @@ inline const std::vector<WorkloadInfo>& workload_registry() {
           5,
           [](sched::ExecutionContext& ctx) {
             detail::jayanti_abandon_epochs(ctx);
+          },
+      },
+      {
+          "ipc-crash-recovery",
+          "crash-as-forced-abort: a holder dies in the CS and a recoverer "
+          "finishes its passage under its own pid while a survivor's abort "
+          "races the re-driven hand-off (the aml::ipc recovery core)",
+          4,
+          [](sched::ExecutionContext& ctx) {
+            detail::ipc_crash_recovery(ctx);
           },
       },
       {

@@ -165,6 +165,39 @@ class OneShotLock {
     return space_.peek(*go_[i]);
   }
 
+  // --- recovery surface (aml::ipc owner-death recovery) -----------------
+  //
+  // A crashed process cannot finish its own passage; a recoverer drives it
+  // through the same algorithm steps on the victim's behalf. These are the
+  // exact bodies of the corresponding algorithm fragments, exposed so the
+  // recoverer can resume from the phase the victim's journal recorded (see
+  // aml/ipc/shm_lock.hpp). `self` is the *recoverer's* pid — it is doing
+  // the memory operations.
+
+  /// Finish a grant the victim was signalled for but never acknowledged:
+  /// Algorithm 3.1 line 6. Idempotent — re-writing Head with the same slot
+  /// is harmless if the victim already wrote it.
+  void complete_grant(Pid self, std::uint32_t slot) {
+    space_.write(self, *head_, slot);
+    obs_.on_granted(self, slot);
+  }
+
+  /// Run the victim's abort (Algorithm 3.3) for a slot that was journalled
+  /// but never granted. Counted as an abort in the bound sink, which is how
+  /// recovered-as-aborted passages surface in aml::obs.
+  void abort_on_behalf(Pid self, std::uint32_t slot) {
+    abort_slot(self, slot);
+    obs_.on_abort(self, slot);
+  }
+
+  /// Re-drive the hand-off from a known head (Algorithm 3.4) when the victim
+  /// died mid-exit after writing LastExited: FindNext is idempotent (exit
+  /// does not remove the head from the tree, so a re-run finds the same
+  /// successor) and a duplicate go[j] <- 1 is absorbed.
+  void resignal_from(Pid self, std::uint32_t head) {
+    signal_next(self, head);
+  }
+
   /// Seed a protocol bug (tests only — see FaultInjection).
   void inject_faults(const FaultInjection& faults) { faults_ = faults; }
 

@@ -1,0 +1,108 @@
+// aml::ipc layout vocabulary: offset-addressed pointers and spans for
+// structures placed in a shared-memory arena.
+//
+// A shm segment maps at a different base address in every attached process,
+// so nothing stored *inside* the segment may be a raw pointer. Shm-placeable
+// structures instead store byte offsets relative to the arena base and
+// resolve them against the local mapping on use. offset_ptr<T> is a single
+// offset; offset_span<T> is an offset + element count (the flat-array shape
+// every paper structure has: all of them are O(N^2) words of arrays).
+//
+// Conventions, enforced by amlint rule R5 (tools/amlint.cpp) over
+// src/aml/ipc/:
+//
+//   * a struct whose instances live inside the arena is marked with
+//     AML_SHM_PLACEABLE(Type) right after its definition. The macro
+//     static_asserts standard layout and trivial destructibility (virtuals
+//     and owning members cannot survive a raw byte mapping);
+//   * marked structs hold only scalars, std::atomic words, offset_ptr /
+//     offset_span members — never raw pointers or references, which R5's
+//     token scan rejects between the AML_SHM_REGION_BEGIN/END markers.
+//
+// Offset 0 is the null offset: the arena superblock occupies the start of
+// the segment, so no allocated object ever resolves there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "aml/pal/config.hpp"
+
+namespace aml::ipc {
+
+/// Marks a type as placeable in the shm arena: standard layout (a fixed byte
+/// layout every process agrees on) and trivially destructible (nobody runs
+/// destructors on a segment; detach is munmap). Atomics are allowed — they
+/// are address-free on every supported ABI — which is why the check is not
+/// is_trivially_copyable (std::atomic deletes its copy constructor).
+#define AML_SHM_PLACEABLE(Type)                                            \
+  static_assert(std::is_standard_layout_v<Type>,                           \
+                #Type " must be standard layout to live in shared memory"); \
+  static_assert(std::is_trivially_destructible_v<Type>,                    \
+                #Type " must be trivially destructible (shm is munmap'd, " \
+                      "never destroyed)")
+
+/// Null offset sentinel (the superblock owns offset 0).
+inline constexpr std::uint64_t kNullOffset = 0;
+
+// AML_SHM_REGION_BEGIN — amlint R5 scans from here for raw pointers,
+// references and virtuals in shm-placeable struct definitions. (This header
+// defines the vocabulary itself, so the markers double as the canonical
+// example of the discipline.)
+
+/// A T* stored as a byte offset from the arena base.
+template <typename T>
+struct offset_ptr {
+  std::uint64_t off = kNullOffset;
+
+  bool null() const { return off == kNullOffset; }
+
+  /// Resolve against the local mapping base.
+  T* get(void* base) const {
+    if (null()) return nullptr;
+    return reinterpret_cast<T*>(static_cast<std::byte*>(base) + off);
+  }
+
+  T& at(void* base) const {
+    AML_DASSERT(!null(), "dereferencing a null offset_ptr");
+    return *get(base);
+  }
+
+  static offset_ptr from(const void* base, const T* p) {
+    offset_ptr r;
+    if (p != nullptr) {
+      r.off = static_cast<std::uint64_t>(
+          reinterpret_cast<const std::byte*>(p) -
+          static_cast<const std::byte*>(base));
+    }
+    return r;
+  }
+};
+
+/// A contiguous array of T stored as (offset, count).
+template <typename T>
+struct offset_span {
+  std::uint64_t off = kNullOffset;
+  std::uint64_t count = 0;
+
+  bool null() const { return off == kNullOffset; }
+  std::uint64_t size() const { return count; }
+
+  T* data(void* base) const {
+    if (null()) return nullptr;
+    return reinterpret_cast<T*>(static_cast<std::byte*>(base) + off);
+  }
+
+  T& at(void* base, std::uint64_t i) const {
+    AML_DASSERT(i < count, "offset_span index out of range");
+    return data(base)[i];
+  }
+};
+
+// AML_SHM_REGION_END
+
+AML_SHM_PLACEABLE(offset_ptr<std::uint64_t>);
+AML_SHM_PLACEABLE(offset_span<std::uint64_t>);
+
+}  // namespace aml::ipc

@@ -1,0 +1,189 @@
+// ProcessRegistry: leases the small dense pids the lock algorithms are
+// parameterized over to operating-system processes, robustly.
+//
+// The in-process table's ThreadRegistry can trust its leaseholders to call
+// release(); a process can be SIGKILLed holding a pid. Each slot therefore
+// carries the OS pid of its holder plus a heartbeat word, and survivors can
+// detect a dead holder (kill(pid, 0) == ESRCH, or a heartbeat that stopped)
+// and drive the recovery protocol (see shm_lock.hpp) before reclaiming the
+// slot.
+//
+// Lease word state machine (low 2 bits; the rest is a nonce bumped on every
+// transition out of kFree or kRecovering, so a recovery claim can never land
+// on a *re-leased* slot — classic ABA):
+//
+//     kFree --try_lease--> kLive --try_claim_recovery--> kRecovering
+//       ^                    |                                |
+//       |                  release                     finish_recovery
+//       +--------------------+------------<-- (or kZombie, terminal: the
+//                                              victim died in a window the
+//                                              journal cannot disambiguate;
+//                                              see ShmStripeLock::recover)
+//
+// Zero-filled shm pages decode as "all slots kFree", so the registry needs
+// no creator-side initialization at all.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "aml/ipc/shm_arena.hpp"
+#include "aml/model/types.hpp"
+#include "aml/pal/cache.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::ipc {
+
+// AML_SHM_REGION_BEGIN
+/// One registry slot. Padded so heartbeat stores by one process never
+/// false-share with another slot's lease CASes.
+struct alignas(pal::kCacheLine) ProcessSlot {
+  /// (nonce << 2) | state. Zero == (nonce 0, kFree).
+  std::atomic<std::uint64_t> lease;
+  /// OS pid of the leaseholder; 0 while the lease CAS has succeeded but the
+  /// holder has not yet published its pid (treated as alive).
+  std::atomic<std::uint64_t> os_pid;
+  /// Monotonic liveness counter; the holder bumps it from its hot path.
+  std::atomic<std::uint64_t> heartbeat;
+};
+// AML_SHM_REGION_END
+AML_SHM_PLACEABLE(ProcessSlot);
+
+class ProcessRegistry {
+ public:
+  enum State : std::uint64_t {
+    kFree = 0,
+    kLive = 1,
+    kRecovering = 2,
+    kZombie = 3,
+  };
+
+  static constexpr std::uint64_t kStateMask = 3;
+
+  /// Both roles replay the same allocation; zero pages are the valid initial
+  /// state, so neither role stores anything.
+  ProcessRegistry(ShmArena& arena, model::Pid nprocs)
+      : base_(arena.base()),
+        nprocs_(nprocs),
+        slots_(arena.alloc_array<ProcessSlot>(nprocs)) {}
+
+  ProcessRegistry(const ProcessRegistry&) = delete;
+  ProcessRegistry& operator=(const ProcessRegistry&) = delete;
+
+  model::Pid nprocs() const { return nprocs_; }
+
+  /// Lease the lowest free pid; returns nprocs() when full. Publishes the
+  /// caller's OS pid after winning the CAS (os_pid == 0 is the benign
+  /// "still initializing" window — dead() treats it as alive). On success
+  /// `*token` (if given) receives the lease word this holder installed; it
+  /// is the capability release() needs.
+  model::Pid try_lease(std::uint64_t* token = nullptr) {
+    for (model::Pid id = 0; id < nprocs_; ++id) {
+      std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+      if ((cur & kStateMask) != kFree) continue;
+      const std::uint64_t next = bump_nonce(cur) | kLive;
+      if (slots_[id].lease.compare_exchange_strong(
+              cur, next, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        slots_[id].os_pid.store(static_cast<std::uint64_t>(::getpid()),
+                                std::memory_order_release);
+        if (token != nullptr) *token = next;
+        return id;
+      }
+    }
+    return nprocs_;
+  }
+
+  /// Orderly release by the leaseholder itself. `token` is the lease word
+  /// try_lease installed: if a survivor has since declared this holder dead
+  /// (forged test pid, OS pid reuse) and recovered — or recovered *and*
+  /// re-leased — the slot, the nonce no longer matches and the release is a
+  /// no-op instead of clobbering the successor's lease.
+  void release(model::Pid id, std::uint64_t token) {
+    AML_ASSERT(id < nprocs_, "ProcessRegistry::release: bad pid");
+    std::uint64_t cur = token;
+    if (slots_[id].lease.compare_exchange_strong(cur, bump_nonce(cur) | kFree,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+      slots_[id].os_pid.store(0, std::memory_order_release);
+    }
+  }
+
+  /// Liveness pulse from the holder's hot path.
+  void beat(model::Pid id) {
+    slots_[id].heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t heartbeat(model::Pid id) const {
+    return slots_[id].heartbeat.load(std::memory_order_relaxed);
+  }
+
+  State state(model::Pid id) const {
+    return static_cast<State>(slots_[id].lease.load(
+                                  std::memory_order_acquire) &
+                              kStateMask);
+  }
+
+  std::uint64_t os_pid(model::Pid id) const {
+    return slots_[id].os_pid.load(std::memory_order_acquire);
+  }
+
+  /// True when the slot is held by a process that no longer exists: the
+  /// lease is live, the holder published a pid other than us, and the kernel
+  /// reports ESRCH for it. A holder that has not yet published (os_pid 0) is
+  /// alive by definition — it is mid-try_lease.
+  bool dead(model::Pid id) const {
+    if (state(id) != kLive) return false;
+    const std::uint64_t pid = os_pid(id);
+    if (pid == 0 || pid == static_cast<std::uint64_t>(::getpid())) {
+      return false;
+    }
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+  }
+
+  /// Claim a dead slot for recovery. Exactly one survivor wins: the CAS is
+  /// pinned to the observed nonce, so a concurrent release + re-lease (new
+  /// nonce) defeats a stale claim.
+  bool try_claim_recovery(model::Pid id) {
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    if ((cur & kStateMask) != kLive) return false;
+    return slots_[id].lease.compare_exchange_strong(
+        cur, (cur & ~kStateMask) | kRecovering, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+  }
+
+  /// Finish a recovery this process claimed: free the slot for re-lease, or
+  /// park it as a zombie when the victim died inside a window the passage
+  /// journal cannot disambiguate (the pid is retired; see docs/API.md).
+  void finish_recovery(model::Pid id, bool zombie) {
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    AML_ASSERT((cur & kStateMask) == kRecovering,
+               "finish_recovery: slot not claimed");
+    slots_[id].os_pid.store(0, std::memory_order_release);
+    slots_[id].lease.compare_exchange_strong(
+        cur, bump_nonce(cur) | (zombie ? kZombie : kFree),
+        std::memory_order_acq_rel, std::memory_order_relaxed);
+  }
+
+  /// Test hook: forge the published OS pid so owner death is simulable
+  /// without fork (use a pid above the kernel's pid_max, e.g. 0x7FFFFFFF,
+  /// for a guaranteed ESRCH).
+  void debug_set_os_pid(model::Pid id, std::uint64_t os_pid) {
+    slots_[id].os_pid.store(os_pid, std::memory_order_release);
+  }
+
+ private:
+  static std::uint64_t bump_nonce(std::uint64_t lease) {
+    return (lease & ~kStateMask) + (kStateMask + 1);
+  }
+
+  void* base_;
+  model::Pid nprocs_;
+  ProcessSlot* slots_;
+};
+
+}  // namespace aml::ipc

@@ -1,0 +1,643 @@
+// ShmStripeLock: the Section 6 long-lived transformation re-instantiated
+// over shared memory, with owner-death recovery.
+//
+// Structure mirrors core::LongLivedLock exactly — one packed LockDesc word,
+// N+1 recyclable one-shot instances over VersionedSpace, an announce-array
+// spin-node pool — but every word that was process-heap state now lives in
+// the ShmArena, and the per-process Local bookkeeping (held / old_spn /
+// current) moves into a shm PassageSlot so a *survivor* can finish a dead
+// process's passage.
+//
+// Recovery model (crash = forced abort, after Katzan & Morrison's
+// recoverable-abortable lock, arxiv.org/2011.07622): each process journals
+// its progress through a passage as a phase word plus an attempt word
+// (queue slot + instance index, written by the RecoverySink the moment the
+// one-shot doorway assigns them). A recoverer that has claimed the victim's
+// registry slot (see process_registry.hpp) reads the frozen journal and
+// resumes the passage at the recorded phase, running the *same algorithm
+// steps* the victim would have: abort_on_behalf for a waiting victim,
+// complete_grant + exit for a granted-but-dead one, exit for a dead CS
+// holder, resignal for a death mid-hand-off — then the ordinary Cleanup.
+// Every step it reuses is idempotent or exactly-once by phase, which is
+// what makes the replay safe; see docs/API.md for the full state machine.
+//
+// Two windows are not journalable and park the victim's pid as a zombie
+// (never re-leased, stripe possibly wedged if the victim held the last
+// refcnt): the instruction between the LockDesc F&A and the kJoined phase
+// store, and the start of Cleanup before its F&A(-1). Both are a few
+// instructions wide; closing them needs the recoverable F&A primitive of
+// the RME literature (PAPERS.md, arxiv.org/2011.07622) — v1 documents the
+// limitation instead.
+//
+// Memory visibility across processes: a victim writes its plain journal
+// fields (head_snap, current) before the seq_cst phase store that makes
+// them relevant, and the recoverer seq_cst-loads the phase before reading
+// them, so every journal read is ordered after the matching write. Only one
+// recoverer touches a stripe at a time (per-stripe recovery seqlock with
+// dead-holder takeover), and only after winning the victim's registry claim.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <sched.h>
+#include <signal.h>
+
+#include "aml/core/oneshot.hpp"
+#include "aml/core/versioned_space.hpp"
+#include "aml/ipc/shm_arena.hpp"
+#include "aml/ipc/shm_space.hpp"
+#include "aml/model/types.hpp"
+#include "aml/obs/metrics.hpp"
+#include "aml/pal/cache.hpp"
+#include "aml/pal/config.hpp"
+
+namespace aml::ipc {
+
+using model::Pid;
+
+/// Passage phases, in journal order. The victim stores each phase with
+/// seq_cst *before* taking the step the phase names, so a recoverer reading
+/// phase P knows every step before P completed and no step after P started
+/// (except the one in flight, which each recovery arm reasons about).
+enum Phase : std::uint64_t {
+  kIdle = 0,      ///< no passage in progress
+  kSpinWait = 1,  ///< maybe waiting on old_spn's node; LockDesc untouched
+  kPreJoin = 2,   ///< about to F&A LockDesc (+1) — unjournalable window
+  kJoined = 3,    ///< refcnt incremented; `current` names the instance
+  kDoorway = 4,   ///< inside one-shot enter; attempt word has the slot
+  kHolding = 5,   ///< in the critical section
+  kReleasing = 6, ///< inside one-shot exit; head_snap recorded
+  kCleanup = 7,   ///< about to F&A LockDesc (-1) — unjournalable window
+};
+
+/// Attempt-word packing: bit 0 = a doorway record exists, bit 1 = the grant
+/// was observed by the victim, bits [2, 34) = queue slot, bits [34, 50) =
+/// instance index.
+inline constexpr std::uint64_t kAttemptRecorded = 1;
+inline constexpr std::uint64_t kAttemptGranted = 2;
+
+inline constexpr std::uint64_t pack_attempt(std::uint32_t slot,
+                                            std::uint32_t instance) {
+  return kAttemptRecorded | (static_cast<std::uint64_t>(slot) << 2) |
+         (static_cast<std::uint64_t>(instance) << 34);
+}
+inline constexpr std::uint32_t attempt_slot(std::uint64_t a) {
+  return static_cast<std::uint32_t>((a >> 2) & 0xFFFF'FFFFull);
+}
+inline constexpr std::uint32_t attempt_instance(std::uint64_t a) {
+  return static_cast<std::uint32_t>((a >> 34) & 0xFFFFull);
+}
+
+// AML_SHM_REGION_BEGIN
+/// Per-pid passage journal + the long-lived lock's per-process locals,
+/// promoted to shm so recovery (and the pid's next leaseholder) can read
+/// them. One cache line per pid: the owner writes its own slot on its hot
+/// path; recoverers only read it after the owner is dead.
+struct alignas(pal::kCacheLine) PassageSlot {
+  std::atomic<std::uint64_t> phase;      ///< Phase, seq_cst journal order
+  std::atomic<std::uint64_t> attempt;    ///< packed attempt word
+  std::atomic<std::uint64_t> head_snap;  ///< head read at exit start
+  std::atomic<std::uint64_t> held;       ///< instance for the next switch
+  std::atomic<std::uint64_t> old_spn;    ///< spin node saved at last Cleanup
+  std::atomic<std::uint64_t> current;    ///< instance joined by this attempt
+};
+// AML_SHM_REGION_END
+AML_SHM_PLACEABLE(PassageSlot);
+
+/// The per-instance metrics sink: journals doorway slot assignment and grant
+/// acknowledgment into the passage slots (that is the recovery journal), and
+/// forwards every hook to an optional process-local obs::Metrics — which is
+/// how recovered passages (driven through the same hooks by the recoverer)
+/// show up in the ordinary observability counters.
+class RecoverySink {
+ public:
+  static constexpr bool kEnabled = true;
+
+  void configure(PassageSlot* slots, std::uint32_t instance) {
+    slots_ = slots;
+    instance_ = instance;
+  }
+  void forward_to(obs::Metrics* metrics) { metrics_ = metrics; }
+
+  void on_enter(Pid p, std::uint32_t slot) {
+    slots_[p].attempt.store(pack_attempt(slot, instance_),
+                            std::memory_order_seq_cst);
+    if (metrics_ != nullptr) metrics_->on_enter(p, slot);
+  }
+  void on_granted(Pid p, std::uint32_t slot) {
+    slots_[p].attempt.fetch_or(kAttemptGranted, std::memory_order_seq_cst);
+    if (metrics_ != nullptr) metrics_->on_granted(p, slot);
+  }
+  void on_abort(Pid p, std::uint32_t slot) {
+    if (metrics_ != nullptr) metrics_->on_abort(p, slot);
+  }
+  void on_exit(Pid p, std::uint32_t slot) {
+    if (metrics_ != nullptr) metrics_->on_exit(p, slot);
+  }
+  void on_switch(Pid p) {
+    if (metrics_ != nullptr) metrics_->on_switch(p);
+  }
+  void on_spin_iteration(Pid p) {
+    if (metrics_ != nullptr) metrics_->on_spin_iteration(p);
+  }
+  void on_findnext(Pid p) {
+    if (metrics_ != nullptr) metrics_->on_findnext(p);
+  }
+  void on_spin_node_recycle(Pid p, std::uint64_t nodes) {
+    if (metrics_ != nullptr) metrics_->on_spin_node_recycle(p, nodes);
+  }
+
+ private:
+  PassageSlot* slots_ = nullptr;
+  std::uint32_t instance_ = 0;
+  obs::Metrics* metrics_ = nullptr;
+};
+
+/// Spin-node pool with all of its state — go words, announce pins, and the
+/// free/issued marks — in shm. Unlike core::SpinNodePool there are no
+/// process-local free lists: allocation scans the owner's N+1 state marks
+/// (O(N), and only on an instance switch, which the transformation already
+/// charges O(N) work to), because the marks must survive the owner's death
+/// for the recoverer and for the pid's next leaseholder.
+class ShmSpinNodePool {
+ public:
+  using Word = ShmSpace::Word;
+
+  static constexpr std::uint64_t kNoPin = ~std::uint64_t{0};
+  static constexpr std::uint32_t kStateFree = 0;
+  static constexpr std::uint32_t kStateIssued = 1;
+
+  struct Node {
+    Word* go = nullptr;
+  };
+
+  ShmSpinNodePool(ShmSpace& space, Pid nprocs, std::uint32_t per_pool)
+      : space_(space), nprocs_(nprocs), per_pool_(per_pool) {
+    const std::size_t total = static_cast<std::size_t>(nprocs) * per_pool;
+    nodes_.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      nodes_.push_back(Node{space_.alloc(1, 0)});
+    }
+    announce_.reserve(nprocs);
+    for (Pid p = 0; p < nprocs; ++p) {
+      announce_.push_back(space_.alloc(1, kNoPin));
+    }
+    // Zero-filled pages decode as "all free", so the marks need no init.
+    states_ = space_.arena().alloc_array<std::atomic<std::uint32_t>>(total);
+  }
+
+  ShmSpinNodePool(const ShmSpinNodePool&) = delete;
+  ShmSpinNodePool& operator=(const ShmSpinNodePool&) = delete;
+
+  Node& node(std::uint32_t global_idx) { return nodes_[global_idx]; }
+  std::uint32_t per_pool() const { return per_pool_; }
+  std::size_t total_nodes() const { return nodes_.size(); }
+
+  /// Publish that `owner` holds `global_idx` as its oldSpn (see
+  /// core::SpinNodePool::publish_pin). `exec` performs the write — during
+  /// recovery it differs from `owner`, and the pin still lands in the
+  /// *owner's* announce word so it protects the pid's next leaseholder.
+  void publish_pin(Pid exec, Pid owner, std::uint32_t global_idx) {
+    space_.write(exec, *announce_[owner], global_idx);
+  }
+
+  void clear_pin(Pid exec, Pid owner) {
+    space_.write(exec, *announce_[owner], kNoPin);
+  }
+
+  /// Obtain a reusable node (go == 0) from `owner`'s pool. Serialized per
+  /// owner: the owner itself, or (after its death) the single recoverer
+  /// holding its registry claim.
+  std::uint32_t alloc(Pid exec, Pid owner) {
+    const std::uint32_t base = owner * per_pool_;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::uint32_t k = 0; k < per_pool_; ++k) {
+        if (states_[base + k].load(std::memory_order_acquire) == kStateFree) {
+          states_[base + k].store(kStateIssued, std::memory_order_release);
+          return base + k;
+        }
+      }
+      reclaim(exec, owner);
+    }
+    AML_ASSERT(false, "shm spin-node pool exhausted: invariant violated");
+    return 0;
+  }
+
+  /// Return a node that never became visible (install CAS lost).
+  void unalloc(Pid /*exec*/, Pid owner, std::uint32_t global_idx) {
+    AML_ASSERT(global_idx / per_pool_ == owner, "unalloc by non-owner");
+    states_[global_idx].store(kStateFree, std::memory_order_release);
+  }
+
+ private:
+  /// Same quiescence test as core::SpinNodePool::reclaim: a node is
+  /// reusable once retired (go == 1, set by the switch that replaced it)
+  /// and pinned by no announce entry.
+  void reclaim(Pid exec, Pid owner) {
+    const std::uint32_t base = owner * per_pool_;
+    std::vector<bool> pinned(per_pool_, false);
+    for (Pid p = 0; p < nprocs_; ++p) {
+      const std::uint64_t pin = space_.read(exec, *announce_[p]);
+      if (pin != kNoPin && pin / per_pool_ == static_cast<std::uint64_t>(
+                                                  owner)) {
+        pinned[pin % per_pool_] = true;
+      }
+    }
+    for (std::uint32_t k = 0; k < per_pool_; ++k) {
+      const std::uint32_t idx = base + k;
+      if (states_[idx].load(std::memory_order_acquire) != kStateIssued ||
+          pinned[k]) {
+        continue;
+      }
+      if (space_.read(exec, *nodes_[idx].go) != 1) continue;  // installed
+      space_.write(exec, *nodes_[idx].go, 0);
+      states_[idx].store(kStateFree, std::memory_order_release);
+    }
+  }
+
+  ShmSpace& space_;
+  Pid nprocs_;
+  std::uint32_t per_pool_;
+  std::vector<Node> nodes_;
+  std::vector<Word*> announce_;
+  std::atomic<std::uint32_t>* states_ = nullptr;  ///< shm, survives owners
+};
+
+/// What a recovery pass did with a victim's passage on one stripe.
+enum class RecoveryAction : std::uint8_t {
+  kNone,         ///< victim was idle / pre-doorway here: nothing to repair
+  kForcedAbort,  ///< waiting victim driven through the abort path
+  kForcedExit,   ///< granted/holding victim's CS force-exited + cleaned up
+  kResignalled,  ///< death mid-exit: hand-off re-driven from head_snap
+  kZombie,       ///< death in an unjournalable window; pid retired
+};
+
+template <typename Metrics = obs::NullMetrics>
+class ShmStripeLockT {
+ public:
+  using Space = core::VersionedSpace<ShmSpace>;
+  using OneShot = core::OneShotLock<Space, RecoverySink>;
+
+  struct Config {
+    Pid nprocs = 2;
+    std::uint32_t w = 64;
+    core::Find find = core::Find::kAdaptive;
+  };
+
+  /// Both roles run the identical construction (deterministic replay); only
+  /// the creator's word allocations store initial values, and only the
+  /// creator touches non-arena shm state (spin-node marks, PassageSlots).
+  ShmStripeLockT(ShmSpace& space, Config config)
+      : space_(space),
+        config_(config),
+        pool_(space, config.nprocs, config.nprocs + 1) {
+    AML_ASSERT(config.nprocs >= 1 && config.nprocs <= kMaxProcs,
+               "nprocs out of range for LockDesc packing");
+    slots_ = space_.arena().alloc_array<PassageSlot>(config.nprocs);
+    if (space_.arena().creating()) {
+      for (Pid p = 0; p < config.nprocs; ++p) {
+        slots_[p].phase.store(kIdle, std::memory_order_relaxed);
+        slots_[p].attempt.store(0, std::memory_order_relaxed);
+        slots_[p].head_snap.store(0, std::memory_order_relaxed);
+        slots_[p].held.store(p + 1, std::memory_order_relaxed);
+        slots_[p].old_spn.store(kNoSpn, std::memory_order_relaxed);
+        slots_[p].current.store(0, std::memory_order_relaxed);
+      }
+    }
+    instances_.reserve(config.nprocs + 1);
+    for (Pid i = 0; i <= config.nprocs; ++i) {
+      instances_.push_back(std::make_unique<Instance>(space_, config_));
+      instances_.back()->sink.configure(slots_,
+                                        static_cast<std::uint32_t>(i));
+      instances_.back()->lock.set_metrics(&instances_.back()->sink);
+    }
+    // The bootstrap node issue mutates only the (idempotent-from-zero)
+    // shm state marks, never the arena cursor, so the attacher skipping it
+    // keeps the replay aligned; node 0 of owner 0 is the deterministic pick
+    // either way.
+    std::uint32_t spn0 = 0;
+    if (space_.arena().creating()) spn0 = pool_.alloc(0, 0);
+    lock_desc_ = space_.alloc(1, pack(0, spn0, 0));
+    recovery_ = space_.alloc(1, 0);
+  }
+
+  ShmStripeLockT(const ShmStripeLockT&) = delete;
+  ShmStripeLockT& operator=(const ShmStripeLockT&) = delete;
+
+  /// Bind the process-local observability sink all instances forward to.
+  void set_metrics(Metrics* sink) {
+    if constexpr (Metrics::kEnabled) {
+      metrics_ = sink;
+      for (auto& inst : instances_) inst->sink.forward_to(sink);
+    }
+  }
+
+  // --- the long-lived algorithm, journaled (Algorithms 6.1-6.3) ----------
+
+  core::EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
+    PassageSlot& my = slots_[self];
+    my.attempt.store(0, std::memory_order_seq_cst);
+    my.phase.store(kSpinWait, std::memory_order_seq_cst);
+    const Packed desc = unpack(space_.read(self, *lock_desc_));
+    if (desc.spn == my.old_spn.load(std::memory_order_seq_cst)) {
+      auto outcome = space_.wait(
+          self, *pool_.node(desc.spn).go,
+          [this, self](std::uint64_t v) {
+            if constexpr (Metrics::kEnabled) {
+              if (metrics_ != nullptr) metrics_->on_spin_iteration(self);
+            }
+            return v != 0;
+          },
+          abort_signal);
+      if (outcome.stopped) {
+        my.phase.store(kIdle, std::memory_order_seq_cst);
+        if constexpr (Metrics::kEnabled) {
+          if (metrics_ != nullptr) metrics_->on_abort(self, core::kNoSlot);
+        }
+        return {false, core::kNoSlot};
+      }
+    }
+    my.phase.store(kPreJoin, std::memory_order_seq_cst);
+    const Packed joined = unpack(space_.faa(self, *lock_desc_, 1));
+    AML_DASSERT(joined.refcnt < config_.nprocs, "Refcnt overflow");
+    my.current.store(joined.lock, std::memory_order_seq_cst);
+    my.phase.store(kJoined, std::memory_order_seq_cst);
+    Instance& inst = *instances_[joined.lock];
+    inst.space.begin_session(self);
+    my.phase.store(kDoorway, std::memory_order_seq_cst);
+    const core::EnterResult result = inst.lock.enter(self, abort_signal);
+    if (!result.acquired) {
+      my.phase.store(kCleanup, std::memory_order_seq_cst);
+      cleanup_impl(self, self);
+      my.attempt.store(0, std::memory_order_seq_cst);
+      my.phase.store(kIdle, std::memory_order_seq_cst);
+      return result;
+    }
+    my.phase.store(kHolding, std::memory_order_seq_cst);
+    return result;
+  }
+
+  void exit(Pid self) {
+    PassageSlot& my = slots_[self];
+    const Packed desc = unpack(space_.read(self, *lock_desc_));
+    AML_DASSERT(desc.lock == my.current.load(std::memory_order_seq_cst),
+                "installed instance changed under the CS holder (Claim 24)");
+    Instance& inst = *instances_[desc.lock];
+    my.head_snap.store(inst.lock.peek_head(self), std::memory_order_seq_cst);
+    my.phase.store(kReleasing, std::memory_order_seq_cst);
+    inst.lock.exit(self);
+    my.phase.store(kCleanup, std::memory_order_seq_cst);
+    cleanup_impl(self, self);
+    my.attempt.store(0, std::memory_order_seq_cst);
+    my.phase.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  // --- recovery ----------------------------------------------------------
+
+  /// Repair `victim`'s passage on this stripe, executing as `exec` (the
+  /// recoverer's leased pid — all memory operations are its own steps; the
+  /// victim pid is only the journal being read). Caller must hold the
+  /// victim's registry recovery claim; this takes the per-stripe recovery
+  /// seqlock around the repair. Returns what was done; kZombie means the
+  /// victim died in an unjournalable window and its pid must be retired.
+  RecoveryAction recover(Pid exec, Pid victim, std::uint64_t exec_os_pid) {
+    lock_recovery(exec, exec_os_pid);
+    const RecoveryAction action = recover_locked(exec, victim);
+    unlock_recovery(exec);
+    return action;
+  }
+
+  // --- introspection -----------------------------------------------------
+
+  std::uint64_t peek_refcnt(Pid self) {
+    return unpack(space_.read(self, *lock_desc_)).refcnt;
+  }
+  std::uint32_t peek_installed(Pid self) {
+    return unpack(space_.read(self, *lock_desc_)).lock;
+  }
+  Phase peek_phase(Pid p) const {
+    return static_cast<Phase>(slots_[p].phase.load(std::memory_order_seq_cst));
+  }
+  /// Completed recovery passes on this stripe (seqlock sequence number).
+  std::uint64_t recovery_epoch(Pid self) {
+    return space_.read(self, *recovery_) >> 32;
+  }
+  const Config& config() const { return config_; }
+
+ private:
+  static constexpr std::uint32_t kRefBits = 16;
+  static constexpr std::uint32_t kSpnBits = 32;
+  static constexpr Pid kMaxProcs = (1u << kRefBits) - 2;
+  static constexpr std::uint32_t kNoSpn = ~std::uint32_t{0};
+
+  struct Packed {
+    std::uint32_t lock;
+    std::uint32_t spn;
+    std::uint32_t refcnt;
+  };
+
+  static std::uint64_t pack(std::uint32_t lock, std::uint32_t spn,
+                            std::uint32_t refcnt) {
+    return (static_cast<std::uint64_t>(lock) << (kRefBits + kSpnBits)) |
+           (static_cast<std::uint64_t>(spn) << kRefBits) | refcnt;
+  }
+  static Packed unpack(std::uint64_t raw) {
+    Packed packed;
+    packed.refcnt = static_cast<std::uint32_t>(raw & ((1u << kRefBits) - 1));
+    packed.spn = static_cast<std::uint32_t>((raw >> kRefBits) &
+                                            ((1ull << kSpnBits) - 1));
+    packed.lock = static_cast<std::uint32_t>(raw >> (kRefBits + kSpnBits));
+    return packed;
+  }
+
+  /// One recyclable one-shot instance (see core::LongLivedLock::Instance)
+  /// plus its journaling sink. The VersionedSpace's session/cursor caches
+  /// are process-local; each attached process holds its own replica resolved
+  /// against the same shm words. (The cursor divergence this allows in the
+  /// eager-reset rotation is benign: at W = 64 the wraparound quota is one
+  /// word per reuse and the period is 2^63 reuses.)
+  struct Instance {
+    Space space;
+    OneShot lock;
+    RecoverySink sink;
+
+    Instance(ShmSpace& shm, const Config& config)
+        : space(shm, config.nprocs, config.w),
+          lock(space, config.nprocs, config.w, config.find) {}
+  };
+
+  /// Algorithm 6.3, executable by a proxy: `exec` performs the steps,
+  /// `owner` is whose passage is being cleaned up (its PassageSlot carries
+  /// held/old_spn, its announce word takes the pin, its pool supplies the
+  /// switch node). For a live process exec == owner.
+  void cleanup_impl(Pid exec, Pid owner) {
+    PassageSlot& own = slots_[owner];
+    const Packed pinned = unpack(space_.read(exec, *lock_desc_));
+    pool_.publish_pin(exec, owner, pinned.spn);
+    const Packed prev =
+        unpack(space_.faa(exec, *lock_desc_, ~std::uint64_t{0}));
+    AML_DASSERT(prev.spn == pinned.spn,
+                "LockDesc.Spn changed while our Refcnt hold was in force");
+    own.old_spn.store(prev.spn, std::memory_order_seq_cst);
+    if (prev.refcnt != 1) return;
+    const std::uint32_t new_lock = static_cast<std::uint32_t>(
+        own.held.load(std::memory_order_seq_cst));
+    instances_[new_lock]->space.next_incarnation(exec);
+    const std::uint32_t new_spn = pool_.alloc(exec, owner);
+    const std::uint64_t expected = pack(prev.lock, prev.spn, 0);
+    const std::uint64_t desired = pack(new_lock, new_spn, 0);
+    if (space_.cas(exec, *lock_desc_, expected, desired)) {
+      if constexpr (Metrics::kEnabled) {
+        if (metrics_ != nullptr) metrics_->on_switch(exec);
+      }
+      space_.write(exec, *pool_.node(prev.spn).go, 1);
+      own.held.store(prev.lock, std::memory_order_seq_cst);
+    } else {
+      pool_.unalloc(exec, owner, new_spn);
+    }
+  }
+
+  RecoveryAction recover_locked(Pid exec, Pid victim) {
+    PassageSlot& v = slots_[victim];
+    const std::uint64_t phase = v.phase.load(std::memory_order_seq_cst);
+    const std::uint64_t att = v.attempt.load(std::memory_order_seq_cst);
+    switch (phase) {
+      case kIdle:
+      case kSpinWait:
+        // No shared footprint: LockDesc untouched, no queue slot. The pid
+        // can be re-leased as-is (its held/old_spn locals stay valid).
+        finish_slot(v);
+        return RecoveryAction::kNone;
+      case kPreJoin:
+      case kCleanup:
+        // Died around a LockDesc F&A whose execution the journal cannot
+        // confirm or deny; repairing either way risks a refcnt off-by-one.
+        return RecoveryAction::kZombie;
+      case kJoined: {
+        // Refcnt is incremented but no doorway F&A happened: the passage
+        // has no queue presence, so the repair is exactly one Cleanup.
+        recovered_cleanup(exec, victim);
+        finish_slot(v);
+        return RecoveryAction::kForcedAbort;
+      }
+      case kDoorway: {
+        if ((att & kAttemptRecorded) == 0) {
+          // In the one-shot doorway but the tail F&A may or may not have
+          // run (the sink journals immediately after it).
+          return RecoveryAction::kZombie;
+        }
+        const std::uint32_t slot = attempt_slot(att);
+        Instance& inst = *instances_[attempt_instance(att)];
+        inst.space.begin_session(exec);
+        // Granted if the victim acknowledged it, or if the signal already
+        // landed in go[slot] (a signal racing the crash: the grant stands,
+        // so the passage must be exited, not aborted — aborting would strand
+        // the hand-off).
+        const bool granted = (att & kAttemptGranted) != 0 ||
+                             inst.lock.peek_go(exec, slot) != 0;
+        if (granted) {
+          inst.lock.complete_grant(exec, slot);
+          inst.lock.exit(exec);
+          recovered_cleanup(exec, victim);
+          finish_slot(v);
+          return RecoveryAction::kForcedExit;
+        }
+        inst.lock.abort_on_behalf(exec, slot);
+        recovered_cleanup(exec, victim);
+        finish_slot(v);
+        return RecoveryAction::kForcedAbort;
+      }
+      case kHolding: {
+        Instance& inst = *instances_[attempt_instance(att)];
+        inst.space.begin_session(exec);
+        inst.lock.exit(exec);
+        recovered_cleanup(exec, victim);
+        finish_slot(v);
+        return RecoveryAction::kForcedExit;
+      }
+      case kReleasing: {
+        Instance& inst = *instances_[attempt_instance(att)];
+        inst.space.begin_session(exec);
+        const std::uint64_t head_snap =
+            v.head_snap.load(std::memory_order_seq_cst);
+        RecoveryAction action;
+        if (inst.lock.peek_last_exited(exec) != head_snap) {
+          // Died before LastExited was written: redo the whole exit.
+          inst.lock.exit(exec);
+          action = RecoveryAction::kForcedExit;
+        } else {
+          // LastExited written; the SignalNext may or may not have run.
+          // FindNext from the same head re-finds the same successor (exit
+          // never removes the head from the tree) and a duplicate go write
+          // is absorbed, so re-driving it is safe either way.
+          inst.lock.resignal_from(exec, static_cast<std::uint32_t>(head_snap));
+          action = RecoveryAction::kResignalled;
+        }
+        recovered_cleanup(exec, victim);
+        finish_slot(v);
+        return action;
+      }
+      default:
+        AML_ASSERT(false, "corrupt phase word in recovery");
+        return RecoveryAction::kZombie;
+    }
+  }
+
+  void recovered_cleanup(Pid exec, Pid victim) {
+    slots_[victim].phase.store(kCleanup, std::memory_order_seq_cst);
+    cleanup_impl(exec, victim);
+  }
+
+  static void finish_slot(PassageSlot& v) {
+    v.attempt.store(0, std::memory_order_seq_cst);
+    v.phase.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  // Per-stripe recovery seqlock: (sequence << 32) | holder_os_pid, free
+  // when the low half is 0. A claimant CASes its OS pid in; if the recorded
+  // holder is itself dead (ESRCH), the claim is taken over under the same
+  // sequence — a crashed *recoverer* must not wedge the stripe forever.
+  void lock_recovery(Pid exec, std::uint64_t exec_os_pid) {
+    for (;;) {
+      const std::uint64_t cur = space_.read(exec, *recovery_);
+      const std::uint64_t holder = cur & 0xFFFF'FFFFull;
+      if (holder == 0) {
+        if (space_.cas(exec, *recovery_, cur,
+                       (cur & ~0xFFFF'FFFFull) | exec_os_pid)) {
+          return;
+        }
+        continue;
+      }
+      if (::kill(static_cast<pid_t>(holder), 0) == -1 && errno == ESRCH) {
+        if (space_.cas(exec, *recovery_, cur,
+                       (cur & ~0xFFFF'FFFFull) | exec_os_pid)) {
+          return;
+        }
+        continue;
+      }
+      ::sched_yield();
+    }
+  }
+
+  void unlock_recovery(Pid exec) {
+    const std::uint64_t cur = space_.read(exec, *recovery_);
+    space_.write(exec, *recovery_, ((cur >> 32) + 1) << 32);
+  }
+
+  ShmSpace& space_;
+  Config config_;
+  ShmSpinNodePool pool_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  PassageSlot* slots_ = nullptr;        ///< shm, one per pid
+  ShmSpace::Word* lock_desc_ = nullptr;
+  ShmSpace::Word* recovery_ = nullptr;  ///< per-stripe recovery seqlock
+  Metrics* metrics_ = nullptr;
+};
+
+using ShmStripeLock = ShmStripeLockT<obs::Metrics>;
+
+}  // namespace aml::ipc

@@ -1,0 +1,427 @@
+// ShmNamedLockTable: the cross-process named-lock service — the table
+// facade over shm-resident ShmStripeLock stripes, a ProcessRegistry for
+// robust pid leasing, and the owner-death recovery sweep.
+//
+// Deployment shape: one process calls create(name, cfg), the others call
+// attach(name, cfg) with the *same* configuration (enforced by the config
+// hash in the arena superblock). Every attached process replays the
+// identical construction sequence against the segment, so its process-local
+// replica objects resolve to the same shm words (see shm_arena.hpp).
+//
+// Sessions lease a dense pid from the shm ProcessRegistry (so ids are
+// unique across all attached processes), and every acquisition pulses the
+// slot's heartbeat. When a process dies holding locks, any survivor's
+// recover_dead() finds the stale slots (ESRCH on the published OS pid),
+// claims them, and drives each victim passage through the abort/exit path
+// on every stripe (see shm_lock.hpp), then frees — or, for deaths inside an
+// unjournalable window, retires — the pid.
+//
+// v1 scope (documented limitations, not accidents):
+//   * single-key operations only — the multi-process multi-key transaction
+//     needs a cross-process acquisition journal per (stripe, pid) to make
+//     partial-acquisition crashes recoverable, which is follow-up work;
+//   * the stripe count is fixed at creation — the in-process table's
+//     auto-grow reallocates stripe arrays, which a sealed bump arena cannot
+//     express;
+//   * deadlines/abort signals are process-local (a TimerWheel in each
+//     process); recovery cancels the local deadlines of a locally-leased
+//     dead pid so its tokens cannot fire into the next leaseholder.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "aml/core/abortable_lock.hpp"
+#include "aml/core/adapters.hpp"
+#include "aml/ipc/process_registry.hpp"
+#include "aml/ipc/shm_arena.hpp"
+#include "aml/ipc/shm_lock.hpp"
+#include "aml/ipc/shm_space.hpp"
+#include "aml/obs/metrics.hpp"
+#include "aml/pal/config.hpp"
+#include "aml/table/hash.hpp"
+
+namespace aml::ipc {
+
+struct ShmTableConfig {
+  Pid nprocs = 8;             ///< dense pids shared across all processes
+  std::uint32_t stripes = 8;  ///< must be a power of two; fixed for life
+  std::uint32_t tree_width = 64;
+  core::Find find = core::Find::kAdaptive;
+  /// Segment size; 0 derives a generous bound from nprocs/stripes. Shm
+  /// objects are sparse (pages commit on first touch), so over-provisioning
+  /// costs address space, not memory; the arena's exhaustion assert is the
+  /// backstop if a future layout outgrows the estimate.
+  std::uint64_t segment_bytes = 0;
+};
+
+/// Everything the layout depends on, mixed into the superblock hash so a
+/// mis-configured attacher is rejected instead of replaying a different
+/// construction into live state.
+inline std::uint64_t shm_config_hash(const ShmTableConfig& cfg) {
+  std::uint64_t h = table::fmix64(ShmArena::kAbiVersion);
+  h = table::fmix64(h ^ cfg.nprocs);
+  h = table::fmix64(h ^ cfg.stripes);
+  h = table::fmix64(h ^ cfg.tree_width);
+  h = table::fmix64(h ^ static_cast<std::uint64_t>(cfg.find));
+  return h;
+}
+
+/// Recovery accounting (process-local: what *this* process's sweeps did).
+struct RecoveryStats {
+  std::uint64_t sweeps = 0;          ///< recover_dead() calls
+  std::uint64_t recovered_pids = 0;  ///< dead pids this process repaired
+  std::uint64_t forced_aborts = 0;   ///< waiting victims driven to abort
+  std::uint64_t forced_exits = 0;    ///< holding victims driven to exit
+  std::uint64_t resignals = 0;       ///< mid-exit hand-offs re-driven
+  std::uint64_t zombie_pids = 0;     ///< pids retired (unjournalable window)
+  std::uint64_t cancelled_deadlines = 0;  ///< victim timers disarmed locally
+};
+
+class ShmNamedLockTable {
+ public:
+  using Clock = TimerWheel::Clock;
+  using Stripe = ShmStripeLockT<obs::Metrics>;
+
+  /// Create the segment and construct the service in it. Fails (nullptr +
+  /// error) if the name exists — unlink() stale segments first.
+  static std::unique_ptr<ShmNamedLockTable> create(const std::string& name,
+                                                   const ShmTableConfig& cfg,
+                                                   std::string* error) {
+    if (!validate(cfg, error)) return nullptr;
+    auto arena = ShmArena::create(name, segment_bytes(cfg),
+                                  shm_config_hash(cfg), error);
+    if (arena == nullptr) return nullptr;
+    auto table = std::unique_ptr<ShmNamedLockTable>(
+        new ShmNamedLockTable(std::move(arena), cfg));
+    table->arena_->seal();
+    return table;
+  }
+
+  /// Attach to an existing segment created with an identical configuration.
+  static std::unique_ptr<ShmNamedLockTable> attach(
+      const std::string& name, const ShmTableConfig& cfg, std::string* error,
+      std::chrono::milliseconds timeout = std::chrono::seconds(10)) {
+    if (!validate(cfg, error)) return nullptr;
+    auto arena =
+        ShmArena::attach(name, shm_config_hash(cfg), error, timeout);
+    if (arena == nullptr) return nullptr;
+    auto table = std::unique_ptr<ShmNamedLockTable>(
+        new ShmNamedLockTable(std::move(arena), cfg));
+    if (!table->arena_->verify_replay(error)) return nullptr;
+    return table;
+  }
+
+  static void unlink(const std::string& name) { ShmArena::unlink(name); }
+
+  class Session;
+  class Guard;
+
+  /// Lease a dense pid for this process. Empty when all nprocs pids are
+  /// live (or retired as zombies) — recover_dead() from any live session
+  /// frees slots of dead holders.
+  std::optional<Session> open_session() {
+    std::uint64_t token = 0;
+    const Pid id = registry_.try_lease(&token);
+    if (id >= config_.nprocs) return std::nullopt;
+    signals_[id].reset();
+    return Session(*this, id, token);
+  }
+
+  // --- recovery ----------------------------------------------------------
+
+  /// Sweep the registry for dead leaseholders and repair their passages,
+  /// executing as `exec` (a live leased pid of this process; its per-stripe
+  /// session caches are reused, so the caller must hold no guards). Returns
+  /// the number of dead pids repaired. Safe to call from multiple survivors
+  /// concurrently: the registry claim elects one recoverer per victim and
+  /// the per-stripe seqlock serializes the stripe repairs.
+  std::uint32_t recover_dead(Pid exec) {
+    stats_.sweeps++;
+    std::uint32_t recovered = 0;
+    const std::uint64_t self_os = static_cast<std::uint64_t>(::getpid());
+    for (Pid victim = 0; victim < config_.nprocs; ++victim) {
+      if (victim == exec || !registry_.dead(victim)) continue;
+      if (!registry_.try_claim_recovery(victim)) continue;
+      bool zombie = false;
+      for (auto& stripe : stripes_) {
+        switch (stripe->recover(exec, victim, self_os)) {
+          case RecoveryAction::kNone:
+            break;
+          case RecoveryAction::kForcedAbort:
+            stats_.forced_aborts++;
+            break;
+          case RecoveryAction::kForcedExit:
+            stats_.forced_exits++;
+            break;
+          case RecoveryAction::kResignalled:
+            stats_.resignals++;
+            break;
+          case RecoveryAction::kZombie:
+            zombie = true;
+            break;
+        }
+      }
+      cancel_deadlines(victim);
+      registry_.finish_recovery(victim, zombie);
+      if (zombie) {
+        stats_.zombie_pids++;
+      } else {
+        stats_.recovered_pids++;
+        recovered++;
+      }
+    }
+    return recovered;
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  const ShmTableConfig& config() const { return config_; }
+  std::uint32_t stripe_count() const {
+    return static_cast<std::uint32_t>(stripes_.size());
+  }
+  std::uint32_t stripe_of(std::uint64_t key) const {
+    return static_cast<std::uint32_t>(table::key_hash(key)) &
+           (stripe_count() - 1);
+  }
+  std::uint32_t stripe_of(std::string_view key) const {
+    return static_cast<std::uint32_t>(table::key_hash(key)) &
+           (stripe_count() - 1);
+  }
+  Stripe& stripe(std::uint32_t s) { return *stripes_[s]; }
+  ProcessRegistry& registry() { return registry_; }
+  ShmArena& arena() { return *arena_; }
+  /// Process-local observability: normal *and* recovered passages land here
+  /// (the recoverer's forced aborts/exits flow through the same sink hooks).
+  obs::Metrics& metrics() { return metrics_; }
+  const RecoveryStats& recovery_stats() const { return stats_; }
+  std::size_t pending_deadlines() const { return wheel_.pending(); }
+
+  // --- test hooks ---------------------------------------------------------
+
+  /// Arm a deadline on `id`'s signal without entering a lock (the
+  /// dead-session deadline-cancellation test pairs this with
+  /// registry().debug_set_os_pid + recover_dead).
+  TimerWheel::Token debug_arm(Pid id, Clock::time_point when) {
+    const TimerWheel::Token token = wheel_.arm(signals_[id], when);
+    std::lock_guard<std::mutex> lk(armed_mu_);
+    armed_[id].push_back(token);
+    return token;
+  }
+
+  /// A session: a registry pid lease bound to this process. Move-only.
+  class Session {
+   public:
+    Session(Session&& o) noexcept
+        : owner_(std::exchange(o.owner_, nullptr)), id_(o.id_),
+          token_(o.token_) {}
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    Session& operator=(Session&&) = delete;
+    ~Session() { close(); }
+
+    Pid id() const { return id_; }
+
+    /// No-op if a survivor recovered this lease out from under us (the
+    /// registry release is token-checked).
+    void close() {
+      if (owner_ != nullptr) {
+        owner_->registry_.release(id_, token_);
+        owner_ = nullptr;
+      }
+    }
+
+    /// Blocking acquisition (starvation-free; unabortable).
+    template <typename Key>
+    Guard acquire(Key key) {
+      const std::uint32_t s = owner_->stripe_of(key);
+      owner_->registry_.beat(id_);
+      const core::EnterResult r =
+          owner_->stripes_[s]->enter(id_, nullptr);
+      AML_ASSERT(r.acquired, "unsignalled enter cannot abort");
+      return Guard(*owner_, id_, s);
+    }
+
+    /// Deadline-bounded acquisition: empty optional iff the deadline passed
+    /// first (the lock's bounded abort bounds the overshoot).
+    template <typename Key>
+    std::optional<Guard> try_acquire_until(Key key, Clock::time_point when) {
+      const std::uint32_t s = owner_->stripe_of(key);
+      owner_->registry_.beat(id_);
+      if (!owner_->timed_enter(id_, s, when)) return std::nullopt;
+      return Guard(*owner_, id_, s);
+    }
+
+    template <typename Key, typename Rep, typename Period>
+    std::optional<Guard> try_acquire_for(
+        Key key, std::chrono::duration<Rep, Period> budget) {
+      return try_acquire_until(key, Clock::now() + budget);
+    }
+
+    /// Abortable acquisition with a caller-managed signal.
+    template <typename Key>
+    std::optional<Guard> try_acquire(Key key, const AbortSignal& signal) {
+      const std::uint32_t s = owner_->stripe_of(key);
+      owner_->registry_.beat(id_);
+      if (!owner_->stripes_[s]->enter(id_, signal.flag()).acquired) {
+        return std::nullopt;
+      }
+      return Guard(*owner_, id_, s);
+    }
+
+    /// Sweep for dead processes (see ShmNamedLockTable::recover_dead).
+    /// Must not be called while this session holds a guard.
+    std::uint32_t recover_dead() { return owner_->recover_dead(id_); }
+
+   private:
+    friend class ShmNamedLockTable;
+    Session(ShmNamedLockTable& owner, Pid id, std::uint64_t token)
+        : owner_(&owner), id_(id), token_(token) {}
+
+    ShmNamedLockTable* owner_;
+    Pid id_;
+    std::uint64_t token_;  ///< lease word for token-checked release
+  };
+
+  /// RAII holder of one key's stripe.
+  class Guard {
+   public:
+    Guard(Guard&& o) noexcept
+        : owner_(std::exchange(o.owner_, nullptr)), pid_(o.pid_),
+          stripe_(o.stripe_) {}
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard() { release(); }
+
+    std::uint32_t stripe() const { return stripe_; }
+
+    void release() {
+      if (owner_ != nullptr) {
+        owner_->registry_.beat(pid_);
+        owner_->stripes_[stripe_]->exit(pid_);
+        owner_ = nullptr;
+      }
+    }
+
+   private:
+    friend class Session;
+    Guard(ShmNamedLockTable& owner, Pid pid, std::uint32_t stripe)
+        : owner_(&owner), pid_(pid), stripe_(stripe) {}
+
+    ShmNamedLockTable* owner_;
+    Pid pid_;
+    std::uint32_t stripe_;
+  };
+
+ private:
+  friend class Session;
+
+  /// Construction replayed identically by both roles: registry first, then
+  /// the stripes in index order.
+  ShmNamedLockTable(std::unique_ptr<ShmArena> arena, ShmTableConfig cfg)
+      : config_(cfg),
+        arena_(std::move(arena)),
+        space_(*arena_, cfg.nprocs),
+        registry_(*arena_, cfg.nprocs),
+        metrics_(cfg.nprocs),
+        signals_(cfg.nprocs),
+        armed_(cfg.nprocs) {
+    stripes_.reserve(cfg.stripes);
+    for (std::uint32_t s = 0; s < cfg.stripes; ++s) {
+      stripes_.push_back(std::make_unique<Stripe>(
+          space_, typename Stripe::Config{.nprocs = cfg.nprocs,
+                                          .w = cfg.tree_width,
+                                          .find = cfg.find}));
+      stripes_.back()->set_metrics(&metrics_);
+    }
+  }
+
+  static bool validate(const ShmTableConfig& cfg, std::string* error) {
+    if (cfg.nprocs < 1 || cfg.stripes < 1 ||
+        (cfg.stripes & (cfg.stripes - 1)) != 0) {
+      if (error != nullptr) {
+        *error = "invalid config: nprocs >= 1 and stripes a power of two";
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Generous closed-form segment bound; see ShmTableConfig::segment_bytes.
+  static std::uint64_t segment_bytes(const ShmTableConfig& cfg) {
+    if (cfg.segment_bytes != 0) return cfg.segment_bytes;
+    const std::uint64_t n = cfg.nprocs;
+    // Per instance: a VersionedSpace (3 backing words per logical word,
+    // ~(4N + tree) logical words) plus slack; per stripe: N+1 instances,
+    // the spin pool (N*(N+1) go + N announce), passage slots, desc words.
+    const std::uint64_t inst_words = 3 * (8 * n + 64) + 8;
+    const std::uint64_t stripe_words =
+        (n + 1) * inst_words + n * (n + 1) + 4 * n + 16;
+    const std::uint64_t words = cfg.stripes * stripe_words + 8 * n + 64;
+    return (words * sizeof(ShmSpace::Word)) * 2 + (1u << 20);
+  }
+
+  bool timed_enter(Pid pid, std::uint32_t s, Clock::time_point when) {
+    AbortSignal& signal = signals_[pid];
+    signal.reset();
+    TimerWheel::Token token;
+    {
+      std::lock_guard<std::mutex> lk(armed_mu_);
+      token = wheel_.arm(signal, when);
+      armed_[pid].push_back(token);
+    }
+    const bool ok = stripes_[s]->enter(pid, signal.flag()).acquired;
+    {
+      std::lock_guard<std::mutex> lk(armed_mu_);
+      wheel_.cancel(token);
+      auto& tokens = armed_[pid];
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i] == token) {
+          tokens[i] = tokens.back();
+          tokens.pop_back();
+          break;
+        }
+      }
+    }
+    return ok;
+  }
+
+  /// Disarm every deadline this process armed for a now-dead pid, and reset
+  /// the signal so a stale raise cannot leak into the next leaseholder.
+  void cancel_deadlines(Pid victim) {
+    std::lock_guard<std::mutex> lk(armed_mu_);
+    auto& tokens = armed_[victim];
+    for (const TimerWheel::Token token : tokens) {
+      wheel_.cancel(token);
+      stats_.cancelled_deadlines++;
+    }
+    tokens.clear();
+    signals_[victim].reset();
+  }
+
+  ShmTableConfig config_;
+  std::unique_ptr<ShmArena> arena_;
+  ShmSpace space_;
+  ProcessRegistry registry_;
+  obs::Metrics metrics_;  ///< process-local sink all stripes forward to
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::deque<AbortSignal> signals_;  ///< one per dense pid; timed ops only
+  TimerWheel wheel_;
+  std::mutex armed_mu_;  ///< guards armed_ (token tracking for recovery)
+  std::vector<std::vector<TimerWheel::Token>> armed_;
+  RecoveryStats stats_;
+};
+
+}  // namespace aml::ipc

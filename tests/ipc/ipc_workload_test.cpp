@@ -1,0 +1,44 @@
+// Model-checks the crash-as-forced-abort choreography: the
+// "ipc-crash-recovery" workload models a CS holder crashing (returning
+// without exit) and a recoverer driving the victim's exit as its own steps,
+// racing a late-arriving aborter — the responsibility hand-off the shm
+// recovery protocol leans on. DPOR must explore it to exhaustion with zero
+// oracle violations (mutual exclusion, tree invariants, lost wake-ups).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "aml/analysis/workloads.hpp"
+#include "aml/sched/explorer.hpp"
+
+namespace aml::ipc {
+namespace {
+
+std::string temp_dir() {
+  const char* t = std::getenv("TMPDIR");
+  return (t != nullptr && t[0] != '\0') ? t : "/tmp";
+}
+
+TEST(ShmIpcWorkload, CrashRecoveryExploresCleanUnderDpor) {
+  const auto* workload = analysis::find_workload("ipc-crash-recovery");
+  ASSERT_NE(workload, nullptr);
+  EXPECT_EQ(workload->nprocs, 4u);
+
+  sched::ExploreConfig config;
+  config.nprocs = workload->nprocs;
+  config.preemption_bound = 2;
+  config.max_executions = 500'000;
+  config.reduction = sched::Reduction::kDpor;
+  config.workload = workload->name;
+  config.trace_dir = temp_dir();
+
+  const auto stats = sched::explore(config, workload->factory);
+  EXPECT_FALSE(stats.failed) << stats.failure;
+  EXPECT_FALSE(stats.truncated)
+      << "crash-recovery workload did not explore to exhaustion";
+  EXPECT_GT(stats.executions, 10u);
+}
+
+}  // namespace
+}  // namespace aml::ipc

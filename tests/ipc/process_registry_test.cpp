@@ -1,0 +1,242 @@
+// ProcessRegistry: lease/release lifecycle, the nonce-pinned recovery claim
+// (ABA defense), zombie retirement, and the slot-reclamation property test —
+// simulated owner deaths plus recovery sweeps never yield two live holders
+// of the same dense pid, and stale (token-mismatched) releases never free a
+// successor's lease.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "aml/ipc/process_registry.hpp"
+#include "aml/ipc/shm_arena.hpp"
+
+namespace aml::ipc {
+namespace {
+
+using model::Pid;
+
+/// A pid above the kernel's default pid_max: kill() reports ESRCH for it,
+/// which is exactly the signal dead() keys on.
+constexpr std::uint64_t kForgedDeadPid = 0x7FFF'FFFF;
+
+struct RegistryFixture {
+  explicit RegistryFixture(Pid nprocs)
+      : name("/aml-test-reg-" + std::to_string(::getpid()) + "-" +
+             std::to_string(next_id())) {
+    std::string error;
+    arena = ShmArena::create(name, 1 << 16, 0, &error);
+    AML_ASSERT(arena != nullptr, "fixture arena create failed");
+    registry = std::make_unique<ProcessRegistry>(*arena, nprocs);
+  }
+  ~RegistryFixture() { ShmArena::unlink(name); }
+
+  static int next_id() {
+    static int counter = 0;
+    return counter++;
+  }
+
+  std::string name;
+  std::unique_ptr<ShmArena> arena;
+  std::unique_ptr<ProcessRegistry> registry;
+};
+
+TEST(ShmIpcRegistry, LeasesLowestFreeAndReleases) {
+  RegistryFixture f(3);
+  ProcessRegistry& reg = *f.registry;
+
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  EXPECT_EQ(reg.try_lease(&t0), 0u);
+  EXPECT_EQ(reg.try_lease(&t1), 1u);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kLive);
+  EXPECT_EQ(reg.os_pid(0), static_cast<std::uint64_t>(::getpid()));
+
+  reg.release(0, t0);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kFree);
+  EXPECT_EQ(reg.os_pid(0), 0u);
+
+  // The freed slot is the lowest again; its lease word carries a fresh nonce.
+  std::uint64_t t0b = 0;
+  EXPECT_EQ(reg.try_lease(&t0b), 0u);
+  EXPECT_NE(t0b, t0);
+}
+
+TEST(ShmIpcRegistry, FullRegistryRejectsLease) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  EXPECT_EQ(reg.try_lease(), 0u);
+  EXPECT_EQ(reg.try_lease(), 1u);
+  EXPECT_EQ(reg.try_lease(), 2u);  // == nprocs: full
+}
+
+TEST(ShmIpcRegistry, HeartbeatIsMonotonic) {
+  RegistryFixture f(1);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);
+  const std::uint64_t before = reg.heartbeat(0);
+  reg.beat(0);
+  reg.beat(0);
+  EXPECT_EQ(reg.heartbeat(0), before + 2);
+}
+
+TEST(ShmIpcRegistry, DeadDetectsForgedEsrchPidOnly) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);
+
+  EXPECT_FALSE(reg.dead(0));  // our own live pid
+  EXPECT_FALSE(reg.dead(1));  // free slot
+
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  EXPECT_TRUE(reg.dead(0));
+
+  // The unpublished-pid window (os_pid == 0) is alive by definition.
+  reg.debug_set_os_pid(0, 0);
+  EXPECT_FALSE(reg.dead(0));
+}
+
+TEST(ShmIpcRegistry, RecoveryClaimIsExclusiveAndFreesSlot) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+
+  ASSERT_TRUE(reg.try_claim_recovery(0));
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kRecovering);
+  // A second survivor racing the claim loses: the slot is no longer kLive.
+  EXPECT_FALSE(reg.try_claim_recovery(0));
+
+  reg.finish_recovery(0, /*zombie=*/false);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kFree);
+  EXPECT_EQ(reg.try_lease(), 0u);  // reclaimable
+}
+
+TEST(ShmIpcRegistry, ZombieRetirementIsTerminal) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  ASSERT_TRUE(reg.try_claim_recovery(0));
+  reg.finish_recovery(0, /*zombie=*/true);
+
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kZombie);
+  // try_lease skips the retired pid and hands out the next slot.
+  EXPECT_EQ(reg.try_lease(), 1u);
+  EXPECT_EQ(reg.try_lease(), 2u);  // the rest is full
+  EXPECT_FALSE(reg.dead(0));
+  EXPECT_FALSE(reg.try_claim_recovery(0));
+}
+
+TEST(ShmIpcRegistry, StaleTokenReleaseCannotFreeSuccessorLease) {
+  RegistryFixture f(1);
+  ProcessRegistry& reg = *f.registry;
+
+  std::uint64_t victim_token = 0;
+  ASSERT_EQ(reg.try_lease(&victim_token), 0u);
+
+  // A survivor declares us dead and recovers the slot...
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  ASSERT_TRUE(reg.try_claim_recovery(0));
+  reg.finish_recovery(0, false);
+  // ...and a successor re-leases it.
+  std::uint64_t successor_token = 0;
+  ASSERT_EQ(reg.try_lease(&successor_token), 0u);
+
+  // The original holder's (late) release must be a no-op: its token nonce
+  // is stale, so the successor keeps the lease.
+  reg.release(0, victim_token);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kLive);
+  EXPECT_EQ(reg.os_pid(0), static_cast<std::uint64_t>(::getpid()));
+
+  reg.release(0, successor_token);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kFree);
+}
+
+// --- satellite: slot-reclamation property test ----------------------------
+
+/// Drives a randomized schedule of lease / orderly-release / simulated-death
+/// + recovery / stale-release operations and checks after every step that no
+/// dense pid has two believed-live holders. The model mirrors what real
+/// processes know: a holder keeps (id, token) until it releases, or until a
+/// death simulation moves it to the stale set (whose late releases must
+/// no-op).
+TEST(ShmIpcRegistryProperty, ReclaimAfterOwnerDeathNeverDuplicatesLiveIds) {
+  constexpr Pid kProcs = 4;
+  RegistryFixture f(kProcs);
+  ProcessRegistry& reg = *f.registry;
+
+  std::vector<std::pair<Pid, std::uint64_t>> live;   // believed-live leases
+  std::vector<std::pair<Pid, std::uint64_t>> stale;  // recovered under us
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng](std::uint64_t bound) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (rng >> 33) % bound;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    switch (next(4)) {
+      case 0: {  // lease
+        std::uint64_t token = 0;
+        const Pid id = reg.try_lease(&token);
+        if (id < kProcs) {
+          // A fresh lease must never alias a believed-live holder.
+          for (const auto& h : live) ASSERT_NE(h.first, id) << "step " << step;
+          live.emplace_back(id, token);
+        }
+        break;
+      }
+      case 1: {  // orderly release
+        if (live.empty()) break;
+        const std::size_t k = next(live.size());
+        reg.release(live[k].first, live[k].second);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      case 2: {  // simulated owner death + survivor recovery sweep
+        if (live.empty()) break;
+        const std::size_t k = next(live.size());
+        const Pid id = live[k].first;
+        reg.debug_set_os_pid(id, kForgedDeadPid);
+        ASSERT_TRUE(reg.dead(id));
+        ASSERT_TRUE(reg.try_claim_recovery(id));
+        reg.finish_recovery(id, /*zombie=*/false);
+        stale.push_back(live[k]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      case 3: {  // stale release from a "dead" holder: must not free anything
+        if (stale.empty()) break;
+        const std::size_t k = next(stale.size());
+        const Pid id = stale[k].first;
+        const bool was_live = reg.state(id) == ProcessRegistry::kLive;
+        reg.release(id, stale[k].second);
+        // A successor's lease (if any) survives the stale release.
+        EXPECT_EQ(reg.state(id) == ProcessRegistry::kLive, was_live)
+            << "stale release freed a successor's lease at step " << step;
+        stale.erase(stale.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+    }
+
+    // Global invariant: every believed-live holder's slot is kLive, and no
+    // two holders share an id.
+    std::vector<Pid> ids;
+    for (const auto& h : live) {
+      EXPECT_EQ(reg.state(h.first), ProcessRegistry::kLive)
+          << "holder lost its lease without a death event, step " << step;
+      ids.push_back(h.first);
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << "duplicate live pid at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace aml::ipc

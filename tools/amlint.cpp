@@ -21,6 +21,15 @@
 //       A plain std::atomic member bypasses the schedule gate, the RMR
 //       accounting and the DPOR footprints. Pointers/references to atomics
 //       are allowed: the paper's abort signal is exactly such an interface.
+//   R5  shm-placed structures (src/aml/ipc, inside the
+//       AML_SHM_REGION_BEGIN/END markers) must not contain raw pointers,
+//       references, or virtual functions. A shared segment maps at a
+//       different base address in every process, so an absolute pointer or
+//       a vtable pointer is only meaningful in the process that wrote it —
+//       cross-segment links must use offset_ptr/offset_span, and behavior
+//       must live outside the placed data. Member functions (declarations
+//       containing a parameter list) are exempt: resolvers returning T*
+//       against a caller-supplied base are exactly the intended idiom.
 //
 // Findings can be suppressed through an allowlist file (one entry per line):
 //
@@ -291,9 +300,97 @@ void check_r4(const std::string& code, const std::string& original,
   }
 }
 
+/// R5: no raw pointers, references, or virtuals in shm-placed data. The
+/// region markers live in comments, so they are located in `original`
+/// (blanking preserves offsets); the member scan runs over the blanked
+/// `code` in the same span.
+void check_r5(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  std::size_t cursor = 0;
+  while ((cursor = original.find("AML_SHM_REGION_BEGIN", cursor)) !=
+         std::string::npos) {
+    const std::size_t begin = original.find('\n', cursor);
+    std::size_t end = original.find("AML_SHM_REGION_END", cursor);
+    if (begin == std::string::npos) break;
+    if (end == std::string::npos) {
+      findings->push_back({rel, line_of(original, cursor), "R5",
+                           "AML_SHM_REGION_BEGIN without a matching END",
+                           excerpt_at(original, cursor)});
+      return;
+    }
+    cursor = end + 1;
+
+    // Virtual anything: a vtable pointer is a process-local address baked
+    // into shared memory.
+    for (std::size_t v = begin; (v = code.find("virtual", v)) < end;) {
+      if ((v == 0 || !ident_char(code[v - 1])) &&
+          (v + 7 >= code.size() || !ident_char(code[v + 7]))) {
+        findings->push_back({rel, line_of(code, v), "R5",
+                             "virtual in shm-placed data (vtable pointers "
+                             "are process-local)",
+                             excerpt_at(original, v)});
+      }
+      v += 7;
+    }
+
+    // Raw pointer / reference data members: walk statement spans (between
+    // ';'/'{'/'}') and flag '*'/'&' in declaration position. Statements
+    // containing '(' are member-function declarations — exempt.
+    std::size_t stmt_begin = begin;
+    for (std::size_t i = begin; i <= end; ++i) {
+      if (i < end && code[i] != ';' && code[i] != '{' && code[i] != '}') {
+        continue;
+      }
+      const std::size_t stmt_at = stmt_begin;
+      const std::string stmt = code.substr(stmt_at, i - stmt_at);
+      stmt_begin = i + 1;
+      if (stmt.find('(') != std::string::npos) continue;
+      for (std::size_t k = 0; k < stmt.size(); ++k) {
+        if (stmt[k] != '*' && stmt[k] != '&') continue;
+        // Skip '**' / '&&' (the latter is a logical op or rvalue ref; both
+        // are never a bare shm data member) — and don't re-flag position 2.
+        if (k + 1 < stmt.size() && stmt[k + 1] == stmt[k]) {
+          ++k;
+          continue;
+        }
+        if (k > 0 && stmt[k - 1] == stmt[k]) continue;
+        std::size_t prev = k;
+        while (prev > 0 &&
+               std::isspace(static_cast<unsigned char>(stmt[prev - 1])) != 0) {
+          --prev;
+        }
+        if (prev == 0 ||
+            (!ident_char(stmt[prev - 1]) && stmt[prev - 1] != '>')) {
+          continue;  // unary &/* (address-of, deref), not a declarator
+        }
+        std::size_t next = k + 1;
+        while (next < stmt.size() &&
+               std::isspace(static_cast<unsigned char>(stmt[next])) != 0) {
+          ++next;
+        }
+        if (next >= stmt.size() || (!std::isalpha(static_cast<unsigned char>(
+                                        stmt[next])) &&
+                                    stmt[next] != '_')) {
+          continue;
+        }
+        findings->push_back(
+            {rel, line_of(code, stmt_at + k), "R5",
+             stmt[k] == '*'
+                 ? "raw pointer member in shm-placed data (use offset_ptr)"
+                 : "reference member in shm-placed data (store offsets)",
+             excerpt_at(original, stmt_at + k)});
+      }
+    }
+  }
+}
+
 bool in_hot_path(const std::string& rel) {
   return rel.find("core/") != std::string::npos ||
          rel.find("table/") != std::string::npos;
+}
+
+bool in_shm_scope(const std::string& rel) {
+  return rel.find("ipc/") != std::string::npos;
 }
 
 bool in_model_gated(const std::string& rel) {
@@ -403,6 +500,9 @@ int main(int argc, char** argv) {
     }
     if (in_model_gated(rel)) {
       check_r4(code, original, rel, &findings);
+    }
+    if (in_shm_scope(rel)) {
+      check_r5(code, original, rel, &findings);
     }
   }
 
