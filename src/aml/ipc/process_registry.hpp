@@ -3,22 +3,38 @@
 //
 // The in-process table's ThreadRegistry can trust its leaseholders to call
 // release(); a process can be SIGKILLed holding a pid. Each slot therefore
-// carries the OS pid of its holder plus a heartbeat word, and survivors can
-// detect a dead holder (kill(pid, 0) == ESRCH, or a heartbeat that stopped)
-// and drive the recovery protocol (see shm_lock.hpp) before reclaiming the
-// slot.
+// carries the OS pid of its holder, and survivors detect a dead holder by
+// the kernel's ground truth — kill(pid, 0) == ESRCH — and drive the
+// recovery protocol (see shm_lock.hpp) before reclaiming the slot. Each
+// slot also carries a heartbeat word the holder bumps from its hot path;
+// it is advisory observability (progress monitoring, tests), deliberately
+// NOT a death signal: an idle-but-live holder stops beating, so heartbeat
+// staleness cannot distinguish idleness from death without a false-positive
+// risk that would force a *live* process out of its critical section.
+//
+// v1 limitation (documented alongside the zombie windows in docs/API.md):
+// the ESRCH check's blind spot is OS pid reuse. If a crashed holder's pid
+// is recycled to an unrelated long-lived process, the death goes undetected
+// and the holder's locks stay parked until that process exits. Closing it
+// needs a liveness channel that survives pid recycling (e.g. a per-holder
+// pidfd or robust-futex registration), which is follow-up work.
 //
 // Lease word state machine (low 2 bits; the rest is a nonce bumped on every
-// transition out of kFree or kRecovering, so a recovery claim can never land
-// on a *re-leased* slot — classic ABA):
+// transition out of kFree or kRecovering, so neither a recovery claim nor a
+// late release can ever land on a *re-leased* slot — classic ABA):
 //
 //     kFree --try_lease--> kLive --try_claim_recovery--> kRecovering
-//       ^                    |                                |
-//       |                  release                     finish_recovery
-//       +--------------------+------------<-- (or kZombie, terminal: the
-//                                              victim died in a window the
-//                                              journal cannot disambiguate;
-//                                              see ShmStripeLock::recover)
+//       ^                    |      (or release: the holder    |
+//       |                    +----- claims its own slot) -->---+
+//       |                                                      |
+//       +--- finish_recovery / release's final step -----------+
+//                       (or kZombie, terminal: the victim died in a
+//                        window the journal cannot disambiguate; see
+//                        ShmStripeLock::recover)
+//
+// Both exits from kLive pass through the exclusive kRecovering claim, so
+// os_pid is always cleared *before* the slot becomes leasable again — a
+// racing try_lease can never publish a pid that a stale store then erases.
 //
 // Zero-filled shm pages decode as "all slots kFree", so the registry needs
 // no creator-side initialization at all.
@@ -47,7 +63,9 @@ struct alignas(pal::kCacheLine) ProcessSlot {
   /// OS pid of the leaseholder; 0 while the lease CAS has succeeded but the
   /// holder has not yet published its pid (treated as alive).
   std::atomic<std::uint64_t> os_pid;
-  /// Monotonic liveness counter; the holder bumps it from its hot path.
+  /// Monotonic activity counter the holder bumps from its hot path.
+  /// Advisory observability only — never consulted by dead() (see the file
+  /// header for why heartbeat staleness is not a safe death signal).
   std::atomic<std::uint64_t> heartbeat;
 };
 // AML_SHM_REGION_END
@@ -101,16 +119,33 @@ class ProcessRegistry {
   /// Orderly release by the leaseholder itself. `token` is the lease word
   /// try_lease installed: if a survivor has since declared this holder dead
   /// (forged test pid, OS pid reuse) and recovered — or recovered *and*
-  /// re-leased — the slot, the nonce no longer matches and the release is a
-  /// no-op instead of clobbering the successor's lease.
+  /// re-leased — the slot, the nonce no longer matches, the claim CAS below
+  /// fails, and the release is a total no-op instead of clobbering the
+  /// successor's lease or erasing its published os_pid.
+  ///
+  /// Release reuses the recovery claim protocol: CAS the exact token to
+  /// kRecovering (the same exclusive claim a survivor's recovery takes),
+  /// clear os_pid while the slot is still unleasable, then free it with a
+  /// bumped nonce. Clearing os_pid *before* the slot turns kFree is what
+  /// keeps dead() sound: were the order reversed, a racing try_lease could
+  /// win the freed slot and publish its pid between the two steps, and our
+  /// trailing os_pid=0 would erase it — leaving the successor permanently
+  /// undetectable (os_pid 0 reads as "alive by definition") if it later
+  /// crashes. (A SIGKILL landing between the claim and the final store
+  /// parks the slot in kRecovering — the same window as a recoverer dying
+  /// mid-recovery, an accepted v1 limitation; see docs/API.md.)
   void release(model::Pid id, std::uint64_t token) {
     AML_ASSERT(id < nprocs_, "ProcessRegistry::release: bad pid");
     std::uint64_t cur = token;
-    if (slots_[id].lease.compare_exchange_strong(cur, bump_nonce(cur) | kFree,
-                                                 std::memory_order_acq_rel,
-                                                 std::memory_order_relaxed)) {
-      slots_[id].os_pid.store(0, std::memory_order_release);
+    if (!slots_[id].lease.compare_exchange_strong(
+            cur, (token & ~kStateMask) | kRecovering,
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      return;  // stale token: the slot was recovered from under us
     }
+    slots_[id].os_pid.store(0, std::memory_order_release);
+    // Plain store: the exclusive claim means no other transition can race.
+    slots_[id].lease.store(bump_nonce(token) | kFree,
+                           std::memory_order_release);
   }
 
   /// Liveness pulse from the holder's hot path.
@@ -136,24 +171,41 @@ class ProcessRegistry {
   /// lease is live, the holder published a pid other than us, and the kernel
   /// reports ESRCH for it. A holder that has not yet published (os_pid 0) is
   /// alive by definition — it is mid-try_lease.
+  ///
+  /// Advisory: the answer can be stale by the time the caller acts on it
+  /// (the slot may be released, recovered, or re-leased in between), so a
+  /// dead() == true is only a hint to attempt try_claim_recovery(), which
+  /// re-establishes death and claims under one observed lease word.
   bool dead(model::Pid id) const {
-    if (state(id) != kLive) return false;
-    const std::uint64_t pid = os_pid(id);
-    if (pid == 0 || pid == static_cast<std::uint64_t>(::getpid())) {
-      return false;
-    }
-    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+    return dead_under(id, slots_[id].lease.load(std::memory_order_acquire));
   }
 
-  /// Claim a dead slot for recovery. Exactly one survivor wins: the CAS is
-  /// pinned to the observed nonce, so a concurrent release + re-lease (new
-  /// nonce) defeats a stale claim.
+  /// Atomically (observe death ∧ claim): load the lease word once, verify
+  /// the holder *under exactly that word* is dead, and CAS from that same
+  /// word to kRecovering. Exactly one survivor wins.
+  ///
+  /// Pinning the claim to the word under which death was observed closes
+  /// the TOCTOU where a separate dead() check passes, then the victim is
+  /// recovered, freed, and re-leased to a live process before the claim
+  /// lands — the claim would otherwise succeed against the *new* live
+  /// holder and recovery would force a live process out of its critical
+  /// section. The nonce is bumped on every transition out of kFree and
+  /// kRecovering, so the CAS can only succeed while the slot still belongs
+  /// to the holder whose death we established.
+  ///
+  /// The os_pid read is covered by the pin: while the lease word equals
+  /// `observed`, os_pid is either 0 (that holder mid-publish — alive by
+  /// definition) or that holder's pid, because both release() and
+  /// finish_recovery() clear os_pid under their exclusive kRecovering
+  /// claim, strictly before the slot can be freed and re-leased.
   bool try_claim_recovery(model::Pid id) {
-    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
-    if ((cur & kStateMask) != kLive) return false;
+    const std::uint64_t observed =
+        slots_[id].lease.load(std::memory_order_acquire);
+    if (!dead_under(id, observed)) return false;
+    std::uint64_t cur = observed;
     return slots_[id].lease.compare_exchange_strong(
-        cur, (cur & ~kStateMask) | kRecovering, std::memory_order_acq_rel,
-        std::memory_order_relaxed);
+        cur, (observed & ~kStateMask) | kRecovering,
+        std::memory_order_acq_rel, std::memory_order_relaxed);
   }
 
   /// Finish a recovery this process claimed: free the slot for re-lease, or
@@ -177,6 +229,17 @@ class ProcessRegistry {
   }
 
  private:
+  /// Death predicate evaluated against a caller-supplied lease observation
+  /// (see try_claim_recovery for why the observation must be pinned).
+  bool dead_under(model::Pid id, std::uint64_t observed_lease) const {
+    if ((observed_lease & kStateMask) != kLive) return false;
+    const std::uint64_t pid = os_pid(id);
+    if (pid == 0 || pid == static_cast<std::uint64_t>(::getpid())) {
+      return false;
+    }
+    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+  }
+
   static std::uint64_t bump_nonce(std::uint64_t lease) {
     return (lease & ~kStateMask) + (kStateMask + 1);
   }

@@ -116,17 +116,36 @@ class ShmArena {
       set_error(error, "shm_open(attach " + name + ")");
       return nullptr;
     }
-    // The creator ftruncates before any attacher can see ready, but we may
-    // race construction: map the superblock-visible prefix first, read the
-    // full size from it once sealed, then map the whole segment.
-    struct ::stat st {};
-    if (::fstat(fd, &st) != 0 ||
-        static_cast<std::uint64_t>(st.st_size) < minimum_bytes()) {
-      set_error(error, "segment " + name + " too small (still initializing?)");
-      ::close(fd);
-      return nullptr;
+    // The creator sizes the segment with a single ftruncate before any
+    // attacher can observe ready, but an attacher racing construction can
+    // shm_open while the segment is still zero-sized. Poll the size within
+    // the same timeout budget as the ready wait below (st_size is either 0
+    // or final — never partial), then map the whole segment in one go; the
+    // sealed superblock's total_bytes is cross-checked against the mapped
+    // size further down.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::uint64_t bytes = 0;
+    for (;;) {
+      struct ::stat st {};
+      if (::fstat(fd, &st) != 0) {
+        set_error(error, "fstat(" + name + ")");
+        ::close(fd);
+        return nullptr;
+      }
+      if (static_cast<std::uint64_t>(st.st_size) >= minimum_bytes()) {
+        bytes = static_cast<std::uint64_t>(st.st_size);
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        if (error != nullptr) {
+          *error = "segment " + name + " still unsized after timeout " +
+                   "(creator died before ftruncate?)";
+        }
+        ::close(fd);
+        return nullptr;
+      }
+      ::sched_yield();
     }
-    const std::uint64_t bytes = static_cast<std::uint64_t>(st.st_size);
     void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
                         fd, 0);
     ::close(fd);
@@ -137,7 +156,6 @@ class ShmArena {
     auto arena = std::unique_ptr<ShmArena>(
         new ShmArena(name, base, bytes, Role::kAttacher));
     Superblock& sb = arena->superblock();
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (sb.ready.load(std::memory_order_acquire) == 0) {
       if (std::chrono::steady_clock::now() >= deadline) {
         if (error != nullptr) {

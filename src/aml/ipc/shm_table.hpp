@@ -10,7 +10,9 @@
 //
 // Sessions lease a dense pid from the shm ProcessRegistry (so ids are
 // unique across all attached processes), and every acquisition pulses the
-// slot's heartbeat. When a process dies holding locks, any survivor's
+// slot's heartbeat (advisory progress observability; death detection is
+// ESRCH-only — see process_registry.hpp). When a process dies holding
+// locks, any survivor's
 // recover_dead() finds the stale slots (ESRCH on the published OS pid),
 // claims them, and drives each victim passage through the abort/exit path
 // on every stripe (see shm_lock.hpp), then frees — or, for deaths inside an
@@ -152,6 +154,10 @@ class ShmNamedLockTable {
     std::uint32_t recovered = 0;
     const std::uint64_t self_os = static_cast<std::uint64_t>(::getpid());
     for (Pid victim = 0; victim < config_.nprocs; ++victim) {
+      // dead() is an advisory prefilter (it skips the claim CAS for the
+      // common all-alive sweep); try_claim_recovery() re-establishes death
+      // and claims under a single observed lease word, so a victim that is
+      // recovered and re-leased between the two calls is never claimed.
       if (victim == exec || !registry_.dead(victim)) continue;
       if (!registry_.try_claim_recovery(victim)) continue;
       bool zombie = false;

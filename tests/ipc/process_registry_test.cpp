@@ -1,13 +1,16 @@
-// ProcessRegistry: lease/release lifecycle, the nonce-pinned recovery claim
-// (ABA defense), zombie retirement, and the slot-reclamation property test —
-// simulated owner deaths plus recovery sweeps never yield two live holders
-// of the same dense pid, and stale (token-mismatched) releases never free a
-// successor's lease.
+// ProcessRegistry: lease/release lifecycle, the atomic death-pinned
+// recovery claim (a claim can never land on a live or re-leased holder),
+// the os_pid-before-free release ordering, zombie retirement, and the
+// slot-reclamation property test — simulated owner deaths plus recovery
+// sweeps never yield two live holders of the same dense pid, and stale
+// (token-mismatched) releases never free a successor's lease.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -131,6 +134,67 @@ TEST(ShmIpcRegistry, ZombieRetirementIsTerminal) {
   EXPECT_EQ(reg.try_lease(), 2u);  // the rest is full
   EXPECT_FALSE(reg.dead(0));
   EXPECT_FALSE(reg.try_claim_recovery(0));
+}
+
+/// The recovery claim must re-establish death itself, under the same lease
+/// word it CASes from: a bare "state is kLive" claim would let a survivor
+/// act on a stale dead() observation and claim a slot that has since been
+/// recovered and re-leased to a LIVE process (whose critical section the
+/// recovery would then force-exit).
+TEST(ShmIpcRegistry, ClaimRefusesLiveHolder) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);
+
+  // Live holder (our own pid): kLive alone must not be claimable.
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kLive);
+  EXPECT_FALSE(reg.try_claim_recovery(0));
+
+  // The TOCTOU endpoint: death observed (dead() true), then the slot is
+  // recovered and re-leased to a live holder before the claim lands. The
+  // late claim must lose against the re-leased live slot.
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  ASSERT_TRUE(reg.dead(0));  // a survivor's stale observation...
+  ASSERT_TRUE(reg.try_claim_recovery(0));
+  reg.finish_recovery(0, /*zombie=*/false);
+  ASSERT_EQ(reg.try_lease(), 0u);  // ...re-leased, live again...
+  EXPECT_FALSE(reg.dead(0));
+  EXPECT_FALSE(reg.try_claim_recovery(0));  // ...so the claim refuses
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kLive);
+}
+
+/// release() must clear os_pid *before* the slot becomes leasable: with the
+/// reverse order, a racing try_lease wins the freed slot and publishes its
+/// pid, and the old holder's trailing os_pid=0 erases it — making a later
+/// crash of the successor permanently undetectable. Two threads ping-pong a
+/// single slot; the holder's published pid must never read back as 0.
+TEST(ShmIpcRegistry, ReleaseNeverErasesSuccessorOsPid) {
+  RegistryFixture f(1);
+  ProcessRegistry& reg = *f.registry;
+
+  std::atomic<bool> failed{false};
+  auto contender = [&reg, &failed] {
+    for (int i = 0; i < 20000 && !failed.load(std::memory_order_relaxed);
+         ++i) {
+      std::uint64_t token = 0;
+      if (reg.try_lease(&token) != 0) continue;
+      // While we hold the lease, only we may write os_pid (the peer's
+      // release path may touch it only under its own exclusive claim,
+      // which our live lease makes unwinnable).
+      for (int spin = 0; spin < 8; ++spin) {
+        if (reg.os_pid(0) != static_cast<std::uint64_t>(::getpid())) {
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      reg.release(0, token);
+    }
+  };
+  std::thread a(contender);
+  std::thread b(contender);
+  a.join();
+  b.join();
+  EXPECT_FALSE(failed.load()) << "a release erased the successor's os_pid";
 }
 
 TEST(ShmIpcRegistry, StaleTokenReleaseCannotFreeSuccessorLease) {

@@ -6,9 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <thread>
 
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include "aml/ipc/offset_ptr.hpp"
@@ -116,6 +121,60 @@ TEST(ShmIpcArena, AttachTimesOutOnUnsealedSegment) {
                                    std::chrono::milliseconds(50));
   EXPECT_EQ(attacher, nullptr);
   EXPECT_NE(error.find("never sealed"), std::string::npos) << error;
+}
+
+/// An attacher racing the creator can shm_open the segment before the
+/// creator's ftruncate lands and observe st_size == 0. attach() must wait
+/// the race out within its timeout budget, not hard-fail. The "creator" is
+/// played by raw syscalls so the zero-size window can be held open
+/// deterministically (ShmArena::create sizes the segment immediately).
+TEST(ShmIpcArena, AttachWaitsOutCreatorSizingRace) {
+  ScopedSegment seg(unique_name("sizerace"));
+  constexpr std::uint64_t kBytes = 1 << 16;
+
+  const int fd =
+      ::shm_open(seg.name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+
+  std::string error;
+  std::unique_ptr<ShmArena> attached;
+  std::thread attacher([&] {
+    attached = ShmArena::attach(seg.name, /*config_hash=*/7, &error,
+                                std::chrono::seconds(10));
+  });
+
+  // Hold the segment zero-sized long enough for the attacher to observe it,
+  // then size and seal a valid superblock the way create()+seal() would.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(::ftruncate(fd, static_cast<off_t>(kBytes)), 0);
+  void* base = ::mmap(nullptr, kBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  ASSERT_NE(base, MAP_FAILED);
+  auto* sb = reinterpret_cast<Superblock*>(base);
+  sb->magic.store(ShmArena::kMagic, std::memory_order_relaxed);
+  sb->abi_version.store(ShmArena::kAbiVersion, std::memory_order_relaxed);
+  sb->total_bytes.store(kBytes, std::memory_order_relaxed);
+  sb->config_hash.store(7, std::memory_order_relaxed);
+  sb->ready.store(1, std::memory_order_release);
+
+  attacher.join();
+  EXPECT_NE(attached, nullptr) << error;
+  ::munmap(base, kBytes);
+  ::close(fd);
+}
+
+TEST(ShmIpcArena, AttachTimesOutOnNeverSizedSegment) {
+  ScopedSegment seg(unique_name("unsized"));
+  const int fd =
+      ::shm_open(seg.name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);  // zero-sized forever: the creator "died" pre-ftruncate
+
+  std::string error;
+  auto attached = ShmArena::attach(seg.name, 0, &error,
+                                   std::chrono::milliseconds(50));
+  EXPECT_EQ(attached, nullptr);
+  EXPECT_NE(error.find("unsized"), std::string::npos) << error;
+  ::close(fd);
 }
 
 TEST(ShmIpcArena, CreateRefusesExistingName) {
