@@ -14,7 +14,10 @@
 // bench single-process and signal-free.
 //
 // Wall-clock numbers: nondeterministic run to run. BENCH_ipc_recovery.json
-// is uploaded as a CI artifact from the multiproc job, not strict-diffed.
+// is committed at the repo root and CI-diffed with every numeric value
+// normalized to zero (like BENCH_native_throughput.json): the diff catches
+// schema drift — dropped measurements, renamed summary keys — without
+// failing on honest jitter. The raw report is also a CI artifact.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -151,10 +154,19 @@ int main() {
   const Summary native = summarize(native_lat);
   const Summary sweep = summarize(sweep_lat);
   const Summary reacquire = summarize(reacquire_lat);
+  // The segment's own view of the same sweeps: the crash-surviving shm
+  // histogram that aml_stat reports, cross-checked here against the
+  // caller-side stopwatch (shm p50 ≤ caller p50 since it excludes the
+  // registry scan that found the victim).
+  const auto shm_sweep = table->shm_metrics().sweep_latency();
   br.summary("shm_latency_ns", shm)
       .summary("inprocess_latency_ns", native)
       .summary("recovery_sweep_ns", sweep)
       .summary("recovery_reacquire_ns", reacquire)
+      .summary("shm_sweep_hist_count", std::uint64_t{shm_sweep.count})
+      .summary("shm_sweep_hist_p50", std::uint64_t{shm_sweep.p50})
+      .summary("shm_sweep_hist_p90", std::uint64_t{shm_sweep.p90})
+      .summary("shm_sweep_hist_p99", std::uint64_t{shm_sweep.p99})
       .summary("recoveries_completed",
                std::uint64_t{table->recovery_stats().recovered_pids})
       .summary("forced_exits",
@@ -170,6 +182,9 @@ int main() {
   add("in-process enter/exit", native);
   add("recovery sweep", sweep);
   add("post-recovery reacquire", reacquire);
+  t.row({"sweep (shm histogram)", Table::num(shm_sweep.count),
+         Table::num(shm_sweep.p50), Table::num(shm_sweep.p90),
+         Table::num(shm_sweep.p99), "-"});
   t.print();
   br.table(t);
   br.write();

@@ -21,6 +21,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -30,6 +32,7 @@
 
 #include "aml/ipc/shm_arena.hpp"
 #include "aml/ipc/shm_table.hpp"
+#include "aml/ipc/stat_snapshot.hpp"
 
 using namespace std::chrono_literals;
 using aml::ipc::ShmArena;
@@ -239,8 +242,24 @@ int main() {
     ok = false;
   }
 
-  ShmNamedLockTable::unlink(lock_seg);
-  ShmArena::unlink(data_seg);
+  // Post-recovery observability snapshot, straight from the shm segment:
+  // the same JSON `tools/aml_stat <segment>` would print. It shows the
+  // crashed worker's lease already reclaimed and the recovery dispatch
+  // counters the survivors' sweep bumped.
+  std::printf("--- aml_stat snapshot ---\n");
+  aml::ipc::StatOptions stat_opt;
+  stat_opt.ring_tail = 16;
+  aml::ipc::write_stat_json(std::cout, *table, stat_opt);
+
+  // AML_DEMO_KEEP=1 leaves the segments behind (names printed below) so an
+  // external inspector — CI runs `aml_stat` here — can attach post-mortem.
+  if (std::getenv("AML_DEMO_KEEP") != nullptr) {
+    std::printf("keeping segments: %s %s\n", lock_seg.c_str(),
+                data_seg.c_str());
+  } else {
+    ShmNamedLockTable::unlink(lock_seg);
+    ShmArena::unlink(data_seg);
+  }
   std::printf("%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -43,6 +43,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
+#include <ctime>
 
 #include <signal.h>
 #include <unistd.h>
@@ -67,6 +68,10 @@ struct alignas(pal::kCacheLine) ProcessSlot {
   /// Advisory observability only — never consulted by dead() (see the file
   /// header for why heartbeat staleness is not a safe death signal).
   std::atomic<std::uint64_t> heartbeat;
+  /// CLOCK_MONOTONIC ns of the last beat, so an observer (aml_stat) can
+  /// report heartbeat *age* without sampling the counter twice. Same
+  /// advisory-only caveat as the counter.
+  std::atomic<std::uint64_t> beat_ns;
 };
 // AML_SHM_REGION_END
 AML_SHM_PLACEABLE(ProcessSlot);
@@ -151,10 +156,21 @@ class ProcessRegistry {
   /// Liveness pulse from the holder's hot path.
   void beat(model::Pid id) {
     slots_[id].heartbeat.fetch_add(1, std::memory_order_relaxed);
+    struct ::timespec ts {};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    slots_[id].beat_ns.store(
+        static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+            static_cast<std::uint64_t>(ts.tv_nsec),
+        std::memory_order_relaxed);
   }
 
   std::uint64_t heartbeat(model::Pid id) const {
     return slots_[id].heartbeat.load(std::memory_order_relaxed);
+  }
+
+  /// CLOCK_MONOTONIC ns of the last beat; 0 when the holder never beat.
+  std::uint64_t heartbeat_ns(model::Pid id) const {
+    return slots_[id].beat_ns.load(std::memory_order_relaxed);
   }
 
   State state(model::Pid id) const {

@@ -52,6 +52,7 @@
 #include "aml/ipc/shm_space.hpp"
 #include "aml/model/types.hpp"
 #include "aml/obs/metrics.hpp"
+#include "aml/obs/shm_metrics.hpp"
 #include "aml/pal/cache.hpp"
 #include "aml/pal/config.hpp"
 
@@ -73,6 +74,20 @@ enum Phase : std::uint64_t {
   kReleasing = 6, ///< inside one-shot exit; head_snap recorded
   kCleanup = 7,   ///< about to F&A LockDesc (-1) — unjournalable window
 };
+
+inline const char* phase_name(Phase p) {
+  switch (p) {
+    case kIdle: return "idle";
+    case kSpinWait: return "spin-wait";
+    case kPreJoin: return "pre-join";
+    case kJoined: return "joined";
+    case kDoorway: return "doorway";
+    case kHolding: return "holding";
+    case kReleasing: return "releasing";
+    case kCleanup: return "cleanup";
+  }
+  return "?";
+}
 
 /// Attempt-word packing: bit 0 = a doorway record exists, bit 1 = the grant
 /// was observed by the victim, bits [2, 34) = queue slot, bits [34, 50) =
@@ -112,7 +127,11 @@ AML_SHM_PLACEABLE(PassageSlot);
 /// acknowledgment into the passage slots (that is the recovery journal), and
 /// forwards every hook to an optional process-local obs::Metrics — which is
 /// how recovered passages (driven through the same hooks by the recoverer)
-/// show up in the ordinary observability counters.
+/// show up in the ordinary observability counters — and, when bound, to the
+/// segment-hosted obs::ShmMetrics, which is how they survive the process.
+/// This is the SinkHandle<Metrics> sink of every shm one-shot instance, so
+/// binding here is what routes ShmSpace/ShmStripeLockT passages into the
+/// crash-surviving ring.
 class RecoverySink {
  public:
   static constexpr bool kEnabled = true;
@@ -122,39 +141,52 @@ class RecoverySink {
     instance_ = instance;
   }
   void forward_to(obs::Metrics* metrics) { metrics_ = metrics; }
+  void bind_shm(obs::ShmMetrics* shm, std::uint32_t stripe) {
+    shm_ = shm;
+    stripe_ = stripe;
+  }
 
   void on_enter(Pid p, std::uint32_t slot) {
     slots_[p].attempt.store(pack_attempt(slot, instance_),
                             std::memory_order_seq_cst);
     if (metrics_ != nullptr) metrics_->on_enter(p, slot);
+    if (shm_ != nullptr) shm_->on_enter(stripe_, p, slot, instance_);
   }
   void on_granted(Pid p, std::uint32_t slot) {
     slots_[p].attempt.fetch_or(kAttemptGranted, std::memory_order_seq_cst);
     if (metrics_ != nullptr) metrics_->on_granted(p, slot);
+    if (shm_ != nullptr) shm_->on_granted(stripe_, p, slot, instance_);
   }
   void on_abort(Pid p, std::uint32_t slot) {
     if (metrics_ != nullptr) metrics_->on_abort(p, slot);
+    if (shm_ != nullptr) shm_->on_abort(stripe_, p, slot, instance_);
   }
   void on_exit(Pid p, std::uint32_t slot) {
     if (metrics_ != nullptr) metrics_->on_exit(p, slot);
+    if (shm_ != nullptr) shm_->on_exit(stripe_, p, slot, instance_);
   }
   void on_switch(Pid p) {
     if (metrics_ != nullptr) metrics_->on_switch(p);
   }
   void on_spin_iteration(Pid p) {
     if (metrics_ != nullptr) metrics_->on_spin_iteration(p);
+    if (shm_ != nullptr) shm_->on_spin_iteration(p);
   }
   void on_findnext(Pid p) {
     if (metrics_ != nullptr) metrics_->on_findnext(p);
+    if (shm_ != nullptr) shm_->on_findnext(p);
   }
   void on_spin_node_recycle(Pid p, std::uint64_t nodes) {
     if (metrics_ != nullptr) metrics_->on_spin_node_recycle(p, nodes);
+    if (shm_ != nullptr) shm_->on_spin_node_recycle(p, nodes);
   }
 
  private:
   PassageSlot* slots_ = nullptr;
   std::uint32_t instance_ = 0;
   obs::Metrics* metrics_ = nullptr;
+  obs::ShmMetrics* shm_ = nullptr;
+  std::uint32_t stripe_ = 0;
 };
 
 /// Spin-node pool with all of its state — go words, announce pins, and the
@@ -336,6 +368,14 @@ class ShmStripeLockT {
     }
   }
 
+  /// Bind the segment-hosted sink (crash-surviving: see obs/shm_metrics.hpp).
+  /// `stripe_id` tags every event this stripe emits into the shared ring.
+  void set_shm_metrics(obs::ShmMetrics* shm, std::uint32_t stripe_id) {
+    shm_ = shm;
+    stripe_id_ = stripe_id;
+    for (auto& inst : instances_) inst->sink.bind_shm(shm, stripe_id);
+  }
+
   // --- the long-lived algorithm, journaled (Algorithms 6.1-6.3) ----------
 
   core::EnterResult enter(Pid self, const std::atomic<bool>* abort_signal) {
@@ -350,6 +390,7 @@ class ShmStripeLockT {
             if constexpr (Metrics::kEnabled) {
               if (metrics_ != nullptr) metrics_->on_spin_iteration(self);
             }
+            if (shm_ != nullptr) shm_->on_spin_iteration(self);
             return v != 0;
           },
           abort_signal);
@@ -357,6 +398,9 @@ class ShmStripeLockT {
         my.phase.store(kIdle, std::memory_order_seq_cst);
         if constexpr (Metrics::kEnabled) {
           if (metrics_ != nullptr) metrics_->on_abort(self, core::kNoSlot);
+        }
+        if (shm_ != nullptr) {
+          shm_->on_abort(stripe_id_, self, obs::kNoSlot, 0);
         }
         return {false, core::kNoSlot};
       }
@@ -428,6 +472,26 @@ class ShmStripeLockT {
   }
   const Config& config() const { return config_; }
 
+  /// Test hook: forge a pid's journaled phase so recovery arms that hinge
+  /// on unjournalable windows (kPreJoin/kCleanup -> zombie retire) can be
+  /// staged without a precisely-timed crash.
+  void debug_set_phase(Pid p, Phase phase) {
+    slots_[p].phase.store(phase, std::memory_order_seq_cst);
+  }
+
+  /// Test hook: replay exactly the kJoined crash window for `p` — the join
+  /// F&A has run (refcnt bumped, current instance recorded) but no doorway
+  /// presence exists yet — so the abort-on-behalf repair of a pid dead in
+  /// that window can be staged deterministically. Leaves real, consistent
+  /// stripe state: recovery's one Cleanup undoes it completely.
+  void debug_forge_joined(Pid p) {
+    PassageSlot& my = slots_[p];
+    my.attempt.store(0, std::memory_order_seq_cst);
+    const Packed joined = unpack(space_.faa(p, *lock_desc_, 1));
+    my.current.store(joined.lock, std::memory_order_seq_cst);
+    my.phase.store(kJoined, std::memory_order_seq_cst);
+  }
+
  private:
   static constexpr std::uint32_t kRefBits = 16;
   static constexpr std::uint32_t kSpnBits = 32;
@@ -494,6 +558,7 @@ class ShmStripeLockT {
       if constexpr (Metrics::kEnabled) {
         if (metrics_ != nullptr) metrics_->on_switch(exec);
       }
+      if (shm_ != nullptr) shm_->on_switch(stripe_id_, exec, new_lock);
       space_.write(exec, *pool_.node(prev.spn).go, 1);
       own.held.store(prev.lock, std::memory_order_seq_cst);
     } else {
@@ -505,6 +570,8 @@ class ShmStripeLockT {
     PassageSlot& v = slots_[victim];
     const std::uint64_t phase = v.phase.load(std::memory_order_seq_cst);
     const std::uint64_t att = v.attempt.load(std::memory_order_seq_cst);
+    const std::uint32_t cur_inst = static_cast<std::uint32_t>(
+        v.current.load(std::memory_order_seq_cst));
     switch (phase) {
       case kIdle:
       case kSpinWait:
@@ -516,22 +583,29 @@ class ShmStripeLockT {
       case kCleanup:
         // Died around a LockDesc F&A whose execution the journal cannot
         // confirm or deny; repairing either way risks a refcnt off-by-one.
+        emit_recovery(obs::ShmEventKind::kZombieRetire, exec, victim,
+                      obs::kNoSlot, cur_inst);
         return RecoveryAction::kZombie;
       case kJoined: {
         // Refcnt is incremented but no doorway F&A happened: the passage
         // has no queue presence, so the repair is exactly one Cleanup.
         recovered_cleanup(exec, victim);
         finish_slot(v);
+        emit_recovery(obs::ShmEventKind::kAbortOnBehalf, exec, victim,
+                      obs::kNoSlot, cur_inst);
         return RecoveryAction::kForcedAbort;
       }
       case kDoorway: {
         if ((att & kAttemptRecorded) == 0) {
           // In the one-shot doorway but the tail F&A may or may not have
           // run (the sink journals immediately after it).
+          emit_recovery(obs::ShmEventKind::kZombieRetire, exec, victim,
+                        obs::kNoSlot, cur_inst);
           return RecoveryAction::kZombie;
         }
         const std::uint32_t slot = attempt_slot(att);
-        Instance& inst = *instances_[attempt_instance(att)];
+        const std::uint32_t inst_idx = attempt_instance(att);
+        Instance& inst = *instances_[inst_idx];
         inst.space.begin_session(exec);
         // Granted if the victim acknowledged it, or if the signal already
         // landed in go[slot] (a signal racing the crash: the grant stands,
@@ -544,31 +618,41 @@ class ShmStripeLockT {
           inst.lock.exit(exec);
           recovered_cleanup(exec, victim);
           finish_slot(v);
+          emit_recovery(obs::ShmEventKind::kCompleteGrant, exec, victim,
+                        slot, inst_idx);
           return RecoveryAction::kForcedExit;
         }
         inst.lock.abort_on_behalf(exec, slot);
         recovered_cleanup(exec, victim);
         finish_slot(v);
+        emit_recovery(obs::ShmEventKind::kAbortOnBehalf, exec, victim, slot,
+                      inst_idx);
         return RecoveryAction::kForcedAbort;
       }
       case kHolding: {
-        Instance& inst = *instances_[attempt_instance(att)];
+        const std::uint32_t inst_idx = attempt_instance(att);
+        Instance& inst = *instances_[inst_idx];
         inst.space.begin_session(exec);
         inst.lock.exit(exec);
         recovered_cleanup(exec, victim);
         finish_slot(v);
+        emit_recovery(obs::ShmEventKind::kForcedExit, exec, victim,
+                      attempt_slot(att), inst_idx);
         return RecoveryAction::kForcedExit;
       }
       case kReleasing: {
-        Instance& inst = *instances_[attempt_instance(att)];
+        const std::uint32_t inst_idx = attempt_instance(att);
+        Instance& inst = *instances_[inst_idx];
         inst.space.begin_session(exec);
         const std::uint64_t head_snap =
             v.head_snap.load(std::memory_order_seq_cst);
         RecoveryAction action;
+        obs::ShmEventKind kind;
         if (inst.lock.peek_last_exited(exec) != head_snap) {
           // Died before LastExited was written: redo the whole exit.
           inst.lock.exit(exec);
           action = RecoveryAction::kForcedExit;
+          kind = obs::ShmEventKind::kForcedExit;
         } else {
           // LastExited written; the SignalNext may or may not have run.
           // FindNext from the same head re-finds the same successor (exit
@@ -576,14 +660,26 @@ class ShmStripeLockT {
           // is absorbed, so re-driving it is safe either way.
           inst.lock.resignal_from(exec, static_cast<std::uint32_t>(head_snap));
           action = RecoveryAction::kResignalled;
+          kind = obs::ShmEventKind::kResignal;
         }
         recovered_cleanup(exec, victim);
         finish_slot(v);
+        emit_recovery(kind, exec, victim, attempt_slot(att), inst_idx);
         return action;
       }
       default:
         AML_ASSERT(false, "corrupt phase word in recovery");
         return RecoveryAction::kZombie;
+    }
+  }
+
+  /// Exactly one typed event per dispatch arm, victim pid in the payload —
+  /// emitted after the repair steps so a reader that sees the event also
+  /// sees the repaired stripe state.
+  void emit_recovery(obs::ShmEventKind kind, Pid exec, Pid victim,
+                     std::uint32_t slot, std::uint32_t instance) {
+    if (shm_ != nullptr) {
+      shm_->on_recovery_arm(kind, stripe_id_, exec, victim, slot, instance);
     }
   }
 
@@ -636,6 +732,8 @@ class ShmStripeLockT {
   ShmSpace::Word* lock_desc_ = nullptr;
   ShmSpace::Word* recovery_ = nullptr;  ///< per-stripe recovery seqlock
   Metrics* metrics_ = nullptr;
+  obs::ShmMetrics* shm_ = nullptr;  ///< segment-hosted sink (crash-surviving)
+  std::uint32_t stripe_id_ = 0;
 };
 
 using ShmStripeLock = ShmStripeLockT<obs::Metrics>;

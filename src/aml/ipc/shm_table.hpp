@@ -51,6 +51,7 @@
 #include "aml/ipc/shm_lock.hpp"
 #include "aml/ipc/shm_space.hpp"
 #include "aml/obs/metrics.hpp"
+#include "aml/obs/shm_metrics.hpp"
 #include "aml/pal/config.hpp"
 #include "aml/table/hash.hpp"
 
@@ -66,19 +67,47 @@ struct ShmTableConfig {
   /// costs address space, not memory; the arena's exhaustion assert is the
   /// backstop if a future layout outgrows the estimate.
   std::uint64_t segment_bytes = 0;
+  /// Capacity of the segment-hosted event ring (obs::ShmMetrics); 0
+  /// disables event recording (counters and histograms stay on).
+  std::uint32_t ring_capacity = 1024;
 };
+
+/// Bump when the construction replay sequence changes shape (new objects,
+/// reordered allocations): it is mixed into the config hash, so a binary
+/// laying out the old sequence is rejected at attach instead of replaying a
+/// different construction into live state.
+inline constexpr std::uint64_t kShmLayoutVersion = 2;
 
 /// Everything the layout depends on, mixed into the superblock hash so a
 /// mis-configured attacher is rejected instead of replaying a different
 /// construction into live state.
 inline std::uint64_t shm_config_hash(const ShmTableConfig& cfg) {
   std::uint64_t h = table::fmix64(ShmArena::kAbiVersion);
+  h = table::fmix64(h ^ kShmLayoutVersion);
   h = table::fmix64(h ^ cfg.nprocs);
   h = table::fmix64(h ^ cfg.stripes);
   h = table::fmix64(h ^ cfg.tree_width);
   h = table::fmix64(h ^ static_cast<std::uint64_t>(cfg.find));
+  h = table::fmix64(h ^ cfg.ring_capacity);
   return h;
 }
+
+// AML_SHM_REGION_BEGIN
+/// First allocation of the construction replay, at a deterministic offset
+/// (the first cache line after the superblock): the service's own layout
+/// parameters, stored by the creator so an *external* inspector
+/// (tools/aml_stat) can discover the configuration it must replay with —
+/// no out-of-band config file needed to attach to an orphaned segment.
+struct ServiceHeader {
+  std::atomic<std::uint64_t> layout_version;
+  std::atomic<std::uint64_t> nprocs;
+  std::atomic<std::uint64_t> stripes;
+  std::atomic<std::uint64_t> tree_width;
+  std::atomic<std::uint64_t> find;
+  std::atomic<std::uint64_t> ring_capacity;
+};
+// AML_SHM_REGION_END
+AML_SHM_PLACEABLE(ServiceHeader);
 
 /// Recovery accounting (process-local: what *this* process's sweeps did).
 struct RecoveryStats {
@@ -127,6 +156,82 @@ class ShmNamedLockTable {
 
   static void unlink(const std::string& name) { ShmArena::unlink(name); }
 
+  /// Read a sealed segment's configuration from its ServiceHeader without
+  /// attaching (read-only map of the first page). This is how aml_stat
+  /// discovers what to replay with when inspecting a live or orphaned
+  /// segment it was not told the configuration of.
+  static bool peek_config(const std::string& name, ShmTableConfig* cfg,
+                          std::string* error) {
+    const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+    if (fd < 0) {
+      if (error != nullptr) {
+        *error = "shm_open(peek " + name + ") failed: " +
+                 std::string(std::strerror(errno));
+      }
+      return false;
+    }
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::uint64_t>(st.st_size) < header_offset() +
+            sizeof(ServiceHeader)) {
+      if (error != nullptr) {
+        *error = "segment " + name + " too small for a service header";
+      }
+      ::close(fd);
+      return false;
+    }
+    const std::size_t len = header_offset() + sizeof(ServiceHeader);
+    void* base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      if (error != nullptr) {
+        *error = "mmap(peek " + name + ") failed: " +
+                 std::string(std::strerror(errno));
+      }
+      return false;
+    }
+    bool ok = false;
+    const Superblock* sb = reinterpret_cast<const Superblock*>(base);
+    const ServiceHeader* hdr = reinterpret_cast<const ServiceHeader*>(
+        static_cast<const std::byte*>(base) + header_offset());
+    if (sb->ready.load(std::memory_order_acquire) == 0) {
+      if (error != nullptr) {
+        *error = "segment " + name + " not sealed (creator still "
+                 "constructing, or died mid-construction)";
+      }
+    } else if (sb->magic.load(std::memory_order_relaxed) !=
+                   ShmArena::kMagic ||
+               sb->abi_version.load(std::memory_order_relaxed) !=
+                   ShmArena::kAbiVersion) {
+      if (error != nullptr) {
+        *error = "segment " + name + ": bad magic or ABI version";
+      }
+    } else if (hdr->layout_version.load(std::memory_order_relaxed) !=
+               kShmLayoutVersion) {
+      if (error != nullptr) {
+        *error = "segment " + name + ": layout version mismatch (have " +
+                 std::to_string(hdr->layout_version.load(
+                     std::memory_order_relaxed)) +
+                 ", want " + std::to_string(kShmLayoutVersion) + ")";
+      }
+    } else {
+      cfg->nprocs =
+          static_cast<Pid>(hdr->nprocs.load(std::memory_order_relaxed));
+      cfg->stripes = static_cast<std::uint32_t>(
+          hdr->stripes.load(std::memory_order_relaxed));
+      cfg->tree_width = static_cast<std::uint32_t>(
+          hdr->tree_width.load(std::memory_order_relaxed));
+      cfg->find = static_cast<core::Find>(
+          hdr->find.load(std::memory_order_relaxed));
+      cfg->ring_capacity = static_cast<std::uint32_t>(
+          hdr->ring_capacity.load(std::memory_order_relaxed));
+      cfg->segment_bytes = 0;
+      ok = true;
+    }
+    ::munmap(base, len);
+    return ok;
+  }
+
   class Session;
   class Guard;
 
@@ -151,7 +256,9 @@ class ShmNamedLockTable {
   /// the per-stripe seqlock serializes the stripe repairs.
   std::uint32_t recover_dead(Pid exec) {
     stats_.sweeps++;
+    const std::uint64_t sweep_begin = obs::ShmMetrics::now_ns();
     std::uint32_t recovered = 0;
+    std::uint32_t repaired = 0;  // zombies included: work was still done
     const std::uint64_t self_os = static_cast<std::uint64_t>(::getpid());
     for (Pid victim = 0; victim < config_.nprocs; ++victim) {
       // dead() is an advisory prefilter (it skips the claim CAS for the
@@ -181,12 +288,20 @@ class ShmNamedLockTable {
       }
       cancel_deadlines(victim);
       registry_.finish_recovery(victim, zombie);
+      repaired++;
       if (zombie) {
         stats_.zombie_pids++;
       } else {
         stats_.recovered_pids++;
         recovered++;
       }
+    }
+    // Sweep latency lands in the segment, so operators (and the bench's
+    // recovery percentiles) can read it from any process — only sweeps that
+    // actually repaired something are recorded; the all-alive prefilter
+    // pass is a different (much cheaper) population.
+    if (repaired != 0) {
+      shm_metrics_.record_sweep_ns(obs::ShmMetrics::now_ns() - sweep_begin);
     }
     return recovered;
   }
@@ -211,6 +326,11 @@ class ShmNamedLockTable {
   /// Process-local observability: normal *and* recovered passages land here
   /// (the recoverer's forced aborts/exits flow through the same sink hooks).
   obs::Metrics& metrics() { return metrics_; }
+  /// Segment-hosted observability: survives every attached process, so a
+  /// victim's last events and the recovery dispatch counters are readable
+  /// post-mortem (tools/aml_stat renders this).
+  obs::ShmMetrics& shm_metrics() { return shm_metrics_; }
+  const obs::ShmMetrics& shm_metrics() const { return shm_metrics_; }
   const RecoveryStats& recovery_stats() const { return stats_; }
   std::size_t pending_deadlines() const { return wheel_.pending(); }
 
@@ -334,14 +454,17 @@ class ShmNamedLockTable {
  private:
   friend class Session;
 
-  /// Construction replayed identically by both roles: registry first, then
-  /// the stripes in index order.
+  /// Construction replayed identically by both roles: the service header
+  /// first (deterministic offset for peek_config), then the registry, the
+  /// shm metrics, and the stripes in index order.
   ShmNamedLockTable(std::unique_ptr<ShmArena> arena, ShmTableConfig cfg)
       : config_(cfg),
         arena_(std::move(arena)),
+        header_(init_header(*arena_, cfg)),
         space_(*arena_, cfg.nprocs),
         registry_(*arena_, cfg.nprocs),
         metrics_(cfg.nprocs),
+        shm_metrics_(*arena_, cfg.nprocs, cfg.stripes, cfg.ring_capacity),
         signals_(cfg.nprocs),
         armed_(cfg.nprocs) {
     stripes_.reserve(cfg.stripes);
@@ -351,7 +474,32 @@ class ShmNamedLockTable {
                                           .w = cfg.tree_width,
                                           .find = cfg.find}));
       stripes_.back()->set_metrics(&metrics_);
+      stripes_.back()->set_shm_metrics(&shm_metrics_, s);
     }
+  }
+
+  /// Offset of the ServiceHeader: the first allocation after the arena
+  /// constructor reserves the superblock and rounds up to a cache line.
+  static constexpr std::uint64_t header_offset() {
+    return (sizeof(Superblock) + pal::kCacheLine - 1) &
+           ~static_cast<std::uint64_t>(pal::kCacheLine - 1);
+  }
+
+  static ServiceHeader* init_header(ShmArena& arena,
+                                    const ShmTableConfig& cfg) {
+    ServiceHeader* hdr = arena.alloc_array<ServiceHeader>(1);
+    AML_ASSERT(arena.to_offset(hdr) == header_offset(),
+               "ServiceHeader must be the replay's first allocation");
+    if (arena.creating()) {
+      hdr->layout_version.store(kShmLayoutVersion, std::memory_order_relaxed);
+      hdr->nprocs.store(cfg.nprocs, std::memory_order_relaxed);
+      hdr->stripes.store(cfg.stripes, std::memory_order_relaxed);
+      hdr->tree_width.store(cfg.tree_width, std::memory_order_relaxed);
+      hdr->find.store(static_cast<std::uint64_t>(cfg.find),
+                      std::memory_order_relaxed);
+      hdr->ring_capacity.store(cfg.ring_capacity, std::memory_order_relaxed);
+    }
+    return hdr;
   }
 
   static bool validate(const ShmTableConfig& cfg, std::string* error) {
@@ -376,7 +524,10 @@ class ShmNamedLockTable {
     const std::uint64_t stripe_words =
         (n + 1) * inst_words + n * (n + 1) + 4 * n + 16;
     const std::uint64_t words = cfg.stripes * stripe_words + 8 * n + 64;
-    return (words * sizeof(ShmSpace::Word)) * 2 + (1u << 20);
+    return (words * sizeof(ShmSpace::Word)) * 2 +
+           obs::ShmMetrics::footprint_bytes(cfg.nprocs, cfg.stripes,
+                                            cfg.ring_capacity) +
+           sizeof(ServiceHeader) + (1u << 20);
   }
 
   bool timed_enter(Pid pid, std::uint32_t s, Clock::time_point when) {
@@ -419,9 +570,11 @@ class ShmNamedLockTable {
 
   ShmTableConfig config_;
   std::unique_ptr<ShmArena> arena_;
+  ServiceHeader* header_;  ///< shm: layout/config discovery for inspectors
   ShmSpace space_;
   ProcessRegistry registry_;
   obs::Metrics metrics_;  ///< process-local sink all stripes forward to
+  obs::ShmMetrics shm_metrics_;  ///< segment-hosted, crash-surviving sink
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::deque<AbortSignal> signals_;  ///< one per dense pid; timed ops only
   TimerWheel wheel_;

@@ -3,17 +3,23 @@
 // timestamps.
 //
 // The ring is a measurement aid, not a synchronization structure: writers
-// claim slots with one relaxed fetch_add and store plain Event payloads, so
-// pushes cost a handful of nanoseconds and never block the lock's hot path.
-// Once the ring wraps, a slow writer can race a fast one for the same slot
-// and the older event is overwritten (possibly torn); snapshot() must only
-// be called after the instrumented run has quiesced. Under the deterministic
-// scheduler exactly one process runs at a time, so the stream is totally
-// ordered and reproducible per seed.
+// claim slots with one relaxed fetch_add and store the payload with plain
+// (relaxed) stores, so pushes cost a handful of nanoseconds and never block
+// the lock's hot path. Torn slots are *detected*, not prevented: every slot
+// carries a sequence tag the writer sets odd while the payload is in flight
+// (claim) and even once the payload is complete (publish). snapshot()
+// accepts a slot only when its tag reads as the published tag of exactly the
+// sequence number that snapshot expects there — a stalled writer that
+// claimed the slot but never published, a wrapped writer that overwrote it,
+// or a stale publish landing after a wrap all leave a mismatched tag and the
+// slot is skipped (and counted) instead of silently returned torn. Under
+// the deterministic scheduler exactly one process runs at a time, so the
+// stream is totally ordered and reproducible per seed.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "aml/model/types.hpp"
@@ -52,19 +58,47 @@ struct Event {
 
 class EventRing {
  public:
+  /// An in-flight push: the slot is claimed (tag odd) but the payload is not
+  /// yet published. Exposed so tests can stage a stalled writer between the
+  /// two halves of push() deterministically; production code uses push().
+  struct Claim {
+    std::uint64_t seq = 0;
+    bool active = false;
+  };
+
   /// Capacity 0 disables recording entirely (push becomes a cheap no-op).
-  explicit EventRing(std::size_t capacity) : slots_(capacity) {}
+  explicit EventRing(std::size_t capacity)
+      : slots_(capacity == 0 ? nullptr
+                             : std::make_unique<Slot[]>(capacity)),
+        capacity_(capacity) {}
 
   EventRing(const EventRing&) = delete;
   EventRing& operator=(const EventRing&) = delete;
 
-  void push(const Event& e) {
-    if (slots_.empty()) return;
+  void push(const Event& e) { publish(claim(), e); }
+
+  /// First half of push(): take the next sequence number and mark its slot
+  /// as claimed (odd tag). The returned Claim must be passed to publish().
+  Claim claim() {
+    if (capacity_ == 0) return {};
     const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
-    slots_[seq % slots_.size()] = e;
+    slots_[seq % capacity_].tag.store(claim_tag(seq),
+                                      std::memory_order_relaxed);
+    return {seq, true};
   }
 
-  std::size_t capacity() const { return slots_.size(); }
+  /// Second half of push(): store the payload and publish it (even tag).
+  /// Safe to call after the ring has wrapped past the claim: the stale even
+  /// tag names the old sequence number, so snapshot() skips the slot.
+  void publish(const Claim& c, const Event& e) {
+    if (!c.active) return;
+    Slot& s = slots_[c.seq % capacity_];
+    s.meta.store(pack_meta(e), std::memory_order_relaxed);
+    s.tick.store(e.tick, std::memory_order_relaxed);
+    s.tag.store(publish_tag(c.seq), std::memory_order_release);
+  }
+
+  std::size_t capacity() const { return capacity_; }
 
   /// Total events offered to the ring (including overwritten ones).
   std::uint64_t total_recorded() const {
@@ -74,27 +108,74 @@ class EventRing {
   /// Events lost to wraparound so far.
   std::uint64_t dropped() const {
     const std::uint64_t total = total_recorded();
-    return total > slots_.size() ? total - slots_.size() : 0;
+    return total > capacity_ ? total - capacity_ : 0;
   }
 
-  /// The retained events, oldest first. Only meaningful once all
-  /// instrumented processes have quiesced (see file comment).
-  std::vector<Event> snapshot() const {
-    const std::uint64_t total = total_recorded();
+  /// The retained, fully published events, oldest first. A slot whose tag
+  /// does not match the expected published sequence (writer stalled mid-
+  /// push, slot overwritten by a wrap, stale publish after a wrap) is
+  /// skipped; `torn` (if given) receives how many were. Stable only once
+  /// writers quiesce — while they run, a skipped slot is simply one that was
+  /// in flight at the instant of the scan.
+  std::vector<Event> snapshot(std::uint64_t* torn = nullptr) const {
     std::vector<Event> out;
-    if (slots_.empty() || total == 0) return out;
-    const std::uint64_t kept =
-        total < slots_.size() ? total : slots_.size();
-    out.reserve(kept);
-    for (std::uint64_t i = total - kept; i < total; ++i) {
-      out.push_back(slots_[i % slots_.size()]);
+    std::uint64_t skipped = 0;
+    const std::uint64_t total = total_recorded();
+    if (capacity_ != 0 && total != 0) {
+      const std::uint64_t kept = total < capacity_ ? total : capacity_;
+      out.reserve(kept);
+      for (std::uint64_t seq = total - kept; seq < total; ++seq) {
+        Event e;
+        if (read_published(seq, &e)) {
+          out.push_back(e);
+        } else {
+          ++skipped;
+        }
+      }
     }
+    if (torn != nullptr) *torn = skipped;
     return out;
   }
 
  private:
+  /// One ring slot: a sequence tag plus the payload in two relaxed atomic
+  /// words, so a racing writer tears the *tag check*, never the C++ object
+  /// model (no plain-field data race for TSan to flag).
+  struct Slot {
+    std::atomic<std::uint64_t> tag{0};   ///< 0 never-used; odd claimed; even published
+    std::atomic<std::uint64_t> meta{0};  ///< kind | pid | slot packed
+    std::atomic<std::uint64_t> tick{0};
+  };
+
+  static std::uint64_t claim_tag(std::uint64_t seq) { return 2 * seq + 1; }
+  static std::uint64_t publish_tag(std::uint64_t seq) { return 2 * seq + 2; }
+
+  static std::uint64_t pack_meta(const Event& e) {
+    return (static_cast<std::uint64_t>(e.kind) << 56) |
+           (static_cast<std::uint64_t>(e.pid & 0xFF'FFFFu) << 32) |
+           static_cast<std::uint64_t>(e.slot);
+  }
+
+  bool read_published(std::uint64_t seq, Event* out) const {
+    const Slot& s = slots_[seq % capacity_];
+    const std::uint64_t want = publish_tag(seq);
+    if (s.tag.load(std::memory_order_acquire) != want) return false;
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    const std::uint64_t tick = s.tick.load(std::memory_order_relaxed);
+    // Re-validate after the payload reads: a writer that claimed between
+    // our two tag loads was mid-overwrite and the payload words may mix
+    // generations.
+    if (s.tag.load(std::memory_order_acquire) != want) return false;
+    out->kind = static_cast<EventKind>(meta >> 56);
+    out->pid = static_cast<model::Pid>((meta >> 32) & 0xFF'FFFFu);
+    out->slot = static_cast<std::uint32_t>(meta);
+    out->tick = tick;
+    return true;
+  }
+
   std::atomic<std::uint64_t> head_{0};
-  std::vector<Event> slots_;
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t capacity_;
 };
 
 }  // namespace aml::obs

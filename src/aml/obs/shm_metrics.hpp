@@ -1,0 +1,545 @@
+// Crash-surviving observability: metrics hosted *inside* the lock service's
+// shared-memory segment.
+//
+// The process-local aml::obs::Metrics dies with its process — which is
+// precisely the process whose passage an operator most needs to understand
+// after a SIGKILL. ShmMetrics moves the flight recorder into the ShmArena,
+// allocated during the deterministic creation replay, so:
+//
+//   * a victim's counters and final ring events are readable post-mortem by
+//     any survivor (or by tools/aml_stat attaching read-only to the orphaned
+//     segment),
+//   * the recovery sweep's typed dispatch events (forced exit, complete
+//     grant, abort on behalf, resignal, zombie retire) land in the same
+//     totally-ordered ring as the victim's own lifecycle events, and
+//   * sweep latency is recorded where every process can see it.
+//
+// Hot-path cost discipline (acceptance criterion of the PR that added this):
+// per-pid counters are cache-padded cells touched only by their owner, and a
+// ring push is one fetch_add on the shared head plus relaxed stores into the
+// claimed slot — the same claim-odd/publish-even tag protocol as the
+// process-local EventRing (events.hpp), so torn slots are detected, never
+// returned. Timestamps are CLOCK_MONOTONIC, comparable across processes on
+// the same host, so the merged stream renders on one Perfetto timeline
+// (trace_export.hpp).
+//
+// Everything placed in the segment is AML_SHM_REGION-safe: flat atomics,
+// no pointers, zero-filled pages are the valid initial state (no creator
+// stores needed, so the attach replay is naturally storeless).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ctime>
+#include <vector>
+
+#include <unistd.h>
+
+#include "aml/ipc/shm_arena.hpp"
+#include "aml/model/types.hpp"
+#include "aml/obs/events.hpp"
+#include "aml/obs/histogram.hpp"
+#include "aml/pal/cache.hpp"
+
+namespace aml::obs {
+
+/// Event kinds in the shm ring: the process-local lifecycle kinds plus the
+/// typed recovery-dispatch arms a survivor executes on a victim's behalf.
+enum class ShmEventKind : std::uint8_t {
+  kEnter = 1,        ///< doorway passed
+  kGranted,          ///< critical section entered
+  kAbort,            ///< attempt abandoned by its owner
+  kExit,             ///< critical section released by its owner
+  kSwitch,           ///< stripe installed a fresh one-shot instance
+  kForcedExit,       ///< recovery: victim held (or was re-signalled mid-exit
+                     ///  redo); survivor exited on its behalf
+  kCompleteGrant,    ///< recovery: victim died in the doorway already
+                     ///  granted; survivor completed the grant then exited
+  kAbortOnBehalf,    ///< recovery: victim died waiting; survivor aborted
+                     ///  its attempt
+  kResignal,         ///< recovery: victim died mid-exit after the hand-off;
+                     ///  survivor re-signalled the successor
+  kZombieRetire,     ///< recovery: journal window ambiguous; pid retired
+};
+
+inline const char* shm_event_kind_name(ShmEventKind kind) {
+  switch (kind) {
+    case ShmEventKind::kEnter: return "enter";
+    case ShmEventKind::kGranted: return "granted";
+    case ShmEventKind::kAbort: return "abort";
+    case ShmEventKind::kExit: return "exit";
+    case ShmEventKind::kSwitch: return "switch";
+    case ShmEventKind::kForcedExit: return "forced-exit";
+    case ShmEventKind::kCompleteGrant: return "complete-grant";
+    case ShmEventKind::kAbortOnBehalf: return "forced-abort";
+    case ShmEventKind::kResignal: return "resignal";
+    case ShmEventKind::kZombieRetire: return "zombie-retire";
+  }
+  return "?";
+}
+
+/// True for the kinds a recovery sweep emits on a victim's behalf.
+inline bool shm_event_is_recovery(ShmEventKind kind) {
+  switch (kind) {
+    case ShmEventKind::kForcedExit:
+    case ShmEventKind::kCompleteGrant:
+    case ShmEventKind::kAbortOnBehalf:
+    case ShmEventKind::kResignal:
+    case ShmEventKind::kZombieRetire:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// AML_SHM_REGION_BEGIN
+/// Per-pid counter cell. Owned (written) exclusively by the leaseholder of
+/// that pid, padded so neighbours never false-share; cross-process readers
+/// only load.
+struct alignas(pal::kCacheLine) ShmCounterCell {
+  std::atomic<std::uint64_t> acquisitions;
+  std::atomic<std::uint64_t> aborts;
+  std::atomic<std::uint64_t> spin_iterations;
+  std::atomic<std::uint64_t> findnext_ascents;
+  std::atomic<std::uint64_t> instance_switches;
+  std::atomic<std::uint64_t> spin_node_recycles;
+};
+
+/// One shm ring slot: claim-odd/publish-even tag plus the payload packed
+/// into atomic words (see events.hpp for the tag protocol; this is its
+/// cross-process twin). Padded: consecutive writers claim consecutive
+/// slots, and unpadded slots would put two processes' stores on one line.
+struct alignas(pal::kCacheLine) ShmEventSlot {
+  std::atomic<std::uint64_t> tag;      ///< 0 never-used; odd claimed; even published
+  std::atomic<std::uint64_t> meta;     ///< kind | stripe | pid | victim
+  std::atomic<std::uint64_t> detail;   ///< slot | instance
+  std::atomic<std::uint64_t> mono_ns;  ///< CLOCK_MONOTONIC at emit
+  std::atomic<std::uint64_t> writer;   ///< OS pid of the emitting process
+};
+
+/// Single padded shared word (ring head, pending hand-off timestamps).
+struct alignas(pal::kCacheLine) ShmWordCell {
+  std::atomic<std::uint64_t> value;
+};
+
+/// Shared power-of-two histogram (same geometry as LatencyHistogram, minus
+/// min/max whose sentinel init would break the zero-page-is-valid rule).
+struct alignas(pal::kCacheLine) ShmHistogramCell {
+  std::atomic<std::uint64_t> count;
+  std::atomic<std::uint64_t> sum;
+  std::atomic<std::uint64_t> buckets[LatencyHistogram::kBuckets];
+};
+
+/// Per-stripe recovery dispatch counters. Written only by the (unique)
+/// survivor holding that stripe's recovery seqlock, so padding is about
+/// keeping reader traffic off unrelated lines, not write contention.
+struct alignas(pal::kCacheLine) ShmRecoveryCell {
+  std::atomic<std::uint64_t> forced_exits;
+  std::atomic<std::uint64_t> complete_grants;
+  std::atomic<std::uint64_t> aborts_on_behalf;
+  std::atomic<std::uint64_t> resignals;
+  std::atomic<std::uint64_t> zombie_retires;
+};
+// AML_SHM_REGION_END
+AML_SHM_PLACEABLE(ShmCounterCell);
+AML_SHM_PLACEABLE(ShmEventSlot);
+AML_SHM_PLACEABLE(ShmWordCell);
+AML_SHM_PLACEABLE(ShmHistogramCell);
+AML_SHM_PLACEABLE(ShmRecoveryCell);
+
+/// A decoded shm ring event (process-local view; never placed in the
+/// segment).
+struct ShmEvent {
+  ShmEventKind kind = ShmEventKind::kEnter;
+  std::uint32_t stripe = 0;
+  model::Pid pid = 0;          ///< acting pid (the victim's for lifecycle
+                               ///  kinds, the *executor's* for recovery)
+  model::Pid victim = kNoPid;  ///< victim pid for recovery kinds
+  std::uint32_t slot = kNoSlot;
+  std::uint32_t instance = 0;  ///< one-shot generation within the stripe
+  std::uint64_t seq = 0;       ///< position in the global ring order
+  std::uint64_t mono_ns = 0;
+  std::uint64_t writer_os_pid = 0;
+
+  static constexpr model::Pid kNoPid = 0xFFFF;
+};
+
+struct ShmHistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;  ///< bucket upper bounds (nearest rank), like
+  std::uint64_t p90 = 0;  ///  LatencyHistogram::Snapshot
+  std::uint64_t p99 = 0;
+};
+
+struct ShmRecoverySnapshot {
+  std::uint64_t forced_exits = 0;
+  std::uint64_t complete_grants = 0;
+  std::uint64_t aborts_on_behalf = 0;
+  std::uint64_t resignals = 0;
+  std::uint64_t zombie_retires = 0;
+
+  std::uint64_t total() const {
+    return forced_exits + complete_grants + aborts_on_behalf + resignals +
+           zombie_retires;
+  }
+};
+
+/// Process-local handle over the segment-hosted metrics. Both roles replay
+/// the same allocation sequence; zero pages are the valid initial state, so
+/// construction performs no stores at all.
+class ShmMetrics {
+ public:
+  ShmMetrics(ipc::ShmArena& arena, model::Pid nprocs, std::uint32_t stripes,
+             std::uint32_t ring_capacity)
+      : nprocs_(nprocs),
+        stripes_(stripes),
+        ring_capacity_(ring_capacity),
+        counters_(arena.alloc_array<ShmCounterCell>(nprocs)),
+        pending_handoff_(arena.alloc_array<ShmWordCell>(stripes)),
+        recovery_(arena.alloc_array<ShmRecoveryCell>(stripes)),
+        ring_head_(arena.alloc_array<ShmWordCell>(1)),
+        ring_(arena.alloc_array<ShmEventSlot>(ring_capacity)),
+        handoff_hist_(arena.alloc_array<ShmHistogramCell>(1)),
+        sweep_hist_(arena.alloc_array<ShmHistogramCell>(1)),
+        self_os_pid_(static_cast<std::uint64_t>(::getpid())) {}
+
+  ShmMetrics(const ShmMetrics&) = delete;
+  ShmMetrics& operator=(const ShmMetrics&) = delete;
+
+  /// Arena bytes the construction replay consumes, for segment sizing.
+  /// Must mirror the constructor's allocation sequence exactly.
+  static std::uint64_t footprint_bytes(model::Pid nprocs,
+                                       std::uint32_t stripes,
+                                       std::uint32_t ring_capacity) {
+    std::uint64_t b = 0;
+    b += static_cast<std::uint64_t>(nprocs) * sizeof(ShmCounterCell);
+    b += static_cast<std::uint64_t>(stripes) * sizeof(ShmWordCell);
+    b += static_cast<std::uint64_t>(stripes) * sizeof(ShmRecoveryCell);
+    b += sizeof(ShmWordCell);
+    b += static_cast<std::uint64_t>(ring_capacity) * sizeof(ShmEventSlot);
+    b += 2 * sizeof(ShmHistogramCell);
+    b += 8 * pal::kCacheLine;  // alignment slop between allocations
+    return b;
+  }
+
+  model::Pid nprocs() const { return nprocs_; }
+  std::uint32_t stripes() const { return stripes_; }
+  std::uint32_t ring_capacity() const { return ring_capacity_; }
+
+  /// Wall reference for heartbeat ages and sweep durations.
+  static std::uint64_t now_ns() {
+    struct ::timespec ts {};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+  // --- lifecycle hooks (owner pid's own passage) ------------------------
+
+  void on_enter(std::uint32_t stripe, model::Pid p, std::uint32_t slot,
+                std::uint32_t instance) {
+    emit(ShmEventKind::kEnter, stripe, p, ShmEvent::kNoPid, slot, instance);
+  }
+
+  void on_granted(std::uint32_t stripe, model::Pid p, std::uint32_t slot,
+                  std::uint32_t instance) {
+    counters_[p].acquisitions.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t t = now_ns();
+    emit_at(ShmEventKind::kGranted, stripe, p, ShmEvent::kNoPid, slot,
+            instance, t);
+    // Hand-off latency: the previous holder parked its exit timestamp in
+    // the stripe's pending word; one exchange claims it. The word is only
+    // ever touched by the outgoing and incoming holder — the pair already
+    // communicating through the lock word itself — so this adds no *new*
+    // contention edge.
+    const std::uint64_t handed = pending_handoff_[stripe].value.exchange(
+        0, std::memory_order_acq_rel);
+    if (handed != 0 && t > handed) record(handoff_hist_[0], t - handed);
+  }
+
+  void on_abort(std::uint32_t stripe, model::Pid p, std::uint32_t slot,
+                std::uint32_t instance) {
+    counters_[p].aborts.fetch_add(1, std::memory_order_relaxed);
+    emit(ShmEventKind::kAbort, stripe, p, ShmEvent::kNoPid, slot, instance);
+  }
+
+  void on_exit(std::uint32_t stripe, model::Pid p, std::uint32_t slot,
+               std::uint32_t instance) {
+    const std::uint64_t t = now_ns();
+    emit_at(ShmEventKind::kExit, stripe, p, ShmEvent::kNoPid, slot, instance,
+            t);
+    pending_handoff_[stripe].value.store(t, std::memory_order_release);
+  }
+
+  void on_switch(std::uint32_t stripe, model::Pid p, std::uint32_t instance) {
+    counters_[p].instance_switches.fetch_add(1, std::memory_order_relaxed);
+    emit(ShmEventKind::kSwitch, stripe, p, ShmEvent::kNoPid, kNoSlot,
+         instance);
+  }
+
+  // Counter-only hooks: too frequent for the ring.
+  void on_spin_iteration(model::Pid p) {
+    counters_[p].spin_iterations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_findnext(model::Pid p) {
+    counters_[p].findnext_ascents.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_spin_node_recycle(model::Pid p, std::uint64_t nodes = 1) {
+    counters_[p].spin_node_recycles.fetch_add(nodes,
+                                              std::memory_order_relaxed);
+  }
+
+  // --- recovery hooks (survivor `exec` acting for `victim`) -------------
+
+  /// One typed event per dispatch arm, victim pid in the payload, plus the
+  /// per-stripe dispatch counter. `kind` must be a recovery kind.
+  void on_recovery_arm(ShmEventKind kind, std::uint32_t stripe,
+                       model::Pid exec, model::Pid victim, std::uint32_t slot,
+                       std::uint32_t instance) {
+    ShmRecoveryCell& c = recovery_[stripe];
+    switch (kind) {
+      case ShmEventKind::kForcedExit:
+        c.forced_exits.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ShmEventKind::kCompleteGrant:
+        c.complete_grants.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ShmEventKind::kAbortOnBehalf:
+        c.aborts_on_behalf.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ShmEventKind::kResignal:
+        c.resignals.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ShmEventKind::kZombieRetire:
+        c.zombie_retires.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        return;  // lifecycle kinds have their own hooks
+    }
+    emit(kind, stripe, exec, victim, slot, instance);
+  }
+
+  /// Wall-clock duration of one recovery sweep (recover_dead pass).
+  void record_sweep_ns(std::uint64_t ns) { record(sweep_hist_[0], ns); }
+
+  // --- readers (valid from any attached process, including read-only) ---
+
+  struct Totals {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t spin_iterations = 0;
+    std::uint64_t findnext_ascents = 0;
+    std::uint64_t instance_switches = 0;
+    std::uint64_t spin_node_recycles = 0;
+  };
+
+  Totals pid_counters(model::Pid p) const {
+    const ShmCounterCell& c = counters_[p];
+    Totals t;
+    t.acquisitions = c.acquisitions.load(std::memory_order_relaxed);
+    t.aborts = c.aborts.load(std::memory_order_relaxed);
+    t.spin_iterations = c.spin_iterations.load(std::memory_order_relaxed);
+    t.findnext_ascents = c.findnext_ascents.load(std::memory_order_relaxed);
+    t.instance_switches =
+        c.instance_switches.load(std::memory_order_relaxed);
+    t.spin_node_recycles =
+        c.spin_node_recycles.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  Totals totals() const {
+    Totals sum;
+    for (model::Pid p = 0; p < nprocs_; ++p) {
+      const Totals t = pid_counters(p);
+      sum.acquisitions += t.acquisitions;
+      sum.aborts += t.aborts;
+      sum.spin_iterations += t.spin_iterations;
+      sum.findnext_ascents += t.findnext_ascents;
+      sum.instance_switches += t.instance_switches;
+      sum.spin_node_recycles += t.spin_node_recycles;
+    }
+    return sum;
+  }
+
+  ShmRecoverySnapshot recovery_stripe(std::uint32_t stripe) const {
+    const ShmRecoveryCell& c = recovery_[stripe];
+    ShmRecoverySnapshot s;
+    s.forced_exits = c.forced_exits.load(std::memory_order_relaxed);
+    s.complete_grants = c.complete_grants.load(std::memory_order_relaxed);
+    s.aborts_on_behalf = c.aborts_on_behalf.load(std::memory_order_relaxed);
+    s.resignals = c.resignals.load(std::memory_order_relaxed);
+    s.zombie_retires = c.zombie_retires.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  ShmRecoverySnapshot recovery_totals() const {
+    ShmRecoverySnapshot sum;
+    for (std::uint32_t s = 0; s < stripes_; ++s) {
+      const ShmRecoverySnapshot r = recovery_stripe(s);
+      sum.forced_exits += r.forced_exits;
+      sum.complete_grants += r.complete_grants;
+      sum.aborts_on_behalf += r.aborts_on_behalf;
+      sum.resignals += r.resignals;
+      sum.zombie_retires += r.zombie_retires;
+    }
+    return sum;
+  }
+
+  ShmHistogramSnapshot handoff() const { return snapshot(handoff_hist_[0]); }
+  ShmHistogramSnapshot sweep_latency() const {
+    return snapshot(sweep_hist_[0]);
+  }
+
+  std::uint64_t ring_total() const {
+    return ring_head_[0].value.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t ring_dropped() const {
+    const std::uint64_t total = ring_total();
+    return total > ring_capacity_ ? total - ring_capacity_ : 0;
+  }
+
+  /// Retained, fully-published ring events oldest first; torn/in-flight
+  /// slots are skipped (and counted into `torn`) exactly as in
+  /// EventRing::snapshot().
+  std::vector<ShmEvent> ring_snapshot(std::uint64_t* torn = nullptr) const {
+    std::vector<ShmEvent> out;
+    std::uint64_t skipped = 0;
+    const std::uint64_t total = ring_total();
+    if (ring_capacity_ != 0 && total != 0) {
+      const std::uint64_t kept =
+          total < ring_capacity_ ? total : ring_capacity_;
+      out.reserve(kept);
+      for (std::uint64_t seq = total - kept; seq < total; ++seq) {
+        ShmEvent e;
+        if (read_published(seq, &e)) {
+          out.push_back(e);
+        } else {
+          ++skipped;
+        }
+      }
+    }
+    if (torn != nullptr) *torn = skipped;
+    return out;
+  }
+
+ private:
+  static std::uint64_t claim_tag(std::uint64_t seq) { return 2 * seq + 1; }
+  static std::uint64_t publish_tag(std::uint64_t seq) { return 2 * seq + 2; }
+
+  /// meta: kind(8) | stripe(16) | pid(16) | victim(16); low 8 reserved.
+  static std::uint64_t pack_meta(ShmEventKind kind, std::uint32_t stripe,
+                                 model::Pid pid, model::Pid victim) {
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           (static_cast<std::uint64_t>(stripe & 0xFFFFu) << 40) |
+           (static_cast<std::uint64_t>(pid & 0xFFFFu) << 24) |
+           (static_cast<std::uint64_t>(victim & 0xFFFFu) << 8);
+  }
+
+  static std::uint64_t pack_detail(std::uint32_t slot,
+                                   std::uint32_t instance) {
+    return (static_cast<std::uint64_t>(slot) << 32) |
+           static_cast<std::uint64_t>(instance);
+  }
+
+  void emit(ShmEventKind kind, std::uint32_t stripe, model::Pid pid,
+            model::Pid victim, std::uint32_t slot, std::uint32_t instance) {
+    emit_at(kind, stripe, pid, victim, slot, instance, now_ns());
+  }
+
+  /// One fetch_add on the shared head, then relaxed stores into the claimed
+  /// slot (claim odd, payload, publish even) — see the file header for the
+  /// contention budget this must stay within.
+  void emit_at(ShmEventKind kind, std::uint32_t stripe, model::Pid pid,
+               model::Pid victim, std::uint32_t slot, std::uint32_t instance,
+               std::uint64_t t) {
+    if (ring_capacity_ == 0) return;
+    const std::uint64_t seq =
+        ring_head_[0].value.fetch_add(1, std::memory_order_relaxed);
+    ShmEventSlot& s = ring_[seq % ring_capacity_];
+    s.tag.store(claim_tag(seq), std::memory_order_relaxed);
+    s.meta.store(pack_meta(kind, stripe, pid, victim),
+                 std::memory_order_relaxed);
+    s.detail.store(pack_detail(slot, instance), std::memory_order_relaxed);
+    s.mono_ns.store(t, std::memory_order_relaxed);
+    s.writer.store(self_os_pid_, std::memory_order_relaxed);
+    s.tag.store(publish_tag(seq), std::memory_order_release);
+  }
+
+  bool read_published(std::uint64_t seq, ShmEvent* out) const {
+    const ShmEventSlot& s = ring_[seq % ring_capacity_];
+    const std::uint64_t want = publish_tag(seq);
+    if (s.tag.load(std::memory_order_acquire) != want) return false;
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    const std::uint64_t detail = s.detail.load(std::memory_order_relaxed);
+    const std::uint64_t mono = s.mono_ns.load(std::memory_order_relaxed);
+    const std::uint64_t writer = s.writer.load(std::memory_order_relaxed);
+    if (s.tag.load(std::memory_order_acquire) != want) return false;
+    out->kind = static_cast<ShmEventKind>(meta >> 56);
+    out->stripe = static_cast<std::uint32_t>((meta >> 40) & 0xFFFFu);
+    out->pid = static_cast<model::Pid>((meta >> 24) & 0xFFFFu);
+    out->victim = static_cast<model::Pid>((meta >> 8) & 0xFFFFu);
+    out->slot = static_cast<std::uint32_t>(detail >> 32);
+    out->instance = static_cast<std::uint32_t>(detail);
+    out->seq = seq;
+    out->mono_ns = mono;
+    out->writer_os_pid = writer;
+    return true;
+  }
+
+  static void record(ShmHistogramCell& h, std::uint64_t v) {
+    h.buckets[LatencyHistogram::bucket_of(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static ShmHistogramSnapshot snapshot(const ShmHistogramCell& h) {
+    ShmHistogramSnapshot s;
+    std::uint64_t buckets[LatencyHistogram::kBuckets];
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      buckets[i] = h.buckets[i].load(std::memory_order_relaxed);
+      total += buckets[i];
+    }
+    // Percentiles over the buckets we actually read (the count word can be
+    // momentarily ahead of the bucket stores under concurrent writers).
+    s.count = total;
+    s.sum = h.sum.load(std::memory_order_relaxed);
+    if (total == 0) return s;
+    s.mean = static_cast<double>(s.sum) / static_cast<double>(total);
+    s.p50 = percentile(buckets, total, 0.50);
+    s.p90 = percentile(buckets, total, 0.90);
+    s.p99 = percentile(buckets, total, 0.99);
+    return s;
+  }
+
+  static std::uint64_t percentile(
+      const std::uint64_t (&buckets)[LatencyHistogram::kBuckets],
+      std::uint64_t total, double q) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total) + 0.9999999);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return LatencyHistogram::bucket_upper(i);
+    }
+    return LatencyHistogram::bucket_upper(LatencyHistogram::kBuckets - 1);
+  }
+
+  model::Pid nprocs_;
+  std::uint32_t stripes_;
+  std::uint32_t ring_capacity_;
+  ShmCounterCell* counters_;
+  ShmWordCell* pending_handoff_;
+  ShmRecoveryCell* recovery_;
+  ShmWordCell* ring_head_;
+  ShmEventSlot* ring_;
+  ShmHistogramCell* handoff_hist_;
+  ShmHistogramCell* sweep_hist_;
+  std::uint64_t self_os_pid_;
+};
+
+}  // namespace aml::obs

@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include <signal.h>
@@ -20,6 +21,9 @@
 #include <unistd.h>
 
 #include "aml/ipc/shm_table.hpp"
+#include "aml/ipc/stat_snapshot.hpp"
+#include "aml/obs/shm_metrics.hpp"
+#include "aml/obs/trace_export.hpp"
 
 namespace aml::ipc {
 namespace {
@@ -154,9 +158,38 @@ TEST(ShmIpcFork, SigkilledHolderRecoveredInOneSweep) {
   write_byte(p.to_child[1], 'C');
   ASSERT_TRUE(read_byte(p.to_parent[0], 'H'));
 
+  // Identify the victim's dense pid before it dies so the post-mortem
+  // assertions can name it.
+  Pid victim = fork_config().nprocs;
+  for (Pid q = 0; q < fork_config().nprocs; ++q) {
+    if (table->registry().state(q) == ProcessRegistry::kLive &&
+        table->registry().os_pid(q) == static_cast<std::uint64_t>(child)) {
+      victim = q;
+    }
+  }
+  ASSERT_LT(victim, fork_config().nprocs);
+
   ASSERT_EQ(::kill(child, SIGKILL), 0);
   int status = 0;
   ASSERT_EQ(::waitpid(child, &status, 0), child);  // reap: pid now ESRCH
+
+  // Post-mortem, pre-sweep: the victim took its heap to the grave, but the
+  // segment still journals its last phase and its final ring events — this
+  // is the aml_stat snapshot of the orphaned segment, and the acceptance
+  // scenario of the observability PR.
+  {
+    std::ostringstream pre;
+    write_stat_json(pre, *table);
+    EXPECT_NE(pre.str().find("\"phase\":\"holding\""), std::string::npos);
+  }
+  bool victim_granted_seen = false;
+  for (const obs::ShmEvent& e : table->shm_metrics().ring_snapshot()) {
+    if (e.kind == obs::ShmEventKind::kGranted && e.pid == victim &&
+        e.writer_os_pid == static_cast<std::uint64_t>(child)) {
+      victim_granted_seen = true;  // written by the now-dead process itself
+    }
+  }
+  EXPECT_TRUE(victim_granted_seen);
 
   auto survivor = table->open_session();
   ASSERT_TRUE(survivor.has_value());
@@ -167,6 +200,19 @@ TEST(ShmIpcFork, SigkilledHolderRecoveredInOneSweep) {
   EXPECT_EQ(stats.recovered_pids, 1u);
   EXPECT_EQ(stats.forced_exits, 1u);
   EXPECT_EQ(stats.zombie_pids, 0u);
+
+  // Exactly one typed forced-exit event, victim pid attached, and the
+  // matching dispatch counter — readable from the segment by any process.
+  std::size_t forced_events = 0;
+  for (const obs::ShmEvent& e : table->shm_metrics().ring_snapshot()) {
+    if (e.kind == obs::ShmEventKind::kForcedExit) {
+      ++forced_events;
+      EXPECT_EQ(e.victim, victim);
+      EXPECT_EQ(e.pid, survivor->id());
+    }
+  }
+  EXPECT_EQ(forced_events, 1u);
+  EXPECT_EQ(table->shm_metrics().recovery_totals().forced_exits, 1u);
 
   // The forced exit freed the critical section for the survivor.
   auto guard = survivor->try_acquire_for(kKey, 2s);
@@ -238,8 +284,123 @@ TEST(ShmIpcFork, SigkilledWaiterForcedToAbort) {
   EXPECT_EQ(stats.forced_exits, 0u);
   EXPECT_EQ(stats.zombie_pids, 0u);
 
+  // One typed abort-on-behalf event with the victim pid, and the tracer
+  // closes the victim's (never-granted) span forced, annotated with the
+  // sweeping executor — the timeline an operator sees in Perfetto.
+  std::size_t on_behalf = 0;
+  const auto events = table->shm_metrics().ring_snapshot();
+  for (const obs::ShmEvent& e : events) {
+    if (e.kind == obs::ShmEventKind::kAbortOnBehalf) {
+      ++on_behalf;
+      EXPECT_EQ(e.victim, victim);
+      EXPECT_EQ(e.pid, survivor->id());
+    }
+  }
+  EXPECT_EQ(on_behalf, 1u);
+  EXPECT_EQ(table->shm_metrics().recovery_totals().aborts_on_behalf, 1u);
+  bool victim_span_forced_abort = false;
+  for (const obs::PassageSpan& s : obs::assemble_passage_spans(events)) {
+    if (s.pid == victim && s.closed && s.forced && !s.granted &&
+        s.close_kind == obs::ShmEventKind::kAbortOnBehalf &&
+        s.recovered_by == survivor->id()) {
+      victim_span_forced_abort = true;
+    }
+  }
+  EXPECT_TRUE(victim_span_forced_abort);
+
   // Our guard was never disturbed; releasing it hands off normally.
   guard.release();
+  EXPECT_TRUE(survivor->try_acquire_for(kKey, 2s).has_value());
+  ShmNamedLockTable::unlink(seg);
+}
+
+TEST(ShmIpcFork, SigkilledGrantedWaiterDrivenThroughCompleteGrant) {
+  // The complete-grant arm: the victim dies parked in the doorway, and the
+  // hand-off lands *after* its death — the grant stands (it reached the
+  // victim's go word) but nobody is alive to acknowledge it. The sweep must
+  // complete the grant on the victim's behalf and then exit for it.
+  const std::string seg = unique_name("grantee");
+  Pipes p;
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    const int rc = child_main(
+        seg, p.to_child[0], p.to_parent[1],
+        [](ShmNamedLockTable&, ShmNamedLockTable::Session& session, int,
+           int wfd) {
+          write_byte(wfd, 'W');                // about to enter
+          auto guard = session.acquire(kKey);  // blocks: parent holds
+          return 14;                           // must never run the CS
+        });
+    ::_exit(rc);
+  }
+
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg, fork_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+  auto holder = table->open_session();
+  auto survivor = table->open_session();
+  ASSERT_TRUE(holder && survivor);
+  auto guard = holder->acquire(kKey);
+
+  write_byte(p.to_child[1], 'C');
+  ASSERT_TRUE(read_byte(p.to_parent[0], 'W'));
+
+  const Pid nprocs = fork_config().nprocs;
+  Pid victim = nprocs;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (Pid q = 0; q < nprocs; ++q) {
+      if (table->registry().state(q) == ProcessRegistry::kLive &&
+          table->registry().os_pid(q) ==
+              static_cast<std::uint64_t>(child) &&
+          table->stripe(0).peek_phase(q) == kDoorway) {
+        victim = q;
+      }
+    }
+    if (victim < nprocs) break;
+    ::sched_yield();
+  }
+  ASSERT_LT(victim, nprocs) << "child never reached the doorway";
+
+  // Kill first, release second: the exit's hand-off picks the (now dead)
+  // victim as successor and writes its go word — a grant delivered to a
+  // corpse, which is exactly the complete-grant recovery window.
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  guard.release();
+
+  EXPECT_EQ(survivor->recover_dead(), 1u);
+  const RecoveryStats& stats = table->recovery_stats();
+  EXPECT_EQ(stats.recovered_pids, 1u);
+  EXPECT_EQ(stats.forced_exits, 1u);  // complete-grant repairs via an exit
+  EXPECT_EQ(stats.forced_aborts, 0u);
+  EXPECT_EQ(stats.zombie_pids, 0u);
+
+  // The segment distinguishes the arm: one typed complete-grant event with
+  // the victim pid, and a victim span the tracer closes *granted* + forced.
+  std::size_t complete_grants = 0;
+  const auto events = table->shm_metrics().ring_snapshot();
+  for (const obs::ShmEvent& e : events) {
+    if (e.kind == obs::ShmEventKind::kCompleteGrant) {
+      ++complete_grants;
+      EXPECT_EQ(e.victim, victim);
+      EXPECT_EQ(e.pid, survivor->id());
+    }
+  }
+  EXPECT_EQ(complete_grants, 1u);
+  EXPECT_EQ(table->shm_metrics().recovery_totals().complete_grants, 1u);
+  bool victim_span_completed = false;
+  for (const obs::PassageSpan& s : obs::assemble_passage_spans(events)) {
+    if (s.pid == victim && s.closed && s.forced && s.granted &&
+        s.close_kind == obs::ShmEventKind::kCompleteGrant) {
+      victim_span_completed = true;
+    }
+  }
+  EXPECT_TRUE(victim_span_completed);
+
+  // The on-behalf exit freed the lock for the survivor.
   EXPECT_TRUE(survivor->try_acquire_for(kKey, 2s).has_value());
   ShmNamedLockTable::unlink(seg);
 }

@@ -1,0 +1,406 @@
+// Crash-surviving observability coverage: the segment-hosted ShmMetrics
+// sink (per-pid counters, the claim-odd/publish-even event ring, recovery
+// dispatch counters), the passage tracer that folds the ring into spans,
+// and the aml_stat JSON snapshot — all read back the way tools/aml_stat
+// reads them, including against a "victim" whose death is forged with an
+// ESRCH os pid so each recovery dispatch arm can be staged deterministically
+// in-process. Genuine SIGKILL coverage of the same assertions lives in
+// shm_fork_test.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "aml/ipc/shm_table.hpp"
+#include "aml/ipc/stat_snapshot.hpp"
+#include "aml/obs/shm_metrics.hpp"
+#include "aml/obs/trace_export.hpp"
+
+namespace aml::ipc {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::ShmEvent;
+using obs::ShmEventKind;
+
+constexpr std::uint64_t kForgedDeadPid = 0x7FFF'FFFF;
+
+std::string unique_name(const char* tag) {
+  static int counter = 0;
+  return std::string("/aml-test-stat-") + tag + "-" +
+         std::to_string(::getpid()) + "-" + std::to_string(counter++);
+}
+
+ShmTableConfig small_config() {
+  ShmTableConfig cfg;
+  cfg.nprocs = 4;
+  cfg.stripes = 2;
+  cfg.tree_width = 64;
+  return cfg;
+}
+
+struct ScopedSegment {
+  explicit ScopedSegment(std::string n) : name(std::move(n)) {}
+  ~ScopedSegment() { ShmNamedLockTable::unlink(name); }
+  std::string name;
+};
+
+std::vector<ShmEvent> events_of_kind(const obs::ShmMetrics& shm,
+                                     ShmEventKind kind) {
+  std::vector<ShmEvent> out;
+  for (const ShmEvent& e : shm.ring_snapshot()) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+// --- the shm ring itself ---------------------------------------------------
+
+TEST(ShmIpcStat, LifecycleEventsLandInTheSegmentRing) {
+  ScopedSegment seg(unique_name("ring"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto session = table->open_session();
+  ASSERT_TRUE(session.has_value());
+  {
+    auto guard = session->acquire(std::uint64_t{7});
+  }
+
+  obs::ShmMetrics& shm = table->shm_metrics();
+  // One full passage: enter, granted, exit — all attributed to the session's
+  // dense pid, stamped with this OS process, in ring order.
+  std::uint64_t torn = ~std::uint64_t{0};
+  const std::vector<ShmEvent> events = shm.ring_snapshot(&torn);
+  EXPECT_EQ(torn, 0u);
+  ASSERT_GE(events.size(), 3u);
+  std::vector<ShmEventKind> kinds;
+  for (const ShmEvent& e : events) {
+    EXPECT_EQ(e.pid, session->id());
+    EXPECT_EQ(e.writer_os_pid, static_cast<std::uint64_t>(::getpid()));
+    kinds.push_back(e.kind);
+  }
+  const std::vector<ShmEventKind> expect = {
+      ShmEventKind::kEnter, ShmEventKind::kGranted, ShmEventKind::kExit};
+  EXPECT_EQ(std::vector<ShmEventKind>(kinds.begin(), kinds.begin() + 3),
+            expect);
+
+  const obs::ShmMetrics::Totals totals = shm.totals();
+  EXPECT_EQ(totals.acquisitions, 1u);
+  EXPECT_EQ(totals.aborts, 0u);
+  EXPECT_EQ(shm.pid_counters(session->id()).acquisitions, 1u);
+}
+
+TEST(ShmIpcStat, RingWrapKeepsNewestAndCountsDropped) {
+  ScopedSegment seg(unique_name("wrap"));
+  ShmTableConfig cfg = small_config();
+  cfg.ring_capacity = 16;  // tiny: a handful of passages wraps it
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, cfg, &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto session = table->open_session();
+  ASSERT_TRUE(session.has_value());
+  for (int i = 0; i < 16; ++i) {
+    auto guard = session->acquire(std::uint64_t{3});  // 3 events per passage
+  }
+
+  obs::ShmMetrics& shm = table->shm_metrics();
+  // 16 passages at >= 3 events each overflowed the 16-slot ring for sure.
+  const std::uint64_t total = shm.ring_total();
+  EXPECT_GE(total, 48u);
+  EXPECT_EQ(shm.ring_dropped(), total - 16u);
+  std::uint64_t torn = ~std::uint64_t{0};
+  const std::vector<ShmEvent> events = shm.ring_snapshot(&torn);
+  // Quiesced single writer: the retained window is fully published.
+  EXPECT_EQ(torn, 0u);
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest-first and contiguous, ending at the newest sequence number.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  EXPECT_EQ(events.back().seq, total - 1);
+}
+
+TEST(ShmIpcStat, HandoffHistogramRecordsCrossSessionHandoffs) {
+  ScopedSegment seg(unique_name("handoff"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto a = table->open_session();
+  auto b = table->open_session();
+  ASSERT_TRUE(a && b);
+  const std::uint64_t key = 5;
+  for (int i = 0; i < 4; ++i) {
+    { auto guard = a->acquire(key); }
+    { auto guard = b->acquire(key); }
+  }
+  // Every grant after the first claims the previous exit's parked
+  // timestamp (same stripe), regardless of which session held before.
+  const obs::ShmHistogramSnapshot h = table->shm_metrics().handoff();
+  EXPECT_GE(h.count, 7u);
+  EXPECT_GT(h.sum, 0u);
+  EXPECT_GE(h.p99, h.p50);
+}
+
+// --- recovery dispatch arms: one typed event each, victim pid attached ----
+
+TEST(ShmIpcStat, ForcedExitArmEmitsOneTypedEventWithVictim) {
+  ScopedSegment seg(unique_name("fexit"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto victim = table->open_session();
+  auto survivor = table->open_session();
+  ASSERT_TRUE(victim && survivor);
+
+  const std::uint32_t s = 0;
+  ASSERT_TRUE(table->stripe(s).enter(victim->id(), nullptr).acquired);
+  table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
+  EXPECT_EQ(survivor->recover_dead(), 1u);
+
+  obs::ShmMetrics& shm = table->shm_metrics();
+  const auto forced = events_of_kind(shm, ShmEventKind::kForcedExit);
+  ASSERT_EQ(forced.size(), 1u);
+  EXPECT_EQ(forced[0].victim, victim->id());
+  EXPECT_EQ(forced[0].pid, survivor->id());  // the executor
+  EXPECT_EQ(forced[0].stripe, s);
+
+  const obs::ShmRecoverySnapshot rec = shm.recovery_totals();
+  EXPECT_EQ(rec.forced_exits, 1u);
+  EXPECT_EQ(rec.total(), 1u);
+  EXPECT_EQ(shm.recovery_stripe(s).forced_exits, 1u);
+  EXPECT_EQ(shm.recovery_stripe(1).forced_exits, 0u);
+  // The sweep repaired something, so its latency landed in the segment.
+  EXPECT_EQ(shm.sweep_latency().count, 1u);
+}
+
+TEST(ShmIpcStat, ZombieRetireArmEmitsOneTypedEventWithVictim) {
+  ScopedSegment seg(unique_name("zombie"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto victim = table->open_session();
+  auto survivor = table->open_session();
+  ASSERT_TRUE(victim && survivor);
+
+  // Forge a death inside the unjournalable cleanup F&A window: the sweep
+  // must retire the pid as a zombie, repair nothing, and say so in the ring.
+  table->stripe(0).debug_set_phase(victim->id(), kCleanup);
+  table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
+  EXPECT_EQ(survivor->recover_dead(), 0u);  // zombies are not "recovered"
+
+  obs::ShmMetrics& shm = table->shm_metrics();
+  const auto retired = events_of_kind(shm, ShmEventKind::kZombieRetire);
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0].victim, victim->id());
+  EXPECT_EQ(retired[0].pid, survivor->id());
+  EXPECT_EQ(shm.recovery_totals().zombie_retires, 1u);
+  EXPECT_EQ(table->registry().state(victim->id()), ProcessRegistry::kZombie);
+  EXPECT_EQ(table->recovery_stats().zombie_pids, 1u);
+}
+
+TEST(ShmIpcStat, JoinedVictimAbortedOnBehalfWithOneTypedEvent) {
+  ScopedSegment seg(unique_name("joined"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto victim = table->open_session();
+  auto survivor = table->open_session();
+  ASSERT_TRUE(victim && survivor);
+
+  // A full passage first so the journal's refcnt bookkeeping matches the
+  // forged kJoined window (refcnt bumped, no doorway presence yet).
+  const std::uint32_t s = 0;
+  ASSERT_TRUE(table->stripe(s).enter(victim->id(), nullptr).acquired);
+  table->stripe(s).exit(victim->id());
+  ASSERT_TRUE(table->stripe(s).enter(victim->id(), nullptr).acquired);
+  table->stripe(s).exit(victim->id());
+
+  table->stripe(s).debug_forge_joined(victim->id());
+  table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
+  EXPECT_EQ(survivor->recover_dead(), 1u);
+
+  obs::ShmMetrics& shm = table->shm_metrics();
+  const auto aborted = events_of_kind(shm, ShmEventKind::kAbortOnBehalf);
+  ASSERT_EQ(aborted.size(), 1u);
+  EXPECT_EQ(aborted[0].victim, victim->id());
+  EXPECT_EQ(aborted[0].pid, survivor->id());
+  EXPECT_EQ(shm.recovery_totals().aborts_on_behalf, 1u);
+  EXPECT_EQ(table->recovery_stats().forced_aborts, 1u);
+
+  // The repair left the stripe acquirable.
+  ASSERT_TRUE(table->stripe(s).enter(survivor->id(), nullptr).acquired);
+  table->stripe(s).exit(survivor->id());
+}
+
+// --- passage tracer --------------------------------------------------------
+
+TEST(ShmIpcStat, TracerClosesVictimSpanForcedWithRecoveryAnnotation) {
+  ScopedSegment seg(unique_name("trace"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto victim = table->open_session();
+  auto survivor = table->open_session();
+  ASSERT_TRUE(victim && survivor);
+
+  const std::uint32_t s = 0;
+  ASSERT_TRUE(table->stripe(s).enter(victim->id(), nullptr).acquired);
+  table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
+  ASSERT_EQ(survivor->recover_dead(), 1u);
+  {  // a normal passage after the sweep: its span must close un-forced
+    auto guard = survivor->acquire(std::uint64_t{0});
+  }
+
+  const std::vector<ShmEvent> events =
+      table->shm_metrics().ring_snapshot();
+  const std::vector<obs::PassageSpan> spans =
+      obs::assemble_passage_spans(events);
+
+  // The crash-and-recover episode, structurally: the victim's span is
+  // granted, closed, *forced*, terminal kind forced-exit, annotated with
+  // the surviving executor's pid.
+  const obs::PassageSpan* victim_span = nullptr;
+  for (const obs::PassageSpan& span : spans) {
+    if (span.pid == victim->id() && span.forced) victim_span = &span;
+  }
+  ASSERT_NE(victim_span, nullptr);
+  EXPECT_TRUE(victim_span->granted);
+  EXPECT_TRUE(victim_span->closed);
+  EXPECT_EQ(victim_span->close_kind, ShmEventKind::kForcedExit);
+  EXPECT_EQ(victim_span->recovered_by, survivor->id());
+  EXPECT_GE(victim_span->end_ns, victim_span->begin_ns);
+
+  bool survivor_clean = false;
+  for (const obs::PassageSpan& span : spans) {
+    if (span.pid == survivor->id() && span.closed && !span.forced &&
+        span.close_kind == ShmEventKind::kExit) {
+      survivor_clean = true;
+    }
+  }
+  EXPECT_TRUE(survivor_clean);
+
+  // The Chrome export of the same ring is loadable structure: complete
+  // ("X") span events, the forced outcome, and the recovery instant.
+  std::ostringstream trace;
+  obs::write_chrome_trace(trace, events);
+  const std::string json = trace.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"forced-exit\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovered_by\":" + std::to_string(survivor->id())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"forced\":true"), std::string::npos);
+}
+
+TEST(ShmIpcStat, TracerSynthesizesSpanWhenOpeningEventWrapped) {
+  // Ring wrap robustness: a terminal whose opening enter was overwritten
+  // still yields a (partial) span instead of disappearing.
+  std::vector<ShmEvent> events;
+  ShmEvent term;
+  term.kind = ShmEventKind::kAbortOnBehalf;
+  term.stripe = 1;
+  term.pid = 2;      // executor
+  term.victim = 0;   // victim whose enter was lost
+  term.seq = 900;
+  term.mono_ns = 5'000;
+  events.push_back(term);
+
+  const std::vector<obs::PassageSpan> spans =
+      obs::assemble_passage_spans(events);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].pid, 0u);
+  EXPECT_TRUE(spans[0].closed);
+  EXPECT_TRUE(spans[0].forced);
+  EXPECT_EQ(spans[0].recovered_by, 2u);
+  EXPECT_EQ(spans[0].close_kind, ShmEventKind::kAbortOnBehalf);
+}
+
+// --- aml_stat snapshot -----------------------------------------------------
+
+TEST(ShmIpcStat, StatJsonReportsVictimPhaseThenRecoveryCounters) {
+  ScopedSegment seg(unique_name("json"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto victim = table->open_session();
+  auto survivor = table->open_session();
+  ASSERT_TRUE(victim && survivor);
+
+  const std::uint32_t s = 0;
+  ASSERT_TRUE(table->stripe(s).enter(victim->id(), nullptr).acquired);
+  table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
+
+  // Pre-sweep snapshot: the victim's last journaled phase is visible — the
+  // post-mortem signal an operator reads off an orphaned segment.
+  std::ostringstream pre;
+  write_stat_json(pre, *table);
+  const std::string before = pre.str();
+  EXPECT_NE(before.find("\"phase\":\"holding\""), std::string::npos);
+  EXPECT_NE(before.find("\"kind\":\"granted\""), std::string::npos);
+  EXPECT_NE(before.find("\"recovery\":{\"forced_exits\":0"),
+            std::string::npos);
+
+  ASSERT_EQ(survivor->recover_dead(), 1u);
+
+  // Post-sweep snapshot: the phase is repaired away, the dispatch counters
+  // and the typed ring event say what happened.
+  std::ostringstream post;
+  write_stat_json(post, *table);
+  const std::string after = post.str();
+  EXPECT_EQ(after.find("\"phase\":\"holding\""), std::string::npos);
+  EXPECT_NE(after.find("\"forced_exits\":1"), std::string::npos);
+  EXPECT_NE(after.find("\"kind\":\"forced-exit\""), std::string::npos);
+  EXPECT_NE(after.find("\"victim\":" + std::to_string(victim->id())),
+            std::string::npos);
+  EXPECT_NE(after.find("\"state\":\"free\""), std::string::npos);
+}
+
+TEST(ShmIpcStat, PeekConfigDiscoversCreatorLayout) {
+  ScopedSegment seg(unique_name("peek"));
+  ShmTableConfig cfg = small_config();
+  cfg.ring_capacity = 512;
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, cfg, &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  // This is aml_stat's attach path: discover the layout from the segment's
+  // own header, then attach with it — no out-of-band configuration.
+  ShmTableConfig peeked;
+  ASSERT_TRUE(ShmNamedLockTable::peek_config(seg.name, &peeked, &error))
+      << error;
+  EXPECT_EQ(peeked.nprocs, cfg.nprocs);
+  EXPECT_EQ(peeked.stripes, cfg.stripes);
+  EXPECT_EQ(peeked.tree_width, cfg.tree_width);
+  EXPECT_EQ(peeked.ring_capacity, cfg.ring_capacity);
+
+  auto replica = ShmNamedLockTable::attach(seg.name, peeked, &error);
+  ASSERT_NE(replica, nullptr) << error;
+  // The replica reads the same segment-hosted metrics words.
+  { auto guard = table->open_session()->acquire(std::uint64_t{1}); }
+  EXPECT_EQ(replica->shm_metrics().totals().acquisitions, 1u);
+}
+
+TEST(ShmIpcStat, PeekConfigRejectsMissingSegment) {
+  ShmTableConfig cfg;
+  std::string error;
+  EXPECT_FALSE(ShmNamedLockTable::peek_config(unique_name("absent"), &cfg,
+                                              &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace aml::ipc

@@ -68,6 +68,59 @@ TEST(EventRingTest, WraparoundKeepsNewestAndCountsDropped) {
   }
 }
 
+TEST(EventRingTest, StalledWriterSlotSkippedNotTorn) {
+  // The wrap race the per-slot sequence tags exist for: writer A claims a
+  // slot and stalls before publishing; other writers wrap the ring past it.
+  // snapshot() must skip A's slot (odd tag, or stale generation) instead of
+  // returning whatever half-written payload sits there.
+  EventRing ring(4);
+  const EventRing::Claim stalled = ring.claim();  // seq 0, never published
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    // Seqs 1..4: seq 4 wraps onto the stalled slot's index (4 % 4 == 0)
+    // and overwrites its claim tag.
+    ring.push({EventKind::kEnter, 0, static_cast<std::uint32_t>(i), i});
+  }
+  std::uint64_t torn = 0;
+  auto events = ring.snapshot(&torn);
+  // Retained window is seqs 1..4, all published: nothing torn, and the
+  // stalled seq-0 entry is outside the window entirely.
+  EXPECT_EQ(torn, 0u);
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].tick, i + 1);
+
+  // Now the stalled writer finally publishes — long after its slot was
+  // recycled for seq 4. The stale even tag names seq 0, so the slot no
+  // longer matches seq 4's expected tag and is skipped and counted.
+  ring.publish(stalled, {EventKind::kAbort, 9, 99, 999});
+  events = ring.snapshot(&torn);
+  EXPECT_EQ(torn, 1u);
+  ASSERT_EQ(events.size(), 3u);
+  for (const Event& e : events) {
+    EXPECT_NE(e.slot, 99u);  // the stale payload never surfaces
+    EXPECT_NE(e.tick, 999u);
+  }
+}
+
+TEST(EventRingTest, ClaimedButUnpublishedSlotInWindowIsSkipped) {
+  EventRing ring(8);
+  ring.push({EventKind::kEnter, 1, 1, 1});
+  const EventRing::Claim stalled = ring.claim();  // seq 1: odd tag, in window
+  ring.push({EventKind::kGranted, 1, 1, 3});
+  std::uint64_t torn = 0;
+  const auto events = ring.snapshot(&torn);
+  EXPECT_EQ(torn, 1u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tick, 1u);
+  EXPECT_EQ(events[1].tick, 3u);
+  // Late publish into a still-current slot heals it: the tag now matches.
+  ring.publish(stalled, {EventKind::kAbort, 1, 1, 2});
+  const auto healed = ring.snapshot(&torn);
+  EXPECT_EQ(torn, 0u);
+  ASSERT_EQ(healed.size(), 3u);
+  EXPECT_EQ(healed[1].tick, 2u);
+  EXPECT_EQ(healed[1].kind, EventKind::kAbort);
+}
+
 TEST(EventRingTest, KindNames) {
   EXPECT_STREQ(event_kind_name(EventKind::kEnter), "enter");
   EXPECT_STREQ(event_kind_name(EventKind::kGranted), "granted");

@@ -30,6 +30,16 @@
 //       must live outside the placed data. Member functions (declarations
 //       containing a parameter list) are exempt: resolvers returning T*
 //       against a caller-supplied base are exactly the intended idiom.
+//   R6  instrumentation pairing in the instrumented layers (src/aml/core,
+//       src/aml/table, src/aml/ipc): a sink object that emits `on_enter`
+//       must also emit terminal hooks — `on_granted` AND `on_exit`, or
+//       `on_abort` — somewhere in the same file. An attempt that is opened
+//       but never terminated through the same sink produces metrics that
+//       silently undercount grants/aborts (the class of bug where the
+//       table's amortized stripe path zeroed its acquisition counters).
+//       The check is per-receiver per-file — a token lint cannot prove
+//       all-paths coverage, but a receiver with an enter and no terminal at
+//       all is exactly the observed failure shape.
 //
 // Findings can be suppressed through an allowlist file (one entry per line):
 //
@@ -60,7 +70,7 @@ namespace fs = std::filesystem;
 struct Finding {
   std::string file;   // path relative to the scanned root
   std::size_t line;   // 1-based
-  std::string rule;   // "R1".."R4"
+  std::string rule;   // "R1".."R6"
   std::string message;
   std::string excerpt;  // the offending source line (trimmed)
 };
@@ -384,6 +394,77 @@ void check_r5(const std::string& code, const std::string& original,
   }
 }
 
+/// R6: instrumentation pairing. Collect, per receiver object, every
+/// `<recv>.on_enter(` / `<recv>->on_enter(` emission (declarations and
+/// definitions are not preceded by '.'/'->' and never match), plus which
+/// terminal hooks the same receiver emits anywhere in the file. A receiver
+/// with enters but neither (granted AND exit) nor abort is reported at each
+/// of its enter sites.
+void check_r6(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  struct Hooks {
+    std::vector<std::size_t> enters;  // positions of on_enter emissions
+    bool granted = false;
+    bool exited = false;
+    bool aborted = false;
+  };
+  std::vector<std::pair<std::string, Hooks>> receivers;
+  const auto hooks_of = [&receivers](const std::string& recv) -> Hooks& {
+    for (auto& [name, hooks] : receivers) {
+      if (name == recv) return hooks;
+    }
+    receivers.push_back({recv, Hooks{}});
+    return receivers.back().second;
+  };
+
+  static const char* kHookNames[] = {"on_enter", "on_granted", "on_exit",
+                                     "on_abort"};
+  for (int which = 0; which < 4; ++which) {
+    const std::string needle = std::string(kHookNames[which]) + "(";
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      // Emission sites only: a member call through '.' or '->', and not a
+      // longer identifier (e.g. journal_on_enter().
+      if (at == 0 || ident_char(code[at - 1]) ||
+          !(code[at - 1] == '.' ||
+            (code[at - 1] == '>' && at >= 2 && code[at - 2] == '-'))) {
+        continue;
+      }
+      // Extract the receiver identifier to the left of the '.'/'->'.
+      std::size_t r_end = at - (code[at - 1] == '.' ? 1 : 2);
+      std::size_t r_begin = r_end;
+      while (r_begin > 0 && ident_char(code[r_begin - 1])) --r_begin;
+      // Chained-expression receivers ((expr).on_enter) all share a bucket:
+      // better one merged approximation than a false positive per chain.
+      const std::string recv = r_begin == r_end
+                                   ? std::string("(expr)")
+                                   : code.substr(r_begin, r_end - r_begin);
+      Hooks& h = hooks_of(recv);
+      switch (which) {
+        case 0: h.enters.push_back(at); break;
+        case 1: h.granted = true; break;
+        case 2: h.exited = true; break;
+        case 3: h.aborted = true; break;
+      }
+    }
+  }
+
+  for (const auto& [recv, h] : receivers) {
+    if (h.enters.empty()) continue;
+    if ((h.granted && h.exited) || h.aborted) continue;
+    for (const std::size_t at : h.enters) {
+      findings->push_back(
+          {rel, line_of(code, at), "R6",
+           "on_enter emitted through '" + recv +
+               "' with no terminal hook from the same sink in this file "
+               "(need on_granted+on_exit, or on_abort)",
+           excerpt_at(original, at)});
+    }
+  }
+}
+
 bool in_hot_path(const std::string& rel) {
   return rel.find("core/") != std::string::npos ||
          rel.find("table/") != std::string::npos;
@@ -503,6 +584,9 @@ int main(int argc, char** argv) {
     }
     if (in_shm_scope(rel)) {
       check_r5(code, original, rel, &findings);
+    }
+    if (in_hot_path(rel) || in_shm_scope(rel)) {
+      check_r6(code, original, rel, &findings);
     }
   }
 

@@ -1,0 +1,38 @@
+// amlint fixture: deliberate R6 violation, and ONLY an R6 violation — the
+// sink emits on_enter but never a terminal hook (no on_granted+on_exit pair,
+// no on_abort), so every passage this lock opens is invisible to the
+// metrics' outcome counters. This is the bug shape R6 exists for (the
+// amortized stripe path that zeroed its acquisition counts): a WILL_FAIL
+// ctest proves the rule bites on its own, with no other rule involved.
+#pragma once
+
+#include <cstdint>
+
+namespace lintbad {
+
+struct Sink {
+  void on_enter(std::uint32_t pid, std::uint32_t slot);
+  void on_granted(std::uint32_t pid, std::uint32_t slot);
+  void on_exit(std::uint32_t pid, std::uint32_t slot);
+  void on_abort(std::uint32_t pid, std::uint32_t slot);
+};
+
+class HalfInstrumentedLock {
+ public:
+  bool enter(std::uint32_t pid) {
+    obs_.on_enter(pid, 0);  // R6: opened through obs_ ...
+    return try_take(pid);   // ... but no path ever terminates through it
+  }
+
+  void exit(std::uint32_t pid) {
+    release(pid);  // the on_exit that should be here was forgotten
+  }
+
+ private:
+  bool try_take(std::uint32_t pid);
+  void release(std::uint32_t pid);
+
+  Sink obs_;
+};
+
+}  // namespace lintbad
