@@ -170,7 +170,9 @@ int main() {
       .summary("recoveries_completed",
                std::uint64_t{table->recovery_stats().recovered_pids})
       .summary("forced_exits",
-               std::uint64_t{table->recovery_stats().forced_exits});
+               std::uint64_t{table->recovery_stats().forced_exits})
+      .summary("zombie_pids",
+               std::uint64_t{table->recovery_stats().zombie_pids});
 
   Table t("aml::ipc per-passage latency and dead-holder recovery (ns)");
   t.headers({"measurement", "count", "p50", "p90", "p99", "max"});
@@ -196,6 +198,16 @@ int main() {
                  static_cast<unsigned long long>(
                      table->recovery_stats().forced_exits),
                  kRecoveryRounds);
+    return 1;
+  }
+  // Every death here lands in a journaled window (kHolding), so the v3
+  // recoverable-F&A arms must decide every single one — a nonzero zombie
+  // count means a recovery regressed into the retire-and-park fallback.
+  if (table->recovery_stats().zombie_pids != 0) {
+    std::fprintf(stderr, "FAIL: %llu zombie pids (every bench death is "
+                         "journal-decidable)\n",
+                 static_cast<unsigned long long>(
+                     table->recovery_stats().zombie_pids));
     return 1;
   }
   return 0;

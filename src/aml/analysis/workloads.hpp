@@ -437,6 +437,97 @@ inline void ipc_crash_recovery(sched::ExecutionContext& ctx) {
   }
 }
 
+/// Death at the recoverable F&A (see aml/ipc/shm_lock.hpp): the victim
+/// announces an increment on the packed lock word, issues at most one
+/// stamping CAS, and dies immediately after it — before any phase store can
+/// record the outcome. A concurrent mutator runs its own stamped F&A with
+/// the helping rule (credit the stamp it is about to overwrite into the
+/// owner's landed word), and a recoverer then runs the post-mortem decision
+/// predicate — word stamp first, landed credit second. Whether the victim's
+/// CAS landed is decided purely by the schedule (a mutator CAS racing into
+/// the window fails it), so DPOR explores death-before-landing,
+/// death-after-landing, and every helping overlap in between. Failure: the
+/// decision disagrees with the ground truth of whether the CAS landed — the
+/// real recovery would then lose or double-apply the victim's increment.
+inline void ipc_death_at_fa(sched::ExecutionContext& ctx) {
+  using Model = model::CountingCcModel;
+  constexpr Pid kProcs = 3;
+  Model m(kProcs);
+  m.set_hook(&ctx.scheduler());
+
+  // The packed word: refcnt | (stamp_pid + 1) << 8 | stamp_seq << 16 —
+  // stamp 0 means "never stamped", mirroring kNoStampPid.
+  auto pack = [](std::uint64_t refcnt, Pid stamp_pid, std::uint64_t seq) {
+    return refcnt | (static_cast<std::uint64_t>(stamp_pid) + 1) << 8 |
+           seq << 16;
+  };
+  auto refcnt_of = [](std::uint64_t w) { return w & 0xFF; };
+  auto stamp_of = [](std::uint64_t w) { return w >> 8; };  // (pid+1, seq)
+
+  Model::Word* word = m.alloc(1, 0);
+  Model::Word* ann = m.alloc(kProcs, 0);     // (seq << 1) | announced
+  Model::Word* landed = m.alloc(kProcs, 0);  // highest seq proven landed
+  Model::Word* dead = m.alloc(1, 0);
+
+  std::atomic<bool> truth_landed{false};  // the victim's CAS actually won
+  std::atomic<bool> decided_landed{false};
+
+  // Helping rule: before overwriting a stamp, credit it to its owner — but
+  // only while the owner's announcement still carries that sequence.
+  auto help = [&](Pid p, std::uint64_t w) {
+    const std::uint64_t stamp = stamp_of(w);
+    if (stamp == 0) return;
+    const Pid q = static_cast<Pid>((stamp & 0xFF) - 1);
+    const std::uint64_t seq = stamp >> 8;
+    if ((m.read(p, ann[q]) >> 1) != seq) return;
+    const std::uint64_t cur = m.read(p, landed[q]);
+    if (cur < seq) m.cas(p, landed[q], cur, seq);
+  };
+
+  ctx.run([&](Pid p) {
+    switch (p) {
+      case 0: {  // victim: announce, one CAS attempt, die on the next step
+        m.write(p, ann[0], (1u << 1) | 1);  // seq 1, op announced
+        const std::uint64_t w = m.read(p, *word);
+        help(p, w);
+        if (m.cas(p, *word, w, pack(refcnt_of(w) + 1, 0, 1))) {
+          truth_landed.store(true, std::memory_order_relaxed);
+        }
+        m.write(p, *dead, 1);  // death: no self-credit, no phase store
+        return;
+      }
+      case 1: {  // mutator: a full recoverable F&A over the same word
+        m.write(p, ann[1], (1u << 1) | 1);
+        for (;;) {
+          const std::uint64_t w = m.read(p, *word);
+          help(p, w);
+          if (m.cas(p, *word, w, pack(refcnt_of(w) + 1, 1, 1))) break;
+        }
+        const std::uint64_t cur = m.read(p, landed[1]);
+        if (cur < 1) m.cas(p, landed[1], cur, 1);  // winner self-credit
+        return;
+      }
+      default: {  // recoverer: post-mortem decision, word stamp read first
+        m.wait(p, *dead, [](std::uint64_t v) { return v != 0; }, nullptr);
+        const std::uint64_t w = m.read(p, *word);
+        help(p, w);
+        const bool by_stamp = stamp_of(w) == (1u | (1u << 8));
+        const bool by_credit = m.read(p, landed[0]) >= 1;
+        decided_landed.store(by_stamp || by_credit,
+                             std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+
+  if (decided_landed.load(std::memory_order_relaxed) !=
+      truth_landed.load(std::memory_order_relaxed)) {
+    ctx.fail(
+        "recovery decision disagrees with whether the victim's F&A landed: "
+        "the increment would be lost or double-applied");
+  }
+}
+
 }  // namespace detail
 
 /// All registered workloads, by name.
@@ -479,6 +570,17 @@ inline const std::vector<WorkloadInfo>& workload_registry() {
           4,
           [](sched::ExecutionContext& ctx) {
             detail::ipc_crash_recovery(ctx);
+          },
+      },
+      {
+          "ipc-death-at-fa",
+          "recoverable F&A: a victim dies right after its stamping CAS "
+          "(landed or not, decided by the schedule) while a mutator's "
+          "helping F&A overwrites the stamp; the recoverer's post-mortem "
+          "decision must match the ground truth",
+          3,
+          [](sched::ExecutionContext& ctx) {
+            detail::ipc_death_at_fa(ctx);
           },
       },
       {

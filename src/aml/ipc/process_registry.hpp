@@ -12,37 +12,56 @@
 // staleness cannot distinguish idleness from death without a false-positive
 // risk that would force a *live* process out of its critical section.
 //
-// v1 limitation (documented alongside the zombie windows in docs/API.md):
-// the ESRCH check's blind spot is OS pid reuse. If a crashed holder's pid
-// is recycled to an unrelated long-lived process, the death goes undetected
-// and the holder's locks stay parked until that process exits. Closing it
-// needs a liveness channel that survives pid recycling (e.g. a per-holder
-// pidfd or robust-futex registration), which is follow-up work.
+// Pid-reuse hardening (v3; closes v1's documented ESRCH blind spot): the
+// kill(pid, 0) probe alone cannot tell a live holder from an unrelated
+// process the kernel recycled its pid to. Each holder therefore publishes
+// its kernel *start time* (/proc/<pid>/stat field 22 on Linux; 0 =
+// "unknown" elsewhere) beside its os_pid, start time first. A holder is
+// declared dead only if the kernel reports ESRCH, or the process that
+// answers to the pid was started at a different time than the one that
+// leased the slot — which also lets a *restarted* process recognize its own
+// previous incarnation as dead and re-enter it (try_reattach below). An
+// unknown start time on either side degrades conservatively to the v1
+// behaviour (reuse undetected, never a false death).
 //
 // Lease word state machine (low 2 bits; the rest is a nonce bumped on every
 // transition out of kFree or kRecovering, so neither a recovery claim nor a
 // late release can ever land on a *re-leased* slot — classic ABA):
 //
 //     kFree --try_lease--> kLive --try_claim_recovery--> kRecovering
-//       ^                    |      (or release: the holder    |
-//       |                    +----- claims its own slot) -->---+
-//       |                                                      |
-//       +--- finish_recovery / release's final step -----------+
-//                       (or kZombie, terminal: the victim died in a
-//                        window the journal cannot disambiguate; see
-//                        ShmStripeLock::recover)
+//       ^                    |      (or release / try_reattach:   |
+//       |                    +----- the same exclusive claim) ->--+
+//       |                                                         |
+//       +--- finish_recovery / release / repossess ---------------+
+//                       (or kZombie: the victim died in the one
+//                        journal-blind doorway window; retired, and
+//                        reclaimed back to kFree by try_reclaim_zombie
+//                        once a full-quiescence epoch has passed)
 //
 // Both exits from kLive pass through the exclusive kRecovering claim, so
 // os_pid is always cleared *before* the slot becomes leasable again — a
 // racing try_lease can never publish a pid that a stale store then erases.
 //
-// Zero-filled shm pages decode as "all slots kFree", so the registry needs
-// no creator-side initialization at all.
+// Quiescence epochs: a global epoch counter is bumped each time a pid is
+// retired as a zombie, and the retirement epoch is recorded in the slot.
+// Every live session journals the current epoch into its slot whenever it
+// reaches a no-footprint point (note_idle: guard fully released, no passage
+// in flight). A zombie may be reclaimed once every live slot's idle mark
+// has reached its retirement epoch — proof that every process has passed
+// through idle since the retirement, so no live passage can carry a stale
+// reference to anything the victim touched. (The table layer adds a
+// journal-phase gate on top; see ShmNamedLockTable::recover_dead.)
+//
+// Zero-filled shm pages decode as "all slots kFree, epoch 0", so the
+// registry needs no creator-side initialization at all.
 #pragma once
 
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ctime>
 
 #include <signal.h>
@@ -55,6 +74,40 @@
 
 namespace aml::ipc {
 
+/// Kernel start time (clock ticks since boot) of an OS process: field 22 of
+/// /proc/<pid>/stat, parsed from past the last ')' so comm names containing
+/// spaces or parentheses cannot shift the fields. Returns 0 ("unknown") when
+/// procfs is unavailable (the portable fallback) or the process vanished
+/// mid-read; callers must treat 0 conservatively — it is evidence of
+/// nothing, in particular not of pid reuse.
+inline std::uint64_t process_start_ticks(std::uint64_t os_pid) {
+#if defined(__linux__)
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%llu/stat",
+                static_cast<unsigned long long>(os_pid));
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0;
+  ++p;  // fields resume with state (field 3); starttime is field 22,
+        // i.e. the 20th whitespace-separated token from here
+  for (int field = 0; field < 20; ++field) {
+    while (*p == ' ') ++p;
+    if (*p == '\0') return 0;
+    if (field == 19) return std::strtoull(p, nullptr, 10);
+    while (*p != ' ' && *p != '\0') ++p;
+  }
+  return 0;
+#else
+  (void)os_pid;
+  return 0;
+#endif
+}
+
 // AML_SHM_REGION_BEGIN
 /// One registry slot. Padded so heartbeat stores by one process never
 /// false-share with another slot's lease CASes.
@@ -64,6 +117,10 @@ struct alignas(pal::kCacheLine) ProcessSlot {
   /// OS pid of the leaseholder; 0 while the lease CAS has succeeded but the
   /// holder has not yet published its pid (treated as alive).
   std::atomic<std::uint64_t> os_pid;
+  /// Kernel start time of the leaseholder (process_start_ticks), published
+  /// strictly *before* os_pid so any visible pid already has its start
+  /// beside it. 0 = unknown (portable fallback; treated as "no evidence").
+  std::atomic<std::uint64_t> os_start;
   /// Monotonic activity counter the holder bumps from its hot path.
   /// Advisory observability only — never consulted by dead() (see the file
   /// header for why heartbeat staleness is not a safe death signal).
@@ -72,9 +129,22 @@ struct alignas(pal::kCacheLine) ProcessSlot {
   /// report heartbeat *age* without sampling the counter twice. Same
   /// advisory-only caveat as the counter.
   std::atomic<std::uint64_t> beat_ns;
+  /// Global epoch observed at this holder's last no-footprint point
+  /// (note_idle); consulted by try_reclaim_zombie's quiescence scan.
+  std::atomic<std::uint64_t> idle_epoch;
+  /// Epoch at which this pid was retired as a zombie (set under the
+  /// exclusive kRecovering claim, before the slot turns kZombie).
+  std::atomic<std::uint64_t> retired_epoch;
+};
+
+/// The global quiescence-epoch counter, padded into its own line (bumped
+/// only on zombie retirement — rare — but read by every note_idle).
+struct alignas(pal::kCacheLine) EpochCell {
+  std::atomic<std::uint64_t> value;
 };
 // AML_SHM_REGION_END
 AML_SHM_PLACEABLE(ProcessSlot);
+AML_SHM_PLACEABLE(EpochCell);
 
 class ProcessRegistry {
  public:
@@ -92,6 +162,7 @@ class ProcessRegistry {
   ProcessRegistry(ShmArena& arena, model::Pid nprocs)
       : base_(arena.base()),
         nprocs_(nprocs),
+        epoch_(arena.alloc_array<EpochCell>(1)),
         slots_(arena.alloc_array<ProcessSlot>(nprocs)) {}
 
   ProcessRegistry(const ProcessRegistry&) = delete;
@@ -100,10 +171,11 @@ class ProcessRegistry {
   model::Pid nprocs() const { return nprocs_; }
 
   /// Lease the lowest free pid; returns nprocs() when full. Publishes the
-  /// caller's OS pid after winning the CAS (os_pid == 0 is the benign
-  /// "still initializing" window — dead() treats it as alive). On success
-  /// `*token` (if given) receives the lease word this holder installed; it
-  /// is the capability release() needs.
+  /// caller's identity after winning the CAS — start time first, then pid
+  /// (os_pid == 0 is the benign "still initializing" window — dead()
+  /// treats it as alive), plus a fresh idle-epoch mark. On success `*token`
+  /// (if given) receives the lease word this holder installed; it is the
+  /// capability release() — and, after a crash, try_reattach() — needs.
   model::Pid try_lease(std::uint64_t* token = nullptr) {
     for (model::Pid id = 0; id < nprocs_; ++id) {
       std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
@@ -112,8 +184,8 @@ class ProcessRegistry {
       if (slots_[id].lease.compare_exchange_strong(
               cur, next, std::memory_order_acq_rel,
               std::memory_order_relaxed)) {
-        slots_[id].os_pid.store(static_cast<std::uint64_t>(::getpid()),
-                                std::memory_order_release);
+        slots_[id].idle_epoch.store(epoch(), std::memory_order_release);
+        publish_identity(id);
         if (token != nullptr) *token = next;
         return id;
       }
@@ -138,7 +210,7 @@ class ProcessRegistry {
   /// undetectable (os_pid 0 reads as "alive by definition") if it later
   /// crashes. (A SIGKILL landing between the claim and the final store
   /// parks the slot in kRecovering — the same window as a recoverer dying
-  /// mid-recovery, an accepted v1 limitation; see docs/API.md.)
+  /// mid-recovery, an accepted limitation; see docs/API.md.)
   void release(model::Pid id, std::uint64_t token) {
     AML_ASSERT(id < nprocs_, "ProcessRegistry::release: bad pid");
     std::uint64_t cur = token;
@@ -148,6 +220,7 @@ class ProcessRegistry {
       return;  // stale token: the slot was recovered from under us
     }
     slots_[id].os_pid.store(0, std::memory_order_release);
+    slots_[id].os_start.store(0, std::memory_order_release);
     // Plain store: the exclusive claim means no other transition can race.
     slots_[id].lease.store(bump_nonce(token) | kFree,
                            std::memory_order_release);
@@ -183,10 +256,67 @@ class ProcessRegistry {
     return slots_[id].os_pid.load(std::memory_order_acquire);
   }
 
+  /// Published kernel start time of the holder (0 = unknown).
+  std::uint64_t os_start(model::Pid id) const {
+    return slots_[id].os_start.load(std::memory_order_acquire);
+  }
+
+  // --- quiescence epochs -------------------------------------------------
+
+  std::uint64_t epoch() const {
+    return epoch_[0].value.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t idle_epoch(model::Pid id) const {
+    return slots_[id].idle_epoch.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t retired_epoch(model::Pid id) const {
+    return slots_[id].retired_epoch.load(std::memory_order_acquire);
+  }
+
+  /// Journal that `id`'s holder currently has no shared footprint (no
+  /// passage in flight, no guard held). Called by the table whenever a
+  /// session's guard depth returns to zero.
+  void note_idle(model::Pid id) {
+    slots_[id].idle_epoch.store(epoch(), std::memory_order_release);
+  }
+
+  /// Reclaim a retired zombie pid once a full-quiescence epoch has passed:
+  /// every live slot's idle mark has reached the victim's retirement epoch,
+  /// proving every live session passed through a no-footprint point since
+  /// the retirement — no live passage can still hold a stale reference to
+  /// anything the victim touched. Conservative on every race (a mid-lease
+  /// holder simply fails the scan until its first note_idle). The reclaimed
+  /// pid becomes ordinarily leasable again.
+  bool try_reclaim_zombie(model::Pid id) {
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    if ((cur & kStateMask) != kZombie) return false;
+    const std::uint64_t retired =
+        slots_[id].retired_epoch.load(std::memory_order_acquire);
+    for (model::Pid p = 0; p < nprocs_; ++p) {
+      if (p == id) continue;
+      const std::uint64_t lease =
+          slots_[p].lease.load(std::memory_order_acquire);
+      if ((lease & kStateMask) != kLive) continue;
+      if (slots_[p].idle_epoch.load(std::memory_order_acquire) < retired) {
+        return false;
+      }
+    }
+    return slots_[id].lease.compare_exchange_strong(
+        cur, bump_nonce(cur) | kFree, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+  }
+
+  // --- death detection and recovery claims -------------------------------
+
   /// True when the slot is held by a process that no longer exists: the
-  /// lease is live, the holder published a pid other than us, and the kernel
-  /// reports ESRCH for it. A holder that has not yet published (os_pid 0) is
-  /// alive by definition — it is mid-try_lease.
+  /// lease is live, the holder published a pid, and either the kernel
+  /// reports ESRCH for it or the process answering to the pid has a
+  /// different start time than the one published (pid reuse — including our
+  /// own pid having been recycled from a dead previous incarnation). A
+  /// holder that has not yet published (os_pid 0) is alive by definition —
+  /// it is mid-try_lease.
   ///
   /// Advisory: the answer can be stale by the time the caller acts on it
   /// (the slot may be released, recovered, or re-leased in between), so a
@@ -209,10 +339,10 @@ class ProcessRegistry {
   /// kRecovering, so the CAS can only succeed while the slot still belongs
   /// to the holder whose death we established.
   ///
-  /// The os_pid read is covered by the pin: while the lease word equals
-  /// `observed`, os_pid is either 0 (that holder mid-publish — alive by
-  /// definition) or that holder's pid, because both release() and
-  /// finish_recovery() clear os_pid under their exclusive kRecovering
+  /// The os_pid/os_start reads are covered by the pin: while the lease word
+  /// equals `observed`, they are either 0 (that holder mid-publish — alive
+  /// by definition) or that holder's own identity, because both release()
+  /// and finish_recovery() clear them under their exclusive kRecovering
   /// claim, strictly before the slot can be freed and re-leased.
   bool try_claim_recovery(model::Pid id) {
     const std::uint64_t observed =
@@ -224,14 +354,56 @@ class ProcessRegistry {
         std::memory_order_acq_rel, std::memory_order_relaxed);
   }
 
-  /// Finish a recovery this process claimed: free the slot for re-lease, or
-  /// park it as a zombie when the victim died inside a window the passage
-  /// journal cannot disambiguate (the pid is retired; see docs/API.md).
+  /// Restart re-entry, step 1: a restarted process holding its previous
+  /// incarnation's lease token claims its own old slot for self-recovery.
+  /// Exactly the survivor claim, but pinned to the exact token, so it can
+  /// only land on *that* incarnation: if a survivor sweep won first, the
+  /// slot was re-leased, or the previous incarnation is somehow still
+  /// alive (a copied token), the claim refuses and the caller falls back
+  /// to an ordinary fresh lease.
+  bool try_reattach(model::Pid id, std::uint64_t prev_token) {
+    if (id >= nprocs_) return false;
+    if ((prev_token & kStateMask) != kLive) return false;
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    if (cur != prev_token) return false;
+    if (!dead_under(id, prev_token)) return false;
+    return slots_[id].lease.compare_exchange_strong(
+        cur, (prev_token & ~kStateMask) | kRecovering,
+        std::memory_order_acq_rel, std::memory_order_relaxed);
+  }
+
+  /// Restart re-entry, final step: convert our exclusive kRecovering claim
+  /// (from try_reattach, after the passage journal has been resumed or
+  /// unwound) back into a live lease held by THIS process. Returns the new
+  /// lease token.
+  std::uint64_t repossess(model::Pid id) {
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    AML_ASSERT((cur & kStateMask) == kRecovering,
+               "repossess: slot not claimed");
+    slots_[id].idle_epoch.store(epoch(), std::memory_order_release);
+    publish_identity(id);
+    const std::uint64_t next = bump_nonce(cur) | kLive;
+    // Plain store: the exclusive claim means no other transition can race.
+    slots_[id].lease.store(next, std::memory_order_release);
+    return next;
+  }
+
+  /// Finish a recovery this process claimed: free the slot for re-lease,
+  /// or retire it as a zombie when the victim died inside the one
+  /// journal-blind doorway window (see ShmStripeLock::recover). Retirement
+  /// opens a new quiescence epoch and records it in the slot, so
+  /// try_reclaim_zombie can later prove the reclamation safe.
   void finish_recovery(model::Pid id, bool zombie) {
     std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
     AML_ASSERT((cur & kStateMask) == kRecovering,
                "finish_recovery: slot not claimed");
     slots_[id].os_pid.store(0, std::memory_order_release);
+    slots_[id].os_start.store(0, std::memory_order_release);
+    if (zombie) {
+      const std::uint64_t e =
+          epoch_[0].value.fetch_add(1, std::memory_order_acq_rel) + 1;
+      slots_[id].retired_epoch.store(e, std::memory_order_release);
+    }
     slots_[id].lease.compare_exchange_strong(
         cur, bump_nonce(cur) | (zombie ? kZombie : kFree),
         std::memory_order_acq_rel, std::memory_order_relaxed);
@@ -244,16 +416,39 @@ class ProcessRegistry {
     slots_[id].os_pid.store(os_pid, std::memory_order_release);
   }
 
+  /// Test hook: forge the published start time so pid reuse (live process,
+  /// mismatched start) is simulable without exhausting the pid space.
+  void debug_set_os_start(model::Pid id, std::uint64_t start_ticks) {
+    slots_[id].os_start.store(start_ticks, std::memory_order_release);
+  }
+
  private:
   /// Death predicate evaluated against a caller-supplied lease observation
   /// (see try_claim_recovery for why the observation must be pinned).
   bool dead_under(model::Pid id, std::uint64_t observed_lease) const {
     if ((observed_lease & kStateMask) != kLive) return false;
     const std::uint64_t pid = os_pid(id);
-    if (pid == 0 || pid == static_cast<std::uint64_t>(::getpid())) {
-      return false;
+    if (pid == 0) return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH) {
+      return true;
     }
-    return ::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH;
+    // A process answers to the pid. Unless its start time contradicts the
+    // published one, the holder is alive (this includes ourselves).
+    const std::uint64_t published = os_start(id);
+    if (published == 0) return false;  // unknown: no reuse evidence
+    const std::uint64_t live = process_start_ticks(pid);
+    if (live == 0) return false;  // vanished mid-read / no procfs
+    return live != published;
+  }
+
+  /// Publish this process's identity into a slot it exclusively holds:
+  /// start time strictly before pid, so a visible pid always has its start
+  /// beside it (dead_under's reuse check depends on that order).
+  void publish_identity(model::Pid id) {
+    const std::uint64_t self = static_cast<std::uint64_t>(::getpid());
+    slots_[id].os_start.store(process_start_ticks(self),
+                              std::memory_order_release);
+    slots_[id].os_pid.store(self, std::memory_order_release);
   }
 
   static std::uint64_t bump_nonce(std::uint64_t lease) {
@@ -262,6 +457,7 @@ class ProcessRegistry {
 
   void* base_;
   model::Pid nprocs_;
+  EpochCell* epoch_;    ///< global quiescence epoch (allocated before slots)
   ProcessSlot* slots_;
 };
 

@@ -21,26 +21,51 @@
 // Every step it reuses is idempotent or exactly-once by phase, which is
 // what makes the replay safe; see docs/API.md for the full state machine.
 //
-// Two windows are not journalable and park the victim's pid as a zombie
-// (never re-leased, stripe possibly wedged if the victim held the last
-// refcnt): the instruction between the LockDesc F&A and the kJoined phase
-// store, and the start of Cleanup before its F&A(-1). Both are a few
-// instructions wide; closing them needs the recoverable F&A primitive of
-// the RME literature (PAPERS.md, arxiv.org/2011.07622) — v1 documents the
-// limitation instead.
+// Recoverable fetch-and-add (v3, closing v1's two zombie windows): the
+// LockDesc refcnt updates are no longer bare F&As. Before touching the
+// word, the caller announces the operation in its own PassageSlot —
+// op kind + sequence number in `ann_desc`, then on every attempt the
+// pre-image in `ann_pre` — and performs the F&A as a CAS that stamps
+// (pid, seq) into reserved LockDesc bits. Two rules make the outcome
+// decidable post-mortem:
+//
+//   1. every mutator of LockDesc first *helps*: it reads the stamp it is
+//      about to overwrite and, if that pid's currently announced sequence
+//      matches, records it in the pid's `landed` word (a CAS-max) before
+//      the overwrite can retire the evidence;
+//   2. a winner records its own success in `landed` before announcing any
+//      later operation.
+//
+// So a recoverer asking "did the victim's announced op seq land?" answers
+// definitively: either the stamp (victim, seq) is still in the word, or —
+// if it ever was — rule 1/2 guarantees landed[victim] >= seq (all stores
+// involved are seq_cst, so the recoverer's two loads cannot both miss). If
+// neither holds, the CAS never succeeded. The pre-join and cleanup arms
+// therefore complete or compensate the F&A instead of retiring the pid;
+// the stamp sequence is truncated to 24 bits in the word, so the in-word
+// test alone is ambiguous only after 2^24 full passages inside one
+// recoverer read — far beyond the claim hold time (same bounded-reuse
+// assumption as the 32-bit recovery seqlock below).
+//
+// One window remains journal-blind: inside the one-shot doorway before the
+// sink records the tail F&A's slot (kDoorway, attempt unrecorded). A death
+// there still retires the pid (kZombie) — but retired pids are now
+// *reclaimable* after a full-quiescence epoch (see process_registry.hpp).
 //
 // Memory visibility across processes: a victim writes its plain journal
-// fields (head_snap, current) before the seq_cst phase store that makes
-// them relevant, and the recoverer seq_cst-loads the phase before reading
-// them, so every journal read is ordered after the matching write. Only one
-// recoverer touches a stripe at a time (per-stripe recovery seqlock with
-// dead-holder takeover), and only after winning the victim's registry claim.
+// fields (head_snap, current, ann_pre) before the seq_cst phase/announce
+// store that makes them relevant, and the recoverer seq_cst-loads the
+// phase before reading them, so every journal read is ordered after the
+// matching write. Only one recoverer touches a stripe at a time (per-stripe
+// recovery seqlock with dead-holder takeover), and only after winning the
+// victim's registry claim.
 #pragma once
 
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <sched.h>
@@ -67,15 +92,18 @@ using model::Pid;
 enum Phase : std::uint64_t {
   kIdle = 0,      ///< no passage in progress
   kSpinWait = 1,  ///< maybe waiting on old_spn's node; LockDesc untouched
-  kPreJoin = 2,   ///< about to F&A LockDesc (+1) — unjournalable window
+  kPreJoin = 2,   ///< join F&A announced/in flight (recoverable: see header)
   kJoined = 3,    ///< refcnt incremented; `current` names the instance
   kDoorway = 4,   ///< inside one-shot enter; attempt word has the slot
   kHolding = 5,   ///< in the critical section
   kReleasing = 6, ///< inside one-shot exit; head_snap recorded
-  kCleanup = 7,   ///< about to F&A LockDesc (-1) — unjournalable window
+  kCleanup = 7,   ///< release F&A / instance switch announced or in flight
 };
 
-inline const char* phase_name(Phase p) {
+/// Render any phase word, including values from a newer layout this build
+/// does not know: those come back as "unknown(<n>)" so a v2 reader can
+/// still inspect (and a JSON schema still validate) a v3 segment.
+inline std::string phase_label(std::uint64_t p) {
   switch (p) {
     case kIdle: return "idle";
     case kSpinWait: return "spin-wait";
@@ -85,8 +113,13 @@ inline const char* phase_name(Phase p) {
     case kHolding: return "holding";
     case kReleasing: return "releasing";
     case kCleanup: return "cleanup";
+    default: break;
   }
-  return "?";
+  return "unknown(" + std::to_string(p) + ")";
+}
+
+inline std::string phase_name(Phase p) {
+  return phase_label(static_cast<std::uint64_t>(p));
 }
 
 /// Attempt-word packing: bit 0 = a doorway record exists, bit 1 = the grant
@@ -107,11 +140,35 @@ inline constexpr std::uint32_t attempt_instance(std::uint64_t a) {
   return static_cast<std::uint32_t>((a >> 34) & 0xFFFFull);
 }
 
+/// Announcement-word packing for the recoverable F&A: low 2 bits are the
+/// op kind, the rest a per-pid monotone sequence number. The sequence is
+/// never reset — it spans passages, incarnations and recovered redos.
+inline constexpr std::uint64_t kAnnOpNone = 0;
+inline constexpr std::uint64_t kAnnOpJoin = 1;     ///< refcnt + 1 (enter)
+inline constexpr std::uint64_t kAnnOpRelease = 2;  ///< refcnt - 1 (cleanup)
+inline constexpr std::uint64_t kAnnOpSwitch = 3;   ///< instance-switch CAS
+inline constexpr std::uint64_t kAnnOpBits = 2;
+inline constexpr std::uint64_t kAnnOpMask = (1ull << kAnnOpBits) - 1;
+
+inline constexpr std::uint64_t ann_pack(std::uint64_t seq, std::uint64_t op) {
+  return (seq << kAnnOpBits) | op;
+}
+inline constexpr std::uint64_t ann_seq(std::uint64_t a) {
+  return a >> kAnnOpBits;
+}
+inline constexpr std::uint64_t ann_op(std::uint64_t a) {
+  return a & kAnnOpMask;
+}
+
+/// `ann_aux` sentinel: no spin node journaled for the announced switch.
+inline constexpr std::uint64_t kAuxNone = ~std::uint64_t{0};
+
 // AML_SHM_REGION_BEGIN
 /// Per-pid passage journal + the long-lived lock's per-process locals,
 /// promoted to shm so recovery (and the pid's next leaseholder) can read
-/// them. One cache line per pid: the owner writes its own slot on its hot
-/// path; recoverers only read it after the owner is dead.
+/// them. Two cache lines per pid: the owner writes its own slot on its hot
+/// path; recoverers only read it after the owner is dead (`landed` is the
+/// one exception — helpers CAS-max it on the owner's behalf).
 struct alignas(pal::kCacheLine) PassageSlot {
   std::atomic<std::uint64_t> phase;      ///< Phase, seq_cst journal order
   std::atomic<std::uint64_t> attempt;    ///< packed attempt word
@@ -119,6 +176,10 @@ struct alignas(pal::kCacheLine) PassageSlot {
   std::atomic<std::uint64_t> held;       ///< instance for the next switch
   std::atomic<std::uint64_t> old_spn;    ///< spin node saved at last Cleanup
   std::atomic<std::uint64_t> current;    ///< instance joined by this attempt
+  std::atomic<std::uint64_t> ann_desc;   ///< announced op: (seq << 2) | op
+  std::atomic<std::uint64_t> ann_pre;    ///< pre-image of the announced CAS
+  std::atomic<std::uint64_t> ann_aux;    ///< switch's journaled spin node
+  std::atomic<std::uint64_t> landed;     ///< max seq proven landed (CAS-max)
 };
 // AML_SHM_REGION_END
 AML_SHM_PLACEABLE(PassageSlot);
@@ -210,6 +271,9 @@ class ShmSpinNodePool {
   ShmSpinNodePool(ShmSpace& space, Pid nprocs, std::uint32_t per_pool)
       : space_(space), nprocs_(nprocs), per_pool_(per_pool) {
     const std::size_t total = static_cast<std::size_t>(nprocs) * per_pool;
+    // Node indices are journaled into the 16-bit LockDesc.Spn field; the
+    // nprocs <= 254 cap (LockDesc packing) keeps total <= 254 * 255.
+    AML_ASSERT(total < (1u << 16), "spin-node index exceeds Spn field");
     nodes_.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
       nodes_.push_back(Node{space_.alloc(1, 0)});
@@ -245,11 +309,22 @@ class ShmSpinNodePool {
   /// owner: the owner itself, or (after its death) the single recoverer
   /// holding its registry claim.
   std::uint32_t alloc(Pid exec, Pid owner) {
+    const std::uint32_t idx = select(exec, owner);
+    commit(idx);
+    return idx;
+  }
+
+  /// Two-step variant for journaled switches: `select` picks a reusable
+  /// node (same scan + reclaim as alloc) WITHOUT marking it issued, so the
+  /// caller can journal the choice (PassageSlot.ann_aux) first; `commit`
+  /// then marks it. Both the mark and `unalloc` are idempotent plain
+  /// stores, so a recoverer can safely redo whichever side of the journal
+  /// write the victim died on.
+  std::uint32_t select(Pid exec, Pid owner) {
     const std::uint32_t base = owner * per_pool_;
     for (int pass = 0; pass < 2; ++pass) {
       for (std::uint32_t k = 0; k < per_pool_; ++k) {
         if (states_[base + k].load(std::memory_order_acquire) == kStateFree) {
-          states_[base + k].store(kStateIssued, std::memory_order_release);
           return base + k;
         }
       }
@@ -257,6 +332,10 @@ class ShmSpinNodePool {
     }
     AML_ASSERT(false, "shm spin-node pool exhausted: invariant violated");
     return 0;
+  }
+
+  void commit(std::uint32_t global_idx) {
+    states_[global_idx].store(kStateIssued, std::memory_order_release);
   }
 
   /// Return a node that never became visible (install CAS lost).
@@ -305,7 +384,9 @@ enum class RecoveryAction : std::uint8_t {
   kForcedAbort,  ///< waiting victim driven through the abort path
   kForcedExit,   ///< granted/holding victim's CS force-exited + cleaned up
   kResignalled,  ///< death mid-exit: hand-off re-driven from head_snap
-  kZombie,       ///< death in an unjournalable window; pid retired
+  kZombie,       ///< death in the doorway before the sink's slot record —
+                 ///  the one remaining journal-blind window; pid retired
+                 ///  (reclaimable after a quiescence epoch, see registry)
 };
 
 template <typename Metrics = obs::NullMetrics>
@@ -332,12 +413,19 @@ class ShmStripeLockT {
     slots_ = space_.arena().alloc_array<PassageSlot>(config.nprocs);
     if (space_.arena().creating()) {
       for (Pid p = 0; p < config.nprocs; ++p) {
-        slots_[p].phase.store(kIdle, std::memory_order_relaxed);
+        // seq_cst for uniformity with every later phase store (amlint R7);
+        // pre-seal, ordering is moot — attachers sync on the seal.
+        slots_[p].phase.store(kIdle, std::memory_order_seq_cst);
         slots_[p].attempt.store(0, std::memory_order_relaxed);
         slots_[p].head_snap.store(0, std::memory_order_relaxed);
         slots_[p].held.store(p + 1, std::memory_order_relaxed);
         slots_[p].old_spn.store(kNoSpn, std::memory_order_relaxed);
         slots_[p].current.store(0, std::memory_order_relaxed);
+        slots_[p].ann_desc.store(ann_pack(0, kAnnOpNone),
+                                 std::memory_order_relaxed);
+        slots_[p].ann_pre.store(0, std::memory_order_relaxed);
+        slots_[p].ann_aux.store(kAuxNone, std::memory_order_relaxed);
+        slots_[p].landed.store(0, std::memory_order_relaxed);
       }
     }
     instances_.reserve(config.nprocs + 1);
@@ -353,7 +441,7 @@ class ShmStripeLockT {
     // either way.
     std::uint32_t spn0 = 0;
     if (space_.arena().creating()) spn0 = pool_.alloc(0, 0);
-    lock_desc_ = space_.alloc(1, pack(0, spn0, 0));
+    lock_desc_ = space_.alloc(1, pack_stamped(0, spn0, 0, kNoStampPid, 0));
     recovery_ = space_.alloc(1, 0);
   }
 
@@ -406,11 +494,11 @@ class ShmStripeLockT {
       }
     }
     my.phase.store(kPreJoin, std::memory_order_seq_cst);
-    const Packed joined = unpack(space_.faa(self, *lock_desc_, 1));
-    AML_DASSERT(joined.refcnt < config_.nprocs, "Refcnt overflow");
-    my.current.store(joined.lock, std::memory_order_seq_cst);
+    const RmwResult jr = recoverable_rmw(self, self, kAnnOpJoin);
+    AML_DASSERT(jr.pre.refcnt < config_.nprocs, "Refcnt overflow");
+    my.current.store(jr.pre.lock, std::memory_order_seq_cst);
     my.phase.store(kJoined, std::memory_order_seq_cst);
-    Instance& inst = *instances_[joined.lock];
+    Instance& inst = *instances_[jr.pre.lock];
     inst.space.begin_session(self);
     my.phase.store(kDoorway, std::memory_order_seq_cst);
     const core::EnterResult result = inst.lock.enter(self, abort_signal);
@@ -447,7 +535,8 @@ class ShmStripeLockT {
   /// victim pid is only the journal being read). Caller must hold the
   /// victim's registry recovery claim; this takes the per-stripe recovery
   /// seqlock around the repair. Returns what was done; kZombie means the
-  /// victim died in an unjournalable window and its pid must be retired.
+  /// victim died in the doorway's journal-blind window and its pid must be
+  /// retired (reclaimable once a quiescence epoch proves no references).
   RecoveryAction recover(Pid exec, Pid victim, std::uint64_t exec_os_pid) {
     lock_recovery(exec, exec_os_pid);
     const RecoveryAction action = recover_locked(exec, victim);
@@ -466,14 +555,31 @@ class ShmStripeLockT {
   Phase peek_phase(Pid p) const {
     return static_cast<Phase>(slots_[p].phase.load(std::memory_order_seq_cst));
   }
+  /// The raw announced-op word ((seq << 2) | op) of `p`'s journal.
+  std::uint64_t peek_announcement(Pid p) const {
+    return slots_[p].ann_desc.load(std::memory_order_seq_cst);
+  }
+  /// Highest announcement sequence of `p` proven landed.
+  std::uint64_t peek_landed(Pid p) const {
+    return slots_[p].landed.load(std::memory_order_seq_cst);
+  }
   /// Completed recovery passes on this stripe (seqlock sequence number).
   std::uint64_t recovery_epoch(Pid self) {
     return space_.read(self, *recovery_) >> 32;
   }
   const Config& config() const { return config_; }
 
-  /// Test hook: forge a pid's journaled phase so recovery arms that hinge
-  /// on unjournalable windows (kPreJoin/kCleanup -> zombie retire) can be
+  /// Reset `p`'s journal to the leasable baseline (phase kIdle, attempt
+  /// cleared). Only valid once the table's reclamation gate has held: the
+  /// quiescence epoch proves no live passage still reads the journal, and a
+  /// frozen phase in {kIdle, kSpinWait, kPreJoin} leaves nothing in the
+  /// stripe itself to repair.
+  void clear_journal(Pid p) {
+    slots_[p].attempt.store(0, std::memory_order_seq_cst);
+    slots_[p].phase.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  /// Test hook: forge a pid's journaled phase so recovery arms can be
   /// staged without a precisely-timed crash.
   void debug_set_phase(Pid p, Phase phase) {
     slots_[p].phase.store(phase, std::memory_order_seq_cst);
@@ -487,34 +593,122 @@ class ShmStripeLockT {
   void debug_forge_joined(Pid p) {
     PassageSlot& my = slots_[p];
     my.attempt.store(0, std::memory_order_seq_cst);
-    const Packed joined = unpack(space_.faa(p, *lock_desc_, 1));
-    my.current.store(joined.lock, std::memory_order_seq_cst);
+    const RmwResult jr = recoverable_rmw(p, p, kAnnOpJoin);
+    my.current.store(jr.pre.lock, std::memory_order_seq_cst);
     my.phase.store(kJoined, std::memory_order_seq_cst);
   }
 
+  /// Test hook: death at kPreJoin with the join announced but its CAS never
+  /// issued. The compensation arm must conclude "did not land" and abandon
+  /// the join (refcnt untouched).
+  void debug_forge_prejoin_announced(Pid p) {
+    PassageSlot& my = slots_[p];
+    my.attempt.store(0, std::memory_order_seq_cst);
+    my.phase.store(kPreJoin, std::memory_order_seq_cst);
+    const std::uint64_t seq =
+        ann_seq(my.ann_desc.load(std::memory_order_seq_cst)) + 1;
+    my.ann_desc.store(ann_pack(seq, kAnnOpJoin), std::memory_order_seq_cst);
+  }
+
+  /// Test hook: death at kPreJoin one instruction after the join CAS landed
+  /// (before the kJoined phase store). The completion arm must conclude
+  /// "landed" and undo the join with one Cleanup.
+  void debug_forge_prejoin_landed(Pid p) {
+    PassageSlot& my = slots_[p];
+    my.attempt.store(0, std::memory_order_seq_cst);
+    my.phase.store(kPreJoin, std::memory_order_seq_cst);
+    recoverable_rmw(p, p, kAnnOpJoin);
+  }
+
+  /// Test hook: death at kCleanup before the release was announced. The
+  /// recovery arm must rerun the whole Cleanup under a fresh announcement.
+  void debug_forge_cleanup_announced(Pid p) {
+    debug_forge_joined(p);
+    PassageSlot& my = slots_[p];
+    my.phase.store(kCleanup, std::memory_order_seq_cst);
+    const std::uint64_t seq =
+        ann_seq(my.ann_desc.load(std::memory_order_seq_cst)) + 1;
+    my.ann_desc.store(ann_pack(seq, kAnnOpRelease),
+                      std::memory_order_seq_cst);
+  }
+
+  /// Test hook: death at kCleanup right after the release CAS landed —
+  /// locals unsaved, instance switch (if owed) not yet announced. The
+  /// completion arm must finish both from the journaled pre-image.
+  void debug_forge_cleanup_released(Pid p) {
+    debug_forge_joined(p);
+    PassageSlot& my = slots_[p];
+    my.phase.store(kCleanup, std::memory_order_seq_cst);
+    const Packed pinned = unpack(space_.read(p, *lock_desc_));
+    pool_.publish_pin(p, p, pinned.spn);
+    recoverable_rmw(p, p, kAnnOpRelease);
+  }
+
+  /// Test hook: death at kCleanup with the release landed and the instance
+  /// switch announced but its CAS never issued. Recovery must redo the very
+  /// same switch (same sequence number) or compensate if the world moved.
+  void debug_forge_cleanup_switch_announced(Pid p) {
+    debug_forge_joined(p);
+    PassageSlot& my = slots_[p];
+    my.phase.store(kCleanup, std::memory_order_seq_cst);
+    const Packed pinned = unpack(space_.read(p, *lock_desc_));
+    pool_.publish_pin(p, p, pinned.spn);
+    const RmwResult r = recoverable_rmw(p, p, kAnnOpRelease);
+    my.old_spn.store(r.pre.spn, std::memory_order_seq_cst);
+    if (r.pre.refcnt != 1) return;  // forge needs sole membership to switch
+    const std::uint64_t seq =
+        ann_seq(my.ann_desc.load(std::memory_order_seq_cst)) + 1;
+    my.ann_pre.store(r.post_raw, std::memory_order_seq_cst);
+    my.ann_aux.store(kAuxNone, std::memory_order_seq_cst);
+    my.ann_desc.store(ann_pack(seq, kAnnOpSwitch), std::memory_order_seq_cst);
+  }
+
  private:
-  static constexpr std::uint32_t kRefBits = 16;
-  static constexpr std::uint32_t kSpnBits = 32;
+  // LockDesc packing (low to high): Refcnt | Spn | Lock | StampPid |
+  // StampSeq. The stamp names the last recoverable F&A that landed on the
+  // word: the 8-bit pid of the announcer and the low 24 bits of its
+  // announcement sequence (see the file header for the decidability rule).
+  static constexpr std::uint32_t kRefBits = 8;
+  static constexpr std::uint32_t kSpnBits = 16;
+  static constexpr std::uint32_t kLockBits = 8;
+  static constexpr std::uint32_t kStampPidBits = 8;
+  static constexpr std::uint32_t kStampSeqBits = 24;
   static constexpr Pid kMaxProcs = (1u << kRefBits) - 2;
+  static constexpr std::uint32_t kNoStampPid = (1u << kStampPidBits) - 1;
   static constexpr std::uint32_t kNoSpn = ~std::uint32_t{0};
 
   struct Packed {
     std::uint32_t lock;
     std::uint32_t spn;
     std::uint32_t refcnt;
+    std::uint32_t stamp_pid;
+    std::uint32_t stamp_seq;
   };
 
-  static std::uint64_t pack(std::uint32_t lock, std::uint32_t spn,
-                            std::uint32_t refcnt) {
-    return (static_cast<std::uint64_t>(lock) << (kRefBits + kSpnBits)) |
-           (static_cast<std::uint64_t>(spn) << kRefBits) | refcnt;
+  static std::uint64_t pack_stamped(std::uint32_t lock, std::uint32_t spn,
+                                    std::uint32_t refcnt,
+                                    std::uint32_t stamp_pid,
+                                    std::uint64_t stamp_seq) {
+    return static_cast<std::uint64_t>(refcnt) |
+           (static_cast<std::uint64_t>(spn) << kRefBits) |
+           (static_cast<std::uint64_t>(lock) << (kRefBits + kSpnBits)) |
+           (static_cast<std::uint64_t>(stamp_pid)
+            << (kRefBits + kSpnBits + kLockBits)) |
+           ((stamp_seq & ((1ull << kStampSeqBits) - 1))
+            << (kRefBits + kSpnBits + kLockBits + kStampPidBits));
   }
   static Packed unpack(std::uint64_t raw) {
     Packed packed;
     packed.refcnt = static_cast<std::uint32_t>(raw & ((1u << kRefBits) - 1));
     packed.spn = static_cast<std::uint32_t>((raw >> kRefBits) &
-                                            ((1ull << kSpnBits) - 1));
-    packed.lock = static_cast<std::uint32_t>(raw >> (kRefBits + kSpnBits));
+                                            ((1u << kSpnBits) - 1));
+    packed.lock = static_cast<std::uint32_t>((raw >> (kRefBits + kSpnBits)) &
+                                             ((1u << kLockBits) - 1));
+    packed.stamp_pid = static_cast<std::uint32_t>(
+        (raw >> (kRefBits + kSpnBits + kLockBits)) &
+        ((1u << kStampPidBits) - 1));
+    packed.stamp_seq = static_cast<std::uint32_t>(
+        raw >> (kRefBits + kSpnBits + kLockBits + kStampPidBits));
     return packed;
   }
 
@@ -523,7 +717,9 @@ class ShmStripeLockT {
   /// are process-local; each attached process holds its own replica resolved
   /// against the same shm words. (The cursor divergence this allows in the
   /// eager-reset rotation is benign: at W = 64 the wraparound quota is one
-  /// word per reuse and the period is 2^63 reuses.)
+  /// word per reuse and the period is 2^63 reuses. The same property makes
+  /// the switch-redo's repeated next_incarnation call safe: the version
+  /// compare is equality-only, so burning an extra generation is harmless.)
   struct Instance {
     Space space;
     OneShot lock;
@@ -534,36 +730,151 @@ class ShmStripeLockT {
           lock(space, config.nprocs, config.w, config.find) {}
   };
 
+  struct RmwResult {
+    Packed pre;              ///< decoded pre-image of the landed CAS
+    std::uint64_t post_raw;  ///< the stamped word the CAS installed
+  };
+
+  /// The recoverable F&A (file header): announce in `owner`'s slot, then
+  /// CAS-with-stamp until it lands. `exec` performs every memory operation;
+  /// during recovery it differs from `owner` — the announcement and stamp
+  /// still carry the *owner's* identity, so if the recoverer itself dies,
+  /// the next recoverer reads one coherent journal (the owner's).
+  RmwResult recoverable_rmw(Pid exec, Pid owner, std::uint64_t op) {
+    PassageSlot& own = slots_[owner];
+    const std::uint64_t seq =
+        ann_seq(own.ann_desc.load(std::memory_order_seq_cst)) + 1;
+    own.ann_desc.store(ann_pack(seq, op), std::memory_order_seq_cst);
+    for (;;) {
+      const std::uint64_t w = space_.read(exec, *lock_desc_);
+      help_landed(exec, w);
+      own.ann_pre.store(w, std::memory_order_seq_cst);
+      const Packed p = unpack(w);
+      AML_DASSERT(op == kAnnOpJoin ? p.refcnt < kMaxProcs : p.refcnt >= 1,
+                  "LockDesc refcnt out of range in recoverable F&A");
+      const std::uint32_t refcnt =
+          op == kAnnOpJoin ? p.refcnt + 1 : p.refcnt - 1;
+      const std::uint64_t desired = pack_stamped(
+          p.lock, p.spn, refcnt, static_cast<std::uint32_t>(owner), seq);
+      if (space_.cas(exec, *lock_desc_, w, desired)) {
+        bump_landed(owner, seq);
+        return {p, desired};
+      }
+    }
+  }
+
+  /// Helping rule 1: before a word stamped (q, s) can be overwritten, the
+  /// overwriter credits q's announcement if it is still the announced op.
+  /// (If q has already announced a later op, q itself recorded s via rule 2
+  /// before announcing, so nothing is lost by skipping.)
+  void help_landed(Pid /*exec*/, std::uint64_t w) {
+    const Packed p = unpack(w);
+    if (p.stamp_pid >= static_cast<std::uint32_t>(config_.nprocs)) return;
+    const Pid q = static_cast<Pid>(p.stamp_pid);
+    const std::uint64_t ann =
+        slots_[q].ann_desc.load(std::memory_order_seq_cst);
+    const std::uint64_t mask = (1ull << kStampSeqBits) - 1;
+    if ((ann_seq(ann) & mask) == p.stamp_seq) {
+      bump_landed(q, ann_seq(ann));
+    }
+  }
+
+  /// CAS-max on `owner`'s landed word (monotone: sequences only grow).
+  void bump_landed(Pid owner, std::uint64_t seq) {
+    std::uint64_t cur = slots_[owner].landed.load(std::memory_order_seq_cst);
+    while (cur < seq && !slots_[owner].landed.compare_exchange_weak(
+                            cur, seq, std::memory_order_seq_cst)) {
+    }
+  }
+
+  /// The post-mortem decision predicate (file header): did `victim`'s
+  /// announced op `seq` land? Word first, landed second — a concurrent
+  /// overwrite between the two loads has already credited `landed`.
+  bool announced_landed(Pid exec, Pid victim, std::uint64_t seq) {
+    const Packed p = unpack(space_.read(exec, *lock_desc_));
+    const std::uint64_t mask = (1ull << kStampSeqBits) - 1;
+    if (p.stamp_pid == static_cast<std::uint32_t>(victim) &&
+        p.stamp_seq == (seq & mask)) {
+      return true;
+    }
+    return slots_[victim].landed.load(std::memory_order_seq_cst) >= seq;
+  }
+
   /// Algorithm 6.3, executable by a proxy: `exec` performs the steps,
   /// `owner` is whose passage is being cleaned up (its PassageSlot carries
-  /// held/old_spn, its announce word takes the pin, its pool supplies the
-  /// switch node). For a live process exec == owner.
+  /// held/old_spn and the announcements, its announce word takes the pin,
+  /// its pool supplies the switch node). For a live process exec == owner.
   void cleanup_impl(Pid exec, Pid owner) {
     PassageSlot& own = slots_[owner];
     const Packed pinned = unpack(space_.read(exec, *lock_desc_));
     pool_.publish_pin(exec, owner, pinned.spn);
-    const Packed prev =
-        unpack(space_.faa(exec, *lock_desc_, ~std::uint64_t{0}));
-    AML_DASSERT(prev.spn == pinned.spn,
+    const RmwResult r = recoverable_rmw(exec, owner, kAnnOpRelease);
+    AML_DASSERT(r.pre.spn == pinned.spn,
                 "LockDesc.Spn changed while our Refcnt hold was in force");
-    own.old_spn.store(prev.spn, std::memory_order_seq_cst);
-    if (prev.refcnt != 1) return;
+    own.old_spn.store(r.pre.spn, std::memory_order_seq_cst);
+    if (r.pre.refcnt != 1) return;
+    try_switch(exec, owner, r.post_raw);
+  }
+
+  /// The instance switch as a journaled announcement: ann_pre takes the
+  /// expected word and ann_aux the chosen spin node BEFORE the CAS, so a
+  /// recoverer can redo the identical switch (same sequence number) or
+  /// compensate it after a death anywhere inside.
+  bool try_switch(Pid exec, Pid owner, std::uint64_t expected_raw) {
+    PassageSlot& own = slots_[owner];
+    const std::uint64_t seq =
+        ann_seq(own.ann_desc.load(std::memory_order_seq_cst)) + 1;
+    own.ann_pre.store(expected_raw, std::memory_order_seq_cst);
+    own.ann_aux.store(kAuxNone, std::memory_order_seq_cst);
+    own.ann_desc.store(ann_pack(seq, kAnnOpSwitch),
+                       std::memory_order_seq_cst);
+    return switch_attempt(exec, owner, seq);
+  }
+
+  /// The CAS half of a switch whose announcement is already journaled in
+  /// `owner`'s slot — called by try_switch, and re-entered verbatim by the
+  /// recovery redo path.
+  bool switch_attempt(Pid exec, Pid owner, std::uint64_t seq) {
+    PassageSlot& own = slots_[owner];
+    const std::uint64_t expected =
+        own.ann_pre.load(std::memory_order_seq_cst);
+    const Packed prev = unpack(expected);
     const std::uint32_t new_lock = static_cast<std::uint32_t>(
         own.held.load(std::memory_order_seq_cst));
     instances_[new_lock]->space.next_incarnation(exec);
-    const std::uint32_t new_spn = pool_.alloc(exec, owner);
-    const std::uint64_t expected = pack(prev.lock, prev.spn, 0);
-    const std::uint64_t desired = pack(new_lock, new_spn, 0);
+    const std::uint64_t aux = own.ann_aux.load(std::memory_order_seq_cst);
+    std::uint32_t new_spn;
+    if (aux != kAuxNone) {
+      new_spn = static_cast<std::uint32_t>(aux);
+    } else {
+      new_spn = pool_.select(exec, owner);
+      own.ann_aux.store(new_spn, std::memory_order_seq_cst);
+    }
+    pool_.commit(new_spn);  // idempotent: covers a death before the mark
+    help_landed(exec, expected);
+    const std::uint64_t desired = pack_stamped(
+        new_lock, new_spn, 0, static_cast<std::uint32_t>(owner), seq);
     if (space_.cas(exec, *lock_desc_, expected, desired)) {
+      bump_landed(owner, seq);
       if constexpr (Metrics::kEnabled) {
         if (metrics_ != nullptr) metrics_->on_switch(exec);
       }
       if (shm_ != nullptr) shm_->on_switch(stripe_id_, exec, new_lock);
-      space_.write(exec, *pool_.node(prev.spn).go, 1);
-      own.held.store(prev.lock, std::memory_order_seq_cst);
-    } else {
-      pool_.unalloc(exec, owner, new_spn);
+      finish_switch_post(exec, owner, prev);
+      return true;
     }
+    pool_.unalloc(exec, owner, new_spn);
+    own.ann_aux.store(kAuxNone, std::memory_order_seq_cst);
+    return false;
+  }
+
+  /// Post-CAS steps of a landed switch: retire the replaced node and save
+  /// the old instance as the next switch target. Both idempotent, so
+  /// recovery re-runs them for a victim that died after its CAS landed.
+  void finish_switch_post(Pid exec, Pid owner, const Packed& prev) {
+    space_.write(exec, *pool_.node(prev.spn).go, 1);
+    slots_[owner].held.store(prev.lock, std::memory_order_seq_cst);
+    slots_[owner].ann_aux.store(kAuxNone, std::memory_order_seq_cst);
   }
 
   RecoveryAction recover_locked(Pid exec, Pid victim) {
@@ -579,13 +890,32 @@ class ShmStripeLockT {
         // can be re-leased as-is (its held/old_spn locals stay valid).
         finish_slot(v);
         return RecoveryAction::kNone;
-      case kPreJoin:
-      case kCleanup:
-        // Died around a LockDesc F&A whose execution the journal cannot
-        // confirm or deny; repairing either way risks a refcnt off-by-one.
-        emit_recovery(obs::ShmEventKind::kZombieRetire, exec, victim,
-                      obs::kNoSlot, cur_inst);
-        return RecoveryAction::kZombie;
+      case kPreJoin: {
+        // The join F&A is journaled (v3): decide post-mortem whether the
+        // announced increment landed, then complete the passage (one
+        // Cleanup undoes a bare join) or compensate (nothing to undo) —
+        // never a zombie. A non-join announcement here is the *previous*
+        // passage's release/switch, long landed and finished: every
+        // passage announces its join before anything else, so a pending
+        // join is always the newest announcement under kPreJoin.
+        const std::uint64_t ann =
+            v.ann_desc.load(std::memory_order_seq_cst);
+        if (ann_op(ann) == kAnnOpJoin &&
+            announced_landed(exec, victim, ann_seq(ann))) {
+          recovered_cleanup(exec, victim);
+          finish_slot(v);
+          emit_recovery(obs::ShmEventKind::kFaCompleted, exec, victim,
+                        obs::kNoSlot, cur_inst);
+          return RecoveryAction::kForcedAbort;
+        }
+        const bool pending_join = ann_op(ann) == kAnnOpJoin;
+        finish_slot(v);
+        if (pending_join) {
+          emit_recovery(obs::ShmEventKind::kFaCompensated, exec, victim,
+                        obs::kNoSlot, cur_inst);
+        }
+        return RecoveryAction::kNone;
+      }
       case kJoined: {
         // Refcnt is incremented but no doorway F&A happened: the passage
         // has no queue presence, so the repair is exactly one Cleanup.
@@ -598,7 +928,9 @@ class ShmStripeLockT {
       case kDoorway: {
         if ((att & kAttemptRecorded) == 0) {
           // In the one-shot doorway but the tail F&A may or may not have
-          // run (the sink journals immediately after it).
+          // run (the sink journals immediately after it). This is the one
+          // window the journal still cannot attribute; the pid is retired
+          // and waits for epoch reclamation.
           emit_recovery(obs::ShmEventKind::kZombieRetire, exec, victim,
                         obs::kNoSlot, cur_inst);
           return RecoveryAction::kZombie;
@@ -667,10 +999,92 @@ class ShmStripeLockT {
         emit_recovery(kind, exec, victim, attempt_slot(att), inst_idx);
         return action;
       }
+      case kCleanup:
+        return recover_cleanup_arm(exec, victim, v, att, cur_inst);
       default:
         AML_ASSERT(false, "corrupt phase word in recovery");
         return RecoveryAction::kZombie;
     }
+  }
+
+  /// Death inside Cleanup (v3): the journal names exactly which step was in
+  /// flight — the release F&A (announced / landed) or the instance-switch
+  /// CAS (announced, with its pre-image and chosen node) — and every arm
+  /// either completes the landed op forward or compensates the un-landed
+  /// one. Never a zombie.
+  RecoveryAction recover_cleanup_arm(Pid exec, Pid victim, PassageSlot& v,
+                                     std::uint64_t att,
+                                     std::uint32_t cur_inst) {
+    const RecoveryAction action = (att & kAttemptGranted) != 0
+                                      ? RecoveryAction::kForcedExit
+                                      : RecoveryAction::kForcedAbort;
+    const std::uint32_t slot =
+        (att & kAttemptRecorded) != 0 ? attempt_slot(att) : obs::kNoSlot;
+    const std::uint64_t ann = v.ann_desc.load(std::memory_order_seq_cst);
+    const std::uint64_t seq = ann_seq(ann);
+    obs::ShmEventKind kind = obs::ShmEventKind::kFaCompensated;
+    switch (ann_op(ann)) {
+      case kAnnOpSwitch: {
+        // The release already landed (a switch is only announced after its
+        // release returned); the victim died inside the switch.
+        const std::uint64_t pre_raw =
+            v.ann_pre.load(std::memory_order_seq_cst);
+        const Packed pre = unpack(pre_raw);
+        v.old_spn.store(pre.spn, std::memory_order_seq_cst);
+        if (announced_landed(exec, victim, seq)) {
+          finish_switch_post(exec, victim, pre);
+          kind = obs::ShmEventKind::kFaCompleted;
+        } else if (space_.read(exec, *lock_desc_) == pre_raw) {
+          // Word untouched since the announcement: redo the same switch
+          // under the same sequence number.
+          kind = switch_attempt(exec, victim, seq)
+                     ? obs::ShmEventKind::kFaCompleted
+                     : obs::ShmEventKind::kFaCompensated;
+        } else {
+          // A joiner moved the word: the switch must be abandoned. Free
+          // the journaled node if one was chosen.
+          const std::uint64_t aux =
+              v.ann_aux.load(std::memory_order_seq_cst);
+          if (aux != kAuxNone) {
+            pool_.unalloc(exec, victim, static_cast<std::uint32_t>(aux));
+            v.ann_aux.store(kAuxNone, std::memory_order_seq_cst);
+          }
+        }
+        break;
+      }
+      case kAnnOpRelease: {
+        if (!announced_landed(exec, victim, seq)) {
+          // The decrement never landed: the whole Cleanup simply reruns
+          // under a fresh announcement.
+          recovered_cleanup(exec, victim);
+          break;
+        }
+        // Decrement landed; the victim died before (or while) saving its
+        // locals and switching. Finish both from the journaled pre-image.
+        const std::uint64_t pre_raw =
+            v.ann_pre.load(std::memory_order_seq_cst);
+        const Packed pre = unpack(pre_raw);
+        v.old_spn.store(pre.spn, std::memory_order_seq_cst);
+        if (pre.refcnt == 1) {
+          // Last leaver: the switch was never announced — run it fresh
+          // against the release's post-image.
+          try_switch(exec, victim,
+                     pack_stamped(pre.lock, pre.spn, 0,
+                                  static_cast<std::uint32_t>(victim), seq));
+        }
+        kind = obs::ShmEventKind::kFaCompleted;
+        break;
+      }
+      default:
+        // Death right at the kCleanup phase store, before the release was
+        // announced (the announcement is still the passage's landed join):
+        // nothing is in flight; run the Cleanup from scratch.
+        recovered_cleanup(exec, victim);
+        break;
+    }
+    finish_slot(v);
+    emit_recovery(kind, exec, victim, slot, cur_inst);
+    return action;
   }
 
   /// Exactly one typed event per dispatch arm, victim pid in the payload —

@@ -11,12 +11,15 @@
 // Sessions lease a dense pid from the shm ProcessRegistry (so ids are
 // unique across all attached processes), and every acquisition pulses the
 // slot's heartbeat (advisory progress observability; death detection is
-// ESRCH-only — see process_registry.hpp). When a process dies holding
-// locks, any survivor's
-// recover_dead() finds the stale slots (ESRCH on the published OS pid),
-// claims them, and drives each victim passage through the abort/exit path
-// on every stripe (see shm_lock.hpp), then frees — or, for deaths inside an
-// unjournalable window, retires — the pid.
+// ESRCH + start-time — see process_registry.hpp). When a process dies
+// holding locks, any survivor's
+// recover_dead() finds the stale slots, claims them, and drives each victim
+// passage through the abort/exit path on every stripe (see shm_lock.hpp),
+// then frees — or, for a death inside the one journal-blind doorway window,
+// retires — the pid. Retired pids are reclaimed by later sweeps once a
+// full-quiescence epoch proves no live passage references them. A process
+// that *restarts* with its previous incarnation's identity can instead
+// repair its own passage directly via reattach_session().
 //
 // v1 scope (documented limitations, not accidents):
 //   * single-key operations only — the multi-process multi-key transaction
@@ -76,7 +79,7 @@ struct ShmTableConfig {
 /// reordered allocations): it is mixed into the config hash, so a binary
 /// laying out the old sequence is rejected at attach instead of replaying a
 /// different construction into live state.
-inline constexpr std::uint64_t kShmLayoutVersion = 2;
+inline constexpr std::uint64_t kShmLayoutVersion = 3;
 
 /// Everything the layout depends on, mixed into the superblock hash so a
 /// mis-configured attacher is rejected instead of replaying a different
@@ -116,8 +119,13 @@ struct RecoveryStats {
   std::uint64_t forced_aborts = 0;   ///< waiting victims driven to abort
   std::uint64_t forced_exits = 0;    ///< holding victims driven to exit
   std::uint64_t resignals = 0;       ///< mid-exit hand-offs re-driven
-  std::uint64_t zombie_pids = 0;     ///< pids retired (unjournalable window)
+  std::uint64_t zombie_pids = 0;     ///< pids retired (doorway-blind window)
   std::uint64_t cancelled_deadlines = 0;  ///< victim timers disarmed locally
+  std::uint64_t zombies_reclaimed = 0;  ///< retired pids freed after epoch
+  std::uint64_t reentries = 0;       ///< own passages resumed via reattach
+  /// LockDesc refcnt units on any stripe with no journaled passage behind
+  /// them (a v1 zombie's legacy): value from this process's *last* sweep.
+  std::uint64_t stranded_refcnts = 0;
 };
 
 class ShmNamedLockTable {
@@ -296,6 +304,47 @@ class ShmNamedLockTable {
         recovered++;
       }
     }
+    // Epoch-based zombie reclamation: a retired pid is freed once (a) its
+    // frozen journal shows no queue footprint on any stripe — phases
+    // kIdle/kSpinWait/kPreJoin only; a pid frozen in the doorway stays
+    // parked, because re-leasing it would revive a ghost one-shot slot in
+    // an instance that may still be current — and (b) the registry's
+    // quiescence scan proves every live session has been idle since the
+    // retirement, so no stale reference to the pid survives.
+    for (Pid z = 0; z < config_.nprocs; ++z) {
+      if (registry_.state(z) != ProcessRegistry::kZombie) continue;
+      bool footprint = false;
+      for (auto& stripe : stripes_) {
+        const Phase ph = stripe->peek_phase(z);
+        if (ph != kIdle && ph != kSpinWait && ph != kPreJoin) {
+          footprint = true;
+          break;
+        }
+      }
+      if (footprint) continue;
+      if (!registry_.try_reclaim_zombie(z)) continue;
+      for (auto& stripe : stripes_) stripe->clear_journal(z);
+      shm_metrics_.on_zombie_reclaimed(exec, z);
+      stats_.zombies_reclaimed++;
+    }
+    // Stranded-refcnt audit (a v1 zombie's possible legacy): any excess of
+    // a stripe's LockDesc refcnt over the journaled passages that could
+    // hold a unit wedges the instance switch silently — acquires spin
+    // forever with the refcnt never reaching zero — so report it as a
+    // diagnosis. kPreJoin counts as a potential holder (a live joiner's
+    // F&A can land before its kJoined store), so a transient race never
+    // inflates the number; a truly stranded unit has no journal anywhere.
+    std::uint64_t stranded = 0;
+    for (auto& stripe : stripes_) {
+      const std::uint64_t refcnt = stripe->peek_refcnt(exec);
+      std::uint64_t holders = 0;
+      for (Pid p = 0; p < config_.nprocs; ++p) {
+        const Phase ph = stripe->peek_phase(p);
+        if (ph >= kPreJoin && ph <= kCleanup) holders++;
+      }
+      if (refcnt > holders) stranded += refcnt - holders;
+    }
+    stats_.stranded_refcnts = stranded;
     // Sweep latency lands in the segment, so operators (and the bench's
     // recovery percentiles) can read it from any process — only sweeps that
     // actually repaired something are recorded; the all-alive prefilter
@@ -304,6 +353,58 @@ class ShmNamedLockTable {
       shm_metrics_.record_sweep_ns(obs::ShmMetrics::now_ns() - sweep_begin);
     }
     return recovered;
+  }
+
+  /// Restart re-entry: a process that re-attached to the segment and still
+  /// holds its previous incarnation's identity (pid + lease token, persisted
+  /// or inherited across exec) resumes or unwinds that incarnation's
+  /// interrupted passages itself instead of waiting for a survivor sweep.
+  /// The registry claim succeeds only if the lease word still equals
+  /// `prev_token` and its published holder is provably dead — ESRCH or an
+  /// OS start-time mismatch, which covers the restarted process re-drawing
+  /// its own old OS pid. Every stripe's recovery arm then runs exactly as a
+  /// survivor's would (the journal, not the executor, drives the repair),
+  /// local deadlines are cancelled, and the slot is repossessed under a
+  /// fresh token. Empty if the claim was lost (already re-leased or swept;
+  /// fall back to open_session()) or if the old incarnation died in the
+  /// doorway-blind window (the pid is retired as usual).
+  std::optional<Session> reattach_session(Pid id, std::uint64_t prev_token) {
+    if (id >= config_.nprocs) return std::nullopt;
+    if (!registry_.try_reattach(id, prev_token)) return std::nullopt;
+    const std::uint64_t self_os = static_cast<std::uint64_t>(::getpid());
+    bool zombie = false;
+    // exec == victim is sound here: the old incarnation is dead and this
+    // process holds its exclusive kRecovering claim, so this is the normal
+    // proxy pattern with the proxy running under the owner's own pid.
+    for (auto& stripe : stripes_) {
+      switch (stripe->recover(id, id, self_os)) {
+        case RecoveryAction::kNone:
+          break;
+        case RecoveryAction::kForcedAbort:
+          stats_.forced_aborts++;
+          break;
+        case RecoveryAction::kForcedExit:
+          stats_.forced_exits++;
+          break;
+        case RecoveryAction::kResignalled:
+          stats_.resignals++;
+          break;
+        case RecoveryAction::kZombie:
+          zombie = true;
+          break;
+      }
+    }
+    cancel_deadlines(id);
+    if (zombie) {
+      registry_.finish_recovery(id, true);
+      stats_.zombie_pids++;
+      return std::nullopt;
+    }
+    const std::uint64_t token = registry_.repossess(id);
+    signals_[id].reset();
+    stats_.reentries++;
+    shm_metrics_.on_reentry(id);
+    return Session(*this, id, token);
   }
 
   // --- introspection ------------------------------------------------------
@@ -358,6 +459,10 @@ class ShmNamedLockTable {
     ~Session() { close(); }
 
     Pid id() const { return id_; }
+    /// The lease word securing this session. A process that persists
+    /// (id, token) across a restart — or inherits them across exec — can
+    /// hand them to reattach_session() to resume its own passages.
+    std::uint64_t token() const { return token_; }
 
     /// No-op if a survivor recovered this lease out from under us (the
     /// registry release is token-checked).
@@ -385,7 +490,10 @@ class ShmNamedLockTable {
     std::optional<Guard> try_acquire_until(Key key, Clock::time_point when) {
       const std::uint32_t s = owner_->stripe_of(key);
       owner_->registry_.beat(id_);
-      if (!owner_->timed_enter(id_, s, when)) return std::nullopt;
+      if (!owner_->timed_enter(id_, s, when)) {
+        owner_->note_idle_if_quiet(id_);
+        return std::nullopt;
+      }
       return Guard(*owner_, id_, s);
     }
 
@@ -401,6 +509,7 @@ class ShmNamedLockTable {
       const std::uint32_t s = owner_->stripe_of(key);
       owner_->registry_.beat(id_);
       if (!owner_->stripes_[s]->enter(id_, signal.flag()).acquired) {
+        owner_->note_idle_if_quiet(id_);
         return std::nullopt;
       }
       return Guard(*owner_, id_, s);
@@ -437,6 +546,7 @@ class ShmNamedLockTable {
       if (owner_ != nullptr) {
         owner_->registry_.beat(pid_);
         owner_->stripes_[stripe_]->exit(pid_);
+        owner_->guard_released(pid_);
         owner_ = nullptr;
       }
     }
@@ -444,7 +554,9 @@ class ShmNamedLockTable {
    private:
     friend class Session;
     Guard(ShmNamedLockTable& owner, Pid pid, std::uint32_t stripe)
-        : owner_(&owner), pid_(pid), stripe_(stripe) {}
+        : owner_(&owner), pid_(pid), stripe_(stripe) {
+      owner.guard_acquired(pid);
+    }
 
     ShmNamedLockTable* owner_;
     Pid pid_;
@@ -466,7 +578,8 @@ class ShmNamedLockTable {
         metrics_(cfg.nprocs),
         shm_metrics_(*arena_, cfg.nprocs, cfg.stripes, cfg.ring_capacity),
         signals_(cfg.nprocs),
-        armed_(cfg.nprocs) {
+        armed_(cfg.nprocs),
+        guard_depth_(new std::atomic<std::uint32_t>[cfg.nprocs]()) {
     stripes_.reserve(cfg.stripes);
     for (std::uint32_t s = 0; s < cfg.stripes; ++s) {
       stripes_.push_back(std::make_unique<Stripe>(
@@ -530,6 +643,24 @@ class ShmNamedLockTable {
            sizeof(ServiceHeader) + (1u << 20);
   }
 
+  // Quiescence bookkeeping feeding zombie reclamation: a pid's idle epoch
+  // is refreshed whenever it provably holds no lock — last guard released,
+  // or an acquisition failed while no guard was held. The depth counter is
+  // process-local (sessions live in one process), so this costs no RMR.
+  void guard_acquired(Pid id) {
+    guard_depth_[id].fetch_add(1, std::memory_order_relaxed);
+  }
+  void guard_released(Pid id) {
+    if (guard_depth_[id].fetch_sub(1, std::memory_order_relaxed) == 1) {
+      registry_.note_idle(id);
+    }
+  }
+  void note_idle_if_quiet(Pid id) {
+    if (guard_depth_[id].load(std::memory_order_relaxed) == 0) {
+      registry_.note_idle(id);
+    }
+  }
+
   bool timed_enter(Pid pid, std::uint32_t s, Clock::time_point when) {
     AbortSignal& signal = signals_[pid];
     signal.reset();
@@ -580,6 +711,8 @@ class ShmNamedLockTable {
   TimerWheel wheel_;
   std::mutex armed_mu_;  ///< guards armed_ (token tracking for recovery)
   std::vector<std::vector<TimerWheel::Token>> armed_;
+  /// Per-pid count of live guards in this process (see guard_released).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> guard_depth_;
   RecoveryStats stats_;
 };
 

@@ -73,6 +73,8 @@ inline void write_recovery(std::ostream& os,
      << ",\"aborts_on_behalf\":" << r.aborts_on_behalf
      << ",\"resignals\":" << r.resignals
      << ",\"zombie_retires\":" << r.zombie_retires
+     << ",\"fa_completed\":" << r.fa_completed
+     << ",\"fa_compensated\":" << r.fa_compensated
      << ",\"total\":" << r.total() << "}";
 }
 
@@ -117,7 +119,12 @@ inline void write_stat_json(std::ostream& os, ShmNamedLockTable& table,
     const std::uint64_t beat_ns = reg.heartbeat_ns(p);
     os << "{\"pid\":" << p << ",\"state\":\""
        << stat_detail::lease_state_name(st) << "\",\"os_pid\":" << reg.os_pid(p)
-       << ",\"heartbeat\":" << reg.heartbeat(p);
+       << ",\"os_start\":" << reg.os_start(p)
+       << ",\"heartbeat\":" << reg.heartbeat(p)
+       << ",\"idle_epoch\":" << reg.idle_epoch(p);
+    if (st == ProcessRegistry::kZombie) {
+      os << ",\"retired_epoch\":" << reg.retired_epoch(p);
+    }
     if (beat_ns != 0 && now > beat_ns) {
       os << ",\"heartbeat_age_ns\":" << (now - beat_ns);
     }
@@ -135,16 +142,25 @@ inline void write_stat_json(std::ostream& os, ShmNamedLockTable& table,
     }
     os << "]}";
   }
-  os << "]";
+  os << "],\"epoch\":" << table.registry().epoch();
 
   // --- stripes ----------------------------------------------------------
   os << ",\"stripes\":[";
   for (std::uint32_t s = 0; s < table.stripe_count(); ++s) {
     if (s != 0) os << ",";
     auto& stripe = table.stripe(s);
+    // Same stranded-unit bound recover_dead() reports: refcnt units beyond
+    // the journaled passages that could legitimately hold one.
+    const std::uint64_t refcnt = stripe.peek_refcnt(probe);
+    std::uint64_t holders = 0;
+    for (Pid p = 0; p < cfg.nprocs; ++p) {
+      const Phase ph = stripe.peek_phase(p);
+      if (ph >= kPreJoin && ph <= kCleanup) holders++;
+    }
     os << "{\"stripe\":" << s
        << ",\"installed\":" << stripe.peek_installed(probe)
-       << ",\"refcnt\":" << stripe.peek_refcnt(probe)
+       << ",\"refcnt\":" << refcnt
+       << ",\"stranded_refcnt\":" << (refcnt > holders ? refcnt - holders : 0)
        << ",\"recovery_epoch\":" << stripe.recovery_epoch(probe)
        << ",\"recovery\":";
     stat_detail::write_recovery(os, shm.recovery_stripe(s));

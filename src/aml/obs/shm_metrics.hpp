@@ -60,6 +60,14 @@ enum class ShmEventKind : std::uint8_t {
   kResignal,         ///< recovery: victim died mid-exit after the hand-off;
                      ///  survivor re-signalled the successor
   kZombieRetire,     ///< recovery: journal window ambiguous; pid retired
+  kFaCompleted,      ///< recovery: victim's announced LockDesc F&A found
+                     ///  landed; survivor completed the passage forward
+  kFaCompensated,    ///< recovery: announced F&A never landed (or was never
+                     ///  issued); survivor compensated / redid it itself
+  kReentry,          ///< a restarted process resumed its own prior passage
+                     ///  via reattach_session
+  kZombieReclaim,    ///< a retired zombie pid reclaimed after a
+                     ///  full-quiescence epoch
 };
 
 inline const char* shm_event_kind_name(ShmEventKind kind) {
@@ -74,6 +82,10 @@ inline const char* shm_event_kind_name(ShmEventKind kind) {
     case ShmEventKind::kAbortOnBehalf: return "forced-abort";
     case ShmEventKind::kResignal: return "resignal";
     case ShmEventKind::kZombieRetire: return "zombie-retire";
+    case ShmEventKind::kFaCompleted: return "fa-completed";
+    case ShmEventKind::kFaCompensated: return "fa-compensated";
+    case ShmEventKind::kReentry: return "re-entry";
+    case ShmEventKind::kZombieReclaim: return "zombie-reclaimed";
   }
   return "?";
 }
@@ -86,6 +98,10 @@ inline bool shm_event_is_recovery(ShmEventKind kind) {
     case ShmEventKind::kAbortOnBehalf:
     case ShmEventKind::kResignal:
     case ShmEventKind::kZombieRetire:
+    case ShmEventKind::kFaCompleted:
+    case ShmEventKind::kFaCompensated:
+    case ShmEventKind::kReentry:
+    case ShmEventKind::kZombieReclaim:
       return true;
     default:
       return false;
@@ -139,6 +155,8 @@ struct alignas(pal::kCacheLine) ShmRecoveryCell {
   std::atomic<std::uint64_t> aborts_on_behalf;
   std::atomic<std::uint64_t> resignals;
   std::atomic<std::uint64_t> zombie_retires;
+  std::atomic<std::uint64_t> fa_completed;
+  std::atomic<std::uint64_t> fa_compensated;
 };
 // AML_SHM_REGION_END
 AML_SHM_PLACEABLE(ShmCounterCell);
@@ -179,10 +197,12 @@ struct ShmRecoverySnapshot {
   std::uint64_t aborts_on_behalf = 0;
   std::uint64_t resignals = 0;
   std::uint64_t zombie_retires = 0;
+  std::uint64_t fa_completed = 0;
+  std::uint64_t fa_compensated = 0;
 
   std::uint64_t total() const {
     return forced_exits + complete_grants + aborts_on_behalf + resignals +
-           zombie_retires;
+           zombie_retires + fa_completed + fa_compensated;
   }
 };
 
@@ -315,11 +335,33 @@ class ShmMetrics {
       case ShmEventKind::kZombieRetire:
         c.zombie_retires.fetch_add(1, std::memory_order_relaxed);
         break;
+      case ShmEventKind::kFaCompleted:
+        c.fa_completed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ShmEventKind::kFaCompensated:
+        c.fa_compensated.fetch_add(1, std::memory_order_relaxed);
+        break;
       default:
         return;  // lifecycle kinds have their own hooks
     }
     emit(kind, stripe, exec, victim, slot, instance);
   }
+
+  /// A restarted process resumed (or unwound) its own previous incarnation's
+  /// passage via reattach_session. Not stripe-scoped: stripe carries the
+  /// kNoStripe sentinel.
+  void on_reentry(model::Pid p) {
+    emit(ShmEventKind::kReentry, kNoStripe, p, p, kNoSlot, 0);
+  }
+
+  /// A retired zombie pid was reclaimed after a full-quiescence epoch.
+  void on_zombie_reclaimed(model::Pid exec, model::Pid reclaimed) {
+    emit(ShmEventKind::kZombieReclaim, kNoStripe, exec, reclaimed, kNoSlot, 0);
+  }
+
+  /// Stripe sentinel for events that describe a whole-service transition
+  /// (re-entry, zombie reclamation) rather than one stripe.
+  static constexpr std::uint32_t kNoStripe = 0xFFFFu;
 
   /// Wall-clock duration of one recovery sweep (recover_dead pass).
   void record_sweep_ns(std::uint64_t ns) { record(sweep_hist_[0], ns); }
@@ -371,6 +413,8 @@ class ShmMetrics {
     s.aborts_on_behalf = c.aborts_on_behalf.load(std::memory_order_relaxed);
     s.resignals = c.resignals.load(std::memory_order_relaxed);
     s.zombie_retires = c.zombie_retires.load(std::memory_order_relaxed);
+    s.fa_completed = c.fa_completed.load(std::memory_order_relaxed);
+    s.fa_compensated = c.fa_compensated.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -383,6 +427,8 @@ class ShmMetrics {
       sum.aborts_on_behalf += r.aborts_on_behalf;
       sum.resignals += r.resignals;
       sum.zombie_retires += r.zombie_retires;
+      sum.fa_completed += r.fa_completed;
+      sum.fa_compensated += r.fa_compensated;
     }
     return sum;
   }

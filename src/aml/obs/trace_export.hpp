@@ -122,10 +122,16 @@ inline std::vector<PassageSpan> assemble_passage_spans(
       case ShmEventKind::kAbortOnBehalf:
       case ShmEventKind::kResignal:
       case ShmEventKind::kZombieRetire:
+      case ShmEventKind::kFaCompleted:
+      case ShmEventKind::kFaCompensated:
         close_span(e, e.victim, /*forced=*/true);
         break;
       case ShmEventKind::kSwitch:
-        break;  // instance switches are instants, not spans
+      case ShmEventKind::kReentry:
+      case ShmEventKind::kZombieReclaim:
+        // Instants, not spans: switches are stripe-local blips, re-entry
+        // and zombie reclamation are whole-service transitions.
+        break;
     }
   }
   return spans;

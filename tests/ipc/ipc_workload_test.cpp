@@ -40,5 +40,25 @@ TEST(ShmIpcWorkload, CrashRecoveryExploresCleanUnderDpor) {
   EXPECT_GT(stats.executions, 10u);
 }
 
+TEST(ShmIpcWorkload, DeathAtFaExploresCleanUnderDpor) {
+  const auto* workload = analysis::find_workload("ipc-death-at-fa");
+  ASSERT_NE(workload, nullptr);
+  EXPECT_EQ(workload->nprocs, 3u);
+
+  sched::ExploreConfig config;
+  config.nprocs = workload->nprocs;
+  config.preemption_bound = 3;
+  config.max_executions = 500'000;
+  config.reduction = sched::Reduction::kDpor;
+  config.workload = workload->name;
+  config.trace_dir = temp_dir();
+
+  const auto stats = sched::explore(config, workload->factory);
+  EXPECT_FALSE(stats.failed) << stats.failure;
+  EXPECT_FALSE(stats.truncated)
+      << "death-at-F&A workload did not explore to exhaustion";
+  EXPECT_GT(stats.executions, 10u);
+}
+
 }  // namespace
 }  // namespace aml::ipc

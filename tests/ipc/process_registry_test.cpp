@@ -104,6 +104,124 @@ TEST(ShmIpcRegistry, DeadDetectsForgedEsrchPidOnly) {
   EXPECT_FALSE(reg.dead(0));
 }
 
+/// The v3 pid-reuse hardening: ESRCH alone cannot tell a live holder from
+/// an unrelated process the kernel recycled the pid to. A published start
+/// time that contradicts the live process's start time is death evidence;
+/// an unknown start time on either side is evidence of nothing.
+TEST(ShmIpcRegistry, StartTimeMismatchDetectsPidReuse) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);
+
+  EXPECT_EQ(reg.os_pid(0), static_cast<std::uint64_t>(::getpid()));
+#if defined(__linux__)
+  // On Linux the lease published our real kernel start time.
+  const std::uint64_t self_start =
+      process_start_ticks(static_cast<std::uint64_t>(::getpid()));
+  ASSERT_NE(self_start, 0u);
+  EXPECT_EQ(reg.os_start(0), self_start);
+  EXPECT_FALSE(reg.dead(0));
+
+  // Same pid answers, but the published start names a different (dead)
+  // incarnation: that is pid reuse, and the holder is provably dead — the
+  // exact signal a restarted process uses to recognize its own old slot
+  // even when the kernel recycled its pid.
+  reg.debug_set_os_start(0, self_start + 1);
+  EXPECT_TRUE(reg.dead(0));
+
+  // Unknown published start degrades conservatively to v1: no evidence,
+  // never a false death.
+  reg.debug_set_os_start(0, 0);
+  EXPECT_FALSE(reg.dead(0));
+#else
+  EXPECT_EQ(reg.os_start(0), 0u);  // portable fallback: unknown
+  EXPECT_FALSE(reg.dead(0));
+#endif
+}
+
+/// Restart re-entry at the registry layer: try_reattach is the survivor
+/// claim pinned to the exact previous lease token, and repossess converts
+/// the claim back into a live lease under the caller's identity.
+TEST(ShmIpcRegistry, ReattachRequiresExactTokenAndDeadHolder) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  std::uint64_t token = 0;
+  ASSERT_EQ(reg.try_lease(&token), 0u);
+
+  // A live holder (ourselves) is not reattachable even with the right
+  // token: the previous incarnation must be provably dead.
+  EXPECT_FALSE(reg.try_reattach(0, token));
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kLive);
+
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  // Wrong token (bumped nonce): refuses even though the holder is dead.
+  EXPECT_FALSE(reg.try_reattach(0, token + (ProcessRegistry::kStateMask + 1)));
+  // Exact token + dead holder: the exclusive claim lands.
+  ASSERT_TRUE(reg.try_reattach(0, token));
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kRecovering);
+  // No survivor can double-claim while we hold it.
+  EXPECT_FALSE(reg.try_claim_recovery(0));
+
+  const std::uint64_t fresh = reg.repossess(0);
+  EXPECT_NE(fresh, token);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kLive);
+  EXPECT_EQ(reg.os_pid(0), static_cast<std::uint64_t>(::getpid()));
+
+  // The old token is spent: a second re-entry attempt with it must refuse
+  // (the nonce moved on), and an orderly release under the fresh token
+  // still works.
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  EXPECT_FALSE(reg.try_reattach(0, token));
+  reg.release(0, fresh);
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kFree);
+}
+
+/// A survivor sweep that wins the race retires or frees the slot, after
+/// which the restarted process's reattach must refuse and fall back to a
+/// fresh lease.
+TEST(ShmIpcRegistry, ReattachLosesToCompletedSurvivorSweep) {
+  RegistryFixture f(2);
+  ProcessRegistry& reg = *f.registry;
+  std::uint64_t token = 0;
+  ASSERT_EQ(reg.try_lease(&token), 0u);
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+
+  ASSERT_TRUE(reg.try_claim_recovery(0));
+  reg.finish_recovery(0, /*zombie=*/false);
+  EXPECT_FALSE(reg.try_reattach(0, token));
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kFree);
+}
+
+/// Epoch-based zombie reclamation: retirement opens a new quiescence epoch,
+/// and the retired pid becomes leasable again only once every live slot has
+/// journaled an idle point at or after that epoch.
+TEST(ShmIpcRegistry, ZombieReclaimWaitsForFullQuiescence) {
+  RegistryFixture f(3);
+  ProcessRegistry& reg = *f.registry;
+  ASSERT_EQ(reg.try_lease(), 0u);  // the future zombie
+  ASSERT_EQ(reg.try_lease(), 1u);  // a bystander, idle-marked at epoch 0
+
+  reg.debug_set_os_pid(0, kForgedDeadPid);
+  ASSERT_TRUE(reg.try_claim_recovery(0));
+  reg.finish_recovery(0, /*zombie=*/true);
+  ASSERT_EQ(reg.state(0), ProcessRegistry::kZombie);
+  EXPECT_EQ(reg.epoch(), 1u);
+  EXPECT_EQ(reg.retired_epoch(0), 1u);
+
+  // Only zombies are reclaimable, and not before the bystander (whose idle
+  // mark predates the retirement) passes through an idle point.
+  EXPECT_FALSE(reg.try_reclaim_zombie(1));
+  EXPECT_FALSE(reg.try_reclaim_zombie(0));
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kZombie);
+
+  reg.note_idle(1);
+  EXPECT_TRUE(reg.try_reclaim_zombie(0));
+  EXPECT_EQ(reg.state(0), ProcessRegistry::kFree);
+  // The reclaimed pid is ordinarily leasable again — retirement is no
+  // longer permanent pid-space leakage.
+  EXPECT_EQ(reg.try_lease(), 0u);
+}
+
 TEST(ShmIpcRegistry, RecoveryClaimIsExclusiveAndFreesSlot) {
   RegistryFixture f(2);
   ProcessRegistry& reg = *f.registry;
@@ -225,11 +343,13 @@ TEST(ShmIpcRegistry, StaleTokenReleaseCannotFreeSuccessorLease) {
 // --- satellite: slot-reclamation property test ----------------------------
 
 /// Drives a randomized schedule of lease / orderly-release / simulated-death
-/// + recovery / stale-release operations and checks after every step that no
-/// dense pid has two believed-live holders. The model mirrors what real
-/// processes know: a holder keeps (id, token) until it releases, or until a
-/// death simulation moves it to the stale set (whose late releases must
-/// no-op).
+/// + recovery / stale-release / zombie-retirement / idle-mark / reclamation
+/// operations and checks after every step that no dense pid has two
+/// believed-live holders. The model mirrors what real processes know: a
+/// holder keeps (id, token) until it releases, or until a death simulation
+/// moves it to the stale set (whose late releases must no-op); the model
+/// also tracks its own epoch clock and per-holder idle marks, so the
+/// reclamation gate is checked against an independent oracle.
 TEST(ShmIpcRegistryProperty, ReclaimAfterOwnerDeathNeverDuplicatesLiveIds) {
   constexpr Pid kProcs = 4;
   RegistryFixture f(kProcs);
@@ -237,6 +357,10 @@ TEST(ShmIpcRegistryProperty, ReclaimAfterOwnerDeathNeverDuplicatesLiveIds) {
 
   std::vector<std::pair<Pid, std::uint64_t>> live;   // believed-live leases
   std::vector<std::pair<Pid, std::uint64_t>> stale;  // recovered under us
+  std::vector<Pid> zombies;                          // retired, unreclaimed
+  std::uint64_t model_epoch = 0;          // mirrors the registry's counter
+  std::uint64_t idle_mark[kProcs] = {};   // model: last idled at this epoch
+  std::uint64_t retired_at[kProcs] = {};  // model: retirement epoch
   std::uint64_t rng = 0x9E3779B97F4A7C15ull;
   auto next = [&rng](std::uint64_t bound) {
     rng = rng * 6364136223846793005ull + 1442695040888963407ull;
@@ -244,14 +368,17 @@ TEST(ShmIpcRegistryProperty, ReclaimAfterOwnerDeathNeverDuplicatesLiveIds) {
   };
 
   for (int step = 0; step < 4000; ++step) {
-    switch (next(4)) {
+    switch (next(7)) {
       case 0: {  // lease
         std::uint64_t token = 0;
         const Pid id = reg.try_lease(&token);
         if (id < kProcs) {
-          // A fresh lease must never alias a believed-live holder.
+          // A fresh lease must never alias a believed-live holder, nor a
+          // retired-but-unreclaimed zombie pid.
           for (const auto& h : live) ASSERT_NE(h.first, id) << "step " << step;
+          for (const Pid z : zombies) ASSERT_NE(z, id) << "step " << step;
           live.emplace_back(id, token);
+          idle_mark[id] = model_epoch;  // try_lease stamps a fresh idle mark
         }
         break;
       }
@@ -284,6 +411,48 @@ TEST(ShmIpcRegistryProperty, ReclaimAfterOwnerDeathNeverDuplicatesLiveIds) {
         EXPECT_EQ(reg.state(id) == ProcessRegistry::kLive, was_live)
             << "stale release freed a successor's lease at step " << step;
         stale.erase(stale.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      case 4: {  // simulated death in the journal-blind window: retirement
+        if (live.empty()) break;
+        const std::size_t k = next(live.size());
+        const Pid id = live[k].first;
+        reg.debug_set_os_pid(id, kForgedDeadPid);
+        ASSERT_TRUE(reg.try_claim_recovery(id));
+        reg.finish_recovery(id, /*zombie=*/true);
+        ++model_epoch;  // retirement opens a new quiescence epoch
+        retired_at[id] = model_epoch;
+        ASSERT_EQ(reg.epoch(), model_epoch) << "step " << step;
+        zombies.push_back(id);
+        stale.push_back(live[k]);  // its late release must still no-op
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      case 5: {  // reclamation attempt, checked against the model's gate
+        if (zombies.empty()) break;
+        const std::size_t k = next(zombies.size());
+        const Pid id = zombies[k];
+        bool quiesced = true;
+        for (const auto& h : live) {
+          if (idle_mark[h.first] < retired_at[id]) quiesced = false;
+        }
+        EXPECT_EQ(reg.try_reclaim_zombie(id), quiesced)
+            << "reclamation gate disagrees with the model at step " << step;
+        if (quiesced) {
+          EXPECT_EQ(reg.state(id), ProcessRegistry::kFree) << "step " << step;
+          zombies.erase(zombies.begin() + static_cast<std::ptrdiff_t>(k));
+        } else {
+          EXPECT_EQ(reg.state(id), ProcessRegistry::kZombie)
+              << "unquiesced reclaim must leave the retirement, step "
+              << step;
+        }
+        break;
+      }
+      case 6: {  // a live holder reaches a no-footprint point
+        if (live.empty()) break;
+        const Pid id = live[next(live.size())].first;
+        reg.note_idle(id);
+        idle_mark[id] = model_epoch;
         break;
       }
     }

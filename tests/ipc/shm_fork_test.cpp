@@ -61,6 +61,33 @@ void write_byte(int fd, char b) {
   } while (r < 0 && errno == EINTR);
 }
 
+bool read_u64(int fd, std::uint64_t* out) {
+  unsigned char buf[8];
+  std::size_t got = 0;
+  while (got < sizeof(buf)) {
+    const ssize_t r = ::read(fd, buf + got, sizeof(buf) - got);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  *out = v;
+  return true;
+}
+
+void write_u64(int fd, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  std::size_t put = 0;
+  while (put < sizeof(buf)) {
+    const ssize_t r = ::write(fd, buf + put, sizeof(buf) - put);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return;
+    put += static_cast<std::size_t>(r);
+  }
+}
+
 struct Pipes {
   int to_child[2];
   int to_parent[2];
@@ -402,6 +429,84 @@ TEST(ShmIpcFork, SigkilledGrantedWaiterDrivenThroughCompleteGrant) {
 
   // The on-behalf exit freed the lock for the survivor.
   EXPECT_TRUE(survivor->try_acquire_for(kKey, 2s).has_value());
+  ShmNamedLockTable::unlink(seg);
+}
+
+TEST(ShmIpcFork, ReattachResumesOwnIdentityAfterSigkill) {
+  // Restart re-entry: the killed holder's *successor process* (here the
+  // parent, standing in for the restarted service) presents the persisted
+  // (dense pid, lease token) pair and re-enters through reattach_session —
+  // its own passage is resumed/unwound as self-recovery and the SAME dense
+  // pid is re-leased to it, rather than a survivor racing it to the sweep.
+  const std::string seg = unique_name("reattach");
+  Pipes p;
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    const int rc = child_main(
+        seg, p.to_child[0], p.to_parent[1],
+        [](ShmNamedLockTable&, ShmNamedLockTable::Session& session, int,
+           int wfd) {
+          // Persist the re-entry identity first (a real service would write
+          // it to disk before touching the lock), then die holding.
+          write_u64(wfd, session.id());
+          write_u64(wfd, session.token());
+          auto guard = session.acquire(kKey);
+          write_byte(wfd, 'H');
+          for (;;) ::pause();  // die holding the critical section
+          return 15;           // unreachable
+        });
+    ::_exit(rc);
+  }
+
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg, fork_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+  write_byte(p.to_child[1], 'C');
+  std::uint64_t victim_u64 = 0;
+  std::uint64_t token = 0;
+  ASSERT_TRUE(read_u64(p.to_parent[0], &victim_u64));
+  ASSERT_TRUE(read_u64(p.to_parent[0], &token));
+  ASSERT_TRUE(read_byte(p.to_parent[0], 'H'));
+  const Pid victim = static_cast<Pid>(victim_u64);
+  ASSERT_LT(victim, fork_config().nprocs);
+
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);  // reap: pid now ESRCH
+
+  // A stale token must not reattach (the lease word wouldn't match).
+  EXPECT_FALSE(table->reattach_session(victim, token + 1).has_value());
+
+  auto reattached = table->reattach_session(victim, token);
+  ASSERT_TRUE(reattached.has_value());
+  EXPECT_EQ(reattached->id(), victim);
+
+  // Self-recovery unwound the dead incarnation's passage (it died holding,
+  // so the repair is a forced exit) and produced no zombie.
+  const RecoveryStats& stats = table->recovery_stats();
+  EXPECT_EQ(stats.reentries, 1u);
+  EXPECT_EQ(stats.forced_exits, 1u);
+  EXPECT_EQ(stats.zombie_pids, 0u);
+
+  // The registry now binds the dense pid to THIS process under a fresh
+  // token, and the segment journals the re-entry as a typed event.
+  EXPECT_EQ(table->registry().state(victim), ProcessRegistry::kLive);
+  EXPECT_EQ(table->registry().os_pid(victim),
+            static_cast<std::uint64_t>(::getpid()));
+  EXPECT_NE(reattached->token(), token);
+  std::size_t reentry_events = 0;
+  for (const obs::ShmEvent& e : table->shm_metrics().ring_snapshot()) {
+    if (e.kind == obs::ShmEventKind::kReentry) {
+      ++reentry_events;
+      EXPECT_EQ(e.victim, victim);
+    }
+  }
+  EXPECT_EQ(reentry_events, 1u);
+
+  // The resumed identity is fully functional: the key its previous
+  // incarnation died holding is acquirable again by the reattached session.
+  EXPECT_TRUE(reattached->try_acquire_for(kKey, 2s).has_value());
   ShmNamedLockTable::unlink(seg);
 }
 

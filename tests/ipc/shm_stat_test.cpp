@@ -193,9 +193,12 @@ TEST(ShmIpcStat, ZombieRetireArmEmitsOneTypedEventWithVictim) {
   auto survivor = table->open_session();
   ASSERT_TRUE(victim && survivor);
 
-  // Forge a death inside the unjournalable cleanup F&A window: the sweep
-  // must retire the pid as a zombie, repair nothing, and say so in the ring.
-  table->stripe(0).debug_set_phase(victim->id(), kCleanup);
+  // Forge a death inside the one remaining journal-blind window (v3): in
+  // the one-shot doorway with no attempt recorded — the tail F&A may or may
+  // not have run. The sweep must retire the pid as a zombie, repair
+  // nothing, and say so in the ring. (The cleanup F&A window this test used
+  // to forge is decidable now; see the ForgedCleanup* tests.)
+  table->stripe(0).debug_set_phase(victim->id(), kDoorway);
   table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
   EXPECT_EQ(survivor->recover_dead(), 0u);  // zombies are not "recovered"
 

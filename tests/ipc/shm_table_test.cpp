@@ -203,6 +203,162 @@ TEST(ShmIpcTable, RecoverIdleVictimReclaimsWithoutRepairs) {
   EXPECT_EQ(table->registry().state(victim->id()), ProcessRegistry::kFree);
 }
 
+// --- recoverable F&A: forged deaths inside the journaled windows ----------
+
+std::uint64_t ring_count(const ShmNamedLockTable& table,
+                         obs::ShmEventKind kind, Pid victim) {
+  std::uint64_t n = 0;
+  for (const auto& e : table.shm_metrics().ring_snapshot()) {
+    if (e.kind == kind && e.victim == victim) ++n;
+  }
+  return n;
+}
+
+/// Deaths at kPreJoin — the join announced but maybe not landed — must be
+/// decided by the journal, never retired as zombies: the un-landed join is
+/// compensated (refcnt untouched) and the landed one is completed (one
+/// Cleanup undoes it), both in the same sweep.
+TEST(ShmIpcTable, ForgedPrejoinDeathsDecideByJournal) {
+  ScopedSegment seg(unique_name("fa-prejoin"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto survivor = table->open_session();
+  auto announced = table->open_session();  // died before the join CAS
+  auto landed = table->open_session();     // died right after it landed
+  ASSERT_TRUE(survivor && announced && landed);
+
+  const std::uint32_t s = 0;
+  table->stripe(s).debug_forge_prejoin_announced(announced->id());
+  table->stripe(s).debug_forge_prejoin_landed(landed->id());
+  ASSERT_EQ(table->stripe(s).peek_refcnt(survivor->id()), 1u);
+
+  table->registry().debug_set_os_pid(announced->id(), kForgedDeadPid);
+  table->registry().debug_set_os_pid(landed->id(), kForgedDeadPid);
+  EXPECT_EQ(survivor->recover_dead(), 2u);
+
+  const RecoveryStats& stats = table->recovery_stats();
+  EXPECT_EQ(stats.recovered_pids, 2u);
+  EXPECT_EQ(stats.zombie_pids, 0u);
+  // Only the landed join had a passage to unwind (one forced abort); the
+  // compensated one left no footprint at all.
+  EXPECT_EQ(stats.forced_aborts, 1u);
+  EXPECT_EQ(stats.forced_exits, 0u);
+
+  // The refcnt is exact again: the compensation did not decrement for an
+  // increment that never landed, the completion undid the one that did.
+  EXPECT_EQ(table->stripe(s).peek_refcnt(survivor->id()), 0u);
+  EXPECT_EQ(table->stripe(s).peek_phase(announced->id()), kIdle);
+  EXPECT_EQ(table->stripe(s).peek_phase(landed->id()), kIdle);
+  EXPECT_EQ(table->registry().state(announced->id()), ProcessRegistry::kFree);
+  EXPECT_EQ(table->registry().state(landed->id()), ProcessRegistry::kFree);
+
+  // The decision is observable: one compensated, one completed, no retire.
+  const obs::ShmRecoverySnapshot rec = table->shm_metrics().recovery_totals();
+  EXPECT_EQ(rec.fa_compensated, 1u);
+  EXPECT_EQ(rec.fa_completed, 1u);
+  EXPECT_EQ(rec.zombie_retires, 0u);
+  EXPECT_EQ(ring_count(*table, obs::ShmEventKind::kFaCompensated,
+                       announced->id()),
+            1u);
+  EXPECT_EQ(ring_count(*table, obs::ShmEventKind::kFaCompleted, landed->id()),
+            1u);
+}
+
+/// Deaths inside kCleanup with the release announced (not landed) or landed
+/// (locals unsaved): the first reruns the whole Cleanup under a fresh
+/// announcement, the second completes forward from the journaled pre-image —
+/// no double decrement, no zombie.
+TEST(ShmIpcTable, ForgedCleanupDeathsCompleteOrCompensate) {
+  ScopedSegment seg(unique_name("fa-cleanup"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto survivor = table->open_session();
+  auto announced = table->open_session();  // release announced, CAS unissued
+  auto released = table->open_session();   // release landed, locals unsaved
+  ASSERT_TRUE(survivor && announced && released);
+
+  const std::uint32_t s = 0;
+  table->stripe(s).debug_forge_cleanup_announced(announced->id());
+  table->stripe(s).debug_forge_cleanup_released(released->id());
+  // Two joins landed, one release landed: exactly one membership remains.
+  ASSERT_EQ(table->stripe(s).peek_refcnt(survivor->id()), 1u);
+
+  table->registry().debug_set_os_pid(announced->id(), kForgedDeadPid);
+  table->registry().debug_set_os_pid(released->id(), kForgedDeadPid);
+  EXPECT_EQ(survivor->recover_dead(), 2u);
+
+  const RecoveryStats& stats = table->recovery_stats();
+  EXPECT_EQ(stats.recovered_pids, 2u);
+  EXPECT_EQ(stats.zombie_pids, 0u);
+  EXPECT_EQ(stats.forced_aborts, 2u);
+
+  // Exactly one decrement ran per landed join: the rerun released the
+  // announced victim's hold, the completion did NOT re-release the landed
+  // one. A double decrement would underflow the (checked) refcnt.
+  EXPECT_EQ(table->stripe(s).peek_refcnt(survivor->id()), 0u);
+  EXPECT_EQ(table->registry().state(announced->id()), ProcessRegistry::kFree);
+  EXPECT_EQ(table->registry().state(released->id()), ProcessRegistry::kFree);
+
+  const obs::ShmRecoverySnapshot rec = table->shm_metrics().recovery_totals();
+  EXPECT_EQ(rec.fa_compensated, 1u);
+  EXPECT_EQ(rec.fa_completed, 1u);
+  EXPECT_EQ(rec.zombie_retires, 0u);
+
+  // The repaired stripe still grants.
+  std::uint64_t key = 0;
+  while (table->stripe_of(key) != s) ++key;
+  EXPECT_TRUE(survivor->try_acquire_for(key, 2s).has_value());
+}
+
+/// Death with the instance switch announced but its CAS never issued: the
+/// recoverer must redo the identical switch under the *same* sequence number
+/// (the journaled pre-image still matches), installing the next one-shot.
+TEST(ShmIpcTable, ForgedSwitchAnnouncedDeathRedoesTheSwitch) {
+  ScopedSegment seg(unique_name("fa-switch"));
+  std::string error;
+  auto table = ShmNamedLockTable::create(seg.name, small_config(), &error);
+  ASSERT_NE(table, nullptr) << error;
+
+  auto survivor = table->open_session();
+  auto victim = table->open_session();
+  ASSERT_TRUE(survivor && victim);
+
+  const std::uint32_t s = 0;
+  const std::uint32_t installed_before =
+      table->stripe(s).peek_installed(survivor->id());
+  // Sole member: the forge's release observes refcnt 1 and announces the
+  // switch before "dying".
+  table->stripe(s).debug_forge_cleanup_switch_announced(victim->id());
+  ASSERT_EQ(table->stripe(s).peek_refcnt(survivor->id()), 0u);
+
+  table->registry().debug_set_os_pid(victim->id(), kForgedDeadPid);
+  EXPECT_EQ(survivor->recover_dead(), 1u);
+
+  const RecoveryStats& stats = table->recovery_stats();
+  EXPECT_EQ(stats.recovered_pids, 1u);
+  EXPECT_EQ(stats.zombie_pids, 0u);
+  EXPECT_EQ(stats.forced_aborts, 1u);
+
+  // The redo landed: a fresh one-shot instance is installed and the victim's
+  // slot is clean.
+  EXPECT_NE(table->stripe(s).peek_installed(survivor->id()), installed_before);
+  EXPECT_EQ(table->stripe(s).peek_refcnt(survivor->id()), 0u);
+  EXPECT_EQ(table->stripe(s).peek_phase(victim->id()), kIdle);
+  EXPECT_EQ(table->registry().state(victim->id()), ProcessRegistry::kFree);
+  EXPECT_EQ(table->shm_metrics().recovery_totals().fa_completed, 1u);
+  EXPECT_EQ(
+      ring_count(*table, obs::ShmEventKind::kFaCompleted, victim->id()), 1u);
+
+  // The switched-to instance grants normally.
+  std::uint64_t key = 0;
+  while (table->stripe_of(key) != s) ++key;
+  EXPECT_TRUE(survivor->try_acquire_for(key, 2s).has_value());
+}
+
 // --- satellite: dead-session deadline cancellation ------------------------
 
 TEST(ShmIpcTable, RecoveryCancelsDeadSessionsArmedDeadlines) {

@@ -55,7 +55,8 @@ void print_watch(std::ostream& os, ShmNamedLockTable& table) {
 
   os << "\033[2J\033[H";  // clear + home
   os << "segment " << table.arena().name() << "   nprocs " << cfg.nprocs
-     << "  stripes " << cfg.stripes << "  ring " << shm.ring_total() << "/"
+     << "  stripes " << cfg.stripes << "  epoch " << table.registry().epoch()
+     << "  ring " << shm.ring_total() << "/"
      << cfg.ring_capacity << " (" << shm.ring_dropped() << " dropped)\n\n";
 
   os << "pid  state       os_pid   heartbeat  age_ms   phases\n";
@@ -96,7 +97,8 @@ void print_watch(std::ostream& os, ShmNamedLockTable& table) {
      << "\nrecovery: forced_exits " << rec.forced_exits
      << "  complete_grants " << rec.complete_grants << "  forced_aborts "
      << rec.aborts_on_behalf << "  resignals " << rec.resignals
-     << "  zombies " << rec.zombie_retires << "\n";
+     << "  fa_completed " << rec.fa_completed << "  fa_compensated "
+     << rec.fa_compensated << "  zombies " << rec.zombie_retires << "\n";
   const auto sweep = shm.sweep_latency();
   if (sweep.count != 0) {
     os << "sweep latency (ns): count " << sweep.count << "  p50 "

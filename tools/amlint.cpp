@@ -40,6 +40,15 @@
 //       The check is per-receiver per-file — a token lint cannot prove
 //       all-paths coverage, but a receiver with an enter and no terminal at
 //       all is exactly the observed failure shape.
+//   R7  recoverable-F&A journaling discipline (src/aml/ipc): every store
+//       through a `phase` journal member must name memory_order_seq_cst —
+//       the recovery arms read phases cross-process and the post-mortem
+//       decision proofs in shm_lock.hpp assume one total order over phase
+//       stores and lock-word CASes. And in any function body that both
+//       announces a recoverable F&A (an `ann_desc….store(`) and issues a
+//       CAS, the announcement store must precede the first CAS: a lock-word
+//       CAS issued before its announcement is exactly the unjournalable
+//       window the protocol exists to close.
 //
 // Findings can be suppressed through an allowlist file (one entry per line):
 //
@@ -70,7 +79,7 @@ namespace fs = std::filesystem;
 struct Finding {
   std::string file;   // path relative to the scanned root
   std::size_t line;   // 1-based
-  std::string rule;   // "R1".."R6"
+  std::string rule;   // "R1".."R7"
   std::string message;
   std::string excerpt;  // the offending source line (trimmed)
 };
@@ -465,6 +474,95 @@ void check_r6(const std::string& code, const std::string& original,
   }
 }
 
+/// R7: recoverable-F&A journaling discipline (ipc/ only). (a) Every store
+/// through a member named `phase` must be seq_cst. (b) Per function body:
+/// if it contains both an `ann_desc` announcement store and a CAS token
+/// (`.cas(` or `compare_exchange`), the first announcement store must come
+/// first. Function bodies are found token-wise: a '{' whose previous
+/// non-space token is ')' (allowing a `const`/`noexcept`/`override` tail)
+/// and whose call-like head is not a control keyword — this matches member
+/// functions and lambdas, and skips if/for/while/switch blocks.
+void check_r7(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  const std::string phase_store = "phase.store(";
+  std::size_t pos = 0;
+  while ((pos = code.find(phase_store, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += phase_store.size();
+    const std::size_t open = at + phase_store.size() - 1;
+    const std::size_t close = close_paren(code, open);
+    if (close == std::string::npos) continue;
+    const std::string args = code.substr(open, close - open + 1);
+    if (args.find("memory_order_seq_cst") != std::string::npos) continue;
+    findings->push_back(
+        {rel, line_of(code, at), "R7",
+         "phase journal store without std::memory_order_seq_cst (recovery "
+         "reads journaled phases cross-process in one total order)",
+         excerpt_at(original, at)});
+  }
+
+  const auto skip_ws_back = [&code](std::size_t k) {
+    while (k > 0 &&
+           std::isspace(static_cast<unsigned char>(code[k - 1])) != 0) {
+      --k;
+    }
+    return k;
+  };
+  std::size_t scan = 0;
+  while ((scan = code.find('{', scan)) != std::string::npos) {
+    const std::size_t body_open = scan++;
+    std::size_t j = skip_ws_back(body_open);
+    for (const char* tail : {"const", "noexcept", "override"}) {
+      const std::size_t len = std::string(tail).size();
+      if (j >= len && code.compare(j - len, len, tail) == 0) {
+        j = skip_ws_back(j - len);
+      }
+    }
+    if (j == 0 || code[j - 1] != ')') continue;
+    int depth = 0;
+    std::size_t open = j - 1;
+    while (true) {
+      if (code[open] == ')') ++depth;
+      if (code[open] == '(' && --depth == 0) break;
+      if (open == 0) break;
+      --open;
+    }
+    if (code[open] != '(') continue;
+    std::size_t head_end = skip_ws_back(open);
+    std::size_t head_begin = head_end;
+    while (head_begin > 0 && ident_char(code[head_begin - 1])) --head_begin;
+    const std::string head = code.substr(head_begin, head_end - head_begin);
+    if (head == "if" || head == "for" || head == "while" ||
+        head == "switch" || head == "catch" || head == "return" ||
+        head == "sizeof") {
+      continue;
+    }
+    int bdepth = 0;
+    std::size_t body_close = body_open;
+    for (; body_close < code.size(); ++body_close) {
+      if (code[body_close] == '{') ++bdepth;
+      if (code[body_close] == '}' && --bdepth == 0) break;
+    }
+    if (body_close >= code.size()) continue;
+    const std::string body =
+        code.substr(body_open, body_close - body_open);
+    const std::size_t ann = body.find("ann_desc.store(");
+    if (ann == std::string::npos) continue;
+    std::size_t cas = body.find(".cas(");
+    const std::size_t ce = body.find("compare_exchange");
+    if (ce != std::string::npos &&
+        (cas == std::string::npos || ce < cas)) {
+      cas = ce;
+    }
+    if (cas == std::string::npos || ann < cas) continue;
+    findings->push_back(
+        {rel, line_of(code, body_open + cas), "R7",
+         "CAS issued before the recoverable-F&A announcement store in the "
+         "same function (announce in the PassageSlot first, then stamp)",
+         excerpt_at(original, body_open + cas)});
+  }
+}
+
 bool in_hot_path(const std::string& rel) {
   return rel.find("core/") != std::string::npos ||
          rel.find("table/") != std::string::npos;
@@ -584,6 +682,7 @@ int main(int argc, char** argv) {
     }
     if (in_shm_scope(rel)) {
       check_r5(code, original, rel, &findings);
+      check_r7(code, original, rel, &findings);
     }
     if (in_hot_path(rel) || in_shm_scope(rel)) {
       check_r6(code, original, rel, &findings);

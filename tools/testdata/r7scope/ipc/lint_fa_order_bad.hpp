@@ -1,0 +1,43 @@
+// amlint fixture: deliberate R7 violations, and ONLY R7 violations — a
+// journaled phase store weaker than seq_cst, and a stamping CAS issued
+// before its recoverable-F&A announcement store in the same function. The
+// first breaks the single-total-order assumption the recovery decision
+// predicate leans on; the second re-opens exactly the unjournalable window
+// the announce-then-stamp protocol closes. A WILL_FAIL ctest proves the
+// rule bites on its own, with no other rule involved (explicit memory
+// orders everywhere keep R1 quiet; no shm region markers, no hooks).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lintbad {
+
+struct Journal {
+  std::atomic<std::uint64_t> phase;
+  std::atomic<std::uint64_t> ann_desc;
+};
+
+class SloppyRecoverableFa {
+ public:
+  void journal_phase(std::uint64_t p) {
+    my_.phase.store(p, std::memory_order_relaxed);  // R7: not seq_cst
+  }
+
+  bool join(std::atomic<std::uint64_t>& word) {
+    std::uint64_t w = word.load(std::memory_order_seq_cst);
+    // R7: the stamping CAS runs before the announcement store — a death
+    // between the two leaves no journal to decide the op by.
+    if (!word.compare_exchange_strong(w, w + 1,
+                                      std::memory_order_seq_cst)) {
+      return false;
+    }
+    my_.ann_desc.store(1, std::memory_order_seq_cst);
+    return true;
+  }
+
+ private:
+  Journal my_;
+};
+
+}  // namespace lintbad
