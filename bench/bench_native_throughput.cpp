@@ -89,6 +89,17 @@ RunResult run_lock(const std::string& lock, std::uint32_t threads) {
         threads, [&](std::uint32_t tid) { l.enter(tid); },
         [&](std::uint32_t tid) { l.exit(tid); });
   }
+  if (lock == "amlock_seqcst") {
+    // The A/B twin for the justified-relaxation gate: the identical lock
+    // over the all-seq_cst native model (every edge in tools/edges.toml
+    // forced back to a fence-pair). Relaxed must never lose to this.
+    aml::BasicAbortableLock<aml::obs::NullMetrics,
+                            aml::model::NativeModelSeqCst>
+        l(aml::LockConfig{.max_threads = kMaxThreads});
+    return run_one(
+        threads, [&](std::uint32_t tid) { l.enter(tid); },
+        [&](std::uint32_t tid) { l.exit(tid); });
+  }
   if (lock == "std_mutex") {
     std::mutex m;
     return run_one(
@@ -109,7 +120,7 @@ int main() {
   aml::harness::BenchReport br("native_throughput");
   br.config("max_threads", std::uint64_t{kMaxThreads})
       .config("ops_per_thread", std::uint64_t{kOpsPerThread})
-      .config("locks", "amlock,std_mutex,ticket")
+      .config("locks", "amlock,amlock_seqcst,std_mutex,ticket")
       .config("values", "wall-clock (nondeterministic); CI diffs structure");
 
   Table table("Native enter/exit throughput and per-acquisition latency");
@@ -117,10 +128,15 @@ int main() {
                  "max ns"});
 
   bool ok = true;
-  for (const std::string lock : {"amlock", "std_mutex", "ticket"}) {
+  double relaxed_total = 0;  // amlock ops/sec summed over thread counts
+  double seqcst_total = 0;   // amlock_seqcst likewise — the paired gate
+  for (const std::string lock :
+       {"amlock", "amlock_seqcst", "std_mutex", "ticket"}) {
     for (std::uint32_t threads : {1u, 2u, 4u}) {
       const RunResult r = run_lock(lock, threads);
       ok = ok && r.exclusion_held;
+      if (lock == "amlock") relaxed_total += r.ops_per_sec;
+      if (lock == "amlock_seqcst") seqcst_total += r.ops_per_sec;
       table.row({lock, Table::num(std::uint64_t{threads}),
                  Table::num(r.ops_per_sec),
                  Table::num(r.latency_ns.p50), Table::num(r.latency_ns.p90),
@@ -131,12 +147,32 @@ int main() {
     }
   }
 
+  // The relaxation gate: the justified-relaxation build must at least match
+  // the all-seq_cst twin. Wall-clock benches jitter (CI runners, single-core
+  // hosts), so the gate takes the aggregate over thread counts and grants a
+  // 25% noise band — a genuinely backwards relaxation (an edge that forces
+  // extra fences or a bounce) loses by integer factors, not percent.
+  const double ratio =
+      seqcst_total > 0 ? relaxed_total / seqcst_total : 0.0;
+  const bool relaxation_pays = ratio >= 0.75;
+  std::printf("relaxation gate: relaxed/seq_cst aggregate ratio %.3f "
+              "(floor 0.75): %s\n",
+              ratio, relaxation_pays ? "ok" : "FAIL");
+
   table.print();
   br.summary("mutual_exclusion_held", std::uint64_t{ok ? 1u : 0u});
+  br.summary("relaxed_vs_seqcst_ratio", ratio);
+  br.summary("relaxation_gate_held",
+             std::uint64_t{relaxation_pays ? 1u : 0u});
   br.table(table);
   br.write();
   if (!ok) {
     std::printf("FAIL: protected counter torn — mutual exclusion violated\n");
+    return 1;
+  }
+  if (!relaxation_pays) {
+    std::printf("FAIL: relaxed fast path slower than the seq_cst twin — a "
+                "relaxation regressed into extra synchronization\n");
     return 1;
   }
   return 0;

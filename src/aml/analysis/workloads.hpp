@@ -29,6 +29,7 @@
 
 #include "aml/analysis/oracles.hpp"
 #include "aml/baselines/jayanti.hpp"
+#include "aml/core/longlived.hpp"
 #include "aml/core/oneshot.hpp"
 #include "aml/model/counting_cc.hpp"
 #include "aml/sched/explorer.hpp"
@@ -528,6 +529,81 @@ inline void ipc_death_at_fa(sched::ExecutionContext& ctx) {
   }
 }
 
+/// The counting-model twin of the native fast path's justified relaxations
+/// (tools/edges.toml). Two competitors make two passages each through the
+/// long-lived lock while p2 raises p1's abort signal, so one execution set
+/// crosses every new edge pair: each grant crosses oneshot.grant, each exit
+/// retires the passage's instance and CASes in a fresh one with a fresh spin
+/// node (longlived.spn_switch + spinpool.pin_publish), and the signal path
+/// crosses core.abort_signal. The counting model runs every `model::ord`
+/// relaxed op at full strength, so DPOR explores the orderings the native
+/// acquire/release pairs must still contain — an algorithmic assumption
+/// accidentally buried in a relaxation (a spin word that needed a Dekker, a
+/// version check that needed the grant's payload) surfaces here as a CS
+/// overlap, a LockDescOracle violation, or a lost wake-up, independent of
+/// any hardware's kindness. The litmus suite (tests/litmus/) checks the
+/// same edges from the native side; this workload checks them from the
+/// algorithm side.
+inline void longlived_edge_twin(sched::ExecutionContext& ctx) {
+  using Model = model::CountingCcModel;
+  using Lock = core::LongLivedLock<Model>;
+  constexpr Pid kProcs = 3;
+  constexpr Pid kCompetitors = 2;
+  constexpr std::uint32_t kRounds = 2;  // >1: forces instance/spn switches
+  Model m(kProcs);
+  m.set_hook(&ctx.scheduler());
+  Lock lock(m, {.nprocs = kCompetitors, .w = 4, .find = core::Find::kPlain});
+
+  LockDescOracle<Lock> desc_oracle(lock);
+  ctx.scheduler().add_invariant_probe(
+      [&desc_oracle] { return desc_oracle.check(); });
+
+  // One gated Signal per competitor: p2 raises p1's; p0's exists so the
+  // idle rescue can unpark a starved competitor and terminate the run.
+  model::Signal* sig[kCompetitors];
+  for (std::uint32_t i = 0; i < kCompetitors; ++i) sig[i] = m.alloc_signal();
+
+  std::atomic<bool> rescued{false};
+  ctx.scheduler().set_idle_callback([&] {
+    if (rescued.load(std::memory_order_relaxed)) return false;
+    rescued.store(true, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < kCompetitors; ++i) {
+      sig[i]->flag.store(true, std::memory_order_seq_cst);
+    }
+    return true;
+  });
+
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+  Model::Word* scratch = m.alloc(1, 0);
+
+  ctx.run([&](Pid p) {
+    if (p == 2) {
+      m.raise_signal(p, *sig[1]);
+      return;
+    }
+    for (std::uint32_t round = 0; round < kRounds; ++round) {
+      const auto r = lock.enter(p, &sig[p]->flag);
+      if (!r.acquired) continue;  // aborted: re-enter next round
+      if (in_cs.fetch_add(1, std::memory_order_seq_cst) != 0) {
+        overlap.store(true, std::memory_order_seq_cst);
+      }
+      m.read(p, *scratch);  // hold the critical section for one gated step
+      in_cs.fetch_sub(1, std::memory_order_seq_cst);
+      lock.exit(p);
+    }
+  });
+
+  if (overlap.load(std::memory_order_relaxed)) {
+    ctx.fail("mutual exclusion violated: two processes in the CS");
+  }
+  if (rescued.load(std::memory_order_relaxed)) {
+    ctx.fail(
+        "lost wake-up: a competitor was parked forever and had to be "
+        "rescued by an injected abort signal");
+  }
+}
+
 }  // namespace detail
 
 /// All registered workloads, by name.
@@ -581,6 +657,17 @@ inline const std::vector<WorkloadInfo>& workload_registry() {
           3,
           [](sched::ExecutionContext& ctx) {
             detail::ipc_death_at_fa(ctx);
+          },
+      },
+      {
+          "longlived-edge-twin",
+          "long-lived lock, repeat passages with a raced abort: the "
+          "counting-model twin of the native relaxation's edge pairs "
+          "(oneshot.grant, longlived.spn_switch, spinpool.pin_publish, "
+          "core.abort_signal) explored at full strength",
+          3,
+          [](sched::ExecutionContext& ctx) {
+            detail::longlived_edge_twin(ctx);
           },
       },
       {

@@ -23,6 +23,7 @@
 
 #include "aml/model/native.hpp"
 #include "aml/obs/metrics.hpp"
+#include "aml/pal/edges.hpp"
 #include "aml/core/longlived.hpp"
 
 namespace aml {
@@ -32,9 +33,11 @@ namespace aml {
 /// enter().
 class AbortSignal {
  public:
-  void raise() { flag_.store(true, std::memory_order_release); }
-  void reset() { flag_.store(false, std::memory_order_release); }
-  bool raised() const { return flag_.load(std::memory_order_acquire); }
+  /// Release so the waiter that observes the flag also sees everything the
+  /// raiser did before raising (deadline bookkeeping, reason codes).
+  void raise() { flag_.store(true, std::memory_order_release); }  // AML_V_EDGE(core.abort_signal)
+  void reset() { flag_.store(false, std::memory_order_release); }  // AML_V_EDGE(core.abort_signal)
+  bool raised() const { return flag_.load(std::memory_order_acquire); }  // AML_X_EDGE(core.abort_signal)
 
   /// The raw flag the lock's wait loops poll.
   const std::atomic<bool>* flag() const { return &flag_; }
@@ -54,10 +57,16 @@ struct LockConfig {
 /// default NullMetrics is statically guaranteed zero-cost: the sink handles
 /// embedded in the lock are empty and every hook is a static no-op, so the
 /// native enter/exit hot paths carry no observability loads or stores.
-template <typename Metrics = obs::NullMetrics>
+///
+/// `Model` selects the hardware memory model flavor: NativeModel (per-edge
+/// acquire/release, the default) or NativeModelSeqCst (every edge lowered
+/// to seq_cst — the A/B baseline bench_native_throughput gates against).
+template <typename Metrics = obs::NullMetrics,
+          typename Model = model::NativeModel>
 class BasicAbortableLock {
  public:
   using MetricsSink = Metrics;
+  using MemoryModel = Model;
 
   explicit BasicAbortableLock(LockConfig config = {})
       : model_(config.max_threads),
@@ -94,9 +103,8 @@ class BasicAbortableLock {
   void exit(std::uint32_t thread_id) { lock_.exit(thread_id); }
 
  private:
-  model::NativeModel model_;
-  core::LongLivedLock<model::NativeModel, core::VersionedSpace,
-                      core::OneShotLock, Metrics>
+  Model model_;
+  core::LongLivedLock<Model, core::VersionedSpace, core::OneShotLock, Metrics>
       lock_;
 };
 

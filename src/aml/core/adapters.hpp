@@ -204,7 +204,7 @@ class ThreadRegistry {
     auto it = cache.find(this);
     if (it != cache.end()) return it->second;
     const std::uint32_t assigned =
-        counter_.fetch_add(1, std::memory_order_relaxed);
+        counter_.fetch_add(1, std::memory_order_relaxed);  // AML_RELAXED(monotonic id allocation counter)
     AML_ASSERT(assigned < capacity_, "ThreadRegistry capacity exceeded");
     cache.emplace(this, assigned);
     return assigned;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "aml/model/ordered.hpp"
 #include "aml/model/types.hpp"
 #include "aml/pal/config.hpp"
 
@@ -64,7 +65,22 @@ class EagerSpace {
   template <typename Pred>
   model::WaitOutcome wait(model::Pid p, Word& w, Pred&& pred,
                           const std::atomic<bool>* stop) {
-    return mem_.wait(p, w, static_cast<Pred&&>(pred), stop);
+    return mem_.wait(p, w, static_cast<Pred&&>(pred), stop);  // AML_X_EDGE(model.native.carrier)
+  }
+
+  // Ordered forwarders (identity fallback on counting models; see
+  // model/ordered.hpp). The caller's annotation names the concrete edge.
+  std::uint64_t read_acq(model::Pid p, Word& w) {
+    return model::ord::read_acq(mem_, p, w);  // AML_X_EDGE(model.native.carrier)
+  }
+  std::uint64_t read_rlx(model::Pid p, Word& w) {
+    return model::ord::read_rlx(mem_, p, w);  // AML_RELAXED(forwarder; justification at outer call site)
+  }
+  void write_rel(model::Pid p, Word& w, std::uint64_t x) {
+    model::ord::write_rel(mem_, p, w, x);  // AML_V_EDGE(model.native.carrier)
+  }
+  void write_rlx(model::Pid p, Word& w, std::uint64_t x) {
+    model::ord::write_rlx(mem_, p, w, x);  // AML_RELAXED(forwarder; justification at outer call site)
   }
 
  private:

@@ -37,9 +37,11 @@
 #include <memory>
 #include <vector>
 
+#include "aml/model/ordered.hpp"
 #include "aml/model/types.hpp"
 #include "aml/pal/cache.hpp"
 #include "aml/pal/config.hpp"
+#include "aml/pal/edges.hpp"
 #include "aml/core/oneshot.hpp"
 #include "aml/core/spin_pool.hpp"
 #include "aml/core/versioned_space.hpp"
@@ -118,7 +120,9 @@ class LongLivedLock {
       // reuse: our pin on this node was published in Cleanup before our
       // Refcnt decrement, so its owner cannot reclaim it while we are here.
       auto& node = spin_pool_.node(desc.spn);
-      auto outcome = mem_.wait(
+      // Acquire side of the switch: observing go == 1 imports the switcher's
+      // CAS install of the fresh instance and everything before it.
+      auto outcome = mem_.wait(  // AML_X_EDGE(longlived.spn_switch)
           self, *node.go,
           [this, self](std::uint64_t v) {
             obs_.on_spin_iteration(self);
@@ -170,7 +174,7 @@ class LongLivedLock {
   /// by Cleanups whose install CAS subsequently lost, so it counts the
   /// switches that actually happened (total_switches <= total_incarnations).
   std::uint64_t total_switches() const {
-    return switches_.load(std::memory_order_relaxed);
+    return switches_.load(std::memory_order_relaxed);  // AML_RELAXED(monotonic introspection counter)
   }
   /// Currently installed instance index, via a raw read (testing aid).
   std::uint32_t peek_installed(Pid self) {
@@ -278,9 +282,13 @@ class LongLivedLock {
     const std::uint64_t expected = pack(prev.lock, prev.spn, 0);
     const std::uint64_t desired = pack(new_lock, new_spn, 0);
     if (mem_.cas(self, *lock_desc_, expected, desired)) {
-      switches_.fetch_add(1, std::memory_order_relaxed);
+      switches_.fetch_add(1, std::memory_order_relaxed);  // AML_RELAXED(monotonic introspection counter)
       obs_.on_switch(self);
-      mem_.write(self, *spin_pool_.node(prev.spn).go, 1);  // line 77
+      // Retire the replaced spin node. Release suffices: the waiters in
+      // enter (and the owner's reclaim scan) acquire go == 1, importing the
+      // seq_cst install CAS above; no protocol word is read after this.
+      model::ord::write_rel(mem_, self,  // AML_V_EDGE(longlived.spn_switch), line 77
+                            *spin_pool_.node(prev.spn).go, 1);
       local.held = prev.lock;
     } else {
       // Another process joined (and will run Cleanup itself) or switched

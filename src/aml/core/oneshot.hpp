@@ -33,8 +33,10 @@
 #include <vector>
 
 #include "aml/model/concepts.hpp"
+#include "aml/model/ordered.hpp"
 #include "aml/obs/metrics.hpp"
 #include "aml/pal/config.hpp"
+#include "aml/pal/edges.hpp"
 #include "aml/core/tree.hpp"
 
 namespace aml::core {
@@ -116,7 +118,9 @@ class OneShotLock {
     AML_ASSERT(i < n_, "one-shot lock capacity exceeded (re-entry?)");
     const std::uint32_t slot = static_cast<std::uint32_t>(i);
     obs_.on_enter(self, slot);
-    auto outcome = space_.wait(
+    // Acquire side of the grant: leaving the spin makes everything the
+    // signaller did before go[i] <- 1 visible (its CS, Head, LastExited).
+    auto outcome = space_.wait(  // AML_X_EDGE(oneshot.grant)
         self, *go_[slot],
         [this, self](std::uint64_t v) {
           obs_.on_spin_iteration(self);
@@ -229,7 +233,11 @@ class OneShotLock {
                              : tree_.adaptive_find_next(self, head);
     if (!r.is_found()) return;  // TOP: an aborter took responsibility;
                                 // BOTTOM: no successor exists (lines 17-18)
-    space_.write(self, *go_[r.slot], 1);  // line 19
+    // Release suffices for the grant store: no other protocol word is read
+    // after it, and the crossed-paths race (Remove vs FindNext) is decided
+    // entirely by the seq_cst tree CASes and Head/LastExited accesses that
+    // precede it. The successor's spin acquires it.
+    model::ord::write_rel(space_, self, *go_[r.slot], 1);  // AML_V_EDGE(oneshot.grant), line 19
   }
 
   Space& space_;
@@ -294,10 +302,15 @@ class OneShotLockDsm {
     obs_.on_enter(self, slot);
     // Publish the local spin bit, then check go[i]; the signaller writes
     // go[i] before reading announce[i], so one side always sees the other.
+    // This is a Dekker (store-buffering) pattern: both the announce write /
+    // go read here and the go write / announce read in signal_next MUST
+    // stay seq_cst — acquire/release alone permits the r1=0, r2=0 outcome
+    // (both sides miss each other) and the grant is lost.
     space_.write(self, *announce_[slot], self);
     const std::uint64_t granted = space_.read(self, *go_[slot]);
     if (granted == 0) {
-      auto outcome = space_.wait(
+      // Acquire side of the published-spin-bit wake.
+      auto outcome = space_.wait(  // AML_X_EDGE(oneshot.dsm_wake)
           self, *spin_[self],
           [this, self](std::uint64_t v) {
             obs_.on_spin_iteration(self);
@@ -337,10 +350,15 @@ class OneShotLockDsm {
                              ? tree_.find_next(self, head)
                              : tree_.adaptive_find_next(self, head);
     if (!r.is_found()) return;
+    // Dekker pair with enter's announce-write/go-read: seq_cst required on
+    // both the go write and the announce read (see enter).
     space_.write(self, *go_[r.slot], 1);
     const std::uint64_t s = space_.read(self, *announce_[r.slot]);
     if (s != kNoAnnounce) {
-      space_.write(self, *spin_[static_cast<Pid>(s)], 1);
+      // Final wake of the published spin bit: release suffices — the
+      // grantee's spin acquires it, and nothing is read after this store.
+      model::ord::write_rel(space_, self,  // AML_V_EDGE(oneshot.dsm_wake)
+                            *spin_[static_cast<Pid>(s)], 1);
     }
   }
 

@@ -31,10 +31,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "aml/model/ordered.hpp"
 #include "aml/model/types.hpp"
 #include "aml/obs/metrics.hpp"
 #include "aml/pal/cache.hpp"
 #include "aml/pal/config.hpp"
+#include "aml/pal/edges.hpp"
 
 namespace aml::core {
 
@@ -85,8 +87,12 @@ class SpinNodePool {
 
   /// Publish that `self` holds `global_idx` as its oldSpn. MUST be invoked
   /// before the Refcnt decrement that makes the node's retirement possible.
+  /// Release suffices: the pin reaches the reclaim scan through the seq_cst
+  /// F&A chain on LockDesc (pin -> our decrement -> owner's last-decrement),
+  /// so the scan's read happens-after this store.
   void publish_pin(Pid self, std::uint32_t global_idx) {
-    mem_.write(self, *announce_[self], global_idx);
+    model::ord::write_rel(mem_, self, *announce_[self],  // AML_V_EDGE(spinpool.pin_publish)
+                          global_idx);
   }
 
   /// Withdraw `self`'s pin (tests / teardown; the lock itself simply
@@ -129,7 +135,9 @@ class SpinNodePool {
     const std::uint32_t base = self * per_pool_;
     std::vector<bool> pinned(per_pool_, false);
     for (Pid p = 0; p < nprocs_; ++p) {
-      const std::uint64_t pin = mem_.read(self, *announce_[p]);
+      // Acquire side of the pin publication (see publish_pin).
+      const std::uint64_t pin =
+          model::ord::read_acq(mem_, self, *announce_[p]);  // AML_X_EDGE(spinpool.pin_publish)
       if (pin != kNoPin && pin / per_pool_ == self) {
         pinned[pin % per_pool_] = true;
       }
@@ -139,8 +147,16 @@ class SpinNodePool {
     for (std::uint32_t k = 0; k < per_pool_; ++k) {
       const std::uint32_t idx = base + k;
       if (states_[idx] != State::kIssued || pinned[k]) continue;
-      if (mem_.read(self, *nodes_[idx].go) != 1) continue;  // still installed
-      mem_.write(self, *nodes_[idx].go, 0);
+      // Acquire side of the retirement flag: go == 1 was written by the
+      // switch that replaced this node (Cleanup line 77).
+      if (model::ord::read_acq(mem_, self, *nodes_[idx].go) !=  // AML_X_EDGE(longlived.spn_switch)
+          1) {
+        continue;  // still installed
+      }
+      // Reset is private until the node is re-installed: the next spinner
+      // only finds the node through a LockDesc read that happens-after the
+      // owner's seq_cst install CAS, which is sequenced after this store.
+      model::ord::write_rlx(mem_, self, *nodes_[idx].go, 0);  // AML_RELAXED(published by the next install CAS)
       states_[idx] = State::kFree;
       fl.push_back(idx);
       ++reclaimed;

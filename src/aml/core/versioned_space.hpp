@@ -33,6 +33,7 @@
 #include <deque>
 #include <vector>
 
+#include "aml/model/ordered.hpp"
 #include "aml/model/types.hpp"
 #include "aml/pal/bits.hpp"
 #include "aml/pal/cache.hpp"
@@ -159,7 +160,29 @@ class VersionedSpace {
   template <typename Pred>
   model::WaitOutcome wait(Pid self, Word& w, Pred&& pred,
                           const std::atomic<bool>* stop) {
-    return mem_.wait(self, resolve(self, w), static_cast<Pred&&>(pred), stop);
+    // Spin loads inherit the model's acquire carrier (see native.hpp).
+    return mem_.wait(self, resolve(self, w),  // AML_X_EDGE(model.native.carrier)
+                     static_cast<Pred&&>(pred), stop);
+  }
+
+  // Ordered forwarders: resolution itself synchronizes via seq_cst CAS; the
+  // resolved incarnation word then carries the caller's edge through the
+  // model's ordered vocabulary (identity fallback on counting models).
+
+  std::uint64_t read_acq(Pid self, Word& w) {
+    return model::ord::read_acq(mem_, self, resolve(self, w));  // AML_X_EDGE(model.native.carrier)
+  }
+
+  std::uint64_t read_rlx(Pid self, Word& w) {
+    return model::ord::read_rlx(mem_, self, resolve(self, w));  // AML_RELAXED(forwarder; justification at outer call site)
+  }
+
+  void write_rel(Pid self, Word& w, std::uint64_t x) {
+    model::ord::write_rel(mem_, self, resolve(self, w), x);  // AML_V_EDGE(model.native.carrier)
+  }
+
+  void write_rlx(Pid self, Word& w, std::uint64_t x) {
+    model::ord::write_rlx(mem_, self, resolve(self, w), x);  // AML_RELAXED(forwarder; justification at outer call site)
   }
 
  private:

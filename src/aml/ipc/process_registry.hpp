@@ -178,13 +178,13 @@ class ProcessRegistry {
   /// capability release() — and, after a crash, try_reattach() — needs.
   model::Pid try_lease(std::uint64_t* token = nullptr) {
     for (model::Pid id = 0; id < nprocs_; ++id) {
-      std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+      std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
       if ((cur & kStateMask) != kFree) continue;
       const std::uint64_t next = bump_nonce(cur) | kLive;
       if (slots_[id].lease.compare_exchange_strong(
-              cur, next, std::memory_order_acq_rel,
+              cur, next, std::memory_order_acq_rel,  // AML_X_EDGE(ipc.lease_word) AML_V_EDGE(ipc.lease_word)
               std::memory_order_relaxed)) {
-        slots_[id].idle_epoch.store(epoch(), std::memory_order_release);
+        slots_[id].idle_epoch.store(epoch(), std::memory_order_release);  // AML_V_EDGE(ipc.quiesce_epoch)
         publish_identity(id);
         if (token != nullptr) *token = next;
         return id;
@@ -216,70 +216,70 @@ class ProcessRegistry {
     std::uint64_t cur = token;
     if (!slots_[id].lease.compare_exchange_strong(
             cur, (token & ~kStateMask) | kRecovering,
-            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {  // AML_X_EDGE(ipc.lease_word) AML_V_EDGE(ipc.lease_word)
       return;  // stale token: the slot was recovered from under us
     }
-    slots_[id].os_pid.store(0, std::memory_order_release);
-    slots_[id].os_start.store(0, std::memory_order_release);
+    slots_[id].os_pid.store(0, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
+    slots_[id].os_start.store(0, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
     // Plain store: the exclusive claim means no other transition can race.
     slots_[id].lease.store(bump_nonce(token) | kFree,
-                           std::memory_order_release);
+                           std::memory_order_release);  // AML_V_EDGE(ipc.lease_word)
   }
 
   /// Liveness pulse from the holder's hot path.
   void beat(model::Pid id) {
-    slots_[id].heartbeat.fetch_add(1, std::memory_order_relaxed);
+    slots_[id].heartbeat.fetch_add(1, std::memory_order_relaxed);  // AML_RELAXED(liveness pulse; monotonic counter)
     struct ::timespec ts {};
     ::clock_gettime(CLOCK_MONOTONIC, &ts);
     slots_[id].beat_ns.store(
         static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
             static_cast<std::uint64_t>(ts.tv_nsec),
-        std::memory_order_relaxed);
+        std::memory_order_relaxed);  // AML_RELAXED(liveness pulse timestamp)
   }
 
   std::uint64_t heartbeat(model::Pid id) const {
-    return slots_[id].heartbeat.load(std::memory_order_relaxed);
+    return slots_[id].heartbeat.load(std::memory_order_relaxed);  // AML_RELAXED(liveness probe)
   }
 
   /// CLOCK_MONOTONIC ns of the last beat; 0 when the holder never beat.
   std::uint64_t heartbeat_ns(model::Pid id) const {
-    return slots_[id].beat_ns.load(std::memory_order_relaxed);
+    return slots_[id].beat_ns.load(std::memory_order_relaxed);  // AML_RELAXED(liveness probe)
   }
 
   State state(model::Pid id) const {
     return static_cast<State>(slots_[id].lease.load(
-                                  std::memory_order_acquire) &
+                                  std::memory_order_acquire) &  // AML_X_EDGE(ipc.lease_word)
                               kStateMask);
   }
 
   std::uint64_t os_pid(model::Pid id) const {
-    return slots_[id].os_pid.load(std::memory_order_acquire);
+    return slots_[id].os_pid.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_identity)
   }
 
   /// Published kernel start time of the holder (0 = unknown).
   std::uint64_t os_start(model::Pid id) const {
-    return slots_[id].os_start.load(std::memory_order_acquire);
+    return slots_[id].os_start.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_identity)
   }
 
   // --- quiescence epochs -------------------------------------------------
 
   std::uint64_t epoch() const {
-    return epoch_[0].value.load(std::memory_order_acquire);
+    return epoch_[0].value.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.quiesce_epoch)
   }
 
   std::uint64_t idle_epoch(model::Pid id) const {
-    return slots_[id].idle_epoch.load(std::memory_order_acquire);
+    return slots_[id].idle_epoch.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.quiesce_epoch)
   }
 
   std::uint64_t retired_epoch(model::Pid id) const {
-    return slots_[id].retired_epoch.load(std::memory_order_acquire);
+    return slots_[id].retired_epoch.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.quiesce_epoch)
   }
 
   /// Journal that `id`'s holder currently has no shared footprint (no
   /// passage in flight, no guard held). Called by the table whenever a
   /// session's guard depth returns to zero.
   void note_idle(model::Pid id) {
-    slots_[id].idle_epoch.store(epoch(), std::memory_order_release);
+    slots_[id].idle_epoch.store(epoch(), std::memory_order_release);  // AML_V_EDGE(ipc.quiesce_epoch)
   }
 
   /// Reclaim a retired zombie pid once a full-quiescence epoch has passed:
@@ -290,21 +290,21 @@ class ProcessRegistry {
   /// holder simply fails the scan until its first note_idle). The reclaimed
   /// pid becomes ordinarily leasable again.
   bool try_reclaim_zombie(model::Pid id) {
-    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
     if ((cur & kStateMask) != kZombie) return false;
     const std::uint64_t retired =
-        slots_[id].retired_epoch.load(std::memory_order_acquire);
+        slots_[id].retired_epoch.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.quiesce_epoch)
     for (model::Pid p = 0; p < nprocs_; ++p) {
       if (p == id) continue;
       const std::uint64_t lease =
-          slots_[p].lease.load(std::memory_order_acquire);
+          slots_[p].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
       if ((lease & kStateMask) != kLive) continue;
-      if (slots_[p].idle_epoch.load(std::memory_order_acquire) < retired) {
+      if (slots_[p].idle_epoch.load(std::memory_order_acquire) < retired) {  // AML_X_EDGE(ipc.quiesce_epoch)
         return false;
       }
     }
     return slots_[id].lease.compare_exchange_strong(
-        cur, bump_nonce(cur) | kFree, std::memory_order_acq_rel,
+        cur, bump_nonce(cur) | kFree, std::memory_order_acq_rel,  // AML_X_EDGE(ipc.lease_word) AML_V_EDGE(ipc.lease_word)
         std::memory_order_relaxed);
   }
 
@@ -323,7 +323,7 @@ class ProcessRegistry {
   /// dead() == true is only a hint to attempt try_claim_recovery(), which
   /// re-establishes death and claims under one observed lease word.
   bool dead(model::Pid id) const {
-    return dead_under(id, slots_[id].lease.load(std::memory_order_acquire));
+    return dead_under(id, slots_[id].lease.load(std::memory_order_acquire));  // AML_X_EDGE(ipc.lease_word)
   }
 
   /// Atomically (observe death ∧ claim): load the lease word once, verify
@@ -346,12 +346,12 @@ class ProcessRegistry {
   /// claim, strictly before the slot can be freed and re-leased.
   bool try_claim_recovery(model::Pid id) {
     const std::uint64_t observed =
-        slots_[id].lease.load(std::memory_order_acquire);
+        slots_[id].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
     if (!dead_under(id, observed)) return false;
     std::uint64_t cur = observed;
     return slots_[id].lease.compare_exchange_strong(
         cur, (observed & ~kStateMask) | kRecovering,
-        std::memory_order_acq_rel, std::memory_order_relaxed);
+        std::memory_order_acq_rel, std::memory_order_relaxed);  // AML_X_EDGE(ipc.lease_word) AML_V_EDGE(ipc.lease_word)
   }
 
   /// Restart re-entry, step 1: a restarted process holding its previous
@@ -364,12 +364,12 @@ class ProcessRegistry {
   bool try_reattach(model::Pid id, std::uint64_t prev_token) {
     if (id >= nprocs_) return false;
     if ((prev_token & kStateMask) != kLive) return false;
-    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
     if (cur != prev_token) return false;
     if (!dead_under(id, prev_token)) return false;
     return slots_[id].lease.compare_exchange_strong(
         cur, (prev_token & ~kStateMask) | kRecovering,
-        std::memory_order_acq_rel, std::memory_order_relaxed);
+        std::memory_order_acq_rel, std::memory_order_relaxed);  // AML_X_EDGE(ipc.lease_word) AML_V_EDGE(ipc.lease_word)
   }
 
   /// Restart re-entry, final step: convert our exclusive kRecovering claim
@@ -377,14 +377,14 @@ class ProcessRegistry {
   /// unwound) back into a live lease held by THIS process. Returns the new
   /// lease token.
   std::uint64_t repossess(model::Pid id) {
-    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
     AML_ASSERT((cur & kStateMask) == kRecovering,
                "repossess: slot not claimed");
-    slots_[id].idle_epoch.store(epoch(), std::memory_order_release);
+    slots_[id].idle_epoch.store(epoch(), std::memory_order_release);  // AML_V_EDGE(ipc.quiesce_epoch)
     publish_identity(id);
     const std::uint64_t next = bump_nonce(cur) | kLive;
     // Plain store: the exclusive claim means no other transition can race.
-    slots_[id].lease.store(next, std::memory_order_release);
+    slots_[id].lease.store(next, std::memory_order_release);  // AML_V_EDGE(ipc.lease_word)
     return next;
   }
 
@@ -394,32 +394,32 @@ class ProcessRegistry {
   /// opens a new quiescence epoch and records it in the slot, so
   /// try_reclaim_zombie can later prove the reclamation safe.
   void finish_recovery(model::Pid id, bool zombie) {
-    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);
+    std::uint64_t cur = slots_[id].lease.load(std::memory_order_acquire);  // AML_X_EDGE(ipc.lease_word)
     AML_ASSERT((cur & kStateMask) == kRecovering,
                "finish_recovery: slot not claimed");
-    slots_[id].os_pid.store(0, std::memory_order_release);
-    slots_[id].os_start.store(0, std::memory_order_release);
+    slots_[id].os_pid.store(0, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
+    slots_[id].os_start.store(0, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
     if (zombie) {
       const std::uint64_t e =
-          epoch_[0].value.fetch_add(1, std::memory_order_acq_rel) + 1;
-      slots_[id].retired_epoch.store(e, std::memory_order_release);
+          epoch_[0].value.fetch_add(1, std::memory_order_acq_rel) + 1;  // AML_X_EDGE(ipc.quiesce_epoch) AML_V_EDGE(ipc.quiesce_epoch)
+      slots_[id].retired_epoch.store(e, std::memory_order_release);  // AML_V_EDGE(ipc.quiesce_epoch)
     }
     slots_[id].lease.compare_exchange_strong(
         cur, bump_nonce(cur) | (zombie ? kZombie : kFree),
-        std::memory_order_acq_rel, std::memory_order_relaxed);
+        std::memory_order_acq_rel, std::memory_order_relaxed);  // AML_X_EDGE(ipc.lease_word) AML_V_EDGE(ipc.lease_word)
   }
 
   /// Test hook: forge the published OS pid so owner death is simulable
   /// without fork (use a pid above the kernel's pid_max, e.g. 0x7FFFFFFF,
   /// for a guaranteed ESRCH).
   void debug_set_os_pid(model::Pid id, std::uint64_t os_pid) {
-    slots_[id].os_pid.store(os_pid, std::memory_order_release);
+    slots_[id].os_pid.store(os_pid, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
   }
 
   /// Test hook: forge the published start time so pid reuse (live process,
   /// mismatched start) is simulable without exhausting the pid space.
   void debug_set_os_start(model::Pid id, std::uint64_t start_ticks) {
-    slots_[id].os_start.store(start_ticks, std::memory_order_release);
+    slots_[id].os_start.store(start_ticks, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
   }
 
  private:
@@ -447,8 +447,8 @@ class ProcessRegistry {
   void publish_identity(model::Pid id) {
     const std::uint64_t self = static_cast<std::uint64_t>(::getpid());
     slots_[id].os_start.store(process_start_ticks(self),
-                              std::memory_order_release);
-    slots_[id].os_pid.store(self, std::memory_order_release);
+                              std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
+    slots_[id].os_pid.store(self, std::memory_order_release);  // AML_V_EDGE(ipc.lease_identity)
   }
 
   static std::uint64_t bump_nonce(std::uint64_t lease) {

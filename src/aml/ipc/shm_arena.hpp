@@ -94,13 +94,13 @@ class ShmArena {
     // zero-valued atomics on every supported ABI; the superblock fields are
     // stored explicitly below, ready last (by seal()).
     Superblock& sb = arena->superblock();
-    sb.magic.store(kMagic, std::memory_order_relaxed);
-    sb.abi_version.store(kAbiVersion, std::memory_order_relaxed);
-    sb.total_bytes.store(bytes, std::memory_order_relaxed);
-    sb.config_hash.store(config_hash, std::memory_order_relaxed);
+    sb.magic.store(kMagic, std::memory_order_relaxed);  // AML_RELAXED(pre-seal superblock init)
+    sb.abi_version.store(kAbiVersion, std::memory_order_relaxed);  // AML_RELAXED(pre-seal superblock init)
+    sb.total_bytes.store(bytes, std::memory_order_relaxed);  // AML_RELAXED(pre-seal superblock init)
+    sb.config_hash.store(config_hash, std::memory_order_relaxed);  // AML_RELAXED(pre-seal superblock init)
     sb.creator_pid.store(static_cast<std::uint64_t>(::getpid()),
-                         std::memory_order_relaxed);
-    sb.ready.store(0, std::memory_order_release);
+                         std::memory_order_relaxed);  // AML_RELAXED(pre-seal superblock init)
+    sb.ready.store(0, std::memory_order_release);  // AML_V_EDGE(ipc.arena_seal)
     return arena;
   }
 
@@ -156,7 +156,7 @@ class ShmArena {
     auto arena = std::unique_ptr<ShmArena>(
         new ShmArena(name, base, bytes, Role::kAttacher));
     Superblock& sb = arena->superblock();
-    while (sb.ready.load(std::memory_order_acquire) == 0) {
+    while (sb.ready.load(std::memory_order_acquire) == 0) {  // AML_X_EDGE(ipc.arena_seal)
       if (std::chrono::steady_clock::now() >= deadline) {
         if (error != nullptr) {
           *error = "segment " + name + " never sealed (creator died " +
@@ -166,27 +166,27 @@ class ShmArena {
       }
       ::sched_yield();
     }
-    if (sb.magic.load(std::memory_order_relaxed) != kMagic) {
+    if (sb.magic.load(std::memory_order_relaxed) != kMagic) {  // AML_RELAXED(read after ipc.arena_seal acquire)
       if (error != nullptr) *error = "segment " + name + ": bad magic";
       return nullptr;
     }
-    if (sb.abi_version.load(std::memory_order_relaxed) != kAbiVersion) {
+    if (sb.abi_version.load(std::memory_order_relaxed) != kAbiVersion) {  // AML_RELAXED(read after ipc.arena_seal acquire)
       if (error != nullptr) {
         *error = "segment " + name + ": ABI version mismatch (have " +
                  std::to_string(sb.abi_version.load(
-                     std::memory_order_relaxed)) +
+                     std::memory_order_relaxed)) +  // AML_RELAXED(read after ipc.arena_seal acquire)
                  ", want " + std::to_string(kAbiVersion) + ")";
       }
       return nullptr;
     }
-    if (sb.config_hash.load(std::memory_order_relaxed) != config_hash) {
+    if (sb.config_hash.load(std::memory_order_relaxed) != config_hash) {  // AML_RELAXED(read after ipc.arena_seal acquire)
       if (error != nullptr) {
         *error = "segment " + name + ": config hash mismatch (attach with " +
                  "the creator's configuration)";
       }
       return nullptr;
     }
-    if (sb.total_bytes.load(std::memory_order_relaxed) != bytes) {
+    if (sb.total_bytes.load(std::memory_order_relaxed) != bytes) {  // AML_RELAXED(read after ipc.arena_seal acquire)
       if (error != nullptr) {
         *error = "segment " + name + ": size drifted from the superblock";
       }
@@ -240,8 +240,8 @@ class ShmArena {
   /// visible to attachers that observe ready == 1.
   void seal() {
     AML_ASSERT(role_ == Role::kCreator, "only the creator seals");
-    superblock().final_cursor.store(cursor_, std::memory_order_relaxed);
-    superblock().ready.store(1, std::memory_order_release);
+    superblock().final_cursor.store(cursor_, std::memory_order_relaxed);  // AML_RELAXED(published by the seal release below)
+    superblock().ready.store(1, std::memory_order_release);  // AML_V_EDGE(ipc.arena_seal)
   }
 
   /// Verify the replayed construction landed exactly where the creator's
@@ -250,7 +250,7 @@ class ShmArena {
   /// would corrupt live state.
   bool verify_replay(std::string* error) const {
     const std::uint64_t sealed =
-        superblock().final_cursor.load(std::memory_order_relaxed);
+        superblock().final_cursor.load(std::memory_order_relaxed);  // AML_RELAXED(read after ipc.arena_seal acquire)
     if (cursor_ != sealed) {
       if (error != nullptr) {
         *error = "arena replay mismatch: local cursor " +

@@ -324,7 +324,7 @@ class ShmSpinNodePool {
     const std::uint32_t base = owner * per_pool_;
     for (int pass = 0; pass < 2; ++pass) {
       for (std::uint32_t k = 0; k < per_pool_; ++k) {
-        if (states_[base + k].load(std::memory_order_acquire) == kStateFree) {
+        if (states_[base + k].load(std::memory_order_acquire) == kStateFree) {  // AML_X_EDGE(ipc.node_state)
           return base + k;
         }
       }
@@ -335,13 +335,13 @@ class ShmSpinNodePool {
   }
 
   void commit(std::uint32_t global_idx) {
-    states_[global_idx].store(kStateIssued, std::memory_order_release);
+    states_[global_idx].store(kStateIssued, std::memory_order_release);  // AML_V_EDGE(ipc.node_state)
   }
 
   /// Return a node that never became visible (install CAS lost).
   void unalloc(Pid /*exec*/, Pid owner, std::uint32_t global_idx) {
     AML_ASSERT(global_idx / per_pool_ == owner, "unalloc by non-owner");
-    states_[global_idx].store(kStateFree, std::memory_order_release);
+    states_[global_idx].store(kStateFree, std::memory_order_release);  // AML_V_EDGE(ipc.node_state)
   }
 
  private:
@@ -360,13 +360,13 @@ class ShmSpinNodePool {
     }
     for (std::uint32_t k = 0; k < per_pool_; ++k) {
       const std::uint32_t idx = base + k;
-      if (states_[idx].load(std::memory_order_acquire) != kStateIssued ||
+      if (states_[idx].load(std::memory_order_acquire) != kStateIssued ||  // AML_X_EDGE(ipc.node_state)
           pinned[k]) {
         continue;
       }
       if (space_.read(exec, *nodes_[idx].go) != 1) continue;  // installed
       space_.write(exec, *nodes_[idx].go, 0);
-      states_[idx].store(kStateFree, std::memory_order_release);
+      states_[idx].store(kStateFree, std::memory_order_release);  // AML_V_EDGE(ipc.node_state)
     }
   }
 
@@ -416,16 +416,16 @@ class ShmStripeLockT {
         // seq_cst for uniformity with every later phase store (amlint R7);
         // pre-seal, ordering is moot — attachers sync on the seal.
         slots_[p].phase.store(kIdle, std::memory_order_seq_cst);
-        slots_[p].attempt.store(0, std::memory_order_relaxed);
-        slots_[p].head_snap.store(0, std::memory_order_relaxed);
-        slots_[p].held.store(p + 1, std::memory_order_relaxed);
-        slots_[p].old_spn.store(kNoSpn, std::memory_order_relaxed);
-        slots_[p].current.store(0, std::memory_order_relaxed);
+        slots_[p].attempt.store(0, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].head_snap.store(0, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].held.store(p + 1, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].old_spn.store(kNoSpn, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].current.store(0, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
         slots_[p].ann_desc.store(ann_pack(0, kAnnOpNone),
-                                 std::memory_order_relaxed);
-        slots_[p].ann_pre.store(0, std::memory_order_relaxed);
-        slots_[p].ann_aux.store(kAuxNone, std::memory_order_relaxed);
-        slots_[p].landed.store(0, std::memory_order_relaxed);
+                                 std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].ann_pre.store(0, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].ann_aux.store(kAuxNone, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+        slots_[p].landed.store(0, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
       }
     }
     instances_.reserve(config.nprocs + 1);
@@ -472,7 +472,8 @@ class ShmStripeLockT {
     my.phase.store(kSpinWait, std::memory_order_seq_cst);
     const Packed desc = unpack(space_.read(self, *lock_desc_));
     if (desc.spn == my.old_spn.load(std::memory_order_seq_cst)) {
-      auto outcome = space_.wait(
+      // Acquire side of the switch retirement (see core/longlived.hpp).
+      auto outcome = space_.wait(  // AML_X_EDGE(longlived.spn_switch)
           self, *pool_.node(desc.spn).go,
           [this, self](std::uint64_t v) {
             if constexpr (Metrics::kEnabled) {
@@ -872,7 +873,9 @@ class ShmStripeLockT {
   /// the old instance as the next switch target. Both idempotent, so
   /// recovery re-runs them for a victim that died after its CAS landed.
   void finish_switch_post(Pid exec, Pid owner, const Packed& prev) {
-    space_.write(exec, *pool_.node(prev.spn).go, 1);
+    // Stays seq_cst (recovery may re-run it); still the release side the
+    // spn waiters acquire.
+    space_.write(exec, *pool_.node(prev.spn).go, 1);  // AML_V_EDGE(longlived.spn_switch)
     slots_[owner].held.store(prev.lock, std::memory_order_seq_cst);
     slots_[owner].ann_aux.store(kAuxNone, std::memory_order_seq_cst);
   }

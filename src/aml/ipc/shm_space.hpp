@@ -20,6 +20,7 @@
 #include "aml/model/types.hpp"
 #include "aml/pal/backoff.hpp"
 #include "aml/pal/cache.hpp"
+#include "aml/pal/edges.hpp"
 
 namespace aml::ipc {
 
@@ -49,7 +50,9 @@ class ShmSpace {
     Word* w = arena_.alloc_array<Word>(n);
     if (arena_.creating()) {
       for (std::size_t i = 0; i < n; ++i) {
-        w[i].v.store(init, std::memory_order_relaxed);
+        // Attachers only see the segment after the arena's seal handshake
+        // publishes it (ipc.arena_seal), which covers these stores.
+        w[i].v.store(init, std::memory_order_relaxed);  // AML_RELAXED(pre-seal init; published by ipc.arena_seal)
       }
     }
     total_words_ += n;
@@ -85,15 +88,40 @@ class ShmSpace {
     return w.v.exchange(x, std::memory_order_seq_cst);
   }
 
-  /// Busy-wait until pred(value) holds or the stop flag is raised.
+  // --- ordered vocabulary (edge carriers; see model/native.hpp) ----------
+  // Acquire/release have the same inter-process semantics over a shared
+  // mapping as intra-process, so the justified core relaxations apply to
+  // shm words too. The recovery journaling (amlint R7) never routes through
+  // these: phase words use the seq_cst base vocabulary.
+
+  std::uint64_t read_acq(model::Pid, Word& w) const {
+    return w.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
+  }
+
+  std::uint64_t read_rlx(model::Pid, Word& w) const {
+    return w.v.load(std::memory_order_relaxed);  // AML_RELAXED(carrier; justification at call sites)
+  }
+
+  void write_rel(model::Pid, Word& w, std::uint64_t x) {
+    w.v.store(x, std::memory_order_release);  // AML_V_EDGE(model.native.carrier)
+  }
+
+  void write_rlx(model::Pid, Word& w, std::uint64_t x) {
+    w.v.store(x, std::memory_order_relaxed);  // AML_RELAXED(carrier; justification at call sites)
+  }
+
+  /// Busy-wait until pred(value) holds or the stop flag is raised. The spin
+  /// load is the acquire side of the hand-off edge (see NativeModel::wait).
   template <typename Pred>
   model::WaitOutcome wait(model::Pid, Word& w, Pred&& pred,
                           const std::atomic<bool>* stop) const {
     pal::Backoff backoff;
     for (;;) {
-      const std::uint64_t v = w.v.load(std::memory_order_seq_cst);
+      const std::uint64_t v =
+          w.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
       if (pred(v)) return {v, false};
-      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      if (stop != nullptr &&
+          stop->load(std::memory_order_acquire)) {  // AML_X_EDGE(core.abort_signal)
         return {v, true};
       }
       backoff.pause();
@@ -106,11 +134,14 @@ class ShmSpace {
                                   const std::atomic<bool>* stop) const {
     pal::Backoff backoff;
     for (;;) {
-      const std::uint64_t v1 = w1.v.load(std::memory_order_seq_cst);
+      const std::uint64_t v1 =
+          w1.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
       if (pred1(v1)) return {v1, 0, false};
-      const std::uint64_t v2 = w2.v.load(std::memory_order_seq_cst);
+      const std::uint64_t v2 =
+          w2.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
       if (pred2(v2)) return {v1, v2, false};
-      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      if (stop != nullptr &&
+          stop->load(std::memory_order_acquire)) {  // AML_X_EDGE(core.abort_signal)
         return {v1, v2, true};
       }
       backoff.pause();

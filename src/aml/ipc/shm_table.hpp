@@ -202,37 +202,37 @@ class ShmNamedLockTable {
     const Superblock* sb = reinterpret_cast<const Superblock*>(base);
     const ServiceHeader* hdr = reinterpret_cast<const ServiceHeader*>(
         static_cast<const std::byte*>(base) + header_offset());
-    if (sb->ready.load(std::memory_order_acquire) == 0) {
+    if (sb->ready.load(std::memory_order_acquire) == 0) {  // AML_X_EDGE(ipc.arena_seal)
       if (error != nullptr) {
         *error = "segment " + name + " not sealed (creator still "
                  "constructing, or died mid-construction)";
       }
-    } else if (sb->magic.load(std::memory_order_relaxed) !=
+    } else if (sb->magic.load(std::memory_order_relaxed) !=  // AML_RELAXED(read after ipc.arena_seal acquire)
                    ShmArena::kMagic ||
-               sb->abi_version.load(std::memory_order_relaxed) !=
+               sb->abi_version.load(std::memory_order_relaxed) !=  // AML_RELAXED(read after ipc.arena_seal acquire)
                    ShmArena::kAbiVersion) {
       if (error != nullptr) {
         *error = "segment " + name + ": bad magic or ABI version";
       }
-    } else if (hdr->layout_version.load(std::memory_order_relaxed) !=
+    } else if (hdr->layout_version.load(std::memory_order_relaxed) !=  // AML_RELAXED(read after ipc.arena_seal acquire)
                kShmLayoutVersion) {
       if (error != nullptr) {
         *error = "segment " + name + ": layout version mismatch (have " +
                  std::to_string(hdr->layout_version.load(
-                     std::memory_order_relaxed)) +
+                     std::memory_order_relaxed)) +  // AML_RELAXED(read after ipc.arena_seal acquire)
                  ", want " + std::to_string(kShmLayoutVersion) + ")";
       }
     } else {
       cfg->nprocs =
-          static_cast<Pid>(hdr->nprocs.load(std::memory_order_relaxed));
+          static_cast<Pid>(hdr->nprocs.load(std::memory_order_relaxed));  // AML_RELAXED(read after ipc.arena_seal acquire)
       cfg->stripes = static_cast<std::uint32_t>(
-          hdr->stripes.load(std::memory_order_relaxed));
+          hdr->stripes.load(std::memory_order_relaxed));  // AML_RELAXED(read after ipc.arena_seal acquire)
       cfg->tree_width = static_cast<std::uint32_t>(
-          hdr->tree_width.load(std::memory_order_relaxed));
+          hdr->tree_width.load(std::memory_order_relaxed));  // AML_RELAXED(read after ipc.arena_seal acquire)
       cfg->find = static_cast<core::Find>(
-          hdr->find.load(std::memory_order_relaxed));
+          hdr->find.load(std::memory_order_relaxed));  // AML_RELAXED(read after ipc.arena_seal acquire)
       cfg->ring_capacity = static_cast<std::uint32_t>(
-          hdr->ring_capacity.load(std::memory_order_relaxed));
+          hdr->ring_capacity.load(std::memory_order_relaxed));  // AML_RELAXED(read after ipc.arena_seal acquire)
       cfg->segment_bytes = 0;
       ok = true;
     }
@@ -604,13 +604,13 @@ class ShmNamedLockTable {
     AML_ASSERT(arena.to_offset(hdr) == header_offset(),
                "ServiceHeader must be the replay's first allocation");
     if (arena.creating()) {
-      hdr->layout_version.store(kShmLayoutVersion, std::memory_order_relaxed);
-      hdr->nprocs.store(cfg.nprocs, std::memory_order_relaxed);
-      hdr->stripes.store(cfg.stripes, std::memory_order_relaxed);
-      hdr->tree_width.store(cfg.tree_width, std::memory_order_relaxed);
+      hdr->layout_version.store(kShmLayoutVersion, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+      hdr->nprocs.store(cfg.nprocs, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+      hdr->stripes.store(cfg.stripes, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+      hdr->tree_width.store(cfg.tree_width, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
       hdr->find.store(static_cast<std::uint64_t>(cfg.find),
-                      std::memory_order_relaxed);
-      hdr->ring_capacity.store(cfg.ring_capacity, std::memory_order_relaxed);
+                      std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
+      hdr->ring_capacity.store(cfg.ring_capacity, std::memory_order_relaxed);  // AML_RELAXED(creator init before ipc.arena_seal)
     }
     return hdr;
   }
@@ -648,15 +648,15 @@ class ShmNamedLockTable {
   // or an acquisition failed while no guard was held. The depth counter is
   // process-local (sessions live in one process), so this costs no RMR.
   void guard_acquired(Pid id) {
-    guard_depth_[id].fetch_add(1, std::memory_order_relaxed);
+    guard_depth_[id].fetch_add(1, std::memory_order_relaxed);  // AML_RELAXED(per-id guard depth; single owner)
   }
   void guard_released(Pid id) {
-    if (guard_depth_[id].fetch_sub(1, std::memory_order_relaxed) == 1) {
+    if (guard_depth_[id].fetch_sub(1, std::memory_order_relaxed) == 1) {  // AML_RELAXED(per-id guard depth; single owner)
       registry_.note_idle(id);
     }
   }
   void note_idle_if_quiet(Pid id) {
-    if (guard_depth_[id].load(std::memory_order_relaxed) == 0) {
+    if (guard_depth_[id].load(std::memory_order_relaxed) == 0) {  // AML_RELAXED(per-id guard depth; single owner)
       registry_.note_idle(id);
     }
   }

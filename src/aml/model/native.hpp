@@ -1,7 +1,22 @@
 // NativeModel: the production memory model. Words are cacheline-padded
-// std::atomic<uint64_t>; operations map 1:1 to hardware atomics with
-// sequentially consistent ordering (the algorithms in the paper are stated
-// for an atomic-register model, so we do not weaken orderings).
+// std::atomic<uint64_t>; operations map 1:1 to hardware atomics.
+//
+// The paper states its algorithms for a sequentially consistent atomic-
+// register model, so the base vocabulary (read/write/faa/cas/swap) is
+// seq_cst. On top of it the model exposes an *ordered* vocabulary —
+// read_acq / read_rlx / write_rel / write_rlx and an acquire-spinning
+// wait() — that the algorithms use only at call sites whose weaker order is
+// justified by a named happens-before edge (see aml/pal/edges.hpp, the
+// tools/edges.toml manifest, and docs/MEMORY_MODEL.md; amlint R8/R9 enforce
+// the discipline). The ordered primitives here are the *carriers*: the
+// concrete edge is named where they are called, and the carrier pair below
+// is itself the `model.native.carrier` manifest entry, litmus-tested as a
+// raw message-passing idiom in tests/litmus.
+//
+// BasicNativeModel<false> (alias NativeModelSeqCst) compiles every carrier
+// back to seq_cst — the pre-relaxation baseline. bench_native_throughput
+// runs both and gates the relaxed path against the seq_cst twin, so the
+// relaxation's value stays measured, not assumed.
 //
 // This model performs no accounting; instantiating the lock templates with
 // it yields the deployable library (aml::AbortableLock).
@@ -15,11 +30,17 @@
 
 #include "aml/pal/backoff.hpp"
 #include "aml/pal/cache.hpp"
+#include "aml/pal/edges.hpp"
 #include "aml/model/types.hpp"
 
 namespace aml::model {
 
-class NativeModel {
+/// `Relaxed` selects the memory-ordering regime of the ordered vocabulary:
+/// true (the production default) lowers read_acq/write_rel/wait to real
+/// acquire/release hardware orders; false lowers everything to seq_cst,
+/// reproducing the conservative pre-relaxation model for A/B measurement.
+template <bool Relaxed>
+class BasicNativeModel {
  public:
   /// One shared word. Padded to a cache line so that the per-slot spin words
   /// of the queue lock do not false-share, which the CC cost model assumes.
@@ -27,10 +48,10 @@ class NativeModel {
     std::atomic<std::uint64_t> v{0};
   };
 
-  explicit NativeModel(Pid nprocs = 1) : nprocs_(nprocs) {}
+  explicit BasicNativeModel(Pid nprocs = 1) : nprocs_(nprocs) {}
 
-  NativeModel(const NativeModel&) = delete;
-  NativeModel& operator=(const NativeModel&) = delete;
+  BasicNativeModel(const BasicNativeModel&) = delete;
+  BasicNativeModel& operator=(const BasicNativeModel&) = delete;
 
   Pid nprocs() const { return nprocs_; }
 
@@ -42,7 +63,9 @@ class NativeModel {
     blocks_.emplace_back(n);
     std::vector<Word>& block = blocks_.back();
     for (std::size_t i = 0; i < n; ++i) {
-      block[i].v.store(init, std::memory_order_relaxed);
+      // Pre-publication: the block escapes only through the caller's own
+      // pointer; sharing it with other processes is the caller's edge.
+      block[i].v.store(init, std::memory_order_relaxed);  // AML_RELAXED(init before the block is shared)
     }
     total_words_ += n;
     return block.data();
@@ -54,6 +77,8 @@ class NativeModel {
   Word* alloc_owned(Pid /*owner*/, std::size_t n, std::uint64_t init = 0) {
     return alloc(n, init);
   }
+
+  // --- base vocabulary (seq_cst, the paper's register model) -------------
 
   std::uint64_t read(Pid, Word& w) const {
     return w.v.load(std::memory_order_seq_cst);
@@ -76,17 +101,69 @@ class NativeModel {
     return w.v.exchange(x, std::memory_order_seq_cst);
   }
 
+  // --- ordered vocabulary (edge carriers; see file header) ---------------
+
+  /// Acquire-side carrier: the caller names the edge (amlint R8).
+  std::uint64_t read_acq(Pid, Word& w) const {
+    if constexpr (Relaxed) {
+      return w.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
+    } else {
+      return w.v.load(std::memory_order_seq_cst);
+    }
+  }
+
+  /// Unordered read: only for values re-validated by a later synchronizing
+  /// operation, or owner-local state (justified AML_RELAXED at call sites).
+  std::uint64_t read_rlx(Pid, Word& w) const {
+    if constexpr (Relaxed) {
+      return w.v.load(std::memory_order_relaxed);  // AML_RELAXED(carrier; justification at call sites)
+    } else {
+      return w.v.load(std::memory_order_seq_cst);
+    }
+  }
+
+  /// Release-side carrier: the caller names the edge (amlint R8).
+  void write_rel(Pid, Word& w, std::uint64_t x) {
+    if constexpr (Relaxed) {
+      w.v.store(x, std::memory_order_release);  // AML_V_EDGE(model.native.carrier)
+    } else {
+      w.v.store(x, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Unordered write: pre-publication initialization or values published by
+  /// a later release (justified AML_RELAXED at call sites).
+  void write_rlx(Pid, Word& w, std::uint64_t x) {
+    if constexpr (Relaxed) {
+      w.v.store(x, std::memory_order_relaxed);  // AML_RELAXED(carrier; justification at call sites)
+    } else {
+      w.v.store(x, std::memory_order_seq_cst);
+    }
+  }
+
   /// Busy-wait until pred(value) holds or the stop flag is raised. The
   /// predicate is evaluated on fresh loads; lock hand-off wins ties with the
   /// stop flag.
+  ///
+  /// The spin load is the acquire side of every hand-off edge: the waiter
+  /// leaves the loop only after observing a value some release-side store
+  /// published, so everything sequenced before that store is visible here.
+  /// Callers name the concrete edge (amlint R8 requires a tag on every
+  /// wait() call in the covered paths).
   template <typename Pred>
   WaitOutcome wait(Pid, Word& w, Pred&& pred,
                    const std::atomic<bool>* stop) const {
     pal::Backoff backoff;
     for (;;) {
-      const std::uint64_t v = w.v.load(std::memory_order_seq_cst);
+      std::uint64_t v;
+      if constexpr (Relaxed) {
+        v = w.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
+      } else {
+        v = w.v.load(std::memory_order_seq_cst);
+      }
       if (pred(v)) return {v, false};
-      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      if (stop != nullptr &&
+          stop->load(std::memory_order_acquire)) {  // AML_X_EDGE(core.abort_signal)
         return {v, true};
       }
       backoff.pause();
@@ -100,11 +177,20 @@ class NativeModel {
                            const std::atomic<bool>* stop) const {
     pal::Backoff backoff;
     for (;;) {
-      const std::uint64_t v1 = w1.v.load(std::memory_order_seq_cst);
-      if (pred1(v1)) return {v1, 0, false};
-      const std::uint64_t v2 = w2.v.load(std::memory_order_seq_cst);
+      std::uint64_t v1;
+      std::uint64_t v2;
+      if constexpr (Relaxed) {
+        v1 = w1.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
+        if (pred1(v1)) return {v1, 0, false};
+        v2 = w2.v.load(std::memory_order_acquire);  // AML_X_EDGE(model.native.carrier)
+      } else {
+        v1 = w1.v.load(std::memory_order_seq_cst);
+        if (pred1(v1)) return {v1, 0, false};
+        v2 = w2.v.load(std::memory_order_seq_cst);
+      }
       if (pred2(v2)) return {v1, v2, false};
-      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      if (stop != nullptr &&
+          stop->load(std::memory_order_acquire)) {  // AML_X_EDGE(core.abort_signal)
         return {v1, v2, true};
       }
       backoff.pause();
@@ -124,5 +210,13 @@ class NativeModel {
   std::deque<std::vector<Word>> blocks_;  // one block per alloc; stable
   std::size_t total_words_ = 0;
 };
+
+/// The production model: per-edge acquire/release on the justified paths.
+using NativeModel = BasicNativeModel<true>;
+
+/// The conservative twin: every carrier lowered to seq_cst. Exists for A/B
+/// measurement (bench_native_throughput's relaxation gate) and for
+/// bisecting a suspected ordering bug back to the strong baseline.
+using NativeModelSeqCst = BasicNativeModel<false>;
 
 }  // namespace aml::model

@@ -1,0 +1,52 @@
+// aml::edges — the memory-ordering justification vocabulary.
+//
+// Every atomic operation in the covered paths (src/aml/core, src/aml/table,
+// src/aml/ipc, src/aml/model/native.hpp) that uses an order weaker than
+// seq_cst must carry one of these annotations; amlint rule R8 enforces the
+// presence and rule R9 validates the cross-file pairing against the checked-
+// in manifest (tools/edges.toml). The discipline follows rmc-compiler's
+// XEDGE/VEDGE style (execution/visibility edges; see SNIPPETS.md): a
+// relaxation is never folklore — it names the happens-before edge it is an
+// endpoint of, and the manifest records the invariant the edge carries.
+//
+//   AML_V_EDGE(name)  — the *release* (visibility) endpoint of edge `name`:
+//                       everything sequenced before this operation becomes
+//                       visible to whoever acquires the edge. Must sit on a
+//                       release-capable operation (store / RMW with
+//                       release, acq_rel or seq_cst order).
+//   AML_X_EDGE(name)  — the *acquire* (execution) endpoint of edge `name`:
+//                       everything sequenced after this operation executes
+//                       after whatever the paired release published. Must
+//                       sit on an acquire-capable operation (load / wait /
+//                       RMW with acquire, acq_rel or seq_cst order).
+//   AML_RELAXED(why)  — a deliberately unordered operation (counters,
+//                       diagnostics, pre-publication initialization, values
+//                       re-validated by a later seq_cst RMW). Not an edge
+//                       endpoint; the free-text reason is the justification.
+//
+// The macros expand to nothing — they are comments the checker can see.
+// amlint matches the annotation token in the *original* source text on the
+// operation's line or the two lines above it, so both the macro form
+//
+//     AML_V_EDGE(oneshot.grant);
+//     ord::write_rel(space, self, word, 1);
+//
+// and the trailing-comment form
+//
+//     ord::write_rel(space, self, word, 1);  // AML_V_EDGE(oneshot.grant)
+//
+// are equivalent. Prefer the trailing comment; use the statement form when
+// the call spans lines and the tag would otherwise drift out of range.
+//
+// Adding a new edge: docs/MEMORY_MODEL.md walks through the full checklist
+// (name it, tag both endpoints, add the tools/edges.toml entry with its
+// invariant, and give it a litmus test in tests/litmus/).
+#pragma once
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage): annotations must survive to
+// the token level so a text-scanning checker can see them; a constexpr
+// function would vanish.
+#define AML_X_EDGE(name) /* execution edge endpoint: name */
+#define AML_V_EDGE(name) /* visibility edge endpoint: name */
+#define AML_RELAXED(why) /* deliberately unordered: why */
+// NOLINTEND(cppcoreguidelines-macro-usage)

@@ -132,6 +132,7 @@
 #include "aml/obs/metrics.hpp"
 #include "aml/pal/cache.hpp"
 #include "aml/pal/config.hpp"
+#include "aml/pal/edges.hpp"
 #include "aml/table/hash.hpp"
 
 namespace aml::table {
@@ -274,7 +275,8 @@ class LockTable {
     locals_ = std::vector<pal::CachePadded<PidLocal>>(config.max_threads);
     gens_.push_back(make_generation(round_up_pow2(config.stripes), 0,
                                     /*prev=*/nullptr, nullptr));
-    current_.store(gens_.back().get(), std::memory_order_release);
+    current_.store(gens_.back().get(),  // AML_V_EDGE(table.gen_publish)
+                   std::memory_order_release);
   }
 
   LockTable(const LockTable&) = delete;
@@ -515,18 +517,24 @@ class LockTable {
     AML_ASSERT(new_stripes >= 1 && new_stripes <= kMaxStripes,
                "resize target out of [1, kMaxStripes]");
     const std::uint32_t target = round_up_pow2(new_stripes);
-    if (resizing_.exchange(true, std::memory_order_acq_rel)) return false;
+    // Winning the exchange acquires the previous resizer's release below,
+    // so generation bookkeeping (gens_, seed stats) is owned exclusively.
+    if (resizing_.exchange(true, std::memory_order_acq_rel)) {  // AML_X_EDGE(table.resize_guard)
+      return false;
+    }
     Generation* old_gen = current_.load(std::memory_order_seq_cst);
     if (target <= old_gen->mask + 1 ||
         (old_gen->prev != nullptr &&
          !old_gen->prev->retired.load(std::memory_order_seq_cst))) {
-      resizing_.store(false, std::memory_order_release);
+      resizing_.store(false, std::memory_order_release);  // AML_V_EDGE(table.resize_guard)
       return false;
     }
     gens_.push_back(make_generation(target, old_gen->epoch + 1, old_gen,
                                     on_stripe_built));
     Generation* next = gens_.back().get();
-    current_.store(next, std::memory_order_seq_cst);
+    // seq_cst required (Dekker with pin()'s increment-then-recheck), and
+    // also the release side of the generation publication.
+    current_.store(next, std::memory_order_seq_cst);  // AML_V_EDGE(table.gen_publish)
     // If no passage is pinned to the old generation, retire it right here —
     // no unpin will ever fire for it again. (Dekker pairing with pin(): the
     // seq_cst store above precedes this load, so a passage that saw the old
@@ -534,7 +542,7 @@ class LockTable {
     if (old_gen->pins.load(std::memory_order_seq_cst) == 0) {
       maybe_retire(old_gen);
     }
-    resizing_.store(false, std::memory_order_release);
+    resizing_.store(false, std::memory_order_release);  // AML_V_EDGE(table.resize_guard)
     return true;
   }
 
@@ -549,7 +557,7 @@ class LockTable {
     if (count * 2 > policy.max_stripes) return false;
     bool hot = false;
     for (std::uint32_t s = 0; s < count && !hot; ++s) {
-      hot = g.stats[s]->max_inflight.load(std::memory_order_relaxed) >=
+      hot = g.stats[s]->max_inflight.load(std::memory_order_relaxed) >=  // AML_RELAXED(stats high-water probe)
             policy.inflight_threshold;
     }
     if (!hot) return false;
@@ -564,10 +572,10 @@ class LockTable {
   StripeStatsView stripe_stats(std::uint32_t s) const {
     const StripeStats& st = *cur().stats[s];
     StripeStatsView view;
-    view.acquisitions = st.acquisitions.load(std::memory_order_relaxed);
-    view.aborts = st.aborts.load(std::memory_order_relaxed);
-    view.inflight = st.inflight.load(std::memory_order_relaxed);
-    view.max_inflight = st.max_inflight.load(std::memory_order_relaxed);
+    view.acquisitions = st.acquisitions.load(std::memory_order_relaxed);  // AML_RELAXED(stats snapshot)
+    view.aborts = st.aborts.load(std::memory_order_relaxed);  // AML_RELAXED(stats snapshot)
+    view.inflight = st.inflight.load(std::memory_order_relaxed);  // AML_RELAXED(stats snapshot)
+    view.max_inflight = st.max_inflight.load(std::memory_order_relaxed);  // AML_RELAXED(stats snapshot)
     view.inherited_attempts = st.seed_attempts;
     view.inherited_aborts = st.seed_aborts;
     return view;
@@ -579,8 +587,9 @@ class LockTable {
     const Generation& g = cur();
     std::uint32_t peak = 0;
     for (std::uint32_t s = 0; s <= g.mask; ++s) {
-      peak = std::max(peak,
-                      g.stats[s]->max_inflight.load(std::memory_order_relaxed));
+      peak = std::max(
+          peak,
+          g.stats[s]->max_inflight.load(std::memory_order_relaxed));  // AML_RELAXED(stats high-water probe)
     }
     return peak;
   }
@@ -622,14 +631,14 @@ class LockTable {
   /// oracle probes run). Not meaningful under free-running native threads.
   std::vector<GenerationView> debug_generations() const {
     std::vector<GenerationView> out;
-    const Generation* current = current_.load(std::memory_order_acquire);
+    const Generation* current = current_.load(std::memory_order_acquire);  // AML_X_EDGE(table.gen_publish)
     out.reserve(gens_.size());
     for (const auto& g : gens_) {
       GenerationView v;
       v.epoch = g->epoch;
       v.stripe_count = g->mask + 1;
-      v.pins = g->pins.load(std::memory_order_acquire);
-      v.retired = g->retired.load(std::memory_order_acquire);
+      v.pins = g->pins.load(std::memory_order_acquire);  // AML_X_EDGE(table.gen_quiesce)
+      v.retired = g->retired.load(std::memory_order_acquire);  // AML_X_EDGE(table.gen_quiesce)
       v.is_current = (g.get() == current);
       out.push_back(v);
     }
@@ -699,9 +708,11 @@ class LockTable {
   };
 
   const Generation& cur() const {
-    return *current_.load(std::memory_order_acquire);
+    return *current_.load(std::memory_order_acquire);  // AML_X_EDGE(table.gen_publish)
   }
-  Generation& cur_mut() { return *current_.load(std::memory_order_acquire); }
+  Generation& cur_mut() {
+    return *current_.load(std::memory_order_acquire);  // AML_X_EDGE(table.gen_publish)
+  }
 
   /// Algorithm for a new stripe: the uniform default at construction;
   /// across a resize, the parent's algorithm, re-chosen from the parent's
@@ -713,11 +724,12 @@ class LockTable {
     StripeAlgo algo = prev->stripes[parent]->algo();
     if (!config_.hybrid.enabled) return algo;
     const StripeStats& pst = *prev->stats[parent];
-    const std::uint64_t live_aborts = pst.aborts.load(std::memory_order_relaxed);
+    const std::uint64_t live_aborts =
+        pst.aborts.load(std::memory_order_relaxed);  // AML_RELAXED(stats; resize guard owns the epoch)
     const std::uint64_t aborts = live_aborts + pst.seed_aborts;
     const std::uint64_t attempts =
-        pst.acquisitions.load(std::memory_order_relaxed) + live_aborts +
-        pst.seed_attempts;
+        pst.acquisitions.load(std::memory_order_relaxed) +  // AML_RELAXED(stats; resize guard owns the epoch)
+        live_aborts + pst.seed_attempts;
     // attempts == 0 must inherit even when min_samples == 0: 0/0 is NaN and
     // every NaN comparison is false, which would silently pick kAmortized.
     if (attempts == 0 || attempts < config_.hybrid.min_samples) return algo;
@@ -756,8 +768,9 @@ class LockTable {
         const StripeStats& pst = *prev->stats[s & prev->mask];
         StripeStats& st = *gen->stats[s];
         const std::uint64_t pacq =
-            pst.acquisitions.load(std::memory_order_relaxed);
-        const std::uint64_t pab = pst.aborts.load(std::memory_order_relaxed);
+            pst.acquisitions.load(std::memory_order_relaxed);  // AML_RELAXED(stats; resize guard owns the epoch)
+        const std::uint64_t pab =
+            pst.aborts.load(std::memory_order_relaxed);  // AML_RELAXED(stats; resize guard owns the epoch)
         st.seed_attempts = (pst.seed_attempts + pacq + pab) / fanout;
         st.seed_aborts = (pst.seed_aborts + pab) / fanout;
       }
@@ -780,7 +793,9 @@ class LockTable {
   }
 
   void unpin(Generation* g) {
-    if (g->pins.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    // seq_cst for the Dekker with resize(); also the release side the
+    // quiescence probes acquire.
+    if (g->pins.fetch_sub(1, std::memory_order_seq_cst) == 1) {  // AML_V_EDGE(table.gen_quiesce)
       maybe_retire(g);
     }
   }
@@ -790,7 +805,7 @@ class LockTable {
   void maybe_retire(Generation* g) {
     if (current_.load(std::memory_order_seq_cst) == g) return;
     if (g->pins.load(std::memory_order_seq_cst) != 0) return;
-    g->retired.store(true, std::memory_order_seq_cst);
+    g->retired.store(true, std::memory_order_seq_cst);  // AML_V_EDGE(table.gen_quiesce)
   }
 
   /// The generation a new passage on `gen` must bridge, or null when the
@@ -812,18 +827,19 @@ class LockTable {
                           const std::atomic<bool>* signal) {
     StripeStats& st = *gen.stats[s];
     const std::uint32_t depth =
-        st.inflight.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::uint32_t seen = st.max_inflight.load(std::memory_order_relaxed);
+        st.inflight.fetch_add(1, std::memory_order_relaxed) + 1;  // AML_RELAXED(stats counter)
+    std::uint32_t seen =
+        st.max_inflight.load(std::memory_order_relaxed);  // AML_RELAXED(stats counter)
     while (seen < depth &&
-           !st.max_inflight.compare_exchange_weak(
+           !st.max_inflight.compare_exchange_weak(  // AML_RELAXED(stats high-water CAS)
                seen, depth, std::memory_order_relaxed)) {
     }
     const bool ok = gen.stripes[s]->enter(self, signal).acquired;
-    st.inflight.fetch_sub(1, std::memory_order_relaxed);
+    st.inflight.fetch_sub(1, std::memory_order_relaxed);  // AML_RELAXED(stats counter)
     if (ok) {
-      st.acquisitions.fetch_add(1, std::memory_order_relaxed);
+      st.acquisitions.fetch_add(1, std::memory_order_relaxed);  // AML_RELAXED(stats counter)
     } else {
-      st.aborts.fetch_add(1, std::memory_order_relaxed);
+      st.aborts.fetch_add(1, std::memory_order_relaxed);  // AML_RELAXED(stats counter)
     }
     return ok;
   }

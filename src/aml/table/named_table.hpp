@@ -398,7 +398,8 @@ class BasicNamedLockTable {
   /// acquisition and never inside a critical section.
   void note_op() {
     if (!config_.auto_grow) return;
-    const std::uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t n =
+        ops_.fetch_add(1, std::memory_order_relaxed) + 1;  // AML_RELAXED(grow-check pacing counter)
     if (n % config_.grow_check_interval == 0) grow_step();
   }
 

@@ -26,6 +26,7 @@
 
 #include "aml/pal/cache.hpp"
 #include "aml/pal/config.hpp"
+#include "aml/pal/edges.hpp"
 
 namespace aml::table {
 
@@ -50,19 +51,23 @@ class ThreadRegistry {
     // the bitmap instead of stampeding word 0.
     const std::uint32_t nwords = static_cast<std::uint32_t>(words_.size());
     const std::uint32_t start =
-        scan_hint_.fetch_add(1, std::memory_order_relaxed) % nwords;
+        scan_hint_.fetch_add(1, std::memory_order_relaxed) % nwords;  // AML_RELAXED(scan start hint only)
     for (std::uint32_t i = 0; i < nwords; ++i) {
       const std::uint32_t wi = (start + i) % nwords;
       auto& word = words_[wi].bits;
-      std::uint64_t v = word.load(std::memory_order_relaxed);
+      std::uint64_t v =
+          word.load(std::memory_order_relaxed);  // AML_RELAXED(speculative; revalidated by the claim CAS)
       for (;;) {
         const std::uint64_t free = ~v & valid_mask(wi);
         if (free == 0) break;  // word full; try the next one
         const std::uint32_t bit =
             static_cast<std::uint32_t>(std::countr_zero(free));
-        if (word.compare_exchange_weak(v, v | (std::uint64_t{1} << bit),
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
+        // Acquire half: claiming a recycled id imports the releaser's
+        // fetch_and, so nothing from the previous lease's passages is
+        // reordered into ours. Release half pairs with is_live/live probes.
+        if (word.compare_exchange_weak(  // AML_X_EDGE(table.tid_lease) AML_V_EDGE(table.tid_lease)
+                v, v | (std::uint64_t{1} << bit), std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
           return wi * kBits + bit;
         }
         // v was reloaded by the failed CAS; rescan this word.
@@ -77,8 +82,10 @@ class ThreadRegistry {
     AML_ASSERT(id < max_threads_, "release of an out-of-range id");
     auto& word = words_[id / kBits].bits;
     const std::uint64_t mask = std::uint64_t{1} << (id % kBits);
+    // Release half publishes everything the leaseholder did under this id
+    // to the next claimer of the recycled slot.
     const std::uint64_t prev =
-        word.fetch_and(~mask, std::memory_order_acq_rel);
+        word.fetch_and(~mask, std::memory_order_acq_rel);  // AML_V_EDGE(table.tid_lease)
     AML_ASSERT((prev & mask) != 0, "release of an id that is not live");
   }
 
@@ -89,7 +96,7 @@ class ThreadRegistry {
     std::uint32_t total = 0;
     for (const auto& w : words_) {
       total += static_cast<std::uint32_t>(
-          std::popcount(w.bits.load(std::memory_order_acquire)));
+          std::popcount(w.bits.load(std::memory_order_acquire)));  // AML_X_EDGE(table.tid_lease)
     }
     return total;
   }
@@ -97,7 +104,7 @@ class ThreadRegistry {
   bool is_live(std::uint32_t id) const {
     if (id >= max_threads_) return false;
     const std::uint64_t v =
-        words_[id / kBits].bits.load(std::memory_order_acquire);
+        words_[id / kBits].bits.load(std::memory_order_acquire);  // AML_X_EDGE(table.tid_lease)
     return (v >> (id % kBits)) & 1;
   }
 

@@ -1,0 +1,40 @@
+// Negative control for the litmus harness: a test-and-set spin lock whose
+// unlock store is relaxed instead of release. Acquisition still excludes
+// (the exchange is atomic), but the relaxed unlock publishes nothing: there
+// is no happens-before edge from one critical section to the next, so
+// ThreadSanitizer must report the plain counter as a data race. This is
+// exactly the bug class amlint R8 exists to keep out of the relaxed fast
+// path — the "missing AML_V_EDGE" failure shape, compiled and run.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+std::atomic<int> lock_word{0};
+std::uint64_t counter = 0;  // plain: the race TSan must report
+
+void worker() {
+  for (int i = 0; i < 50000; ++i) {
+    while (lock_word.exchange(1, std::memory_order_acquire) != 0) {
+    }
+    ++counter;  // critical section
+    // BROKEN: release demoted to relaxed — the next owner's acquire has
+    // nothing to synchronize with.
+    lock_word.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  std::printf("broken_mutex: counter=%llu (expected 100000)\n",
+              static_cast<unsigned long long>(counter));
+  // Exit 0: only the sanitizer is supposed to fail this binary.
+  return 0;
+}

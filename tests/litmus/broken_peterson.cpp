@@ -1,0 +1,50 @@
+// Negative control for the litmus harness: Peterson's algorithm with every
+// atomic demoted to memory_order_relaxed. The algorithm REQUIRES seq_cst on
+// the flag/turn Dekker (store-buffering: with anything weaker both threads
+// can miss each other's flag) — and even when the hardware happens to
+// exclude, relaxed orders build no happens-before between the critical
+// sections, so ThreadSanitizer must report the plain counter as a data
+// race. The sanitizer build runs this as a WILL_FAIL test: if TSan ever
+// stops flagging this shape, the whole litmus harness has lost its oracle
+// and the R8 relaxations are no longer being checked by anything.
+//
+// Mirrors the oneshot.dsm_wake manifest entry's caveat from the other side:
+// the DSM Dekker pair in core/oneshot.hpp stays seq_cst precisely because
+// this program is what it would become otherwise.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+std::atomic<int> flag[2] = {{0}, {0}};
+std::atomic<int> turn{0};
+std::uint64_t counter = 0;  // plain: the race TSan must report
+
+void contender(int me) {
+  const int other = 1 - me;
+  for (int i = 0; i < 50000; ++i) {
+    // All relaxed: the doorway provides no ordering at all.
+    flag[me].store(1, std::memory_order_relaxed);
+    turn.store(other, std::memory_order_relaxed);
+    while (flag[other].load(std::memory_order_relaxed) == 1 &&
+           turn.load(std::memory_order_relaxed) == other) {
+    }
+    ++counter;  // "critical section"
+    flag[me].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::thread a(contender, 0);
+  std::thread b(contender, 1);
+  a.join();
+  b.join();
+  std::printf("broken_peterson: counter=%llu (expected 100000)\n",
+              static_cast<unsigned long long>(counter));
+  // Exit 0: only the sanitizer is supposed to fail this binary.
+  return 0;
+}

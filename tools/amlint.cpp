@@ -49,6 +49,29 @@
 //       CAS, the announcement store must precede the first CAS: a lock-word
 //       CAS issued before its announcement is exactly the unjournalable
 //       window the protocol exists to close.
+//   R8  memory-ordering edge annotations (src/aml/core, src/aml/table,
+//       src/aml/ipc, src/aml/model/native.hpp): every atomic operation
+//       weaker than seq_cst — raw std::atomic calls naming a weak
+//       std::memory_order, the ordered model vocabulary (model::ord::
+//       read_acq/write_rel/read_rlx/write_rlx), and the space wait/
+//       wait_either spins — must carry a happens-before annotation in a
+//       nearby comment: AML_X_EDGE(name) on acquire-side ops,
+//       AML_V_EDGE(name) on release-side ops, AML_RELAXED(why) on
+//       justified-unordered ops (see aml/pal/edges.hpp). The tag must sit on
+//       the op line, a continuation line of the call, or up to two lines
+//       above, and its kind must be compatible with the op's order (a
+//       V tag cannot justify a pure acquire load). memory_order_consume is
+//       rejected outright. seq_cst ops need no tag but may carry one (they
+//       are edge endpoints kept strong for other reasons — R9 records them).
+//   R9  edge pairing against the manifest (--edges tools/edges.toml): every
+//       name used in an AML_V_EDGE/AML_X_EDGE tag must be declared in the
+//       manifest; every declared edge must have at least one release-side
+//       (V) and one acquire-side (X) occurrence in the scanned tree; the
+//       manifest's release/acquire endpoint file-parts must anchor at least
+//       one matching tagged site; and every entry must carry non-empty
+//       release/acquire/invariant/litmus keys. A manifest entry with no code
+//       occurrence at all is a ghost and is an error — the manifest cannot
+//       drift from the code in either direction.
 //
 // Findings can be suppressed through an allowlist file (one entry per line):
 //
@@ -56,7 +79,9 @@
 //
 // Blank lines and lines starting with '#' are ignored. Every entry must
 // justify itself; unused entries are reported as warnings so the list cannot
-// rot. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+// rot — or as errors under --strict-unused (CI runs strict). --sarif <path>
+// additionally writes the reported findings as SARIF 2.1.0 for code-scanning
+// upload. Exit status: 0 clean, 1 findings, 2 usage/IO error.
 //
 // The scanner is token-based, not a real C++ parser: comments, string and
 // character literals are blanked before matching, and calls may span lines.
@@ -65,7 +90,9 @@
 
 #include <cctype>
 #include <cstddef>
+#include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -563,6 +590,409 @@ void check_r7(const std::string& code, const std::string& original,
   }
 }
 
+// ---- R8/R9: happens-before edge annotations --------------------------------
+
+/// One AML_V_EDGE/AML_X_EDGE occurrence, collected from the ORIGINAL text —
+/// the annotations are comments, so blanking erases them.
+struct EdgeSite {
+  char kind;  // 'V' release side, 'X' acquire side
+  std::string name;
+  std::string file;
+  std::size_t line;
+};
+
+/// One `[edges."name"]` manifest entry (tools/edges.toml).
+struct EdgeDecl {
+  std::string name;
+  std::string release;
+  std::string acquire;
+  std::string invariant;
+  std::string litmus;
+  std::size_t line = 0;
+  bool v_seen = false;
+  bool x_seen = false;
+};
+
+/// 1-based line view of a file (index 0 is an unused sentinel).
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines{std::string{}};
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+void collect_edge_sites(const std::string& original, const std::string& rel,
+                        std::vector<EdgeSite>* sites) {
+  for (const char* tag : {"AML_V_EDGE(", "AML_X_EDGE("}) {
+    const std::string needle = tag;
+    std::size_t pos = 0;
+    while ((pos = original.find(needle, pos)) != std::string::npos) {
+      const std::size_t open = pos + needle.size();
+      const std::size_t close = original.find(')', open);
+      pos = open;
+      if (close == std::string::npos) continue;
+      sites->push_back({needle[4], original.substr(open, close - open), rel,
+                        line_of(original, open)});
+    }
+  }
+}
+
+/// R8. Ops are located in the blanked `code`; tag presence is probed in the
+/// original's lines over [op-line - 2, close-paren line] so trailing
+/// comments on continuation lines of a multi-line call count.
+void check_r8(const std::string& code, const std::string& original,
+              const std::string& rel, std::vector<Finding>* findings) {
+  const std::vector<std::string> lines = split_lines(original);
+  const auto has_tag = [&lines](std::size_t lo, std::size_t hi,
+                                const char* tag) {
+    if (lo < 1) lo = 1;
+    if (hi >= lines.size()) hi = lines.size() - 1;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      if (lines[i].find(tag) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  // (a) Raw std::atomic member calls naming a weak memory order.
+  static const char* kOps[] = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_or",
+      "fetch_and",     "fetch_xor",
+      "test_and_set",  "compare_exchange_weak",
+      "compare_exchange_strong",
+  };
+  for (const char* op : kOps) {
+    const std::string needle = std::string(op) + "(";
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      if (at == 0 || ident_char(code[at - 1]) ||
+          !(code[at - 1] == '.' ||
+            (code[at - 1] == '>' && at >= 2 && code[at - 2] == '-'))) {
+        continue;
+      }
+      const std::size_t open = at + needle.size() - 1;
+      const std::size_t close = close_paren(code, open);
+      if (close == std::string::npos) continue;
+      const std::string args = code.substr(open, close - open + 1);
+      if (args.find("memory_order") == std::string::npos) continue;  // R1
+      const bool has_rlx =
+          args.find("memory_order_relaxed") != std::string::npos;
+      const bool has_acq =
+          args.find("memory_order_acquire") != std::string::npos ||
+          args.find("memory_order_acq_rel") != std::string::npos;
+      const bool has_rel =
+          args.find("memory_order_release") != std::string::npos ||
+          args.find("memory_order_acq_rel") != std::string::npos;
+      const bool has_seq =
+          args.find("memory_order_seq_cst") != std::string::npos;
+      if (args.find("memory_order_consume") != std::string::npos) {
+        findings->push_back({rel, line_of(code, at), "R8",
+                             "memory_order_consume is not part of the house "
+                             "vocabulary (no compiler implements it as "
+                             "anything but acquire; use acquire + an edge)",
+                             excerpt_at(original, at)});
+        continue;
+      }
+      // seq_cst success with a relaxed failure order is the strong idiom —
+      // the failure path is a plain load and carries no edge.
+      if (has_seq && !has_acq && !has_rel) continue;
+      if (!has_rlx && !has_acq && !has_rel) continue;  // pure seq_cst
+      const std::size_t op_line = line_of(code, at);
+      const std::size_t lo = op_line >= 3 ? op_line - 2 : 1;
+      const std::size_t hi = line_of(code, close);
+      const bool tv = has_tag(lo, hi, "AML_V_EDGE(");
+      const bool tx = has_tag(lo, hi, "AML_X_EDGE(");
+      const bool tr = has_tag(lo, hi, "AML_RELAXED(");
+      const bool pure_rlx = has_rlx && !has_acq && !has_rel && !has_seq;
+      const bool v_ok = tv && has_rel;
+      const bool x_ok = tx && has_acq;
+      const bool r_ok = tr && pure_rlx;
+      if (v_ok || x_ok || r_ok) continue;
+      if (tv || tx || tr) {
+        findings->push_back(
+            {rel, op_line, "R8",
+             "edge annotation incompatible with the op's memory order (V "
+             "needs a release-capable op, X an acquire-capable one, "
+             "AML_RELAXED a fully relaxed one)",
+             excerpt_at(original, at)});
+      } else {
+        findings->push_back(
+            {rel, op_line, "R8",
+             std::string("atomic ") + op +
+                 "() weaker than seq_cst without an AML_V_EDGE / "
+                 "AML_X_EDGE / AML_RELAXED annotation (see "
+                 "aml/pal/edges.hpp and tools/edges.toml)",
+             excerpt_at(original, at)});
+      }
+    }
+  }
+
+  // (b) The ordered model vocabulary: these calls lower to the weak ops
+  // under the native model, whatever the space, so they carry the edge.
+  struct ModelOp {
+    const char* needle;
+    const char* tag;
+    const char* need;
+  };
+  static const ModelOp kModelOps[] = {
+      {"ord::read_acq(", "AML_X_EDGE(", "an AML_X_EDGE annotation"},
+      {"ord::write_rel(", "AML_V_EDGE(", "an AML_V_EDGE annotation"},
+      {"ord::read_rlx(", "AML_RELAXED(", "an AML_RELAXED justification"},
+      {"ord::write_rlx(", "AML_RELAXED(", "an AML_RELAXED justification"},
+      {".wait(", "AML_X_EDGE(", "an AML_X_EDGE annotation"},
+      {".wait_either(", "AML_X_EDGE(", "an AML_X_EDGE annotation"},
+      {"->wait(", "AML_X_EDGE(", "an AML_X_EDGE annotation"},
+      {"->wait_either(", "AML_X_EDGE(", "an AML_X_EDGE annotation"},
+  };
+  for (const ModelOp& m : kModelOps) {
+    const std::string needle = m.needle;
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      // The ord:: needles must not be the tail of a longer identifier; the
+      // .wait/->wait needles embed their own member-call marker.
+      if (needle[0] != '.' && needle[0] != '-' && at > 0 &&
+          ident_char(code[at - 1])) {
+        continue;
+      }
+      const std::size_t open = at + needle.size() - 1;
+      const std::size_t close = close_paren(code, open);
+      if (close == std::string::npos) continue;
+      const std::size_t op_line = line_of(code, at);
+      const std::size_t lo = op_line >= 3 ? op_line - 2 : 1;
+      const std::size_t hi = line_of(code, close);
+      if (has_tag(lo, hi, m.tag)) continue;
+      findings->push_back(
+          {rel, op_line, "R8",
+           std::string("ordered-model op ") + m.needle +
+               "...) without " + m.need +
+               " (the wait spin is the acquire endpoint of its edge)",
+           excerpt_at(original, at)});
+    }
+  }
+}
+
+/// Minimal parse of the `[edges."name"]` manifest (a deliberate TOML
+/// subset: section headers + `key = "value"` lines + comments).
+bool load_edges(const std::string& path, std::vector<EdgeDecl>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string raw;
+  std::size_t lineno = 0;
+  EdgeDecl* cur = nullptr;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t a = raw.find_first_not_of(" \t");
+    if (a == std::string::npos) continue;
+    const std::size_t b = raw.find_last_not_of(" \t\r");
+    const std::string t = raw.substr(a, b - a + 1);
+    if (t[0] == '#') continue;
+    const std::string head = "[edges.\"";
+    if (t.rfind(head, 0) == 0) {
+      const std::size_t close = t.find("\"]");
+      if (close == std::string::npos || close <= head.size()) return false;
+      out->push_back({});
+      cur = &out->back();
+      cur->name = t.substr(head.size(), close - head.size());
+      cur->line = lineno;
+      continue;
+    }
+    if (cur == nullptr) continue;
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = t.substr(0, eq);
+    const std::size_t ke = key.find_last_not_of(" \t");
+    key = ke == std::string::npos ? std::string{} : key.substr(0, ke + 1);
+    std::string val = t.substr(eq + 1);
+    const std::size_t va = val.find_first_not_of(" \t");
+    val = va == std::string::npos ? std::string{} : val.substr(va);
+    if (val.size() >= 2 && val.front() == '"' && val.back() == '"') {
+      val = val.substr(1, val.size() - 2);
+    }
+    if (key == "release") cur->release = val;
+    else if (key == "acquire") cur->acquire = val;
+    else if (key == "invariant") cur->invariant = val;
+    else if (key == "litmus") cur->litmus = val;
+  }
+  return true;
+}
+
+/// R9: cross-check collected tag sites against the manifest, both ways.
+void check_r9(std::vector<EdgeDecl>& decls,
+              const std::vector<EdgeSite>& sites, const std::string& manifest,
+              std::vector<Finding>* findings) {
+  const auto find_decl = [&decls](const std::string& name) -> EdgeDecl* {
+    for (EdgeDecl& d : decls) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  };
+  for (const EdgeSite& s : sites) {
+    EdgeDecl* d = find_decl(s.name);
+    if (d == nullptr) {
+      findings->push_back(
+          {s.file, s.line, "R9",
+           "edge tag names '" + s.name + "', which is not declared in " +
+               manifest,
+           std::string(s.kind == 'V' ? "AML_V_EDGE(" : "AML_X_EDGE(") +
+               s.name + ")"});
+      continue;
+    }
+    (s.kind == 'V' ? d->v_seen : d->x_seen) = true;
+  }
+  const auto anchor_ok = [&sites](const std::string& endpoint, char kind,
+                                  const std::string& name) {
+    const std::size_t sp = endpoint.find(' ');
+    const std::string file_part =
+        sp == std::string::npos ? endpoint : endpoint.substr(0, sp);
+    if (file_part.empty()) return false;
+    for (const EdgeSite& s : sites) {
+      if (s.kind == kind && s.name == name &&
+          s.file.find(file_part) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (EdgeDecl& d : decls) {
+    const std::string header = "[edges.\"" + d.name + "\"]";
+    if (d.release.empty() || d.acquire.empty() || d.invariant.empty() ||
+        d.litmus.empty()) {
+      findings->push_back(
+          {manifest, d.line, "R9",
+           "edge '" + d.name +
+               "' is missing a required key (release, acquire, invariant, "
+               "litmus)",
+           header});
+    }
+    if (!d.v_seen && !d.x_seen) {
+      findings->push_back(
+          {manifest, d.line, "R9",
+           "ghost manifest entry: edge '" + d.name +
+               "' has no AML_V_EDGE/AML_X_EDGE occurrence in the scanned "
+               "tree",
+           header});
+      continue;
+    }
+    if (!d.v_seen) {
+      findings->push_back(
+          {manifest, d.line, "R9",
+           "edge '" + d.name +
+               "' has acquire-side (X) occurrences but no release-side "
+               "AML_V_EDGE occurrence — a one-sided edge synchronizes "
+               "nothing",
+           header});
+    }
+    if (!d.x_seen) {
+      findings->push_back(
+          {manifest, d.line, "R9",
+           "edge '" + d.name +
+               "' has release-side (V) occurrences but no acquire-side "
+               "AML_X_EDGE occurrence — a one-sided edge synchronizes "
+               "nothing",
+           header});
+    }
+    if (d.v_seen && !anchor_ok(d.release, 'V', d.name)) {
+      findings->push_back(
+          {manifest, d.line, "R9",
+           "release endpoint '" + d.release +
+               "' does not anchor any V-tagged site of edge '" + d.name +
+               "' (file-part must substring-match a tagged file)",
+           header});
+    }
+    if (d.x_seen && !anchor_ok(d.acquire, 'X', d.name)) {
+      findings->push_back(
+          {manifest, d.line, "R9",
+           "acquire endpoint '" + d.acquire +
+               "' does not anchor any X-tagged site of edge '" + d.name +
+               "' (file-part must substring-match a tagged file)",
+           header});
+    }
+  }
+}
+
+// ---- SARIF output ----------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& reported) {
+  std::ofstream out(path);
+  if (!out) return false;
+  static const std::pair<const char*, const char*> kRules[] = {
+      {"R1", "every atomic op names an explicit std::memory_order"},
+      {"R2", "no blocking primitives in the hot paths"},
+      {"R3", "no unpadded arrays of atomics in the hot paths"},
+      {"R4", "no plain std::atomic state in model-gated code"},
+      {"R5", "no raw pointers/references/virtuals in shm-placed data"},
+      {"R6", "instrumentation enter/terminal pairing per sink"},
+      {"R7", "recoverable-F&A journaling discipline"},
+      {"R8", "sub-seq_cst atomics carry AML_V_EDGE/AML_X_EDGE/AML_RELAXED"},
+      {"R9", "edge annotations pair up and match the edge manifest"},
+      {"ALLOW", "allowlist hygiene (unused entries under --strict-unused)"},
+  };
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"amlint\",\n"
+      << "          \"version\": \"1.0.0\",\n"
+      << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < std::size(kRules); ++i) {
+    out << "            {\"id\": \"" << kRules[i].first
+        << "\", \"shortDescription\": {\"text\": \"" << kRules[i].second
+        << "\"}}" << (i + 1 < std::size(kRules) ? "," : "") << "\n";
+  }
+  out << "          ]\n        }\n      },\n      \"results\": [\n";
+  for (std::size_t i = 0; i < reported.size(); ++i) {
+    const Finding& f = reported[i];
+    out << "        {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line == 0 ? 1 : f.line) << "}}}]}"
+        << (i + 1 < reported.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n    }\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
 bool in_hot_path(const std::string& rel) {
   return rel.find("core/") != std::string::npos ||
          rel.find("table/") != std::string::npos;
@@ -570,6 +1000,15 @@ bool in_hot_path(const std::string& rel) {
 
 bool in_shm_scope(const std::string& rel) {
   return rel.find("ipc/") != std::string::npos;
+}
+
+bool in_edge_scope(const std::string& rel) {
+  // R8/R9 coverage: the model-gated hot paths, the cross-process layer and
+  // the native lowering — everywhere a weak order reaches real silicon.
+  return rel.find("core/") != std::string::npos ||
+         rel.find("table/") != std::string::npos ||
+         rel.find("ipc/") != std::string::npos ||
+         rel.find("model/native") != std::string::npos;
 }
 
 bool in_model_gated(const std::string& rel) {
@@ -618,14 +1057,26 @@ bool allowed(const Finding& f, std::vector<AllowEntry>* allow) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  static const char* kUsage =
+      "usage: amlint <source-root> [--allow <allowlist>] "
+      "[--edges <manifest.toml>] [--sarif <out.sarif>] [--strict-unused]\n";
   std::string root;
   std::string allow_path;
+  std::string edges_path;
+  std::string sarif_path;
+  bool strict_unused = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--allow" && i + 1 < argc) {
       allow_path = argv[++i];
+    } else if (arg == "--edges" && i + 1 < argc) {
+      edges_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--strict-unused") {
+      strict_unused = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: amlint <source-root> [--allow <allowlist>]\n";
+      std::cout << kUsage;
       return 0;
     } else if (root.empty()) {
       root = arg;
@@ -635,7 +1086,7 @@ int main(int argc, char** argv) {
     }
   }
   if (root.empty()) {
-    std::cerr << "usage: amlint <source-root> [--allow <allowlist>]\n";
+    std::cerr << kUsage;
     return 2;
   }
   std::vector<AllowEntry> allow;
@@ -645,6 +1096,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Finding> findings;
+  std::vector<EdgeSite> sites;
   std::size_t files = 0;
   std::error_code ec;
   for (fs::recursive_directory_iterator it(root, ec), end; it != end;
@@ -687,22 +1139,48 @@ int main(int argc, char** argv) {
     if (in_hot_path(rel) || in_shm_scope(rel)) {
       check_r6(code, original, rel, &findings);
     }
+    if (in_edge_scope(rel)) {
+      check_r8(code, original, rel, &findings);
+      collect_edge_sites(original, rel, &sites);
+    }
   }
 
-  std::size_t reported = 0;
+  if (!edges_path.empty()) {
+    std::vector<EdgeDecl> decls;
+    if (!load_edges(edges_path, &decls)) {
+      std::cerr << "amlint: cannot read edge manifest " << edges_path << "\n";
+      return 2;
+    }
+    check_r9(decls, sites, edges_path, &findings);
+  }
+
+  std::vector<Finding> reported;
   for (const Finding& f : findings) {
     if (allowed(f, &allow)) continue;
-    ++reported;
+    reported.push_back(f);
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n    " << f.excerpt << "\n";
   }
   for (const AllowEntry& e : allow) {
-    if (!e.used) {
-      std::cerr << "amlint: warning: unused allowlist entry: " << e.rule << "|"
-                << e.path_part << "|" << e.line_part << "\n";
+    if (e.used) continue;
+    const std::string entry =
+        e.rule + "|" + e.path_part + "|" + e.line_part;
+    if (strict_unused) {
+      reported.push_back({allow_path, 0, "ALLOW",
+                          "unused allowlist entry (strict mode): " + entry,
+                          entry});
+      std::cout << allow_path << ":0: [ALLOW] unused allowlist entry "
+                << "(strict mode): " << entry << "\n";
+    } else {
+      std::cerr << "amlint: warning: unused allowlist entry: " << entry
+                << "\n";
     }
   }
-  std::cout << "amlint: " << files << " files, " << reported
+  if (!sarif_path.empty() && !write_sarif(sarif_path, reported)) {
+    std::cerr << "amlint: cannot write SARIF to " << sarif_path << "\n";
+    return 2;
+  }
+  std::cout << "amlint: " << files << " files, " << reported.size()
             << " finding(s)";
   if (!allow.empty()) {
     std::size_t used = 0;
@@ -710,5 +1188,5 @@ int main(int argc, char** argv) {
     std::cout << ", " << used << " allowlisted";
   }
   std::cout << "\n";
-  return reported == 0 ? 0 : 1;
+  return reported.empty() ? 0 : 1;
 }

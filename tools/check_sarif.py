@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Structural validator for amlint --sarif output.
+
+The CI lint job uploads the SARIF file for code scanning; a malformed file
+is silently dropped by the uploader, so the self-check fails loudly here
+instead. This is a hand-rolled structural check (the container has no
+jsonschema package): it verifies the SARIF 2.1.0 shape that uploaders
+actually require — version, runs, tool.driver with name and rules, and for
+every result a known ruleId, a level, a message text and a physical
+location with a uri and a positive integer startLine.
+
+Usage: check_sarif.py <file.sarif> [--expect-results N]
+Exit: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import re
+import sys
+
+RULE_ID = re.compile(r"^(R[1-9]|ALLOW)$")
+
+
+def fail(msg):
+    print(f"check_sarif: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    expect_results = None
+    if len(argv) == 4 and argv[2] == "--expect-results":
+        expect_results = int(argv[3])
+    elif len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, want '2.1.0'")
+    schema = doc.get("$schema", "")
+    if "sarif-2.1.0" not in schema:
+        fail(f"$schema {schema!r} does not name sarif-2.1.0")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty list")
+
+    total_results = 0
+    for ri, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if driver.get("name") != "amlint":
+            fail(f"runs[{ri}].tool.driver.name is {driver.get('name')!r}")
+        rules = driver.get("rules")
+        if not isinstance(rules, list) or not rules:
+            fail(f"runs[{ri}] has no tool.driver.rules")
+        rule_ids = set()
+        for rule in rules:
+            rid = rule.get("id", "")
+            if not RULE_ID.match(rid):
+                fail(f"rule id {rid!r} does not match {RULE_ID.pattern}")
+            if not rule.get("shortDescription", {}).get("text"):
+                fail(f"rule {rid} lacks shortDescription.text")
+            rule_ids.add(rid)
+        results = run.get("results")
+        if not isinstance(results, list):
+            fail(f"runs[{ri}].results must be a list (may be empty)")
+        for i, res in enumerate(results):
+            where = f"runs[{ri}].results[{i}]"
+            if res.get("ruleId") not in rule_ids:
+                fail(f"{where}.ruleId {res.get('ruleId')!r} not in driver "
+                     "rules")
+            if res.get("level") not in ("error", "warning", "note"):
+                fail(f"{where}.level {res.get('level')!r} invalid")
+            if not res.get("message", {}).get("text"):
+                fail(f"{where}.message.text missing or empty")
+            locs = res.get("locations")
+            if not isinstance(locs, list) or not locs:
+                fail(f"{where}.locations must be a non-empty list")
+            phys = locs[0].get("physicalLocation", {})
+            uri = phys.get("artifactLocation", {}).get("uri")
+            if not uri:
+                fail(f"{where} lacks artifactLocation.uri")
+            start = phys.get("region", {}).get("startLine")
+            if not isinstance(start, int) or start < 1:
+                fail(f"{where}.region.startLine {start!r} is not a positive "
+                     "int")
+        total_results += len(results)
+
+    if expect_results is not None and total_results != expect_results:
+        fail(f"expected {expect_results} result(s), found {total_results}")
+    print(f"check_sarif: OK: {path} ({total_results} result(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

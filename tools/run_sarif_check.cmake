@@ -1,0 +1,27 @@
+# Test driver for AmlintSarifValid: run amlint --sarif over the clean tree,
+# then structurally validate the emitted file with check_sarif.py. A ctest
+# COMMAND runs one process; this script chains the two.
+#
+# Expects: AMLINT (lint binary), SRC_ROOT (tree to scan), TOOLS_DIR
+# (allowlist/manifest/validator location), OUT_DIR (writable).
+
+set(sarif "${OUT_DIR}/amlint.sarif")
+execute_process(
+  COMMAND "${AMLINT}" "${SRC_ROOT}"
+          --allow "${TOOLS_DIR}/amlint_allow.txt"
+          --edges "${TOOLS_DIR}/edges.toml"
+          --strict-unused
+          --sarif "${sarif}"
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "amlint exited ${lint_rc} on the clean tree")
+endif()
+
+find_program(PYTHON3 python3 REQUIRED)
+execute_process(
+  COMMAND "${PYTHON3}" "${TOOLS_DIR}/check_sarif.py" "${sarif}"
+          --expect-results 0
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_sarif.py rejected ${sarif}")
+endif()

@@ -1,0 +1,27 @@
+// amlint fixture: R8 must bite on its own. The only violation here is a
+// sub-seq_cst atomic op in a table/ path with no AML_V_EDGE / AML_X_EDGE /
+// AML_RELAXED annotation anywhere near it — invisible to every other rule
+// (the order IS named, so R1 is satisfied; no blocking, no atomic arrays,
+// not model-gated, not shm-placed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct UntaggedWeak {
+  std::atomic<std::uint64_t> word{0};
+
+  std::uint64_t peek() {
+    return word.load(std::memory_order_acquire);
+  }
+
+  // A mis-kinded annotation must bite too: a V (release-side) tag cannot
+  // justify a pure acquire load.
+  std::uint64_t peek_mistagged() {
+    return word.load(std::memory_order_acquire);  // AML_V_EDGE(fixture.wrongkind)
+  }
+};
+
+}  // namespace fixture

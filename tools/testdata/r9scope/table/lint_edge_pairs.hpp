@@ -1,0 +1,28 @@
+// amlint fixture: R9 must bite on its own. Every op here is correctly
+// R8-tagged (compatible kind, adjacent comment), so without --edges the file
+// is clean; against testdata/r9scope/edges.toml the manifest cross-check
+// finds three violations:
+//   * fixture.unpaired has a release-side (V) tag but no acquire side,
+//   * fixture.unknown is tagged in code but not declared in the manifest,
+//   * fixture.ghost is declared in the manifest but never tagged in code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct EdgePairs {
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+
+  void publish() {
+    a.store(1, std::memory_order_release);  // AML_V_EDGE(fixture.unpaired)
+  }
+
+  std::uint64_t observe() {
+    return b.load(std::memory_order_acquire);  // AML_X_EDGE(fixture.unknown)
+  }
+};
+
+}  // namespace fixture
